@@ -1,0 +1,329 @@
+//! Expressions: the grammar's `<expression>`, `<term>` and
+//! `<bool-expression>` non-terminals.
+
+use crate::ops::{BinOp, BoolOp, MathFunc};
+use crate::types::{format_fp_literal, FpType, Ident};
+use std::fmt;
+
+/// Index expression for array accesses.
+///
+/// Generated programs only ever index arrays in a small number of shapes,
+/// each of which has a distinct role in the race-freedom argument (§III-G of
+/// the paper):
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexExpr {
+    /// A constant index, always `< ARRAY_SIZE`.
+    Const(usize),
+    /// A loop counter taken modulo the array size: `var[i % 1000]`.
+    LoopVarMod(Ident, usize),
+    /// The calling thread's id: `var[omp_get_thread_num()]`. Writes indexed
+    /// this way are race-free by construction because each thread owns a
+    /// distinct slot.
+    ThreadId,
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexExpr::Const(k) => write!(f, "{k}"),
+            IndexExpr::LoopVarMod(v, m) => write!(f, "{v} % {m}"),
+            IndexExpr::ThreadId => f.write_str("omp_get_thread_num()"),
+        }
+    }
+}
+
+/// Reference to a scalar variable or an element of an array variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarRef {
+    /// A scalar variable: parameter, temporary, or loop counter.
+    Scalar(Ident),
+    /// An element of an array variable.
+    Element(Ident, IndexExpr),
+}
+
+impl VarRef {
+    /// Name of the underlying variable, ignoring any index.
+    pub fn name(&self) -> &str {
+        match self {
+            VarRef::Scalar(n) | VarRef::Element(n, _) => n,
+        }
+    }
+
+    /// True when the reference targets an array element.
+    pub fn is_element(&self) -> bool {
+        matches!(self, VarRef::Element(..))
+    }
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarRef::Scalar(n) => f.write_str(n),
+            VarRef::Element(n, idx) => write!(f, "{n}[{idx}]"),
+        }
+    }
+}
+
+/// A leaf of an expression tree: the grammar's
+/// `<term> ::= <identifier> | <fp-numeral>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A variable reference (scalar or array element).
+    Var(VarRef),
+    /// A floating-point literal with an explicit precision.
+    FpConst(f64, FpType),
+    /// An integer literal (loop bounds, comparisons against counters).
+    IntConst(i64),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => v.fmt(f),
+            Term::FpConst(x, ty) => f.write_str(&format_fp_literal(*x, *ty)),
+            Term::IntConst(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Arithmetic expression tree: the grammar's
+/// `<expression> ::= <term> | "(" <expression> ")" | <expression> <op> <expression>`,
+/// extended with math-library calls when `MATH_FUNC_ALLOWED` is on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A single term.
+    Term(Term),
+    /// A parenthesized subexpression. Parentheses are semantically
+    /// meaningful for floating point (they fix association order), so they
+    /// are represented explicitly rather than normalized away.
+    Paren(Box<Expr>),
+    /// A binary arithmetic operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// A call to a `<math.h>` function.
+    MathCall { func: MathFunc, arg: Box<Expr> },
+}
+
+impl Expr {
+    /// Shorthand: a scalar variable reference.
+    pub fn var(name: impl Into<Ident>) -> Expr {
+        Expr::Term(Term::Var(VarRef::Scalar(name.into())))
+    }
+
+    /// Shorthand: an array element reference.
+    pub fn elem(name: impl Into<Ident>, idx: IndexExpr) -> Expr {
+        Expr::Term(Term::Var(VarRef::Element(name.into(), idx)))
+    }
+
+    /// Shorthand: a double-precision literal.
+    pub fn fp_const(v: f64) -> Expr {
+        Expr::Term(Term::FpConst(v, FpType::F64))
+    }
+
+    /// Shorthand: a literal with explicit precision.
+    pub fn fp_const_typed(v: f64, ty: FpType) -> Expr {
+        Expr::Term(Term::FpConst(v, ty))
+    }
+
+    /// Shorthand: an integer literal.
+    pub fn int_const(v: i64) -> Expr {
+        Expr::Term(Term::IntConst(v))
+    }
+
+    /// Shorthand: a binary operation.
+    pub fn binary(lhs: Expr, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Shorthand: a parenthesized expression.
+    pub fn paren(inner: Expr) -> Expr {
+        Expr::Paren(Box::new(inner))
+    }
+
+    /// Shorthand: a math-library call.
+    pub fn call(func: MathFunc, arg: Expr) -> Expr {
+        Expr::MathCall {
+            func,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// Number of terms (leaves) in the expression; the generator bounds this
+    /// by `MAX_EXPRESSION_SIZE`.
+    pub fn term_count(&self) -> usize {
+        match self {
+            Expr::Term(_) => 1,
+            Expr::Paren(e) => e.term_count(),
+            Expr::Binary { lhs, rhs, .. } => lhs.term_count() + rhs.term_count(),
+            Expr::MathCall { arg, .. } => arg.term_count(),
+        }
+    }
+
+    /// Number of arithmetic operations in the expression.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Term(_) => 0,
+            Expr::Paren(e) => e.op_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.op_count() + rhs.op_count(),
+            Expr::MathCall { arg, .. } => 1 + arg.op_count(),
+        }
+    }
+
+    /// Depth of the expression tree (a single term has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Term(_) => 1,
+            Expr::Paren(e) => e.depth(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.depth().max(rhs.depth()),
+            Expr::MathCall { arg, .. } => 1 + arg.depth(),
+        }
+    }
+
+    /// Collect every variable referenced by the expression into `out`
+    /// (duplicates preserved, pre-order).
+    pub fn collect_vars<'a>(&'a self, out: &mut Vec<&'a VarRef>) {
+        match self {
+            Expr::Term(Term::Var(v)) => out.push(v),
+            Expr::Term(_) => {}
+            Expr::Paren(e) => e.collect_vars(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Expr::MathCall { arg, .. } => arg.collect_vars(out),
+        }
+    }
+
+    /// True if any leaf of the expression is a math-library call.
+    pub fn uses_math(&self) -> bool {
+        match self {
+            Expr::Term(_) => false,
+            Expr::Paren(e) => e.uses_math(),
+            Expr::Binary { lhs, rhs, .. } => lhs.uses_math() || rhs.uses_math(),
+            Expr::MathCall { .. } => true,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// C spelling of the expression. Binary operands that are themselves
+    /// binary expressions are *not* re-parenthesized: the generator emits
+    /// left-leaning chains and explicit `Paren` nodes where grouping is
+    /// intended, matching the style of the paper's listings
+    /// (`var_17 - 0.0 / (var_18 - -1.3929E-2)`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Term(t) => t.fmt(f),
+            Expr::Paren(e) => write!(f, "({e})"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Expr::MathCall { func, arg } => write!(f, "{func}({arg})"),
+        }
+    }
+}
+
+/// Boolean expression: the grammar's
+/// `<bool-expression> ::= <id> <bool-op> <expression>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoolExpr {
+    /// Left-hand side: always a plain variable reference, per the grammar.
+    pub lhs: VarRef,
+    /// Comparison operator.
+    pub op: BoolOp,
+    /// Right-hand side arithmetic expression.
+    pub rhs: Expr,
+}
+
+impl BoolExpr {
+    /// Number of terms on the right-hand side plus the left-hand side
+    /// variable; bounded by `MAX_EXPRESSION_SIZE` during generation.
+    pub fn term_count(&self) -> usize {
+        1 + self.rhs.term_count()
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_expr() -> Expr {
+        // (var_2 * var_3) + sin(1.0 / var_4)
+        Expr::binary(
+            Expr::paren(Expr::binary(Expr::var("var_2"), BinOp::Mul, Expr::var("var_3"))),
+            BinOp::Add,
+            Expr::call(
+                MathFunc::Sin,
+                Expr::binary(Expr::fp_const(1.0), BinOp::Div, Expr::var("var_4")),
+            ),
+        )
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(
+            sample_expr().to_string(),
+            "(var_2 * var_3) + sin(1.0 / var_4)"
+        );
+    }
+
+    #[test]
+    fn term_and_op_counts() {
+        let e = sample_expr();
+        assert_eq!(e.term_count(), 4);
+        assert_eq!(e.op_count(), 4); // *, +, / and the sin call
+        assert_eq!(e.depth(), 4);
+    }
+
+    #[test]
+    fn collect_vars_in_preorder() {
+        let e = sample_expr();
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        let names: Vec<&str> = vars.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["var_2", "var_3", "var_4"]);
+    }
+
+    #[test]
+    fn array_element_display() {
+        let e = Expr::elem("var_16", IndexExpr::ThreadId);
+        assert_eq!(e.to_string(), "var_16[omp_get_thread_num()]");
+        let e = Expr::elem("comp", IndexExpr::LoopVarMod("i".into(), 1000));
+        assert_eq!(e.to_string(), "comp[i % 1000]");
+    }
+
+    #[test]
+    fn bool_expr_display() {
+        let b = BoolExpr {
+            lhs: VarRef::Scalar("var_1".into()),
+            op: BoolOp::Lt,
+            rhs: Expr::fp_const(1.23e-10),
+        };
+        assert_eq!(b.to_string(), "var_1 < 1.23e-10");
+        assert_eq!(b.term_count(), 2);
+    }
+
+    #[test]
+    fn uses_math_detection() {
+        assert!(sample_expr().uses_math());
+        assert!(!Expr::var("x").uses_math());
+    }
+
+    #[test]
+    fn op_count_counts_math_calls() {
+        let e = Expr::call(MathFunc::Cos, Expr::var("x"));
+        assert_eq!(e.op_count(), 1);
+        assert_eq!(e.term_count(), 1);
+    }
+}

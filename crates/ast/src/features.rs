@@ -1,0 +1,410 @@
+//! Static feature extraction.
+//!
+//! [`ProgramFeatures`] summarizes the structural properties of a generated
+//! program that downstream components key on:
+//!
+//! * the **simulated backends** trigger their modelled behaviours on
+//!   features (e.g. a parallel region inside a serial loop stresses team
+//!   re-creation — the paper's Case study 2; a critical section inside a
+//!   worksharing loop stresses lock contention — Case studies 1 and 3);
+//! * the **campaign reports** bucket outliers by the features of the
+//!   triggering test, which is how the paper's case-study analysis proceeds.
+
+use crate::expr::Expr;
+use crate::omp::{OmpCritical, OmpParallel};
+use crate::ops::BinOp;
+use crate::program::Program;
+use crate::stmt::{Assignment, ForLoop, LValue};
+use crate::visit::{self, Ctx, Visitor};
+
+/// Structural summary of a program. All counts are static (syntactic), not
+/// dynamic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramFeatures {
+    /// Number of `omp parallel` regions.
+    pub parallel_regions: usize,
+    /// Number of parallel regions that appear inside a *serial* loop, so the
+    /// region (and its thread team) is re-entered once per iteration. This
+    /// is the stressor behind the paper's Case study 2 (Clang 946% slower).
+    pub parallel_in_serial_loop: usize,
+    /// Number of `#pragma omp for` worksharing loops.
+    pub omp_for_loops: usize,
+    /// Number of serial `for` loops.
+    pub serial_loops: usize,
+    /// Number of `omp critical` sections.
+    pub critical_sections: usize,
+    /// Number of critical sections inside worksharing loops — the lock
+    /// contention stressor behind Case studies 1 and 3.
+    pub critical_in_omp_for: usize,
+    /// Number of regions carrying a `reduction(...: comp)` clause.
+    pub reductions: usize,
+    /// Number of `if` blocks.
+    pub if_blocks: usize,
+    /// Number of `if` conditions whose outcome depends on floating-point
+    /// data (always true in this grammar) — together with NaN-producing
+    /// arithmetic these are what let control flow diverge between compilers
+    /// (§V-B fast outliers).
+    pub fp_dependent_branches: usize,
+    /// Total assignments (including declarations with initializers).
+    pub assignments: usize,
+    /// Assignments targeting `comp`.
+    pub comp_writes: usize,
+    /// Writes of the form `arr[omp_get_thread_num()] = ...` (race-free by
+    /// construction).
+    pub thread_id_writes: usize,
+    /// Writes to shared scalars/arrays inside a parallel region that are
+    /// *not* inside a critical section and not thread-id-indexed. For
+    /// programs from the default generator this is always 0; the legacy
+    /// (racy) generator mode can produce nonzero values (§III-E limitation).
+    pub unprotected_shared_writes: usize,
+    /// Total arithmetic operations in all expressions.
+    pub arith_ops: usize,
+    /// Division operations (they dominate expression latency).
+    pub div_ops: usize,
+    /// Math-library calls.
+    pub math_calls: usize,
+    /// Maximum block nesting depth.
+    pub max_nesting: usize,
+    /// Total statements.
+    pub stmt_count: usize,
+    /// Maximum loop nesting depth (serial + worksharing).
+    pub max_loop_depth: usize,
+}
+
+impl ProgramFeatures {
+    /// Extract features from a program.
+    pub fn of(program: &Program) -> ProgramFeatures {
+        let mut fx = FeatureExtractor {
+            features: ProgramFeatures {
+                max_nesting: program.body.nesting_depth(),
+                stmt_count: program.body.stmt_count(),
+                ..ProgramFeatures::default()
+            },
+            privatized: Vec::new(),
+        };
+        fx.visit_program(program);
+        fx.features
+    }
+
+    /// True when the program contains the Case-study-2 stressor.
+    pub fn stresses_team_recreation(&self) -> bool {
+        self.parallel_in_serial_loop > 0
+    }
+
+    /// True when the program contains the Case-study-1/3 stressor.
+    pub fn stresses_lock_contention(&self) -> bool {
+        self.critical_in_omp_for > 0
+    }
+
+    /// True when NaN-sensitive control-flow divergence is possible: the
+    /// program has data-dependent branches and at least one division or math
+    /// call that can produce NaN/Inf.
+    pub fn nan_branch_candidate(&self) -> bool {
+        self.fp_dependent_branches > 0 && (self.div_ops > 0 || self.math_calls > 0)
+    }
+}
+
+struct FeatureExtractor {
+    features: ProgramFeatures,
+    /// Stack of privatized variable names of enclosing regions.
+    privatized: Vec<Vec<String>>,
+}
+
+impl FeatureExtractor {
+    fn count_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Term(_) => {}
+            Expr::Paren(e) => self.count_expr(e),
+            Expr::Binary { op, lhs, rhs } => {
+                self.features.arith_ops += 1;
+                if *op == BinOp::Div {
+                    self.features.div_ops += 1;
+                }
+                self.count_expr(lhs);
+                self.count_expr(rhs);
+            }
+            Expr::MathCall { arg, .. } => {
+                self.features.math_calls += 1;
+                self.count_expr(arg);
+            }
+        }
+    }
+
+    fn is_privatized(&self, name: &str) -> bool {
+        self.privatized
+            .iter()
+            .any(|scope| scope.iter().any(|v| v == name))
+    }
+}
+
+impl Visitor for FeatureExtractor {
+    fn visit_assignment(&mut self, assign: &Assignment, ctx: Ctx) {
+        self.features.assignments += 1;
+        if assign.target.is_comp() {
+            self.features.comp_writes += 1;
+        }
+        match &assign.target {
+            LValue::Var(crate::expr::VarRef::Element(_, crate::expr::IndexExpr::ThreadId)) => {
+                self.features.thread_id_writes += 1;
+            }
+            LValue::Var(v) if ctx.is_parallel() && !ctx.in_critical => {
+                if !self.is_privatized(v.name()) {
+                    self.features.unprotected_shared_writes += 1;
+                }
+            }
+            LValue::Comp if ctx.is_parallel() && !ctx.in_critical => {
+                // comp is race-free only under a reduction clause; the
+                // extractor cannot see the clause from here, so region entry
+                // handles comp accounting (see visit_parallel).
+            }
+            _ => {}
+        }
+        visit::walk_assignment(self, assign, ctx);
+    }
+
+    fn visit_stmt(&mut self, stmt: &crate::stmt::Stmt, ctx: Ctx) {
+        if let crate::stmt::Stmt::DeclAssign { name, .. } = stmt {
+            // The initializer expression is counted by `visit_expr` when
+            // `walk_stmt` dispatches it.
+            self.features.assignments += 1;
+            // A declaration inside a parallel region creates a
+            // thread-private variable: writes to it can never race.
+            if ctx.is_parallel() {
+                if let Some(scope) = self.privatized.last_mut() {
+                    scope.push(name.clone());
+                }
+            }
+        }
+        visit::walk_stmt(self, stmt, ctx);
+    }
+
+    fn visit_expr(&mut self, expr: &Expr, _ctx: Ctx) {
+        self.count_expr(expr);
+    }
+
+    fn visit_if(&mut self, ifb: &crate::stmt::IfBlock, ctx: Ctx) {
+        self.features.if_blocks += 1;
+        self.features.fp_dependent_branches += 1;
+        visit::walk_if(self, ifb, ctx);
+    }
+
+    fn visit_for(&mut self, fl: &ForLoop, ctx: Ctx) {
+        if fl.omp_for {
+            self.features.omp_for_loops += 1;
+        } else {
+            self.features.serial_loops += 1;
+        }
+        let depth = ctx.loop_depth + 1;
+        self.features.max_loop_depth = self.features.max_loop_depth.max(depth);
+        visit::walk_for(self, fl, ctx);
+    }
+
+    fn visit_parallel(&mut self, par: &OmpParallel, ctx: Ctx) {
+        self.features.parallel_regions += 1;
+        if ctx.serial_loop_depth > 0 {
+            self.features.parallel_in_serial_loop += 1;
+        }
+        if par.clauses.reduction.is_some() {
+            self.features.reductions += 1;
+        }
+        let mut scope: Vec<String> = par.clauses.private.clone();
+        scope.extend(par.clauses.firstprivate.iter().cloned());
+        // The loop counter of the region's loop is implicitly private.
+        scope.push(par.body_loop.var.clone());
+        self.privatized.push(scope);
+        visit::walk_parallel(self, par, ctx);
+        self.privatized.pop();
+    }
+
+    fn visit_critical(&mut self, crit: &OmpCritical, ctx: Ctx) {
+        self.features.critical_sections += 1;
+        if ctx.in_omp_for {
+            self.features.critical_in_omp_for += 1;
+        }
+        visit::walk_critical(self, crit, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BoolExpr, VarRef};
+    use crate::omp::OmpClauses;
+    use crate::ops::{AssignOp, BoolOp, MathFunc, ReductionOp};
+    use crate::stmt::{Block, BlockItem, IfBlock, LValue, LoopBound, Stmt};
+    use crate::types::FpType;
+    use crate::Param;
+
+    fn comp_add(value: Expr) -> Stmt {
+        Stmt::Assign(Assignment {
+            target: LValue::Comp,
+            op: AssignOp::AddAssign,
+            value,
+        })
+    }
+
+    /// Build the Case-study-2 shape: a parallel region inside a serial loop.
+    fn cs2_program() -> Program {
+        Program::new(
+            vec![Param::fp(FpType::F64, "var_1"), Param::int("var_2")],
+            Block::of_stmts(vec![Stmt::For(ForLoop {
+                omp_for: false,
+                var: "i".into(),
+                bound: LoopBound::Param("var_2".into()),
+                body: Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                    clauses: OmpClauses {
+                        reduction: Some(ReductionOp::Add),
+                        num_threads: Some(32),
+                        ..OmpClauses::default()
+                    },
+                    prelude: vec![comp_add(Expr::var("var_1"))],
+                    body_loop: ForLoop {
+                        omp_for: true,
+                        var: "j".into(),
+                        bound: LoopBound::Const(100),
+                        body: Block::of_stmts(vec![comp_add(Expr::binary(
+                            Expr::var("var_1"),
+                            BinOp::Div,
+                            Expr::fp_const(3.0),
+                        ))]),
+                    },
+                })]),
+            })]),
+        )
+    }
+
+    #[test]
+    fn cs2_features() {
+        let f = ProgramFeatures::of(&cs2_program());
+        assert_eq!(f.parallel_regions, 1);
+        assert_eq!(f.parallel_in_serial_loop, 1);
+        assert!(f.stresses_team_recreation());
+        assert!(!f.stresses_lock_contention());
+        assert_eq!(f.omp_for_loops, 1);
+        assert_eq!(f.serial_loops, 1);
+        assert_eq!(f.reductions, 1);
+        assert_eq!(f.comp_writes, 2);
+        assert_eq!(f.div_ops, 1);
+        assert_eq!(f.max_loop_depth, 2);
+    }
+
+    #[test]
+    fn critical_in_omp_for_detected() {
+        let program = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses::default(),
+                prelude: vec![comp_add(Expr::fp_const(0.0))],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(64),
+                    body: Block(vec![BlockItem::Critical(OmpCritical {
+                        body: Block::of_stmts(vec![comp_add(Expr::var("var_1"))]),
+                    })]),
+                },
+            })]),
+        );
+        let f = ProgramFeatures::of(&program);
+        assert_eq!(f.critical_sections, 1);
+        assert_eq!(f.critical_in_omp_for, 1);
+        assert!(f.stresses_lock_contention());
+        assert_eq!(f.unprotected_shared_writes, 0);
+    }
+
+    #[test]
+    fn unprotected_shared_write_detected() {
+        // var_9 is written in a parallel loop without privatization,
+        // critical, or thread-id indexing: the legacy-mode race.
+        let program = Program::new(
+            vec![Param::fp(FpType::F64, "var_9")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses::default(),
+                prelude: vec![comp_add(Expr::fp_const(0.0))],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(64),
+                    body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                        target: LValue::Var(VarRef::Scalar("var_9".into())),
+                        op: AssignOp::AddAssign,
+                        value: Expr::fp_const(1.0),
+                    })]),
+                },
+            })]),
+        );
+        let f = ProgramFeatures::of(&program);
+        assert_eq!(f.unprotected_shared_writes, 1);
+    }
+
+    #[test]
+    fn privatized_writes_are_not_flagged() {
+        let program = Program::new(
+            vec![Param::fp(FpType::F64, "var_9")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses {
+                    private: vec!["var_9".into()],
+                    ..OmpClauses::default()
+                },
+                prelude: vec![comp_add(Expr::fp_const(0.0))],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(64),
+                    body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                        target: LValue::Var(VarRef::Scalar("var_9".into())),
+                        op: AssignOp::AddAssign,
+                        value: Expr::fp_const(1.0),
+                    })]),
+                },
+            })]),
+        );
+        let f = ProgramFeatures::of(&program);
+        assert_eq!(f.unprotected_shared_writes, 0);
+    }
+
+    #[test]
+    fn nan_branch_candidate_needs_branch_and_nan_source() {
+        let mut program = cs2_program();
+        assert!(!ProgramFeatures::of(&program).nan_branch_candidate()); // div but no branch
+        // Wrap in an if
+        program.body = Block::of_stmts(vec![Stmt::If(IfBlock {
+            cond: BoolExpr {
+                lhs: VarRef::Scalar("var_1".into()),
+                op: BoolOp::Lt,
+                rhs: Expr::call(MathFunc::Log, Expr::var("var_1")),
+            },
+            body: program.body.clone(),
+        })]);
+        let f = ProgramFeatures::of(&program);
+        assert!(f.nan_branch_candidate());
+        assert_eq!(f.math_calls, 1);
+    }
+
+    #[test]
+    fn thread_id_writes_counted() {
+        let program = Program::new(
+            vec![Param::fp_array(FpType::F64, "var_3")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses::default(),
+                prelude: vec![comp_add(Expr::fp_const(0.0))],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(8),
+                    body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                        target: LValue::Var(VarRef::Element(
+                            "var_3".into(),
+                            crate::expr::IndexExpr::ThreadId,
+                        )),
+                        op: AssignOp::Assign,
+                        value: Expr::fp_const(2.0),
+                    })]),
+                },
+            })]),
+        );
+        let f = ProgramFeatures::of(&program);
+        assert_eq!(f.thread_id_writes, 1);
+        assert_eq!(f.unprotected_shared_writes, 0);
+    }
+}

@@ -1,0 +1,627 @@
+//! The formal grammar of the generated language, as a data artifact.
+//!
+//! The paper (Listing 2) defines the space of generatable programs with a
+//! grammar; this module encodes that grammar so that it can be rendered,
+//! validated, and — most importantly — used to *check* that every AST the
+//! generator produces corresponds to a derivation. The property test
+//! "every generated program derives from the grammar" lives in
+//! `ompfuzz-gen`, built on [`derivation_trace`].
+
+use crate::omp::OmpParallel;
+use crate::program::Program;
+use crate::stmt::{Block, BlockItem, ForLoop, Stmt};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A grammar symbol.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Symbol {
+    /// A non-terminal, e.g. `<expression>`.
+    NonTerminal(&'static str),
+    /// A terminal token, e.g. `"#pragma omp for"`.
+    Terminal(&'static str),
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::NonTerminal(n) => write!(f, "<{n}>"),
+            Symbol::Terminal(t) => write!(f, "\"{t}\""),
+        }
+    }
+}
+
+/// Shorthand constructors.
+pub fn nt(name: &'static str) -> Symbol {
+    Symbol::NonTerminal(name)
+}
+/// Terminal shorthand.
+pub fn t(tok: &'static str) -> Symbol {
+    Symbol::Terminal(tok)
+}
+
+/// One production: `lhs ::= alternatives[0] | alternatives[1] | ...`.
+#[derive(Debug, Clone)]
+pub struct Production {
+    pub lhs: &'static str,
+    pub alternatives: Vec<Vec<Symbol>>,
+}
+
+/// A context-free grammar.
+#[derive(Debug, Clone, Default)]
+pub struct Grammar {
+    pub productions: Vec<Production>,
+}
+
+impl Grammar {
+    /// Add a production.
+    pub fn rule(&mut self, lhs: &'static str, alternatives: Vec<Vec<Symbol>>) {
+        self.productions.push(Production { lhs, alternatives });
+    }
+
+    /// Look up a production by left-hand side.
+    pub fn production(&self, lhs: &str) -> Option<&Production> {
+        self.productions.iter().find(|p| p.lhs == lhs)
+    }
+
+    /// All defined non-terminal names.
+    pub fn defined(&self) -> BTreeSet<&'static str> {
+        self.productions.iter().map(|p| p.lhs).collect()
+    }
+
+    /// All referenced non-terminal names.
+    pub fn referenced(&self) -> BTreeSet<&'static str> {
+        let mut out = BTreeSet::new();
+        for p in &self.productions {
+            for alt in &p.alternatives {
+                for s in alt {
+                    if let Symbol::NonTerminal(n) = s {
+                        out.insert(*n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Check the grammar is closed: every referenced non-terminal is
+    /// defined (leaf lexical classes like `<id>` are declared with empty
+    /// alternative lists). Returns the set of undefined references.
+    pub fn undefined_references(&self) -> BTreeSet<&'static str> {
+        self.referenced()
+            .difference(&self.defined())
+            .copied()
+            .collect()
+    }
+
+    /// Render as BNF text, one production per line (wrapped alternatives).
+    pub fn to_bnf(&self) -> String {
+        let mut out = String::new();
+        for p in &self.productions {
+            let alts: Vec<String> = p
+                .alternatives
+                .iter()
+                .map(|alt| {
+                    if alt.is_empty() {
+                        "ε".to_string()
+                    } else {
+                        alt.iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    }
+                })
+                .collect();
+            let rendered = if alts.is_empty() {
+                "/* lexical */".to_string()
+            } else {
+                alts.join(" | ")
+            };
+            out.push_str(&format!("<{}> ::= {}\n", p.lhs, rendered));
+        }
+        out
+    }
+}
+
+/// Construct the Varity+OpenMP grammar of the paper's Listing 2.
+pub fn varity_openmp_grammar() -> Grammar {
+    let mut g = Grammar::default();
+
+    // Function-level rules.
+    g.rule(
+        "function",
+        vec![vec![
+            t("void"),
+            t("compute"),
+            t("("),
+            nt("param-list"),
+            t(")"),
+            t("{"),
+            nt("block"),
+            t("}"),
+        ]],
+    );
+    g.rule(
+        "param-list",
+        vec![
+            vec![nt("param-declaration")],
+            vec![nt("param-list"), t(","), nt("param-declaration")],
+        ],
+    );
+    g.rule(
+        "param-declaration",
+        vec![
+            vec![t("int"), nt("id")],
+            vec![nt("fp-type"), nt("id")],
+            vec![nt("fp-type"), t("*"), nt("id")],
+        ],
+    );
+
+    // Expression- and term-level rules.
+    g.rule(
+        "assignment",
+        vec![
+            vec![t("comp"), nt("assign-op"), nt("expression"), t(";")],
+            vec![
+                nt("fp-type"),
+                nt("id"),
+                nt("assign-op"),
+                nt("expression"),
+                t(";"),
+            ],
+        ],
+    );
+    g.rule(
+        "expression",
+        vec![
+            vec![nt("term")],
+            vec![t("("), nt("expression"), t(")")],
+            vec![nt("expression"), nt("op"), nt("expression")],
+        ],
+    );
+    g.rule(
+        "term",
+        vec![vec![nt("identifier")], vec![nt("fp-numeral")]],
+    );
+
+    // Block-level rules.
+    g.rule(
+        "block",
+        vec![
+            vec![nt("assignment")], // {<assignment>}+ unrolled one step
+            vec![nt("if-block"), nt("block")],
+            vec![nt("for-loop-block"), nt("block")],
+            vec![nt("openmp-block")],
+        ],
+    );
+
+    // OpenMP-block-level rules.
+    g.rule(
+        "openmp-head",
+        vec![vec![
+            t("#pragma omp parallel default(shared)"),
+            t("private("),
+            nt("private-vars"),
+            t(")"),
+            t("firstprivate("),
+            nt("first-private-vars"),
+            t(")"),
+            nt("reduction-clause-opt"),
+        ]],
+    );
+    g.rule(
+        "reduction-clause-opt",
+        vec![
+            vec![],
+            vec![t("reduction("), nt("reduction-op"), t(": comp)")],
+        ],
+    );
+    g.rule(
+        "openmp-block",
+        vec![vec![
+            nt("openmp-head"),
+            t("{"),
+            nt("assignment"), // {<assignment>}+
+            nt("for-loop-block"),
+            t("}"),
+        ]],
+    );
+    g.rule(
+        "openmp-critical",
+        vec![vec![t("#pragma omp critical"), t("{"), nt("block"), t("}")]],
+    );
+
+    // If-block-level rules.
+    g.rule(
+        "if-block",
+        vec![vec![
+            t("if"),
+            t("("),
+            nt("bool-expression"),
+            t(")"),
+            t("{"),
+            nt("block"),
+            t("}"),
+        ]],
+    );
+
+    // For-loop-level rules.
+    g.rule(
+        "for-loop-head",
+        vec![vec![t("#pragma omp for"), t("for")], vec![t("for")]],
+    );
+    g.rule(
+        "for-loop-block",
+        vec![vec![
+            nt("for-loop-head"),
+            t("("),
+            nt("loop-header"),
+            t(")"),
+            t("{"),
+            nt("loop-body"),
+            t("}"),
+        ]],
+    );
+    g.rule(
+        "loop-body",
+        vec![vec![nt("block")], vec![nt("openmp-critical")]],
+    );
+    g.rule(
+        "loop-header",
+        vec![vec![
+            t("int"),
+            nt("id"),
+            t(";"),
+            nt("id"),
+            t("<"),
+            nt("int-numeral"),
+            t(";"),
+            t("++"),
+            nt("id"),
+        ]],
+    );
+
+    // Bool-expression-level rules.
+    g.rule(
+        "bool-expression",
+        vec![vec![nt("id"), nt("bool-op"), nt("expression")]],
+    );
+
+    // Lexical classes (terminals of the generator's random choices).
+    g.rule(
+        "fp-type",
+        vec![vec![t("float")], vec![t("double")]],
+    );
+    g.rule(
+        "assign-op",
+        vec![
+            vec![t("=")],
+            vec![t("+=")],
+            vec![t("-=")],
+            vec![t("*=")],
+            vec![t("/=")],
+        ],
+    );
+    g.rule(
+        "op",
+        vec![vec![t("+")], vec![t("-")], vec![t("*")], vec![t("/")]],
+    );
+    g.rule(
+        "bool-op",
+        vec![
+            vec![t("<")],
+            vec![t(">")],
+            vec![t("==")],
+            vec![t("!=")],
+            vec![t(">=")],
+            vec![t("<=")],
+        ],
+    );
+    g.rule("reduction-op", vec![vec![t("+")], vec![t("*")]]);
+    g.rule("id", vec![]);
+    g.rule("identifier", vec![]);
+    g.rule("fp-numeral", vec![]);
+    g.rule("int-numeral", vec![]);
+    g.rule("private-vars", vec![]);
+    g.rule("first-private-vars", vec![]);
+
+    g
+}
+
+/// Names of productions used while deriving `program`, in pre-order.
+///
+/// This is a *structural* correspondence: each AST node maps to the grammar
+/// production that admits it. A program whose trace only mentions
+/// productions defined in [`varity_openmp_grammar`] (which is all of them,
+/// by construction of the AST types) is grammar-derivable; the interesting
+/// checks are the contextual ones ([`derivation_errors`]).
+pub fn derivation_trace(program: &Program) -> Vec<&'static str> {
+    let mut trace = vec!["function", "param-list"];
+    for p in &program.params {
+        let _ = p;
+        trace.push("param-declaration");
+    }
+    trace_block(&program.body, &mut trace);
+    trace
+}
+
+fn trace_block(block: &Block, trace: &mut Vec<&'static str>) {
+    trace.push("block");
+    for item in block.iter() {
+        match item {
+            BlockItem::Stmt(s) => trace_stmt(s, trace),
+            BlockItem::Critical(c) => {
+                trace.push("openmp-critical");
+                trace_block(&c.body, trace);
+            }
+        }
+    }
+}
+
+fn trace_stmt(stmt: &Stmt, trace: &mut Vec<&'static str>) {
+    match stmt {
+        Stmt::Assign(_) | Stmt::DeclAssign { .. } => {
+            trace.push("assignment");
+            trace.push("expression");
+        }
+        Stmt::If(ifb) => {
+            trace.push("if-block");
+            trace.push("bool-expression");
+            trace_block(&ifb.body, trace);
+        }
+        Stmt::For(fl) => trace_for(fl, trace),
+        Stmt::OmpParallel(par) => trace_parallel(par, trace),
+    }
+}
+
+fn trace_for(fl: &ForLoop, trace: &mut Vec<&'static str>) {
+    trace.push("for-loop-block");
+    trace.push("for-loop-head");
+    trace.push("loop-header");
+    trace_block(&fl.body, trace);
+}
+
+fn trace_parallel(par: &OmpParallel, trace: &mut Vec<&'static str>) {
+    trace.push("openmp-block");
+    trace.push("openmp-head");
+    if par.clauses.reduction.is_some() {
+        trace.push("reduction-clause-opt");
+    }
+    for s in &par.prelude {
+        trace_stmt(s, trace);
+    }
+    trace_for(&par.body_loop, trace);
+}
+
+/// Contextual (non-context-free) constraints from the paper that every
+/// generated program must satisfy. Returns human-readable violations; an
+/// empty vector means the program is well-formed.
+///
+/// 1. `openmp-block` preludes contain only assignments/declarations
+///    (`<openmp-block> ::= <openmp-head> "{" {<assignment>}+ <for-loop-block> "}"`).
+/// 2. `openmp-critical` appears only inside `for` loop bodies.
+/// 3. `#pragma omp for` loops appear only inside parallel regions.
+/// 4. Parallel regions are not nested (the paper generates flat regions).
+pub fn derivation_errors(program: &Program) -> Vec<String> {
+    let mut errors = Vec::new();
+    check_block(&program.body, false, false, &mut errors);
+    errors
+}
+
+fn check_block(block: &Block, in_loop: bool, in_parallel: bool, errors: &mut Vec<String>) {
+    for item in block.iter() {
+        match item {
+            BlockItem::Critical(c) => {
+                if !in_loop {
+                    errors.push("critical section outside a for-loop body".to_string());
+                }
+                if !in_parallel {
+                    errors.push("critical section outside a parallel region".to_string());
+                }
+                check_block(&c.body, in_loop, in_parallel, errors);
+            }
+            BlockItem::Stmt(s) => check_stmt(s, in_loop, in_parallel, errors),
+        }
+    }
+}
+
+fn check_stmt(stmt: &Stmt, in_loop: bool, in_parallel: bool, errors: &mut Vec<String>) {
+    match stmt {
+        Stmt::Assign(_) | Stmt::DeclAssign { .. } => {}
+        Stmt::If(ifb) => check_block(&ifb.body, in_loop, in_parallel, errors),
+        Stmt::For(fl) => {
+            if fl.omp_for && !in_parallel {
+                errors.push("#pragma omp for outside a parallel region".to_string());
+            }
+            check_block(&fl.body, true, in_parallel, errors);
+        }
+        Stmt::OmpParallel(par) => {
+            if in_parallel {
+                errors.push("nested parallel region".to_string());
+            }
+            for s in &par.prelude {
+                if !matches!(s, Stmt::Assign(_) | Stmt::DeclAssign { .. }) {
+                    errors.push("non-assignment statement in openmp-block prelude".to_string());
+                }
+            }
+            check_for(&par.body_loop, true, errors);
+        }
+    }
+}
+
+fn check_for(fl: &ForLoop, in_parallel: bool, errors: &mut Vec<String>) {
+    check_block(&fl.body, true, in_parallel, errors);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, VarRef};
+    use crate::omp::{OmpClauses, OmpCritical};
+    use crate::ops::AssignOp;
+    use crate::stmt::{Assignment, LValue, LoopBound};
+    use crate::types::FpType;
+    use crate::Param;
+
+    #[test]
+    fn grammar_is_closed() {
+        let g = varity_openmp_grammar();
+        assert!(
+            g.undefined_references().is_empty(),
+            "undefined: {:?}",
+            g.undefined_references()
+        );
+    }
+
+    #[test]
+    fn grammar_covers_paper_nonterminals() {
+        let g = varity_openmp_grammar();
+        for name in [
+            "function",
+            "param-list",
+            "param-declaration",
+            "assignment",
+            "expression",
+            "term",
+            "block",
+            "openmp-head",
+            "openmp-block",
+            "openmp-critical",
+            "if-block",
+            "for-loop-head",
+            "for-loop-block",
+            "loop-header",
+            "bool-expression",
+        ] {
+            assert!(g.production(name).is_some(), "missing <{name}>");
+        }
+    }
+
+    #[test]
+    fn bnf_rendering_mentions_key_terminals() {
+        let bnf = varity_openmp_grammar().to_bnf();
+        assert!(bnf.contains("<openmp-head> ::="));
+        assert!(bnf.contains("#pragma omp parallel default(shared)"));
+        assert!(bnf.contains("<for-loop-head> ::= \"#pragma omp for\" \"for\" | \"for\""));
+        assert!(bnf.contains("<reduction-op> ::= \"+\" | \"*\""));
+    }
+
+    fn assign_comp() -> Stmt {
+        Stmt::Assign(Assignment {
+            target: LValue::Comp,
+            op: AssignOp::AddAssign,
+            value: Expr::fp_const(1.0),
+        })
+    }
+
+    #[test]
+    fn well_formed_program_has_no_errors() {
+        let program = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses::default(),
+                prelude: vec![assign_comp()],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(10),
+                    body: Block(vec![BlockItem::Critical(OmpCritical {
+                        body: Block::of_stmts(vec![assign_comp()]),
+                    })]),
+                },
+            })]),
+        );
+        assert!(derivation_errors(&program).is_empty());
+        let trace = derivation_trace(&program);
+        let g = varity_openmp_grammar();
+        for name in &trace {
+            assert!(g.production(name).is_some(), "trace uses <{name}>");
+        }
+    }
+
+    #[test]
+    fn omp_for_outside_parallel_is_an_error() {
+        let program = Program::new(
+            vec![],
+            Block::of_stmts(vec![Stmt::For(ForLoop {
+                omp_for: true,
+                var: "i".into(),
+                bound: LoopBound::Const(10),
+                body: Block::of_stmts(vec![assign_comp()]),
+            })]),
+        );
+        let errs = derivation_errors(&program);
+        assert!(errs.iter().any(|e| e.contains("omp for")));
+    }
+
+    #[test]
+    fn critical_outside_loop_is_an_error() {
+        let program = Program::new(
+            vec![],
+            Block(vec![BlockItem::Critical(OmpCritical {
+                body: Block::of_stmts(vec![assign_comp()]),
+            })]),
+        );
+        let errs = derivation_errors(&program);
+        assert!(errs.iter().any(|e| e.contains("outside a for-loop")));
+    }
+
+    #[test]
+    fn nested_parallel_is_an_error() {
+        let inner = OmpParallel {
+            clauses: OmpClauses::default(),
+            prelude: vec![assign_comp()],
+            body_loop: ForLoop {
+                omp_for: false,
+                var: "j".into(),
+                bound: LoopBound::Const(4),
+                body: Block::of_stmts(vec![assign_comp()]),
+            },
+        };
+        let program = Program::new(
+            vec![],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses::default(),
+                prelude: vec![assign_comp()],
+                body_loop: ForLoop {
+                    omp_for: false,
+                    var: "i".into(),
+                    bound: LoopBound::Const(4),
+                    body: Block::of_stmts(vec![Stmt::OmpParallel(inner)]),
+                },
+            })]),
+        );
+        let errs = derivation_errors(&program);
+        assert!(errs.iter().any(|e| e.contains("nested parallel")));
+    }
+
+    #[test]
+    fn bad_prelude_is_an_error() {
+        let program = Program::new(
+            vec![],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses::default(),
+                prelude: vec![Stmt::For(ForLoop {
+                    omp_for: false,
+                    var: "k".into(),
+                    bound: LoopBound::Const(2),
+                    body: Block::of_stmts(vec![assign_comp()]),
+                })],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(4),
+                    body: Block::of_stmts(vec![assign_comp()]),
+                },
+            })]),
+        );
+        let errs = derivation_errors(&program);
+        assert!(errs.iter().any(|e| e.contains("prelude")));
+    }
+
+    #[test]
+    fn symbol_display() {
+        assert_eq!(nt("block").to_string(), "<block>");
+        assert_eq!(t("for").to_string(), "\"for\"");
+    }
+}

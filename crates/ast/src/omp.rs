@@ -1,0 +1,182 @@
+//! OpenMP constructs: parallel regions, data-sharing clauses and critical
+//! sections (the grammar's `<openmp-head>`, `<openmp-block>` and
+//! `<openmp-critical>` non-terminals).
+
+use crate::ops::ReductionOp;
+use crate::stmt::{Block, ForLoop, Stmt};
+use crate::types::Ident;
+use std::fmt;
+
+/// Data-sharing and execution clauses attached to an `omp parallel`
+/// directive (the grammar's `<openmp-head>`).
+///
+/// Per §III-E of the paper, program variables are assigned to data-sharing
+/// clauses randomly, except: `comp` is always shared (unless it is the
+/// reduction variable) and parallel-loop counters are never listed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OmpClauses {
+    /// Variables in the `private(...)` clause: each thread gets an
+    /// *uninitialized* private copy.
+    pub private: Vec<Ident>,
+    /// Variables in the `firstprivate(...)` clause: each thread gets a
+    /// private copy initialized from the value before the region.
+    pub firstprivate: Vec<Ident>,
+    /// Optional `reduction(<op>: comp)` clause. The reduction variable is
+    /// always `comp` (§III-F).
+    pub reduction: Option<ReductionOp>,
+    /// Optional `num_threads(<n>)` clause. The paper's evaluation pins this
+    /// to the machine's core count (32).
+    pub num_threads: Option<u32>,
+}
+
+impl OmpClauses {
+    /// Render the full `#pragma omp parallel ...` line.
+    pub fn pragma_line(&self) -> String {
+        let mut s = String::from("#pragma omp parallel default(shared)");
+        if !self.private.is_empty() {
+            s.push_str(" private(");
+            s.push_str(&self.private.join(", "));
+            s.push(')');
+        }
+        if !self.firstprivate.is_empty() {
+            s.push_str(" firstprivate(");
+            s.push_str(&self.firstprivate.join(", "));
+            s.push(')');
+        }
+        if let Some(op) = self.reduction {
+            s.push_str(" reduction(");
+            s.push_str(op.c_symbol());
+            s.push_str(": comp)");
+        }
+        if let Some(n) = self.num_threads {
+            s.push_str(&format!(" num_threads({n})"));
+        }
+        s
+    }
+
+    /// Whether `name` appears in any privatizing clause.
+    pub fn is_privatized(&self, name: &str) -> bool {
+        self.private.iter().any(|v| v == name)
+            || self.firstprivate.iter().any(|v| v == name)
+    }
+}
+
+/// An OpenMP parallel region (the grammar's `<openmp-block>`):
+///
+/// ```text
+/// <openmp-block> ::= <openmp-head> "\n{" {<assignment>}+ <for-loop-block> "}"
+/// ```
+///
+/// i.e. a pragma line, then a braced region containing a prelude of
+/// assignments (executed redundantly by every thread, or on private copies)
+/// followed by one `for` loop, which may or may not be a worksharing
+/// (`#pragma omp for`) loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpParallel {
+    pub clauses: OmpClauses,
+    /// Prelude statements: only `Stmt::Assign` / `Stmt::DeclAssign` are
+    /// grammatically valid here (checked by `gen::validate`).
+    pub prelude: Vec<Stmt>,
+    /// The region's loop.
+    pub body_loop: ForLoop,
+}
+
+impl OmpParallel {
+    /// Nesting depth contributed below the region (prelude is flat).
+    pub fn nesting_depth(&self) -> usize {
+        1 + self.body_loop.body.nesting_depth()
+    }
+
+    /// Total statements inside the region.
+    pub fn stmt_count(&self) -> usize {
+        self.prelude.len() + 1 + self.body_loop.body.stmt_count()
+    }
+
+    /// Whether the region's loop is a worksharing loop. A parallel region
+    /// whose loop is *serial* makes every thread run the full loop
+    /// redundantly — legal, and a useful stressor.
+    pub fn has_worksharing_loop(&self) -> bool {
+        self.body_loop.omp_for
+    }
+}
+
+/// An OpenMP critical section (the grammar's `<openmp-critical>`):
+/// `"#pragma omp critical {\n" <block> "}"`. Only one thread at a time may
+/// execute the body; the generator wraps otherwise-unprotected shared
+/// accesses in these (§III-G).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpCritical {
+    pub body: Block,
+}
+
+impl fmt::Display for OmpCritical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#pragma omp critical {{ .. {} stmts .. }}", self.body.stmt_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ops::AssignOp;
+    use crate::stmt::{Assignment, LValue, LoopBound};
+
+    fn region(reduction: Option<ReductionOp>) -> OmpParallel {
+        OmpParallel {
+            clauses: OmpClauses {
+                private: vec!["var_1".into(), "var_3".into()],
+                firstprivate: vec!["var_2".into()],
+                reduction,
+                num_threads: Some(32),
+            },
+            prelude: vec![Stmt::Assign(Assignment {
+                target: LValue::Var(crate::expr::VarRef::Scalar("var_1".into())),
+                op: AssignOp::Assign,
+                value: Expr::fp_const(0.0),
+            })],
+            body_loop: ForLoop {
+                omp_for: true,
+                var: "i".into(),
+                bound: LoopBound::Const(100),
+                body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                    target: LValue::Comp,
+                    op: AssignOp::AddAssign,
+                    value: Expr::var("var_2"),
+                })]),
+            },
+        }
+    }
+
+    #[test]
+    fn pragma_line_full() {
+        let r = region(Some(ReductionOp::Add));
+        assert_eq!(
+            r.clauses.pragma_line(),
+            "#pragma omp parallel default(shared) private(var_1, var_3) \
+             firstprivate(var_2) reduction(+: comp) num_threads(32)"
+        );
+    }
+
+    #[test]
+    fn pragma_line_minimal() {
+        let c = OmpClauses::default();
+        assert_eq!(c.pragma_line(), "#pragma omp parallel default(shared)");
+    }
+
+    #[test]
+    fn privatized_lookup() {
+        let r = region(None);
+        assert!(r.clauses.is_privatized("var_1"));
+        assert!(r.clauses.is_privatized("var_2"));
+        assert!(!r.clauses.is_privatized("comp"));
+    }
+
+    #[test]
+    fn counts() {
+        let r = region(None);
+        assert!(r.has_worksharing_loop());
+        assert_eq!(r.stmt_count(), 3); // prelude assign + loop + inner assign
+        assert_eq!(r.nesting_depth(), 2);
+    }
+}

@@ -1,0 +1,396 @@
+//! Operators of the generated language: arithmetic, assignment, boolean
+//! comparison, reduction, and the C math-library functions.
+//!
+//! Each operator knows its C spelling and (for pure operators) its
+//! evaluation semantics, so the interpreter, printer and cost models all
+//! share one source of truth.
+
+use std::fmt;
+
+/// Binary arithmetic operators: the grammar's `<op>` = `{+, -, *, /}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// All arithmetic operators, in grammar order.
+    pub fn all() -> [BinOp; 4] {
+        [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div]
+    }
+
+    /// C spelling.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+
+    /// IEEE 754 double-precision evaluation.
+    pub fn apply(self, lhs: f64, rhs: f64) -> f64 {
+        match self {
+            BinOp::Add => lhs + rhs,
+            BinOp::Sub => lhs - rhs,
+            BinOp::Mul => lhs * rhs,
+            BinOp::Div => lhs / rhs,
+        }
+    }
+
+    /// Rough relative latency in cycles on a modern x86 core; used by the
+    /// backend cost models (`div` is an order of magnitude slower than
+    /// `add`/`mul`, which is what makes expression shape matter for time).
+    pub fn cost_cycles(self) -> u64 {
+        match self {
+            BinOp::Add | BinOp::Sub => 1,
+            BinOp::Mul => 2,
+            BinOp::Div => 14,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_symbol())
+    }
+}
+
+/// Assignment operators: the grammar's `<assign-op>` = `{=, +=, -=, *=, /=}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+}
+
+impl AssignOp {
+    /// All assignment operators, in grammar order.
+    pub fn all() -> [AssignOp; 5] {
+        [
+            AssignOp::Assign,
+            AssignOp::AddAssign,
+            AssignOp::SubAssign,
+            AssignOp::MulAssign,
+            AssignOp::DivAssign,
+        ]
+    }
+
+    /// C spelling.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+            AssignOp::DivAssign => "/=",
+        }
+    }
+
+    /// Apply `target <op>= value` and return the new value of `target`.
+    pub fn apply(self, target: f64, value: f64) -> f64 {
+        match self {
+            AssignOp::Assign => value,
+            AssignOp::AddAssign => target + value,
+            AssignOp::SubAssign => target - value,
+            AssignOp::MulAssign => target * value,
+            AssignOp::DivAssign => target / value,
+        }
+    }
+
+    /// The compound operators read the old value of the target; plain `=`
+    /// does not. Relevant for the data-race analysis: `comp += x` inside a
+    /// parallel region is a read-modify-write.
+    pub fn reads_target(self) -> bool {
+        !matches!(self, AssignOp::Assign)
+    }
+
+    /// The underlying arithmetic operator of a compound assignment.
+    pub fn arith_op(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(BinOp::Add),
+            AssignOp::SubAssign => Some(BinOp::Sub),
+            AssignOp::MulAssign => Some(BinOp::Mul),
+            AssignOp::DivAssign => Some(BinOp::Div),
+        }
+    }
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_symbol())
+    }
+}
+
+/// Boolean comparison operators: the grammar's `<bool-op>` =
+/// `{<, >, ==, !=, >=, <=}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOp {
+    Lt,
+    Gt,
+    Eq,
+    Ne,
+    Ge,
+    Le,
+}
+
+impl BoolOp {
+    /// All comparison operators, in grammar order.
+    pub fn all() -> [BoolOp; 6] {
+        [
+            BoolOp::Lt,
+            BoolOp::Gt,
+            BoolOp::Eq,
+            BoolOp::Ne,
+            BoolOp::Ge,
+            BoolOp::Le,
+        ]
+    }
+
+    /// C spelling.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            BoolOp::Lt => "<",
+            BoolOp::Gt => ">",
+            BoolOp::Eq => "==",
+            BoolOp::Ne => "!=",
+            BoolOp::Ge => ">=",
+            BoolOp::Le => "<=",
+        }
+    }
+
+    /// IEEE 754 comparison semantics: every ordered comparison with a NaN
+    /// operand is `false`, and `NaN != x` is `true`. This is the property the
+    /// paper's GCC fast outliers hinge on (§V-B): when NaNs reach a branch
+    /// condition, implementations that fold the comparison differently
+    /// execute different amounts of work.
+    pub fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            BoolOp::Lt => lhs < rhs,
+            BoolOp::Gt => lhs > rhs,
+            BoolOp::Eq => lhs == rhs,
+            BoolOp::Ne => lhs != rhs,
+            BoolOp::Ge => lhs >= rhs,
+            BoolOp::Le => lhs <= rhs,
+        }
+    }
+}
+
+impl fmt::Display for BoolOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_symbol())
+    }
+}
+
+/// Reduction operators supported in `reduction(<op>: comp)` clauses.
+///
+/// The grammar's `<reduction-op>` supports `{+, *}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionOp {
+    Add,
+    Mul,
+}
+
+impl ReductionOp {
+    /// All reduction operators, in grammar order.
+    pub fn all() -> [ReductionOp; 2] {
+        [ReductionOp::Add, ReductionOp::Mul]
+    }
+
+    /// C spelling used inside the clause.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            ReductionOp::Add => "+",
+            ReductionOp::Mul => "*",
+        }
+    }
+
+    /// The OpenMP-defined identity value each thread's private copy is
+    /// initialized to.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReductionOp::Add => 0.0,
+            ReductionOp::Mul => 1.0,
+        }
+    }
+
+    /// Combine two partial results.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReductionOp::Add => a + b,
+            ReductionOp::Mul => a * b,
+        }
+    }
+}
+
+impl fmt::Display for ReductionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_symbol())
+    }
+}
+
+/// Functions from `<math.h>` the generator may call when
+/// `MATH_FUNC_ALLOWED` is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFunc {
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Sinh,
+    Cosh,
+    Tanh,
+    Exp,
+    Log,
+    Sqrt,
+    Fabs,
+    Floor,
+    Ceil,
+}
+
+impl MathFunc {
+    /// All supported math functions.
+    pub fn all() -> [MathFunc; 15] {
+        use MathFunc::*;
+        [
+            Sin, Cos, Tan, Asin, Acos, Atan, Sinh, Cosh, Tanh, Exp, Log, Sqrt, Fabs, Floor, Ceil,
+        ]
+    }
+
+    /// C name of the function.
+    pub fn c_name(self) -> &'static str {
+        use MathFunc::*;
+        match self {
+            Sin => "sin",
+            Cos => "cos",
+            Tan => "tan",
+            Asin => "asin",
+            Acos => "acos",
+            Atan => "atan",
+            Sinh => "sinh",
+            Cosh => "cosh",
+            Tanh => "tanh",
+            Exp => "exp",
+            Log => "log",
+            Sqrt => "sqrt",
+            Fabs => "fabs",
+            Floor => "floor",
+            Ceil => "ceil",
+        }
+    }
+
+    /// Double-precision evaluation, mirroring libm.
+    pub fn apply(self, x: f64) -> f64 {
+        use MathFunc::*;
+        match self {
+            Sin => x.sin(),
+            Cos => x.cos(),
+            Tan => x.tan(),
+            Asin => x.asin(),
+            Acos => x.acos(),
+            Atan => x.atan(),
+            Sinh => x.sinh(),
+            Cosh => x.cosh(),
+            Tanh => x.tanh(),
+            Exp => x.exp(),
+            Log => x.ln(),
+            Sqrt => x.sqrt(),
+            Fabs => x.abs(),
+            Floor => x.floor(),
+            Ceil => x.ceil(),
+        }
+    }
+
+    /// Approximate call cost in cycles; transcendental functions dominate
+    /// the runtime of expressions that use them.
+    pub fn cost_cycles(self) -> u64 {
+        use MathFunc::*;
+        match self {
+            Fabs | Floor | Ceil => 2,
+            Sqrt => 15,
+            Sin | Cos | Exp | Log => 40,
+            Tan | Atan | Asin | Acos => 60,
+            Sinh | Cosh | Tanh => 80,
+        }
+    }
+}
+
+impl fmt::Display for MathFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+        assert!(BinOp::Div.apply(1.0, 0.0).is_infinite());
+        assert!(BinOp::Div.apply(0.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn assignop_semantics() {
+        assert_eq!(AssignOp::Assign.apply(1.0, 9.0), 9.0);
+        assert_eq!(AssignOp::AddAssign.apply(1.0, 9.0), 10.0);
+        assert_eq!(AssignOp::MulAssign.apply(2.0, 9.0), 18.0);
+        assert!(AssignOp::AddAssign.reads_target());
+        assert!(!AssignOp::Assign.reads_target());
+    }
+
+    #[test]
+    fn boolop_nan_semantics() {
+        // Ordered comparisons with NaN are false; != is true.
+        let nan = f64::NAN;
+        assert!(!BoolOp::Lt.apply(nan, 1.0));
+        assert!(!BoolOp::Ge.apply(nan, 1.0));
+        assert!(!BoolOp::Eq.apply(nan, nan));
+        assert!(BoolOp::Ne.apply(nan, nan));
+    }
+
+    #[test]
+    fn reduction_identities() {
+        assert_eq!(ReductionOp::Add.identity(), 0.0);
+        assert_eq!(ReductionOp::Mul.identity(), 1.0);
+        assert_eq!(ReductionOp::Add.combine(2.0, 3.0), 5.0);
+        assert_eq!(ReductionOp::Mul.combine(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn math_funcs_match_libm() {
+        assert_eq!(MathFunc::Sin.apply(0.0), 0.0);
+        assert_eq!(MathFunc::Sqrt.apply(4.0), 2.0);
+        assert_eq!(MathFunc::Fabs.apply(-3.5), 3.5);
+        assert!(MathFunc::Log.apply(-1.0).is_nan());
+        assert!(MathFunc::Sqrt.apply(-1.0).is_nan());
+    }
+
+    #[test]
+    fn c_spellings_unique() {
+        let mut names: Vec<&str> = MathFunc::all().iter().map(|f| f.c_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MathFunc::all().len());
+    }
+
+    #[test]
+    fn costs_are_ordered_sensibly() {
+        assert!(BinOp::Div.cost_cycles() > BinOp::Mul.cost_cycles());
+        assert!(MathFunc::Sin.cost_cycles() > MathFunc::Fabs.cost_cycles());
+    }
+}

@@ -1,0 +1,205 @@
+//! The top-level test program: one `compute` kernel plus its parameter list
+//! (the grammar's `<function>`, `<param-list>` and `<param-declaration>`
+//! non-terminals).
+
+use crate::stmt::Block;
+use crate::types::{FpType, Ident};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Type of a kernel parameter: the grammar's
+/// `<param-declaration> ::= "int" <id> | <fp-type> <id> | <fp-type> "*" <id>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamType {
+    /// `int <id>` — used as loop bounds and integer controls.
+    Int,
+    /// `<fp-type> <id>` — a floating-point scalar input.
+    Fp(FpType),
+    /// `<fp-type>* <id>` — a floating-point array input of `ARRAY_SIZE`
+    /// elements, allocated and initialized by the generated `main()`.
+    FpArray(FpType),
+}
+
+impl ParamType {
+    /// True for array parameters.
+    pub fn is_array(self) -> bool {
+        matches!(self, ParamType::FpArray(_))
+    }
+
+    /// The floating-point precision, if any.
+    pub fn fp_type(self) -> Option<FpType> {
+        match self {
+            ParamType::Int => None,
+            ParamType::Fp(t) | ParamType::FpArray(t) => Some(t),
+        }
+    }
+
+    /// C spelling of the parameter declaration (without the identifier).
+    pub fn c_decl(self) -> String {
+        match self {
+            ParamType::Int => "int".to_string(),
+            ParamType::Fp(t) => t.c_name().to_string(),
+            ParamType::FpArray(t) => format!("{}*", t.c_name()),
+        }
+    }
+}
+
+/// A single kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: Ident,
+    pub ty: ParamType,
+}
+
+impl Param {
+    /// An `int` parameter.
+    pub fn int(name: impl Into<Ident>) -> Param {
+        Param {
+            name: name.into(),
+            ty: ParamType::Int,
+        }
+    }
+
+    /// A floating-point scalar parameter.
+    pub fn fp(ty: FpType, name: impl Into<Ident>) -> Param {
+        Param {
+            name: name.into(),
+            ty: ParamType::Fp(ty),
+        }
+    }
+
+    /// A floating-point array parameter.
+    pub fn fp_array(ty: FpType, name: impl Into<Ident>) -> Param {
+        Param {
+            name: name.into(),
+            ty: ParamType::FpArray(ty),
+        }
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            ParamType::FpArray(t) => write!(f, "{}* {}", t.c_name(), self.name),
+            _ => write!(f, "{} {}", self.ty.c_decl(), self.name),
+        }
+    }
+}
+
+/// A complete random test program.
+///
+/// Every operation is enclosed in the kernel `void compute(<params>)`; the
+/// kernel accumulates its result into the `comp` variable, whose final value
+/// `main()` prints to stdout together with the kernel's execution time
+/// (§III-B, §III-H of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Stable name used for file names and reports (e.g. `test_42`).
+    pub name: String,
+    /// Kernel parameters, in declaration order.
+    pub params: Vec<Param>,
+    /// Kernel body.
+    pub body: Block,
+    /// Number of elements in each array parameter (the generator's
+    /// `ARRAY_SIZE` knob; 1000 in the paper's evaluation).
+    pub array_size: usize,
+    /// Seed that produced the program, recorded for reproducibility.
+    pub seed: u64,
+}
+
+impl Program {
+    /// Build a program with defaults (`name = "test"`, `array_size = 1000`).
+    pub fn new(params: Vec<Param>, body: Block) -> Program {
+        Program {
+            name: "test".to_string(),
+            params,
+            body,
+            array_size: 1000,
+            seed: 0,
+        }
+    }
+
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Map from parameter name to type, for O(log n) lookups during
+    /// interpretation and validation.
+    pub fn param_types(&self) -> BTreeMap<&str, ParamType> {
+        self.params
+            .iter()
+            .map(|p| (p.name.as_str(), p.ty))
+            .collect()
+    }
+
+    /// Parameters that are integer inputs.
+    pub fn int_params(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| p.ty == ParamType::Int)
+    }
+
+    /// Parameters that are floating-point scalars.
+    pub fn fp_scalar_params(&self) -> impl Iterator<Item = &Param> {
+        self.params
+            .iter()
+            .filter(|p| matches!(p.ty, ParamType::Fp(_)))
+    }
+
+    /// Parameters that are floating-point arrays.
+    pub fn fp_array_params(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| p.ty.is_array())
+    }
+
+    /// The C signature of the kernel, e.g.
+    /// `void compute(double var_1, int var_2, float* var_3)`.
+    pub fn signature(&self) -> String {
+        let params: Vec<String> = self.params.iter().map(|p| p.to_string()).collect();
+        format!("void compute({})", params.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            name: "t0".into(),
+            params: vec![
+                Param::fp(FpType::F64, "var_1"),
+                Param::int("var_2"),
+                Param::fp_array(FpType::F32, "var_3"),
+            ],
+            body: Block::default(),
+            array_size: 1000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn signature_matches_paper_format() {
+        assert_eq!(
+            sample().signature(),
+            "void compute(double var_1, int var_2, float* var_3)"
+        );
+    }
+
+    #[test]
+    fn param_classification() {
+        let p = sample();
+        assert_eq!(p.int_params().count(), 1);
+        assert_eq!(p.fp_scalar_params().count(), 1);
+        assert_eq!(p.fp_array_params().count(), 1);
+        assert_eq!(p.param("var_3").unwrap().ty, ParamType::FpArray(FpType::F32));
+        assert!(p.param("nope").is_none());
+    }
+
+    #[test]
+    fn param_type_helpers() {
+        assert!(ParamType::FpArray(FpType::F64).is_array());
+        assert!(!ParamType::Int.is_array());
+        assert_eq!(ParamType::Fp(FpType::F32).fp_type(), Some(FpType::F32));
+        assert_eq!(ParamType::Int.fp_type(), None);
+        assert_eq!(ParamType::FpArray(FpType::F64).c_decl(), "double*");
+    }
+}

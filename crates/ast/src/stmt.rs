@@ -1,0 +1,274 @@
+//! Statements and blocks: the grammar's `<assignment>`, `<block>`,
+//! `<if-block>` and `<for-loop-block>` non-terminals.
+
+use crate::expr::{BoolExpr, Expr, VarRef};
+use crate::omp::{OmpCritical, OmpParallel};
+use crate::ops::AssignOp;
+use crate::types::{FpType, Ident};
+use std::fmt;
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// The kernel accumulator `comp`. `comp` is the single observable output
+    /// of a test program (§III-B of the paper): its final value is printed to
+    /// stdout and differential testing compares it across implementations.
+    Comp,
+    /// Any other scalar variable or array element.
+    Var(VarRef),
+}
+
+impl LValue {
+    /// Name of the underlying variable.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Comp => "comp",
+            LValue::Var(v) => v.name(),
+        }
+    }
+
+    /// True when the target is the `comp` accumulator.
+    pub fn is_comp(&self) -> bool {
+        matches!(self, LValue::Comp)
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Comp => f.write_str("comp"),
+            LValue::Var(v) => v.fmt(f),
+        }
+    }
+}
+
+/// The grammar's `<assignment>`:
+/// `"comp" <assign-op> <expression> ";" | <fp-type> <id> <assign-op> <expression> ";"`
+/// (we also allow re-assignment of existing temporaries and array slots,
+/// which the paper's listings show, e.g. `var_16[omp_get_thread_num()] = ...`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    pub target: LValue,
+    pub op: AssignOp,
+    pub value: Expr,
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {};", self.target, self.op, self.value)
+    }
+}
+
+/// Upper bound of a `for` loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopBound {
+    /// A literal trip count: `for (int i = 0; i < 100; ++i)`.
+    Const(u32),
+    /// An integer kernel parameter: `for (int i = 0; i < var_1; ++i)`; the
+    /// actual trip count then comes from the generated input.
+    Param(Ident),
+}
+
+impl fmt::Display for LoopBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopBound::Const(n) => write!(f, "{n}"),
+            LoopBound::Param(p) => f.write_str(p),
+        }
+    }
+}
+
+/// The grammar's `<for-loop-block>`. When `omp_for` is set the loop is
+/// preceded by `#pragma omp for` and must be (dynamically) enclosed in a
+/// parallel region; iterations are then divided among the team's threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForLoop {
+    /// Whether this is a worksharing loop (`#pragma omp for`).
+    pub omp_for: bool,
+    /// Loop counter identifier (fresh within the enclosing scope).
+    pub var: Ident,
+    /// Exclusive upper bound; counter runs `0..bound`.
+    pub bound: LoopBound,
+    /// Loop body.
+    pub body: Block,
+}
+
+/// The grammar's `<if-block>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfBlock {
+    pub cond: BoolExpr,
+    pub body: Block,
+}
+
+/// A single statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Assignment to `comp`, a temporary, or an array element.
+    Assign(Assignment),
+    /// Declaration of a fresh floating-point temporary with initializer:
+    /// `double tmp_1 = <expr>;`.
+    DeclAssign {
+        ty: FpType,
+        name: Ident,
+        value: Expr,
+    },
+    /// An `if` block.
+    If(IfBlock),
+    /// A (possibly worksharing) `for` loop.
+    For(ForLoop),
+    /// An OpenMP parallel region.
+    OmpParallel(OmpParallel),
+}
+
+/// An element of a block body. Critical sections are kept distinct from
+/// plain statements because the grammar only admits them inside
+/// `<for-loop-block>` bodies
+/// (`<for-loop-block> ::= ... "{" {<block>|<openmp-critical>}+ "}"`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockItem {
+    Stmt(Stmt),
+    Critical(OmpCritical),
+}
+
+/// The grammar's `<block>`: a non-empty sequence of statements and (inside
+/// loops) critical sections.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block(pub Vec<BlockItem>);
+
+impl Block {
+    /// Build a block from plain statements.
+    pub fn of_stmts(stmts: Vec<Stmt>) -> Block {
+        Block(stmts.into_iter().map(BlockItem::Stmt).collect())
+    }
+
+    /// Number of immediate items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the block has no items.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over immediate items.
+    pub fn iter(&self) -> std::slice::Iter<'_, BlockItem> {
+        self.0.iter()
+    }
+
+    /// Maximum nesting depth of blocks below (and including) this one.
+    /// A flat block of assignments has depth 1; the generator bounds this by
+    /// `MAX_NESTING_LEVELS`. Per the paper's definition the knob counts *if
+    /// and for blocks*: critical-section braces are a protection wrapper,
+    /// not a structural level, so they contribute only what nests inside
+    /// them.
+    pub fn nesting_depth(&self) -> usize {
+        let inner = self
+            .0
+            .iter()
+            .map(|item| match item {
+                BlockItem::Stmt(Stmt::If(ifb)) => ifb.body.nesting_depth(),
+                BlockItem::Stmt(Stmt::For(fl)) => fl.body.nesting_depth(),
+                BlockItem::Stmt(Stmt::OmpParallel(par)) => par.nesting_depth(),
+                BlockItem::Stmt(_) => 0,
+                BlockItem::Critical(c) => c.body.nesting_depth() - 1,
+            })
+            .max()
+            .unwrap_or(0);
+        1 + inner
+    }
+
+    /// Total number of statements in the whole subtree (assignments,
+    /// declarations, and one per structured statement).
+    pub fn stmt_count(&self) -> usize {
+        self.0
+            .iter()
+            .map(|item| match item {
+                BlockItem::Stmt(Stmt::If(ifb)) => 1 + ifb.body.stmt_count(),
+                BlockItem::Stmt(Stmt::For(fl)) => 1 + fl.body.stmt_count(),
+                BlockItem::Stmt(Stmt::OmpParallel(par)) => 1 + par.stmt_count(),
+                BlockItem::Stmt(_) => 1,
+                BlockItem::Critical(c) => 1 + c.body.stmt_count(),
+            })
+            .sum()
+    }
+}
+
+impl From<Vec<Stmt>> for Block {
+    fn from(stmts: Vec<Stmt>) -> Self {
+        Block::of_stmts(stmts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::IndexExpr;
+    use crate::ops::{BinOp, BoolOp};
+
+    fn assign_comp() -> Stmt {
+        Stmt::Assign(Assignment {
+            target: LValue::Comp,
+            op: AssignOp::AddAssign,
+            value: Expr::binary(Expr::var("a"), BinOp::Mul, Expr::var("b")),
+        })
+    }
+
+    #[test]
+    fn assignment_display() {
+        let s = Assignment {
+            target: LValue::Var(VarRef::Element("var_16".into(), IndexExpr::ThreadId)),
+            op: AssignOp::Assign,
+            value: Expr::var("var_17"),
+        };
+        assert_eq!(s.to_string(), "var_16[omp_get_thread_num()] = var_17;");
+    }
+
+    #[test]
+    fn nesting_depth_counts_structured_blocks() {
+        let flat = Block::of_stmts(vec![assign_comp(), assign_comp()]);
+        assert_eq!(flat.nesting_depth(), 1);
+
+        let nested = Block::of_stmts(vec![Stmt::If(IfBlock {
+            cond: BoolExpr {
+                lhs: VarRef::Scalar("x".into()),
+                op: BoolOp::Lt,
+                rhs: Expr::fp_const(1.0),
+            },
+            body: Block::of_stmts(vec![Stmt::For(ForLoop {
+                omp_for: false,
+                var: "i".into(),
+                bound: LoopBound::Const(10),
+                body: Block::of_stmts(vec![assign_comp()]),
+            })]),
+        })]);
+        assert_eq!(nested.nesting_depth(), 3);
+    }
+
+    #[test]
+    fn stmt_count_is_total() {
+        let nested = Block::of_stmts(vec![
+            assign_comp(),
+            Stmt::For(ForLoop {
+                omp_for: false,
+                var: "i".into(),
+                bound: LoopBound::Const(4),
+                body: Block::of_stmts(vec![assign_comp(), assign_comp()]),
+            }),
+        ]);
+        // 1 assignment + 1 for + 2 inner assignments
+        assert_eq!(nested.stmt_count(), 4);
+    }
+
+    #[test]
+    fn loop_bound_display() {
+        assert_eq!(LoopBound::Const(100).to_string(), "100");
+        assert_eq!(LoopBound::Param("var_1".into()).to_string(), "var_1");
+    }
+
+    #[test]
+    fn empty_block_depth() {
+        assert_eq!(Block::default().nesting_depth(), 1);
+        assert!(Block::default().is_empty());
+    }
+}

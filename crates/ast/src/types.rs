@@ -1,0 +1,128 @@
+//! Core scalar types and identifiers used throughout the AST.
+
+use std::fmt;
+
+/// Identifier for variables, parameters and loop counters.
+///
+/// Generated programs follow the Varity naming scheme: parameters and shared
+/// temporaries are `var_<n>`, block-local temporaries are `tmp_<n>`, and loop
+/// counters are `i`, `j`, `k`, ... . We keep identifiers as interned-ish
+/// `String`s; generated programs are small (tens of variables) so the
+/// simplicity beats an interner.
+pub type Ident = String;
+
+/// Floating-point precision of a variable, parameter or literal.
+///
+/// The grammar's `<fp-type>` non-terminal: `{float, double}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FpType {
+    /// IEEE 754 binary32 (`float`).
+    F32,
+    /// IEEE 754 binary64 (`double`).
+    F64,
+}
+
+impl FpType {
+    /// The C/C++ spelling of the type.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            FpType::F32 => "float",
+            FpType::F64 => "double",
+        }
+    }
+
+    /// Number of bytes a scalar of this type occupies.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            FpType::F32 => 4,
+            FpType::F64 => 8,
+        }
+    }
+
+    /// All floating-point types, in grammar order.
+    pub fn all() -> [FpType; 2] {
+        [FpType::F32, FpType::F64]
+    }
+
+    /// Round a value to this precision (used by the interpreter so `float`
+    /// expressions lose precision exactly where a compiled binary would).
+    pub fn round(self, v: f64) -> f64 {
+        match self {
+            FpType::F32 => v as f32 as f64,
+            FpType::F64 => v,
+        }
+    }
+}
+
+impl fmt::Display for FpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_name())
+    }
+}
+
+/// Format a floating-point literal the way the generator writes them into C
+/// source: scientific notation with enough digits to round-trip, plus the
+/// `f` suffix for `float` literals so the C type matches the AST type.
+pub fn format_fp_literal(value: f64, ty: FpType) -> String {
+    let body = if value == value.trunc() && value.abs() < 1e6 && value.is_finite() {
+        // Small integral constants print as `2.0` like the paper's examples.
+        format!("{value:.1}")
+    } else if value.is_nan() {
+        "(0.0/0.0)".to_string()
+    } else if value.is_infinite() {
+        if value > 0.0 {
+            "(1.0/0.0)".to_string()
+        } else {
+            "(-1.0/0.0)".to_string()
+        }
+    } else {
+        // `{:e}` round-trips f64 when combined with the default precision.
+        format!("{value:e}")
+    };
+    match ty {
+        FpType::F32 => format!("{body}f"),
+        FpType::F64 => body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_names() {
+        assert_eq!(FpType::F32.c_name(), "float");
+        assert_eq!(FpType::F64.c_name(), "double");
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(FpType::F32.size_bytes(), 4);
+        assert_eq!(FpType::F64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn rounding_drops_f32_precision() {
+        let v = 1.000000119; // not representable in f32
+        assert_ne!(FpType::F32.round(v), v);
+        assert_eq!(FpType::F64.round(v), v);
+    }
+
+    #[test]
+    fn literal_formatting() {
+        assert_eq!(format_fp_literal(2.0, FpType::F64), "2.0");
+        assert_eq!(format_fp_literal(2.0, FpType::F32), "2.0f");
+        assert_eq!(format_fp_literal(1.23e-10, FpType::F64), "1.23e-10");
+        assert_eq!(format_fp_literal(f64::NAN, FpType::F64), "(0.0/0.0)");
+        assert_eq!(format_fp_literal(f64::INFINITY, FpType::F64), "(1.0/0.0)");
+    }
+
+    #[test]
+    fn literal_roundtrip() {
+        for &v in &[1.5e-300, -3.25, 6.02e23, 1.0e-45, 123456789.125] {
+            let s = format_fp_literal(v, FpType::F64);
+            let parsed: f64 = s.parse().expect("literal parses back");
+            assert_eq!(parsed, v, "literal {s} should round-trip");
+        }
+    }
+}

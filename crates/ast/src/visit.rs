@@ -1,0 +1,242 @@
+//! Structural traversal of programs.
+//!
+//! [`Visitor`] is a classic pre-order visitor with default walk
+//! implementations; overriding a `visit_*` method and calling the matching
+//! `walk_*` keeps the traversal going. [`Ctx`] tracks the OpenMP execution
+//! context (inside a parallel region / worksharing loop / critical section),
+//! which is what most analyses — data-sharing validation, race detection,
+//! feature extraction — actually care about.
+
+use crate::expr::{BoolExpr, Expr};
+use crate::omp::{OmpCritical, OmpParallel};
+use crate::program::Program;
+use crate::stmt::{Assignment, Block, BlockItem, ForLoop, IfBlock, Stmt};
+
+/// OpenMP execution context at a point in the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ctx {
+    /// Number of enclosing `omp parallel` regions (0 = serial code).
+    pub parallel_depth: usize,
+    /// Inside a `#pragma omp for` worksharing loop body.
+    pub in_omp_for: bool,
+    /// Inside an `omp critical` section.
+    pub in_critical: bool,
+    /// Number of enclosing loops (serial or worksharing).
+    pub loop_depth: usize,
+    /// Number of enclosing serial (non-worksharing) loops; a parallel region
+    /// with `serial_loop_depth > 0` is the paper's Case-study-2 stressor.
+    pub serial_loop_depth: usize,
+}
+
+impl Ctx {
+    /// True when the current code executes under more than one thread.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel_depth > 0
+    }
+}
+
+/// Pre-order program visitor. All methods default to walking children.
+pub trait Visitor {
+    fn visit_program(&mut self, program: &Program) {
+        walk_program(self, program);
+    }
+    fn visit_block(&mut self, block: &Block, ctx: Ctx) {
+        walk_block(self, block, ctx);
+    }
+    fn visit_stmt(&mut self, stmt: &Stmt, ctx: Ctx) {
+        walk_stmt(self, stmt, ctx);
+    }
+    fn visit_assignment(&mut self, assign: &Assignment, ctx: Ctx) {
+        walk_assignment(self, assign, ctx);
+    }
+    fn visit_if(&mut self, ifb: &IfBlock, ctx: Ctx) {
+        walk_if(self, ifb, ctx);
+    }
+    fn visit_for(&mut self, fl: &ForLoop, ctx: Ctx) {
+        walk_for(self, fl, ctx);
+    }
+    fn visit_parallel(&mut self, par: &OmpParallel, ctx: Ctx) {
+        walk_parallel(self, par, ctx);
+    }
+    fn visit_critical(&mut self, crit: &OmpCritical, ctx: Ctx) {
+        walk_critical(self, crit, ctx);
+    }
+    fn visit_expr(&mut self, _expr: &Expr, _ctx: Ctx) {}
+    fn visit_bool_expr(&mut self, bexpr: &BoolExpr, ctx: Ctx) {
+        self.visit_expr(&bexpr.rhs, ctx);
+    }
+}
+
+/// Walk the kernel body from a fresh serial context.
+pub fn walk_program<V: Visitor + ?Sized>(v: &mut V, program: &Program) {
+    v.visit_block(&program.body, Ctx::default());
+}
+
+/// Walk each item of a block in order.
+pub fn walk_block<V: Visitor + ?Sized>(v: &mut V, block: &Block, ctx: Ctx) {
+    for item in block.iter() {
+        match item {
+            BlockItem::Stmt(s) => v.visit_stmt(s, ctx),
+            BlockItem::Critical(c) => v.visit_critical(c, ctx),
+        }
+    }
+}
+
+/// Dispatch on the statement kind.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt, ctx: Ctx) {
+    match stmt {
+        Stmt::Assign(a) => v.visit_assignment(a, ctx),
+        Stmt::DeclAssign { value, .. } => v.visit_expr(value, ctx),
+        Stmt::If(ifb) => v.visit_if(ifb, ctx),
+        Stmt::For(fl) => v.visit_for(fl, ctx),
+        Stmt::OmpParallel(par) => v.visit_parallel(par, ctx),
+    }
+}
+
+/// Visit the assigned expression.
+pub fn walk_assignment<V: Visitor + ?Sized>(v: &mut V, assign: &Assignment, ctx: Ctx) {
+    v.visit_expr(&assign.value, ctx);
+}
+
+/// Visit the condition, then the body.
+pub fn walk_if<V: Visitor + ?Sized>(v: &mut V, ifb: &IfBlock, ctx: Ctx) {
+    v.visit_bool_expr(&ifb.cond, ctx);
+    v.visit_block(&ifb.body, ctx);
+}
+
+/// Visit the loop body with loop context updated.
+pub fn walk_for<V: Visitor + ?Sized>(v: &mut V, fl: &ForLoop, ctx: Ctx) {
+    let mut inner = ctx;
+    inner.loop_depth += 1;
+    if fl.omp_for {
+        inner.in_omp_for = true;
+    } else {
+        inner.serial_loop_depth += 1;
+    }
+    v.visit_block(&fl.body, inner);
+}
+
+/// Visit the prelude and region loop with parallel context updated.
+pub fn walk_parallel<V: Visitor + ?Sized>(v: &mut V, par: &OmpParallel, ctx: Ctx) {
+    let mut inner = ctx;
+    inner.parallel_depth += 1;
+    // A new parallel region resets worksharing/critical context: those are
+    // properties of the *innermost* region.
+    inner.in_omp_for = false;
+    inner.in_critical = false;
+    for s in &par.prelude {
+        v.visit_stmt(s, inner);
+    }
+    v.visit_for(&par.body_loop, inner);
+}
+
+/// Visit the critical body with `in_critical` set.
+pub fn walk_critical<V: Visitor + ?Sized>(v: &mut V, crit: &OmpCritical, ctx: Ctx) {
+    let mut inner = ctx;
+    inner.in_critical = true;
+    v.visit_block(&crit.body, inner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::VarRef;
+    use crate::omp::OmpClauses;
+    use crate::ops::AssignOp;
+    use crate::stmt::{LValue, LoopBound};
+    use crate::types::FpType;
+    use crate::Param;
+
+    /// Counts assignments, recording whether each was seen in a parallel
+    /// context.
+    #[derive(Default)]
+    struct AssignCounter {
+        total: usize,
+        parallel: usize,
+        in_critical: usize,
+        max_parallel_depth: usize,
+    }
+
+    impl Visitor for AssignCounter {
+        fn visit_assignment(&mut self, assign: &Assignment, ctx: Ctx) {
+            self.total += 1;
+            if ctx.is_parallel() {
+                self.parallel += 1;
+            }
+            if ctx.in_critical {
+                self.in_critical += 1;
+            }
+            self.max_parallel_depth = self.max_parallel_depth.max(ctx.parallel_depth);
+            walk_assignment(self, assign, ctx);
+        }
+    }
+
+    fn assign(name: &str) -> Stmt {
+        Stmt::Assign(Assignment {
+            target: LValue::Var(VarRef::Scalar(name.into())),
+            op: AssignOp::Assign,
+            value: Expr::fp_const(1.0),
+        })
+    }
+
+    #[test]
+    fn context_is_tracked_through_regions() {
+        let program = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![
+                assign("a"),
+                Stmt::OmpParallel(OmpParallel {
+                    clauses: OmpClauses::default(),
+                    prelude: vec![assign("b")],
+                    body_loop: ForLoop {
+                        omp_for: true,
+                        var: "i".into(),
+                        bound: LoopBound::Const(8),
+                        body: Block(vec![
+                            BlockItem::Stmt(assign("c")),
+                            BlockItem::Critical(OmpCritical {
+                                body: Block::of_stmts(vec![assign("d")]),
+                            }),
+                        ]),
+                    },
+                }),
+            ]),
+        );
+
+        let mut counter = AssignCounter::default();
+        counter.visit_program(&program);
+        assert_eq!(counter.total, 4);
+        assert_eq!(counter.parallel, 3); // b, c, d
+        assert_eq!(counter.in_critical, 1); // d
+        assert_eq!(counter.max_parallel_depth, 1);
+    }
+
+    #[test]
+    fn serial_loop_depth_counts_only_serial_loops() {
+        struct Probe {
+            saw: Vec<(usize, bool)>,
+        }
+        impl Visitor for Probe {
+            fn visit_assignment(&mut self, _: &Assignment, ctx: Ctx) {
+                self.saw.push((ctx.serial_loop_depth, ctx.in_omp_for));
+            }
+        }
+        let program = Program::new(
+            vec![],
+            Block::of_stmts(vec![Stmt::For(ForLoop {
+                omp_for: false,
+                var: "i".into(),
+                bound: LoopBound::Const(4),
+                body: Block::of_stmts(vec![Stmt::For(ForLoop {
+                    omp_for: true,
+                    var: "j".into(),
+                    bound: LoopBound::Const(4),
+                    body: Block::of_stmts(vec![assign("x")]),
+                })]),
+            })]),
+        );
+        let mut probe = Probe { saw: vec![] };
+        probe.visit_program(&program);
+        assert_eq!(probe.saw, vec![(1, true)]);
+    }
+}

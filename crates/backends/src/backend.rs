@@ -1,0 +1,728 @@
+//! The simulated backends: compile a generated program against one of the
+//! three modelled OpenMP implementations and run the resulting "binary".
+
+use crate::compile::fold_constants;
+use crate::counters;
+use crate::hang::ThreadSnapshot;
+use crate::model::{
+    BackendInfo, CompileError, CompileOptions, OptLevel, RunOptions, RunResult, RunStatus, Vendor,
+};
+use crate::profile::{self, ProfileMode};
+use crate::rtmodel::{runtime_model, BugModels, RuntimeModel};
+use crate::sched::{fnv1a, jitter, time_breakdown, TimeBreakdown};
+use ompfuzz_ast::{Program, ProgramFeatures};
+use ompfuzz_exec::{lower, BoolSemantics, ExecLimits, ExecOptions, Kernel};
+use ompfuzz_inputs::TestInput;
+
+/// An OpenMP implementation the campaign can compile against. Object-safe
+/// so simulated and process-based (real compiler) backends interchange.
+pub trait OmpBackend: Send + Sync {
+    /// Identity (vendor, versions, runtime library).
+    fn info(&self) -> &BackendInfo;
+    /// Compile a program to a runnable binary.
+    fn compile(
+        &self,
+        program: &Program,
+        opts: &CompileOptions,
+    ) -> Result<Box<dyn CompiledTest>, CompileError>;
+}
+
+/// A compiled test, ready to run on inputs.
+pub trait CompiledTest: Send + Sync {
+    /// Execute with one input under the run options.
+    fn run(&self, input: &TestInput, opts: &RunOptions) -> RunResult;
+    /// Label of the producing implementation (for reports).
+    fn backend_label(&self) -> String;
+}
+
+/// A simulated implementation (Intel-, GCC- or Clang-like).
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    info: BackendInfo,
+    bugs: BugModels,
+}
+
+impl SimBackend {
+    /// Backend for `vendor` with all modelled behaviours enabled.
+    pub fn new(vendor: Vendor) -> SimBackend {
+        SimBackend::with_bugs(vendor, BugModels::default())
+    }
+
+    /// Backend with an explicit bug-model configuration.
+    pub fn with_bugs(vendor: Vendor, bugs: BugModels) -> SimBackend {
+        SimBackend {
+            info: backend_info(vendor),
+            bugs,
+        }
+    }
+
+    /// The Intel-oneAPI-like implementation.
+    pub fn intel() -> SimBackend {
+        SimBackend::new(Vendor::IntelLike)
+    }
+
+    /// The GNU-GCC-like implementation.
+    pub fn gcc() -> SimBackend {
+        SimBackend::new(Vendor::GccLike)
+    }
+
+    /// The LLVM/Clang-like implementation.
+    pub fn clang() -> SimBackend {
+        SimBackend::new(Vendor::ClangLike)
+    }
+
+    /// Vendor shortcut.
+    pub fn vendor(&self) -> Vendor {
+        self.info.vendor
+    }
+
+    /// The active bug models.
+    pub fn bugs(&self) -> &BugModels {
+        &self.bugs
+    }
+}
+
+/// The version table of §V-A, tagged as simulated.
+pub fn backend_info(vendor: Vendor) -> BackendInfo {
+    match vendor {
+        Vendor::IntelLike => BackendInfo {
+            vendor,
+            implementation: "Intel oneAPI Compiler (simulated)",
+            compiler: "icpx",
+            version: "2023.2.0",
+            release: "02/2023",
+            runtime_lib: "libiomp5.so",
+        },
+        Vendor::ClangLike => BackendInfo {
+            vendor,
+            implementation: "LLVM/clang (simulated)",
+            compiler: "clang++",
+            version: "16.0.0",
+            release: "03/2023",
+            runtime_lib: "libomp.so",
+        },
+        Vendor::GccLike => BackendInfo {
+            vendor,
+            implementation: "GNU GCC (simulated)",
+            compiler: "g++",
+            version: "13.1",
+            release: "04/2023",
+            runtime_lib: "libgomp.so.1.0.0",
+        },
+    }
+}
+
+/// The paper's three implementations, in its table order
+/// (Intel, Clang, GCC).
+pub fn standard_backends() -> Vec<SimBackend> {
+    vec![SimBackend::intel(), SimBackend::clang(), SimBackend::gcc()]
+}
+
+impl SimBackend {
+    /// Compile, returning the concrete binary type (the trait's `compile`
+    /// wraps this; reports use the concrete type for `children_profile`).
+    pub fn compile_sim(
+        &self,
+        program: &Program,
+        opts: &CompileOptions,
+    ) -> Result<SimBinary, CompileError> {
+        let mut kernel = lower(program).map_err(|e| CompileError(e.to_string()))?;
+        if opts.opt_level >= OptLevel::O1 {
+            fold_constants(&mut kernel);
+        }
+        Ok(SimBinary {
+            vendor: self.info.vendor,
+            info: self.info.clone(),
+            bugs: self.bugs,
+            opt_level: opts.opt_level,
+            kernel,
+            features: ProgramFeatures::of(program),
+            program_name: program.name.clone(),
+            seed: program.seed,
+        })
+    }
+}
+
+impl OmpBackend for SimBackend {
+    fn info(&self) -> &BackendInfo {
+        &self.info
+    }
+
+    fn compile(
+        &self,
+        program: &Program,
+        opts: &CompileOptions,
+    ) -> Result<Box<dyn CompiledTest>, CompileError> {
+        Ok(Box::new(self.compile_sim(program, opts)?))
+    }
+}
+
+/// A program compiled by a [`SimBackend`].
+#[derive(Debug, Clone)]
+pub struct SimBinary {
+    vendor: Vendor,
+    info: BackendInfo,
+    bugs: BugModels,
+    opt_level: OptLevel,
+    kernel: Kernel,
+    features: ProgramFeatures,
+    program_name: String,
+    seed: u64,
+}
+
+impl SimBinary {
+    /// The semantics this binary's branches evaluate under.
+    pub fn bool_semantics(&self) -> BoolSemantics {
+        if self.vendor == Vendor::GccLike
+            && self.bugs.gcc_nan_branch_folding
+            && self.opt_level >= OptLevel::O2
+        {
+            BoolSemantics::NanAbsorbing
+        } else {
+            BoolSemantics::Ieee
+        }
+    }
+
+    /// Throughput multiplier of the optimization level (runtime overheads
+    /// are `-O`-independent).
+    fn opt_factor(&self) -> f64 {
+        match self.opt_level {
+            OptLevel::O0 => 0.3,
+            OptLevel::O1 => 0.75,
+            OptLevel::O2 => 0.95,
+            OptLevel::O3 => 1.0,
+        }
+    }
+
+    fn runtime(&self) -> RuntimeModel {
+        runtime_model(self.vendor, &self.bugs)
+    }
+
+    fn salt(&self, input: &TestInput) -> String {
+        format!(
+            "{}:{}:{}:{}",
+            self.program_name,
+            self.seed,
+            self.vendor.label(),
+            input.to_line()
+        )
+    }
+
+    /// The modelled GCC crash (Table I's three CRASH outliers): a rare
+    /// miscompile of reduction-carrying parallel code with dense division,
+    /// triggered deterministically by (program, input).
+    fn crash_triggered(&self, input: &TestInput) -> bool {
+        if self.vendor != Vendor::GccLike || !self.bugs.gcc_crash {
+            return false;
+        }
+        let susceptible = self.features.parallel_regions >= 1
+            && self.features.reductions >= 1
+            && self.features.div_ops >= 3;
+        if !susceptible {
+            return false;
+        }
+        let h = fnv1a(format!("crash:{}", self.salt(input)).as_bytes());
+        h % 1000 < 5
+    }
+
+    /// The modelled Intel queuing-lock livelock (Case study 3). Returns the
+    /// snapshot when the lock stops making progress.
+    ///
+    /// The trigger is *instantaneous* queue pressure — acquisitions racing
+    /// through one region entry times the team size — not pressure
+    /// accumulated over many entries (each entry re-initializes the lock's
+    /// queue, so a thousand mild entries never livelock).
+    fn hang_triggered(
+        &self,
+        stats: &ompfuzz_exec::ExecStats,
+        breakdown: &TimeBreakdown,
+        input: &TestInput,
+    ) -> Option<ThreadSnapshot> {
+        if self.vendor != Vendor::IntelLike || !self.bugs.intel_queuing_lock {
+            return None;
+        }
+        if self.features.critical_in_omp_for == 0 && self.features.critical_sections == 0 {
+            return None;
+        }
+        let per_entry_pressure = stats
+            .regions
+            .iter()
+            .filter(|r| r.entries > 0)
+            .map(|r| (r.total_critical_acquisitions() / r.entries) * r.num_threads as u64)
+            .max()
+            .unwrap_or(0);
+        // Extreme instantaneous pressure always livelocks; moderate
+        // pressure livelocks for rare (program, input) combinations.
+        let certain = per_entry_pressure >= 5_000_000;
+        let rare = per_entry_pressure >= 30_000 && {
+            let h = fnv1a(format!("hang:{}", self.salt(input)).as_bytes());
+            h % 199 == 0
+        };
+        (certain || rare).then(|| ThreadSnapshot::queuing_lock_livelock(breakdown.max_team))
+    }
+}
+
+impl CompiledTest for SimBinary {
+    fn run(&self, input: &TestInput, opts: &RunOptions) -> RunResult {
+        // 1. Modelled compile-bug crash (before any output).
+        if self.crash_triggered(input) {
+            return RunResult {
+                status: RunStatus::Crash {
+                    signal: "SIGSEGV",
+                    reason: "modelled GCC miscompile of reduction + division nest".to_string(),
+                },
+                comp: None,
+                time_us: None,
+                counters: Default::default(),
+                profile: Default::default(),
+                threads: None,
+                exec: None,
+                races: Vec::new(),
+            };
+        }
+
+        // 2. Interpret under this backend's semantics.
+        let exec_opts = ExecOptions {
+            bool_semantics: self.bool_semantics(),
+            limits: ExecLimits { max_ops: opts.max_ops },
+            detect_races: opts.detect_races,
+        };
+        let outcome = match ompfuzz_exec::run(&self.kernel, input, &exec_opts) {
+            Ok(o) => o,
+            Err(ompfuzz_exec::ExecError::BudgetExceeded { .. }) => {
+                // The binary genuinely runs far beyond the timeout: a hang
+                // from the driver's point of view (all backends will agree,
+                // so this never becomes an outlier by itself).
+                return RunResult {
+                    status: RunStatus::Hang {
+                        timeout_us: opts.hang_timeout_us,
+                    },
+                    comp: None,
+                    time_us: None,
+                    counters: Default::default(),
+                    profile: Default::default(),
+                    threads: None,
+                    exec: None,
+                    races: Vec::new(),
+                };
+            }
+            Err(e) => {
+                return RunResult {
+                    status: RunStatus::Crash {
+                        signal: "SIGABRT",
+                        reason: e.to_string(),
+                    },
+                    comp: None,
+                    time_us: None,
+                    counters: Default::default(),
+                    profile: Default::default(),
+                    threads: None,
+                    exec: None,
+                    races: Vec::new(),
+                }
+            }
+        };
+
+        // 3. Time model.
+        let model = self.runtime();
+        let breakdown = time_breakdown(&outcome.stats, &model, self.opt_factor());
+        let salt = self.salt(input);
+
+        // 4. Modelled livelock.
+        if let Some(snapshot) = self.hang_triggered(&outcome.stats, &breakdown, input) {
+            // Counters reflect a run that spun until the timeout.
+            let team = breakdown.max_team.max(1) as f64;
+            let mut hung = breakdown;
+            hung.wait_thread_us += (opts.hang_timeout_us as f64 - hung.total_us).max(0.0) * team;
+            hung.total_us = opts.hang_timeout_us as f64;
+            let counters = counters::compute(self.vendor, &outcome.stats, &hung, &salt);
+            let profile = profile::build(
+                self.vendor,
+                &hung,
+                &binary_name(&self.program_name),
+                ProfileMode::Flat,
+            );
+            return RunResult {
+                status: RunStatus::Hang {
+                    timeout_us: opts.hang_timeout_us,
+                },
+                comp: None,
+                time_us: None,
+                counters,
+                profile,
+                threads: Some(snapshot),
+                exec: Some(outcome.stats),
+                races: outcome.races,
+            };
+        }
+
+        // 5. Normal completion: apply measurement jitter.
+        let time_us = (breakdown.total_us * jitter(salt.as_bytes(), 0.03)).max(1.0).round() as u64;
+        let counters = counters::compute(self.vendor, &outcome.stats, &breakdown, &salt);
+        let profile = profile::build(
+            self.vendor,
+            &breakdown,
+            &binary_name(&self.program_name),
+            ProfileMode::Flat,
+        );
+        RunResult {
+            status: RunStatus::Ok,
+            comp: Some(outcome.comp),
+            time_us: Some(time_us),
+            counters,
+            profile,
+            threads: None,
+            exec: Some(outcome.stats),
+            races: outcome.races,
+        }
+    }
+
+    fn backend_label(&self) -> String {
+        self.info.vendor.label().to_string()
+    }
+}
+
+impl SimBinary {
+    /// Build the `--children` profile (Fig. 7) for a given input.
+    pub fn children_profile(&self, input: &TestInput, opts: &RunOptions) -> Option<crate::profile::StackProfile> {
+        let exec_opts = ExecOptions {
+            bool_semantics: self.bool_semantics(),
+            limits: ExecLimits { max_ops: opts.max_ops },
+            detect_races: false,
+        };
+        let outcome = ompfuzz_exec::run(&self.kernel, input, &exec_opts).ok()?;
+        let breakdown = time_breakdown(&outcome.stats, &self.runtime(), self.opt_factor());
+        Some(profile::build(
+            self.vendor,
+            &breakdown,
+            &binary_name(&self.program_name),
+            ProfileMode::Children,
+        ))
+    }
+
+    /// Static features of the compiled program (used by reports).
+    pub fn features(&self) -> &ProgramFeatures {
+        &self.features
+    }
+}
+
+fn binary_name(program_name: &str) -> String {
+    format!("_{program_name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_ast::{
+        Assignment, AssignOp, Block, BlockItem, Expr, ForLoop, FpType, LValue, LoopBound,
+        OmpClauses, OmpCritical, OmpParallel, Param, ReductionOp, Stmt, VarRef,
+    };
+    use ompfuzz_inputs::InputValue;
+
+    fn comp_add(e: Expr) -> Stmt {
+        Stmt::Assign(Assignment {
+            target: LValue::Comp,
+            op: AssignOp::AddAssign,
+            value: e,
+        })
+    }
+
+    /// Case-study-2 shape: parallel region inside a serial loop.
+    fn cs2_program(outer_trip: u32, inner_trip: u32, threads: u32) -> Program {
+        let region = Stmt::OmpParallel(OmpParallel {
+            clauses: OmpClauses {
+                reduction: Some(ReductionOp::Add),
+                num_threads: Some(threads),
+                ..OmpClauses::default()
+            },
+            prelude: vec![Stmt::DeclAssign {
+                ty: FpType::F64,
+                name: "t".into(),
+                value: Expr::fp_const(0.0),
+            }],
+            body_loop: ForLoop {
+                omp_for: true,
+                var: "i".into(),
+                bound: LoopBound::Const(inner_trip),
+                body: Block::of_stmts(vec![comp_add(Expr::var("var_1"))]),
+            },
+        });
+        let mut p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::For(ForLoop {
+                omp_for: false,
+                var: "k".into(),
+                bound: LoopBound::Const(outer_trip),
+                body: Block::of_stmts(vec![region]),
+            })]),
+        );
+        p.name = "cs2".into();
+        p
+    }
+
+    /// Case-study-1/3 shape: critical section inside a worksharing loop.
+    fn cs1_program(trip: u32, threads: u32) -> Program {
+        let mut p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses {
+                    num_threads: Some(threads),
+                    ..OmpClauses::default()
+                },
+                prelude: vec![Stmt::DeclAssign {
+                    ty: FpType::F64,
+                    name: "t".into(),
+                    value: Expr::fp_const(0.0),
+                }],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(trip),
+                    body: Block(vec![BlockItem::Critical(OmpCritical {
+                        body: Block::of_stmts(vec![comp_add(Expr::var("var_1"))]),
+                    })]),
+                },
+            })]),
+        );
+        p.name = "cs1".into();
+        p
+    }
+
+    fn one_input() -> TestInput {
+        TestInput {
+            comp_init: 0.0,
+            values: vec![InputValue::Fp(1.0)],
+        }
+    }
+
+    fn run_on(backend: &SimBackend, p: &Program, input: &TestInput) -> RunResult {
+        let bin = backend.compile(p, &CompileOptions::default()).unwrap();
+        bin.run(input, &RunOptions::default())
+    }
+
+    #[test]
+    fn all_backends_agree_on_result_for_plain_programs() {
+        let p = cs2_program(3, 50, 8);
+        let input = one_input();
+        let results: Vec<RunResult> = standard_backends()
+            .iter()
+            .map(|b| run_on(b, &p, &input))
+            .collect();
+        let comps: Vec<f64> = results.iter().map(|r| r.comp.unwrap()).collect();
+        assert!(comps.windows(2).all(|w| w[0] == w[1]), "{comps:?}");
+        assert!(results.iter().all(|r| r.status.is_ok()));
+    }
+
+    #[test]
+    fn case_study_2_clang_is_the_slow_outlier() {
+        // Region re-entered 150 times: libomp's team re-creation dominates.
+        let p = cs2_program(150, 64, 32);
+        let input = one_input();
+        let times: Vec<(Vendor, u64)> = standard_backends()
+            .iter()
+            .map(|b| (b.vendor(), run_on(b, &p, &input).time_us.unwrap()))
+            .collect();
+        let t = |v: Vendor| times.iter().find(|(x, _)| *x == v).unwrap().1 as f64;
+        let clang = t(Vendor::ClangLike);
+        let intel = t(Vendor::IntelLike);
+        let gcc = t(Vendor::GccLike);
+        // Intel and GCC comparable (α = 0.2 in spirit), Clang ≥ 1.5× both.
+        assert!(clang > 1.5 * intel, "clang {clang} intel {intel}");
+        assert!(clang > 1.5 * gcc, "clang {clang} gcc {gcc}");
+    }
+
+    #[test]
+    fn case_study_2_disappears_with_healthy_clang() {
+        let p = cs2_program(150, 64, 32);
+        let input = one_input();
+        let healthy = SimBackend::with_bugs(Vendor::ClangLike, BugModels::none());
+        let buggy = SimBackend::clang();
+        let t_healthy = run_on(&healthy, &p, &input).time_us.unwrap();
+        let t_buggy = run_on(&buggy, &p, &input).time_us.unwrap();
+        assert!(t_buggy > 3 * t_healthy, "buggy {t_buggy} healthy {t_healthy}");
+    }
+
+    #[test]
+    fn case_study_1_gcc_is_the_fast_outlier() {
+        let p = cs1_program(3000, 32);
+        let input = one_input();
+        let times: Vec<(Vendor, u64)> = standard_backends()
+            .iter()
+            .map(|b| (b.vendor(), run_on(b, &p, &input).time_us.unwrap()))
+            .collect();
+        let t = |v: Vendor| times.iter().find(|(x, _)| *x == v).unwrap().1 as f64;
+        let gcc = t(Vendor::GccLike);
+        let intel = t(Vendor::IntelLike);
+        let clang = t(Vendor::ClangLike);
+        // Intel and Clang comparable, GCC much faster.
+        let rel = (intel - clang).abs() / intel.min(clang);
+        assert!(rel < 0.35, "intel {intel} clang {clang} rel {rel}");
+        assert!(intel > 1.5 * gcc, "intel {intel} gcc {gcc}");
+        assert!(clang > 1.5 * gcc, "clang {clang} gcc {gcc}");
+    }
+
+    #[test]
+    fn extreme_contention_hangs_intel() {
+        // pressure = acqs × team = (6000 × 32 serial-loop iterations…) —
+        // serial loop in region: every thread runs all iterations.
+        let mut p = cs1_program(6000, 32);
+        // Make the loop serial so acqs = trip × team = 192k; pressure 6.1M.
+        if let BlockItem::Stmt(Stmt::OmpParallel(par)) = &mut p.body.0[0] {
+            par.body_loop.omp_for = false;
+        }
+        let input = one_input();
+        let result = run_on(&SimBackend::intel(), &p, &input);
+        match &result.status {
+            RunStatus::Hang { timeout_us } => assert_eq!(*timeout_us, 180_000_000),
+            other => panic!("expected hang, got {other:?}"),
+        }
+        let snap = result.threads.expect("thread snapshot");
+        assert_eq!(snap.total_threads, 32);
+        assert_eq!(snap.groups.len(), 3);
+        // GCC and Clang terminate the same program.
+        assert!(run_on(&SimBackend::gcc(), &p, &input).status.is_ok());
+        assert!(run_on(&SimBackend::clang(), &p, &input).status.is_ok());
+    }
+
+    #[test]
+    fn hang_disappears_with_healthy_intel() {
+        let mut p = cs1_program(6000, 32);
+        if let BlockItem::Stmt(Stmt::OmpParallel(par)) = &mut p.body.0[0] {
+            par.body_loop.omp_for = false;
+        }
+        let healthy = SimBackend::with_bugs(Vendor::IntelLike, BugModels::none());
+        assert!(run_on(&healthy, &p, &one_input()).status.is_ok());
+    }
+
+    #[test]
+    fn gcc_nan_folding_changes_result_and_work() {
+        use ompfuzz_ast::{BoolExpr, BoolOp, IfBlock};
+        // if (var_1 != var_1) { comp += heavy loop } — var_1 = NaN input.
+        let mut p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![
+                Stmt::If(IfBlock {
+                    cond: BoolExpr {
+                        lhs: VarRef::Scalar("var_1".into()),
+                        op: BoolOp::Ne,
+                        rhs: Expr::var("var_1"),
+                    },
+                    body: Block::of_stmts(vec![Stmt::For(ForLoop {
+                        omp_for: false,
+                        var: "i".into(),
+                        bound: LoopBound::Const(20_000),
+                        body: Block::of_stmts(vec![comp_add(Expr::fp_const(1.0))]),
+                    })]),
+                }),
+                comp_add(Expr::fp_const(0.5)),
+            ]),
+        );
+        p.name = "nanfold".into();
+        let input = TestInput {
+            comp_init: 0.0,
+            values: vec![InputValue::Fp(f64::NAN)],
+        };
+        let gcc = run_on(&SimBackend::gcc(), &p, &input);
+        let intel = run_on(&SimBackend::intel(), &p, &input);
+        // Different numerical results…
+        assert_eq!(gcc.comp.unwrap(), 0.5);
+        assert_eq!(intel.comp.unwrap(), 20_000.5);
+        // …and GCC did far less work (a fast outlier in the making).
+        assert!(gcc.time_us.unwrap() * 3 < intel.time_us.unwrap());
+        // With the bug model off, GCC behaves IEEE again.
+        let healthy = SimBackend::with_bugs(Vendor::GccLike, BugModels::none());
+        assert_eq!(run_on(&healthy, &p, &input).comp.unwrap(), 20_000.5);
+    }
+
+    #[test]
+    fn gcc_crash_is_rare_and_deterministic() {
+        use ompfuzz_gen::{GeneratorConfig, ProgramGenerator};
+        use ompfuzz_inputs::InputGenerator;
+        let mut g = ProgramGenerator::new(GeneratorConfig::paper(), 2024);
+        let mut ig = InputGenerator::new(7);
+        let gcc = SimBackend::gcc();
+        let mut crashes = 0;
+        let mut runs = 0;
+        for p in g.generate_batch(60) {
+            let bin = gcc.compile(&p, &CompileOptions::default()).unwrap();
+            for _ in 0..3 {
+                let input = ig.generate_for(&p);
+                let r = bin.run(
+                    &input,
+                    &RunOptions {
+                        max_ops: 20_000_000,
+                        ..RunOptions::default()
+                    },
+                );
+                runs += 1;
+                if matches!(r.status, RunStatus::Crash { .. }) {
+                    crashes += 1;
+                    // Determinism: same run crashes again.
+                    let again = bin.run(&input, &RunOptions::default());
+                    assert!(matches!(again.status, RunStatus::Crash { .. }));
+                }
+            }
+        }
+        assert!(runs >= 180);
+        assert!(crashes <= 6, "too many crashes: {crashes}/{runs}");
+    }
+
+    #[test]
+    fn o0_binaries_are_slower_than_o3() {
+        let p = cs2_program(2, 200_000, 8);
+        let input = one_input();
+        let backend = SimBackend::intel();
+        let o3 = backend
+            .compile(&p, &CompileOptions { opt_level: OptLevel::O3 })
+            .unwrap()
+            .run(&input, &RunOptions::default());
+        let o0 = backend
+            .compile(&p, &CompileOptions { opt_level: OptLevel::O0 })
+            .unwrap()
+            .run(&input, &RunOptions::default());
+        assert!(o0.time_us.unwrap() > 2 * o3.time_us.unwrap());
+    }
+
+    #[test]
+    fn results_are_fully_deterministic() {
+        let p = cs1_program(500, 16);
+        let input = one_input();
+        let backend = SimBackend::clang();
+        let bin = backend.compile(&p, &CompileOptions::default()).unwrap();
+        let a = bin.run(&input, &RunOptions::default());
+        let b = bin.run(&input, &RunOptions::default());
+        assert_eq!(a.time_us, b.time_us);
+        assert_eq!(a.comp, b.comp);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn profiles_attribute_to_vendor_runtime() {
+        let p = cs1_program(2000, 32);
+        let input = one_input();
+        for backend in standard_backends() {
+            let r = run_on(&backend, &p, &input);
+            let lib = backend.info().runtime_lib;
+            if !r.status.is_ok() {
+                continue; // intel may hang at this pressure — fine
+            }
+            assert!(
+                r.profile.entries.iter().any(|e| e.shared_object == lib),
+                "{lib} missing from profile"
+            );
+        }
+    }
+
+    #[test]
+    fn children_profile_heads_with_clone() {
+        let p = cs2_program(100, 64, 32);
+        let bin = SimBackend::clang()
+            .compile_sim(&p, &CompileOptions::default())
+            .unwrap();
+        let prof = bin
+            .children_profile(&one_input(), &RunOptions::default())
+            .unwrap();
+        assert_eq!(prof.mode, ProfileMode::Children);
+        assert!(prof.entries[0].symbol.contains("clone"));
+    }
+}

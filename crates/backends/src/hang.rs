@@ -1,0 +1,177 @@
+//! Thread-state snapshots for hung runs (Figures 8 and 9).
+//!
+//! Case study 3 of the paper attaches gdb to a Intel binary that stopped
+//! making progress and finds all 32 threads inside
+//! `__kmpc_critical_with_hint` → `__kmp_acquire_queuing_lock...`, split
+//! into three states: `__kmp_wait_4`, `__kmp_eq_4` and `sched_yield`. The
+//! queuing-lock model produces exactly that census when it detects
+//! livelock.
+
+use std::fmt;
+
+/// One group of threads stuck in the same state (Fig. 9's three boxes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadGroup {
+    /// The distinguishing innermost frame.
+    pub state_symbol: String,
+    /// Shared outer frames (outermost last).
+    pub common_frames: Vec<String>,
+    /// Thread ids in this group.
+    pub threads: Vec<u32>,
+}
+
+/// Snapshot of every thread of a hung run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSnapshot {
+    pub total_threads: u32,
+    pub groups: Vec<ThreadGroup>,
+}
+
+impl ThreadSnapshot {
+    /// Build the queuing-lock livelock census for a team of `team` threads.
+    ///
+    /// The split follows the paper's observation: one group waiting in
+    /// `__kmp_wait_4`, one polling `__kmp_eq_4`, and one yielding the CPU in
+    /// `sched_yield` (called from `__kmp_wait_4`).
+    pub fn queuing_lock_livelock(team: u32) -> ThreadSnapshot {
+        let common = vec![
+            "__kmp_acquire_queuing_lock_timed_template<false>".to_string(),
+            "__kmp_acquire_queuing_lock".to_string(),
+            "__kmpc_critical_with_hint".to_string(),
+            ".omp_outlined.".to_string(),
+        ];
+        let n_wait = (team as f64 * 0.45).round() as u32;
+        let n_eq = (team as f64 * 0.25).round() as u32;
+        let n_yield = team.saturating_sub(n_wait + n_eq);
+        let mut next = 0u32;
+        let mut take = |n: u32| -> Vec<u32> {
+            let ids: Vec<u32> = (next..next + n).collect();
+            next += n;
+            ids
+        };
+        ThreadSnapshot {
+            total_threads: team,
+            groups: vec![
+                ThreadGroup {
+                    state_symbol: "__kmp_wait_4".to_string(),
+                    common_frames: common.clone(),
+                    threads: take(n_wait),
+                },
+                ThreadGroup {
+                    state_symbol: "__kmp_eq_4".to_string(),
+                    common_frames: common.clone(),
+                    threads: take(n_eq),
+                },
+                ThreadGroup {
+                    state_symbol: "sched_yield (from __kmp_wait_4)".to_string(),
+                    common_frames: common,
+                    threads: take(n_yield),
+                },
+            ],
+        }
+    }
+
+    /// Fig. 8: a gdb-style backtrace of thread 1.
+    pub fn gdb_backtrace(&self, test_file: &str) -> String {
+        let mut s = String::new();
+        s.push_str("^C\nThread 1 received signal SIGINT, Interrupt.\n(gdb) bt\n");
+        s.push_str("#0  __kmp_wait_4 (...) at ../../src/kmp_dispatch.cpp:3118\n");
+        s.push_str(
+            "#1  _INTERNAL77814fad::__kmp_acquire_queuing_lock_timed_template<false> (...) \
+             at ../../src/kmp_lock.cpp:1208\n",
+        );
+        s.push_str("#2  __kmp_acquire_queuing_lock (lck=0x1, gtid=0) at ../../src/kmp_lock.cpp:1254\n");
+        s.push_str("#3  __kmpc_critical_with_hint (...) at ../../src/kmp_csupport.cpp:1610\n");
+        s.push_str(&format!(
+            "#4  .omp_outlined._debug__ (...) at {test_file}:103\n"
+        ));
+        s.push_str(&format!("#5  .omp_outlined. (void) const (...) at {test_file}:36\n"));
+        s
+    }
+
+    /// Fig. 9: the grouped census rendering.
+    pub fn render_groups(&self) -> String {
+        let mut s = format!(
+            "{} threads stuck under __kmpc_critical_with_hint:\n",
+            self.total_threads
+        );
+        for (i, g) in self.groups.iter().enumerate() {
+            s.push_str(&format!(
+                "  Group {}: {:>2} threads in {}\n",
+                i + 1,
+                g.threads.len(),
+                g.state_symbol
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Display for ThreadSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_groups())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_covers_every_thread_in_three_groups() {
+        let snap = ThreadSnapshot::queuing_lock_livelock(32);
+        assert_eq!(snap.total_threads, 32);
+        assert_eq!(snap.groups.len(), 3);
+        let total: usize = snap.groups.iter().map(|g| g.threads.len()).sum();
+        assert_eq!(total, 32);
+        // No thread in two groups.
+        let mut all: Vec<u32> = snap.groups.iter().flat_map(|g| g.threads.clone()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 32);
+    }
+
+    #[test]
+    fn group_states_match_figure_9() {
+        let snap = ThreadSnapshot::queuing_lock_livelock(32);
+        let states: Vec<&str> = snap.groups.iter().map(|g| g.state_symbol.as_str()).collect();
+        assert!(states[0].contains("__kmp_wait_4"));
+        assert!(states[1].contains("__kmp_eq_4"));
+        assert!(states[2].contains("sched_yield"));
+        for g in &snap.groups {
+            assert!(g
+                .common_frames
+                .iter()
+                .any(|f| f.contains("__kmpc_critical_with_hint")));
+        }
+    }
+
+    #[test]
+    fn gdb_backtrace_matches_figure_8_frames() {
+        let snap = ThreadSnapshot::queuing_lock_livelock(32);
+        let bt = snap.gdb_backtrace("quartz1247_532344-_tests-_group_3-_test_3.cpp");
+        assert!(bt.contains("SIGINT"));
+        assert!(bt.contains("__kmp_wait_4"));
+        assert!(bt.contains("kmp_lock.cpp:1254"));
+        assert!(bt.contains("__kmpc_critical_with_hint"));
+        assert!(bt.contains(".omp_outlined."));
+    }
+
+    #[test]
+    fn render_mentions_group_sizes() {
+        let snap = ThreadSnapshot::queuing_lock_livelock(32);
+        let s = snap.render_groups();
+        assert!(s.contains("32 threads"));
+        assert!(s.contains("Group 1"));
+        assert!(s.contains("Group 3"));
+    }
+
+    #[test]
+    fn small_teams_still_partition() {
+        for team in [1u32, 2, 3, 5, 8] {
+            let snap = ThreadSnapshot::queuing_lock_livelock(team);
+            let total: usize = snap.groups.iter().map(|g| g.threads.len()).sum();
+            assert_eq!(total as u32, team, "team {team}");
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Simulated `perf report` call-stack profiles (Figures 6 and 7).
+//!
+//! The profile generator distributes the run's thread-time over the symbol
+//! names the real runtimes expose (`__kmp_wait_template` in `libiomp5`,
+//! `do_wait` in `libgomp`, `__kmp_invoke_microtask` in `libomp`, glibc's
+//! allocator for libomp's per-entry team memory, ...). Flat mode mirrors
+//! Fig. 6; `--children` mode accumulates child overhead into parents and
+//! mirrors Fig. 7 (where the sum of children percentages exceeds 100%).
+
+use crate::model::Vendor;
+use crate::sched::TimeBreakdown;
+use std::fmt;
+
+/// `perf report` accumulation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// Self-overhead only (Fig. 6).
+    #[default]
+    Flat,
+    /// `--children`: cumulative overhead of callees attributed to callers
+    /// (Fig. 7).
+    Children,
+}
+
+/// One profile row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Self overhead, percent of samples.
+    pub overhead_pct: f64,
+    /// Cumulative (children) overhead; only in `Children` mode.
+    pub children_pct: Option<f64>,
+    pub command: String,
+    pub shared_object: String,
+    pub symbol: String,
+}
+
+/// A full simulated profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StackProfile {
+    pub mode: ProfileMode,
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl StackProfile {
+    /// Top entry by self overhead.
+    pub fn top(&self) -> Option<&ProfileEntry> {
+        self.entries.first()
+    }
+
+    /// Sum of self-overhead percentages (≈ 100 in flat mode).
+    pub fn total_self_pct(&self) -> f64 {
+        self.entries.iter().map(|e| e.overhead_pct).sum()
+    }
+
+    /// Self-overhead of the entry whose symbol contains `needle`.
+    pub fn overhead_of(&self, needle: &str) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.symbol.contains(needle))
+            .map(|e| e.overhead_pct)
+            .sum()
+    }
+
+    /// Render in `perf report` style (the layout of Figs. 6/7).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self.mode {
+            ProfileMode::Flat => {
+                out.push_str("Overhead  Command   Shared Object        Symbol\n");
+                for e in &self.entries {
+                    out.push_str(&format!(
+                        "{:>7.2}%  {:<8}  {:<19}  [.] {}\n",
+                        e.overhead_pct, e.command, e.shared_object, e.symbol
+                    ));
+                }
+            }
+            ProfileMode::Children => {
+                out.push_str("Children   Self  Command   Shared Object        Symbol\n");
+                for e in &self.entries {
+                    out.push_str(&format!(
+                        "{:>7.2}%  {:>5.2}%  {:<8}  {:<19}  [.] {}\n",
+                        e.children_pct.unwrap_or(e.overhead_pct),
+                        e.overhead_pct,
+                        e.command,
+                        e.shared_object,
+                        e.symbol
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// (symbol, weight-within-category) rows per vendor.
+struct SymbolTable {
+    runtime_object: &'static str,
+    wait: &'static [(&'static str, f64)],
+    lock: &'static [(&'static str, f64)],
+    work: &'static [(&'static str, f64)],
+    mgmt: (&'static [(&'static str, f64)], &'static str),
+    launch_chain: &'static [(&'static str, &'static str)],
+}
+
+fn symbols(vendor: Vendor) -> SymbolTable {
+    match vendor {
+        Vendor::IntelLike => SymbolTable {
+            runtime_object: "libiomp5.so",
+            wait: &[
+                ("_INTERNALf63d6d5f::__kmp_wait_template<...>", 0.60),
+                ("__kmp_wait_4", 0.24),
+                ("kmp_flag_native<unsigned long long, ...>", 0.06),
+                ("_INTERNALf63d6d5f::__kmp_hyper_barrier_gather", 0.04),
+                ("__kmp_eq_4", 0.03),
+                ("__kmp_hardware_timestamp", 0.03),
+            ],
+            lock: &[
+                ("_INTERNAL77814fad::__kmp_acquire_queuing_lock_timed_template<false>", 0.75),
+                ("__kmpc_critical_with_hint", 0.25),
+            ],
+            work: &[(".omp_outlined.", 1.0)],
+            mgmt: (
+                &[("__kmp_launch_worker", 0.55), ("__kmp_fork_call", 0.45)],
+                "libiomp5.so",
+            ),
+            launch_chain: &[
+                ("__GI___clone (inlined)", "libc-2.28.so"),
+                ("start_thread", "libpthread-2.28.so"),
+                ("_INTERNAL1ebb3278::__kmp_launch_worker", "libiomp5.so"),
+                ("__kmp_launch_thread", "libiomp5.so"),
+                ("__kmp_invoke_task_func", "libiomp5.so"),
+                ("__kmp_invoke_microtask", "libiomp5.so"),
+            ],
+        },
+        Vendor::GccLike => SymbolTable {
+            runtime_object: "libgomp.so.1.0.0",
+            wait: &[
+                ("do_wait", 0.86),
+                ("do_spin", 0.08),
+                ("gomp_barrier_wait_end", 0.06),
+            ],
+            lock: &[("gomp_mutex_lock_slow", 1.0)],
+            work: &[("compute._omp_fn.0", 1.0)],
+            mgmt: (&[("gomp_thread_start", 1.0)], "libgomp.so.1.0.0"),
+            launch_chain: &[
+                ("__GI___clone (inlined)", "libc-2.28.so"),
+                ("start_thread", "libpthread-2.28.so"),
+                ("gomp_thread_start", "libgomp.so.1.0.0"),
+                ("compute._omp_fn.0", "test"),
+            ],
+        },
+        Vendor::ClangLike => SymbolTable {
+            runtime_object: "libomp.so",
+            wait: &[
+                ("__kmp_wait_template<kmp_flag_64<false, true>>", 0.55),
+                ("kmp_flag_64<false, true>::wait (inlined)", 0.30),
+                ("__kmpc_barrier", 0.15),
+            ],
+            lock: &[("__kmp_acquire_queuing_lock", 1.0)],
+            work: &[(".omp_outlined.", 1.0)],
+            mgmt: (
+                &[
+                    ("__calloc (inlined)", 0.35),
+                    ("_int_malloc", 0.25),
+                    ("sysmalloc", 0.15),
+                    ("__GI___mprotect (inlined)", 0.25),
+                ],
+                "libc-2.28.so",
+            ),
+            launch_chain: &[
+                ("__GI___clone (inlined)", "libc-2.28.so"),
+                ("start_thread", "libpthread-2.28.so"),
+                ("0x00001555547a46c3", "libomp.so"),
+                ("__kmp_invoke_microtask", "libomp.so"),
+                (".omp_outlined.", "test"),
+            ],
+        },
+    }
+}
+
+/// Build a profile for one run.
+pub fn build(vendor: Vendor, b: &TimeBreakdown, command: &str, mode: ProfileMode) -> StackProfile {
+    let tab = symbols(vendor);
+    // Category shares of total thread time.
+    let mgmt_thread_us = b.team_mgmt_us * (1.0 + 0.15 * b.max_team as f64);
+    let total = (b.busy_thread_us + b.wait_thread_us + mgmt_thread_us).max(1e-9);
+    let wait_share = b.wait_thread_us / total;
+    let lock_exec_share = (b.lock_us / total).min(1.0);
+    let work_share = ((b.busy_thread_us - b.lock_us).max(0.0) / total).min(1.0);
+    let mgmt_share = mgmt_thread_us / total;
+
+    let mut entries: Vec<ProfileEntry> = Vec::new();
+    let mut push_category = |rows: &[(&str, f64)], object: &str, share: f64| {
+        for (symbol, w) in rows {
+            let pct = share * w * 100.0;
+            if pct >= 0.05 {
+                entries.push(ProfileEntry {
+                    overhead_pct: pct,
+                    children_pct: None,
+                    command: command.to_string(),
+                    shared_object: object.to_string(),
+                    symbol: symbol.to_string(),
+                });
+            }
+        }
+    };
+    push_category(tab.wait, tab.runtime_object, wait_share);
+    push_category(tab.lock, tab.runtime_object, lock_exec_share);
+    push_category(tab.work, command, work_share);
+    push_category(tab.mgmt.0, tab.mgmt.1, mgmt_share);
+
+    entries.sort_by(|a, b| b.overhead_pct.partial_cmp(&a.overhead_pct).unwrap());
+
+    if mode == ProfileMode::Children {
+        // Parallel fraction of the run: everything below the thread launch
+        // chain. Children percentages accumulate, so the chain heads carry
+        // nearly the whole parallel share (like Fig. 7's 90+% rows).
+        let parallel_share = 1.0 - b.serial_us.max(0.0) / b.total_us.max(1e-9);
+        let mut chained: Vec<ProfileEntry> = tab
+            .launch_chain
+            .iter()
+            .enumerate()
+            .map(|(i, (symbol, object))| ProfileEntry {
+                overhead_pct: if i + 1 == tab.launch_chain.len() { 0.2 } else { 0.0 },
+                children_pct: Some((parallel_share * 100.0 - i as f64 * 0.4).max(0.0)),
+                command: command.to_string(),
+                shared_object: object.to_string(),
+                symbol: symbol.to_string(),
+            })
+            .collect();
+        for e in entries {
+            chained.push(ProfileEntry {
+                children_pct: Some(e.overhead_pct * 1.1),
+                ..e
+            });
+        }
+        chained.sort_by(|a, b| {
+            b.children_pct
+                .unwrap_or(0.0)
+                .partial_cmp(&a.children_pct.unwrap_or(0.0))
+                .unwrap()
+        });
+        return StackProfile {
+            mode,
+            entries: chained,
+        };
+    }
+
+    StackProfile { mode, entries }
+}
+
+impl fmt::Display for StackProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait_heavy_breakdown() -> TimeBreakdown {
+        TimeBreakdown {
+            serial_us: 100.0,
+            parallel_work_us: 1_000.0,
+            lock_us: 200.0,
+            team_mgmt_us: 50.0,
+            barrier_us: 100.0,
+            total_us: 1_450.0,
+            busy_thread_us: 8_000.0,
+            wait_thread_us: 24_000.0,
+            region_entries: 1,
+            max_team: 32,
+            critical_acqs: 500,
+            ..TimeBreakdown::default()
+        }
+    }
+
+    #[test]
+    fn gcc_flat_profile_is_dominated_by_do_wait() {
+        let p = build(Vendor::GccLike, &wait_heavy_breakdown(), "_test_2", ProfileMode::Flat);
+        assert_eq!(p.mode, ProfileMode::Flat);
+        let top = p.top().unwrap();
+        assert_eq!(top.symbol, "do_wait");
+        assert_eq!(top.shared_object, "libgomp.so.1.0.0");
+        assert!(top.overhead_pct > 40.0, "{}", top.overhead_pct);
+        assert!(p.overhead_of("do_spin") > 0.0);
+    }
+
+    #[test]
+    fn intel_flat_profile_mentions_kmp_wait() {
+        let p = build(Vendor::IntelLike, &wait_heavy_breakdown(), "_test_2", ProfileMode::Flat);
+        assert!(p.overhead_of("__kmp_wait_template") > 20.0);
+        assert!(p.overhead_of("__kmp_wait_4") > 5.0);
+        assert!(p
+            .entries
+            .iter()
+            .all(|e| e.shared_object != "libgomp.so.1.0.0"));
+    }
+
+    #[test]
+    fn clang_team_mgmt_shows_allocator_symbols() {
+        let b = TimeBreakdown {
+            team_mgmt_us: 10_000.0,
+            busy_thread_us: 2_000.0,
+            wait_thread_us: 3_000.0,
+            total_us: 12_000.0,
+            max_team: 32,
+            region_entries: 200,
+            ..TimeBreakdown::default()
+        };
+        let p = build(Vendor::ClangLike, &b, "_test_10", ProfileMode::Flat);
+        assert!(p.overhead_of("_int_malloc") > 1.0);
+        assert!(p.overhead_of("__GI___mprotect") > 1.0);
+    }
+
+    #[test]
+    fn children_mode_exceeds_100_percent() {
+        let p = build(
+            Vendor::ClangLike,
+            &wait_heavy_breakdown(),
+            "_test_10",
+            ProfileMode::Children,
+        );
+        let sum: f64 = p.entries.iter().filter_map(|e| e.children_pct).sum();
+        assert!(sum > 100.0, "children sum {sum}");
+        // The launch chain heads the listing.
+        assert!(p.entries[0].symbol.contains("clone"));
+        assert!(p.render().contains("start_thread"));
+    }
+
+    #[test]
+    fn flat_profile_roughly_normalizes() {
+        let p = build(Vendor::GccLike, &wait_heavy_breakdown(), "t", ProfileMode::Flat);
+        let total = p.total_self_pct();
+        assert!((80.0..=105.0).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn render_contains_perf_layout() {
+        let p = build(Vendor::IntelLike, &wait_heavy_breakdown(), "_test_2", ProfileMode::Flat);
+        let s = p.render();
+        assert!(s.contains("Overhead"));
+        assert!(s.contains("Shared Object"));
+        assert!(s.contains("[.]"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: α/β sensitivity of the outlier counts.
+//!
+//! The paper's answer to Q1 notes that "changes to these parameters may
+//! produce more or less outliers"; this bench quantifies it on a fixed
+//! campaign by re-analyzing the same raw observations under swept
+//! thresholds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompfuzz_bench::{count_perf_outliers, print_campaign_config, reanalyze, run_standard_campaign};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let result = run_standard_campaign(&print_campaign_config());
+
+    println!("\nα/β sweep — performance outliers among {} run-sets", result.records.len());
+    print!("{:>8}", "α\\β");
+    let betas = [1.2, 1.5, 2.0, 2.5, 3.0];
+    let alphas = [0.1, 0.2, 0.3, 0.4, 0.5];
+    for b in betas {
+        print!("{b:>8.1}");
+    }
+    println!();
+    for a in alphas {
+        print!("{a:>8.1}");
+        for b in betas {
+            let n = count_perf_outliers(&reanalyze(&result, a, b));
+            print!("{n:>8}");
+        }
+        println!();
+    }
+    println!("\n(paper setting: α = 0.2, β = 1.5)");
+
+    let mut group = c.benchmark_group("ablation_alpha_beta");
+    group.bench_function("reanalyze_campaign", |b| {
+        b.iter(|| black_box(reanalyze(black_box(&result), 0.2, 1.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

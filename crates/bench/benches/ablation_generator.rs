@@ -1,0 +1,59 @@
+//! Ablation: program-generation throughput against the configuration
+//! knobs (the generator must stay cheap relative to execution, or the
+//! "thousands of tests" scaling argument of the paper breaks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompfuzz_gen::{GeneratorConfig, ProgramGenerator};
+use std::hint::black_box;
+
+fn bench_generator(c: &mut Criterion) {
+    println!("\ngenerator throughput vs. knobs (programs of the paper config):");
+    for (label, cfg) in [
+        ("paper", GeneratorConfig::paper()),
+        ("small", GeneratorConfig::small()),
+        (
+            "deep-nesting",
+            GeneratorConfig {
+                max_nesting_levels: 6,
+                ..GeneratorConfig::paper()
+            },
+        ),
+        (
+            "wide-expressions",
+            GeneratorConfig {
+                max_expression_size: 20,
+                ..GeneratorConfig::paper()
+            },
+        ),
+    ] {
+        let mut g = ProgramGenerator::new(cfg, 1);
+        let start = std::time::Instant::now();
+        let batch = g.generate_batch(200);
+        let elapsed = start.elapsed();
+        let stmts: usize = batch.iter().map(|p| p.body.stmt_count()).sum();
+        println!(
+            "  {label:<16} 200 programs in {elapsed:>9.2?}  ({:.0} programs/s, {} stmts total)",
+            200.0 / elapsed.as_secs_f64(),
+            stmts
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_generator");
+    for (label, cfg) in [
+        ("paper", GeneratorConfig::paper()),
+        ("small", GeneratorConfig::small()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("generate", label), &cfg, |b, cfg| {
+            let mut g = ProgramGenerator::new(cfg.clone(), 7);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(g.generate(&format!("t{i}")))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

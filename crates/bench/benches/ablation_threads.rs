@@ -1,0 +1,56 @@
+//! Ablation: thread-count scaling of the three runtime models on the two
+//! case-study shapes (the paper pins `num_threads(32)`; this shows what the
+//! models predict elsewhere).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompfuzz_backends::{CompileOptions, CompiledTest, RunOptions, SimBackend};
+use ompfuzz_harness::caselib;
+use std::hint::black_box;
+
+fn time_of(backend: &SimBackend, program: &ompfuzz_ast::Program) -> u64 {
+    let input = caselib::case_study_input(program);
+    backend
+        .compile_sim(program, &CompileOptions::default())
+        .unwrap()
+        .run(&input, &RunOptions::default())
+        .time_us
+        .unwrap_or(u64::MAX)
+}
+
+fn bench_threads(c: &mut Criterion) {
+    println!("\nthread-count sweep, case study 1 (critical in omp for), µs:");
+    println!("{:>8} {:>12} {:>12} {:>12}", "threads", "Intel", "Clang", "GCC");
+    for t in [1u32, 2, 4, 8, 16, 32, 64] {
+        let p = caselib::case_study_1(5_000, t);
+        println!(
+            "{t:>8} {:>12} {:>12} {:>12}",
+            time_of(&SimBackend::intel(), &p),
+            time_of(&SimBackend::clang(), &p),
+            time_of(&SimBackend::gcc(), &p),
+        );
+    }
+    println!("\nthread-count sweep, case study 2 (region in serial loop), µs:");
+    println!("{:>8} {:>12} {:>12} {:>12}", "threads", "Intel", "Clang", "GCC");
+    for t in [1u32, 2, 4, 8, 16, 32, 64] {
+        let p = caselib::case_study_2(100, 200, t);
+        println!(
+            "{t:>8} {:>12} {:>12} {:>12}",
+            time_of(&SimBackend::intel(), &p),
+            time_of(&SimBackend::clang(), &p),
+            time_of(&SimBackend::gcc(), &p),
+        );
+    }
+
+    let p32 = caselib::case_study_1(5_000, 32);
+    let mut group = c.benchmark_group("ablation_threads");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("cs1_32_threads_full_run", |b| {
+        b.iter(|| black_box(time_of(&SimBackend::intel(), black_box(&p32))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

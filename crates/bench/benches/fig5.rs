@@ -1,0 +1,31 @@
+//! Fig. 5 — slow/fast outlier classes, and the detector's cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompfuzz_bench::synthetic_triple;
+use ompfuzz_outlier::{analyze, detect_performance_outlier, OutlierConfig};
+use ompfuzz_report::{run_experiment, Scale};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    println!("\n{}", run_experiment("fig5", Scale::Paper).unwrap());
+
+    let cfg = OutlierConfig::default();
+    let slow = [100_000.0, 104_000.0, 190_000.0];
+    let none = [100_000.0, 104_000.0, 101_000.0];
+    let obs = synthetic_triple(2.0);
+
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("detect_slow_outlier", |b| {
+        b.iter(|| black_box(detect_performance_outlier(black_box(&slow), &cfg)))
+    });
+    group.bench_function("detect_no_outlier", |b| {
+        b.iter(|| black_box(detect_performance_outlier(black_box(&none), &cfg)))
+    });
+    group.bench_function("full_analysis", |b| {
+        b.iter(|| black_box(analyze(black_box(&obs), &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figs. 8/9 — the hung Intel binary: gdb backtrace and thread census.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompfuzz_backends::{CompileOptions, CompiledTest, RunOptions, SimBackend, ThreadSnapshot};
+use ompfuzz_harness::caselib;
+use ompfuzz_report::{run_experiment, Scale};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    println!("\n{}", run_experiment("fig8", Scale::Paper).unwrap());
+    println!("{}", run_experiment("fig9", Scale::Paper).unwrap());
+
+    let program = caselib::case_study_3(8_000, 32);
+    let input = caselib::case_study_input(&program);
+    let intel = SimBackend::intel()
+        .compile_sim(&program, &CompileOptions::default())
+        .unwrap();
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("hang_detection_run", |b| {
+        b.iter(|| black_box(intel.run(black_box(&input), &RunOptions::default())))
+    });
+    group.bench_function("census_construction", |b| {
+        b.iter(|| black_box(ThreadSnapshot::queuing_lock_livelock(black_box(32))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

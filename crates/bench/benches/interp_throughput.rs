@@ -1,0 +1,40 @@
+//! Substrate benchmark: interpreter throughput (the cost floor under every
+//! simulated run; 1,800-run campaigns are only practical because this stays
+//! in the tens of millions of operations per second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ompfuzz_exec::{lower, run as exec_run, ExecOptions};
+use ompfuzz_harness::caselib;
+use std::hint::black_box;
+
+fn bench_interp(c: &mut Criterion) {
+    let program = caselib::case_study_2(50, 400, 8);
+    let input = caselib::case_study_input(&program);
+    let kernel = lower(&program).unwrap();
+    let opts = ExecOptions::default();
+    let out = exec_run(&kernel, &input, &opts).unwrap();
+    let ops = out.stats.ops.total();
+    println!(
+        "\ninterpreter workload: {} ops, {} loop iterations, {} region entries",
+        ops,
+        out.stats.loop_iterations,
+        out.stats.total_region_entries()
+    );
+
+    let mut group = c.benchmark_group("interp_throughput");
+    group.throughput(Throughput::Elements(ops));
+    group.bench_function("cs2_interpretation", |b| {
+        b.iter(|| black_box(exec_run(black_box(&kernel), black_box(&input), &opts)))
+    });
+    group.bench_function("cs2_with_race_detection", |b| {
+        let ropts = ExecOptions::with_race_detection();
+        b.iter(|| black_box(exec_run(black_box(&kernel), black_box(&input), &ropts)))
+    });
+    group.bench_function("lowering", |b| {
+        b.iter(|| black_box(lower(black_box(&program))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

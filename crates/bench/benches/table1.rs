@@ -1,0 +1,30 @@
+//! Table I — outlier counts per implementation.
+//!
+//! Prints a medium-scale Table I once (`ompfuzz reproduce -e table1` gives
+//! the full 200×3 version), then measures end-to-end campaign cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompfuzz_bench::{bench_campaign_config, print_campaign_config, run_standard_campaign};
+use ompfuzz_report::render_table1;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // The reproduction artifact.
+    let result = run_standard_campaign(&print_campaign_config());
+    println!("\n{}", render_table1(&result));
+
+    // The measurement: a small campaign end to end (generate → compile ×3 →
+    // run ×inputs → analyze).
+    let config = bench_campaign_config();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.bench_function("campaign_12x2x3", |b| {
+        b.iter(|| black_box(run_standard_campaign(black_box(&config))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table II — perf counters for case study 1 (GCC fast outlier).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompfuzz_backends::{CompileOptions, CompiledTest, RunOptions, SimBackend};
+use ompfuzz_harness::caselib;
+use ompfuzz_report::{run_experiment, Scale};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n{}", run_experiment("table2", Scale::Paper).unwrap());
+
+    let program = caselib::case_study_1(5_000, 32);
+    let input = caselib::case_study_input(&program);
+    let intel = SimBackend::intel()
+        .compile_sim(&program, &CompileOptions::default())
+        .unwrap();
+    let gcc = SimBackend::gcc()
+        .compile_sim(&program, &CompileOptions::default())
+        .unwrap();
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("cs1_intel_run", |b| {
+        b.iter(|| black_box(intel.run(black_box(&input), &RunOptions::default())))
+    });
+    group.bench_function("cs1_gcc_run", |b| {
+        b.iter(|| black_box(gcc.run(black_box(&input), &RunOptions::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

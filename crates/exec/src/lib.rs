@@ -1,0 +1,34 @@
+//! # ompfuzz-exec
+//!
+//! Deterministic execution substrate for generated OpenMP test programs:
+//!
+//! * [`lower`] — name resolution from the surface AST to a slot-based IR
+//!   ([`kernel::Kernel`]), the moral equivalent of a compiler front-end;
+//! * [`interp`] — a deterministic interpreter implementing the OpenMP
+//!   semantic model (parallel regions, static `omp for` scheduling,
+//!   `private`/`firstprivate`, reductions over `comp`, critical sections)
+//!   with full work accounting per thread and per region;
+//! * [`race`] — a dynamic data-race detector that automates the manual
+//!   race filtering of the paper's §IV-E;
+//! * [`stats`] — the execution statistics consumed by the simulated
+//!   backend cost models in `ompfuzz-backends`.
+//!
+//! The interpreter executes real numerics — the `comp` value it returns is
+//! the number a compiled binary would print — while *time* is deliberately
+//! left symbolic (weighted work cycles). Turning work into wall-clock
+//! microseconds is the backends' job, because that is exactly where real
+//! OpenMP implementations differ.
+
+pub mod interp;
+pub mod kernel;
+pub mod lower;
+pub mod race;
+pub mod stats;
+
+pub use interp::{
+    apply_bool, run, BoolSemantics, ExecError, ExecLimits, ExecOptions, ExecOutcome,
+};
+pub use kernel::Kernel;
+pub use lower::{lower, LowerError};
+pub use race::{RaceDetector, RaceReport};
+pub use stats::{ExecStats, OpCounts, RegionTrace, ThreadWork};

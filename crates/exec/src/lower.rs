@@ -1,0 +1,482 @@
+//! Lowering from the surface AST to the slot-resolved [`Kernel`] IR.
+//!
+//! Lowering performs lexical name resolution with C block scoping: each
+//! declaration allocates a fresh slot; a name refers to the innermost
+//! declaration in scope. Loop counters get integer slots. Unknown names are
+//! reported as [`LowerError`]s — a generated program that fails to lower
+//! would not have compiled with a real C++ compiler either.
+
+use crate::kernel::*;
+use ompfuzz_ast::{
+    Assignment, Block, BlockItem, Expr, ForLoop, FpType, IfBlock, IndexExpr, LValue, LoopBound,
+    OmpParallel, ParamType, Program, Stmt, Term, VarRef,
+};
+use std::fmt;
+
+/// Lowering failure (undeclared name, malformed index, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower a program to the interpretable IR.
+pub fn lower(program: &Program) -> Result<Kernel, LowerError> {
+    let mut lo = Lowerer::new(program);
+    lo.bind_params()?;
+    let body = lo.lower_block(&program.body)?;
+    Ok(Kernel {
+        name: program.name.clone(),
+        scalars: lo.scalars,
+        ints: lo.ints,
+        arrays: lo.arrays,
+        param_order: lo.param_order,
+        body,
+        region_count: lo.next_region,
+    })
+}
+
+/// One lexical binding.
+#[derive(Debug, Clone)]
+enum Binding {
+    Scalar(SlotId),
+    Int(IntSlotId),
+    Array(ArrayId),
+}
+
+struct Lowerer<'p> {
+    program: &'p Program,
+    scalars: Vec<SlotInfo>,
+    ints: Vec<IntSlotInfo>,
+    arrays: Vec<ArrayInfo>,
+    param_order: Vec<ParamBinding>,
+    /// Innermost-last scope stack of (name, binding).
+    env: Vec<(String, Binding)>,
+    next_region: u32,
+    /// Currently lowering inside a parallel region.
+    in_region: bool,
+}
+
+impl<'p> Lowerer<'p> {
+    fn new(program: &'p Program) -> Self {
+        Lowerer {
+            program,
+            scalars: Vec::new(),
+            ints: Vec::new(),
+            arrays: Vec::new(),
+            param_order: Vec::new(),
+            env: Vec::new(),
+            next_region: 0,
+            in_region: false,
+        }
+    }
+
+    fn bind_params(&mut self) -> Result<(), LowerError> {
+        for p in &self.program.params {
+            match p.ty {
+                ParamType::Int => {
+                    let id = self.ints.len() as IntSlotId;
+                    self.ints.push(IntSlotInfo {
+                        name: p.name.clone(),
+                        is_param: true,
+                    });
+                    self.env.push((p.name.clone(), Binding::Int(id)));
+                    self.param_order.push(ParamBinding::Int(id));
+                }
+                ParamType::Fp(ty) => {
+                    let id = self.alloc_scalar(&p.name, ty, true);
+                    self.env.push((p.name.clone(), Binding::Scalar(id)));
+                    self.param_order.push(ParamBinding::Scalar(id));
+                }
+                ParamType::FpArray(ty) => {
+                    let id = self.arrays.len() as ArrayId;
+                    self.arrays.push(ArrayInfo {
+                        name: p.name.clone(),
+                        ty,
+                        len: self.program.array_size as u32,
+                    });
+                    self.env.push((p.name.clone(), Binding::Array(id)));
+                    self.param_order.push(ParamBinding::Array(id));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_scalar(&mut self, name: &str, ty: FpType, is_param: bool) -> SlotId {
+        let id = self.scalars.len() as SlotId;
+        self.scalars.push(SlotInfo {
+            name: name.to_string(),
+            ty,
+            is_param,
+            region_local: self.in_region,
+        });
+        id
+    }
+
+    fn alloc_int(&mut self, name: &str) -> IntSlotId {
+        let id = self.ints.len() as IntSlotId;
+        self.ints.push(IntSlotInfo {
+            name: name.to_string(),
+            is_param: false,
+        });
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.env.iter().rev().find(|(n, _)| n == name).map(|(_, b)| b)
+    }
+
+    fn lookup_scalar(&self, name: &str) -> Result<SlotId, LowerError> {
+        match self.lookup(name) {
+            Some(Binding::Scalar(id)) => Ok(*id),
+            Some(_) => Err(LowerError(format!("{name} is not a floating-point scalar"))),
+            None => Err(LowerError(format!("undeclared variable {name}"))),
+        }
+    }
+
+    fn lookup_int(&self, name: &str) -> Result<IntSlotId, LowerError> {
+        match self.lookup(name) {
+            Some(Binding::Int(id)) => Ok(*id),
+            Some(_) => Err(LowerError(format!("{name} is not an int"))),
+            None => Err(LowerError(format!("undeclared int {name}"))),
+        }
+    }
+
+    fn lookup_array(&self, name: &str) -> Result<ArrayId, LowerError> {
+        match self.lookup(name) {
+            Some(Binding::Array(id)) => Ok(*id),
+            Some(_) => Err(LowerError(format!("{name} is not an array"))),
+            None => Err(LowerError(format!("undeclared array {name}"))),
+        }
+    }
+
+    fn lower_block(&mut self, block: &Block) -> Result<Vec<LStmt>, LowerError> {
+        let scope_mark = self.env.len();
+        let mut out = Vec::with_capacity(block.len());
+        for item in block.iter() {
+            match item {
+                BlockItem::Stmt(s) => out.push(self.lower_stmt(s)?),
+                BlockItem::Critical(c) => {
+                    let body = self.lower_block(&c.body)?;
+                    out.push(LStmt::Critical(body));
+                }
+            }
+        }
+        self.env.truncate(scope_mark);
+        Ok(out)
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<LStmt, LowerError> {
+        match stmt {
+            Stmt::Assign(a) => self.lower_assignment(a),
+            Stmt::DeclAssign { ty, name, value } => {
+                // Lower the initializer *before* the binding so `double x =
+                // x + 1` with an outer x resolves like C.
+                let value = self.lower_expr(value)?;
+                let id = self.alloc_scalar(name, *ty, false);
+                self.env.push((name.clone(), Binding::Scalar(id)));
+                Ok(LStmt::AssignScalar(id, ompfuzz_ast::AssignOp::Assign, value))
+            }
+            Stmt::If(IfBlock { cond, body }) => {
+                let lhs = self.lookup_scalar(cond.lhs.name())?;
+                let rhs = self.lower_expr(&cond.rhs)?;
+                let body = self.lower_block(body)?;
+                Ok(LStmt::If(
+                    LBool {
+                        lhs,
+                        op: cond.op,
+                        rhs,
+                    },
+                    body,
+                ))
+            }
+            Stmt::For(fl) => Ok(LStmt::For(self.lower_loop(fl)?)),
+            Stmt::OmpParallel(par) => self.lower_parallel(par),
+        }
+    }
+
+    fn lower_loop(&mut self, fl: &ForLoop) -> Result<LLoop, LowerError> {
+        let bound = match &fl.bound {
+            LoopBound::Const(n) => LBound::Const(*n),
+            LoopBound::Param(p) => LBound::IntSlot(self.lookup_int(p)?),
+        };
+        let counter = self.alloc_int(&fl.var);
+        self.env.push((fl.var.clone(), Binding::Int(counter)));
+        let body = self.lower_block(&fl.body)?;
+        self.env.pop();
+        Ok(LLoop {
+            counter,
+            bound,
+            omp_for: fl.omp_for,
+            body,
+        })
+    }
+
+    fn lower_parallel(&mut self, par: &OmpParallel) -> Result<LStmt, LowerError> {
+        let region_id = self.next_region;
+        self.next_region += 1;
+        let private = par
+            .clauses
+            .private
+            .iter()
+            .map(|n| self.lookup_scalar(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        let firstprivate = par
+            .clauses
+            .firstprivate
+            .iter()
+            .map(|n| self.lookup_scalar(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        let scope_mark = self.env.len();
+        let was_in_region = std::mem::replace(&mut self.in_region, true);
+        let prelude = par
+            .prelude
+            .iter()
+            .map(|s| self.lower_stmt(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let body_loop = self.lower_loop(&par.body_loop)?;
+        self.in_region = was_in_region;
+        self.env.truncate(scope_mark);
+        Ok(LStmt::Parallel(LParallel {
+            region_id,
+            num_threads: par.clauses.num_threads.unwrap_or(1).max(1),
+            private,
+            firstprivate,
+            reduction: par.clauses.reduction,
+            prelude,
+            body_loop,
+        }))
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<LExpr, LowerError> {
+        Ok(match e {
+            Expr::Term(Term::FpConst(v, ty)) => LExpr::Const(ty.round(*v)),
+            Expr::Term(Term::IntConst(v)) => LExpr::Const(*v as f64),
+            Expr::Term(Term::Var(vr)) => self.lower_var_read(vr)?,
+            // Parentheses only affect how the tree was built; the tree *is*
+            // the association, so they vanish here.
+            Expr::Paren(inner) => self.lower_expr(inner)?,
+            Expr::Binary { op, lhs, rhs } => LExpr::Binary(
+                *op,
+                Box::new(self.lower_expr(lhs)?),
+                Box::new(self.lower_expr(rhs)?),
+            ),
+            Expr::MathCall { func, arg } => {
+                LExpr::Call(*func, Box::new(self.lower_expr(arg)?))
+            }
+        })
+    }
+
+    fn lower_var_read(&mut self, vr: &VarRef) -> Result<LExpr, LowerError> {
+        match vr {
+            VarRef::Scalar(name) => {
+                // A scalar read may actually name an int (loop counters can
+                // leak into expressions in hand-built programs).
+                match self.lookup(name) {
+                    Some(Binding::Scalar(id)) => Ok(LExpr::Scalar(*id)),
+                    Some(Binding::Int(_)) => Err(LowerError(format!(
+                        "int {name} used in floating-point expression (unsupported)"
+                    ))),
+                    Some(Binding::Array(_)) => {
+                        Err(LowerError(format!("array {name} read without index")))
+                    }
+                    None => Err(LowerError(format!("undeclared variable {name}"))),
+                }
+            }
+            VarRef::Element(name, idx) => {
+                let arr = self.lookup_array(name)?;
+                Ok(LExpr::Elem(arr, self.lower_index(idx)?))
+            }
+        }
+    }
+
+    fn lower_index(&mut self, idx: &IndexExpr) -> Result<LIndex, LowerError> {
+        Ok(match idx {
+            IndexExpr::Const(k) => LIndex::Const(*k as u32),
+            IndexExpr::LoopVarMod(v, m) => LIndex::LoopMod(self.lookup_int(v)?, *m as u32),
+            IndexExpr::ThreadId => LIndex::ThreadId,
+        })
+    }
+
+    fn lower_assignment(&mut self, a: &Assignment) -> Result<LStmt, LowerError> {
+        let value = self.lower_expr(&a.value)?;
+        Ok(match &a.target {
+            LValue::Comp => LStmt::AssignComp(a.op, value),
+            LValue::Var(VarRef::Scalar(name)) => {
+                LStmt::AssignScalar(self.lookup_scalar(name)?, a.op, value)
+            }
+            LValue::Var(VarRef::Element(name, idx)) => {
+                let arr = self.lookup_array(name)?;
+                LStmt::AssignElem(arr, self.lower_index(idx)?, a.op, value)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_ast::{AssignOp, BinOp, Param};
+
+    fn p_simple() -> Program {
+        // void compute(double comp, double var_1, int var_2, double* var_3)
+        //   double var_4 = var_1 * 2.0;
+        //   comp += var_4 + var_3[5];
+        Program::new(
+            vec![
+                Param::fp(FpType::F64, "var_1"),
+                Param::int("var_2"),
+                Param::fp_array(FpType::F64, "var_3"),
+            ],
+            Block::of_stmts(vec![
+                Stmt::DeclAssign {
+                    ty: FpType::F64,
+                    name: "var_4".into(),
+                    value: Expr::binary(Expr::var("var_1"), BinOp::Mul, Expr::fp_const(2.0)),
+                },
+                Stmt::Assign(Assignment {
+                    target: LValue::Comp,
+                    op: AssignOp::AddAssign,
+                    value: Expr::binary(
+                        Expr::var("var_4"),
+                        BinOp::Add,
+                        Expr::elem("var_3", IndexExpr::Const(5)),
+                    ),
+                }),
+            ]),
+        )
+    }
+
+    #[test]
+    fn params_bind_in_order() {
+        let k = lower(&p_simple()).unwrap();
+        assert_eq!(
+            k.param_order,
+            vec![
+                ParamBinding::Scalar(0),
+                ParamBinding::Int(0),
+                ParamBinding::Array(0)
+            ]
+        );
+        assert_eq!(k.scalars.len(), 2); // var_1 + var_4
+        assert!(k.scalars[0].is_param);
+        assert!(!k.scalars[1].is_param);
+        assert_eq!(k.arrays[0].len, 1000);
+    }
+
+    #[test]
+    fn decl_allocates_fresh_slot() {
+        let k = lower(&p_simple()).unwrap();
+        match &k.body[0] {
+            LStmt::AssignScalar(id, AssignOp::Assign, _) => assert_eq!(*id, 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_variable_errors() {
+        let p = Program::new(
+            vec![],
+            Block::of_stmts(vec![Stmt::Assign(Assignment {
+                target: LValue::Comp,
+                op: AssignOp::Assign,
+                value: Expr::var("ghost"),
+            })]),
+        );
+        let err = lower(&p).unwrap_err();
+        assert!(err.0.contains("undeclared"));
+    }
+
+    #[test]
+    fn float_constants_are_pre_rounded() {
+        let v = 1.000000119; // loses precision in f32
+        let p = Program::new(
+            vec![],
+            Block::of_stmts(vec![Stmt::Assign(Assignment {
+                target: LValue::Comp,
+                op: AssignOp::Assign,
+                value: Expr::fp_const_typed(v, FpType::F32),
+            })]),
+        );
+        let k = lower(&p).unwrap();
+        match &k.body[0] {
+            LStmt::AssignComp(_, LExpr::Const(c)) => assert_eq!(*c, v as f32 as f64),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_scoping_shadows_and_pops() {
+        // for (i..) { double var_9 = 1.0; } comp = var_9; -> error
+        let p = Program::new(
+            vec![Param::int("n")],
+            Block::of_stmts(vec![
+                Stmt::For(ForLoop {
+                    omp_for: false,
+                    var: "i".into(),
+                    bound: LoopBound::Param("n".into()),
+                    body: Block::of_stmts(vec![Stmt::DeclAssign {
+                        ty: FpType::F64,
+                        name: "var_9".into(),
+                        value: Expr::fp_const(1.0),
+                    }]),
+                }),
+                Stmt::Assign(Assignment {
+                    target: LValue::Comp,
+                    op: AssignOp::Assign,
+                    value: Expr::var("var_9"),
+                }),
+            ]),
+        );
+        assert!(lower(&p).is_err());
+    }
+
+    #[test]
+    fn region_ids_are_sequential() {
+        use ompfuzz_ast::{OmpClauses, OmpParallel};
+        let mk_region = || {
+            Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses {
+                    num_threads: Some(4),
+                    ..OmpClauses::default()
+                },
+                prelude: vec![Stmt::Assign(Assignment {
+                    target: LValue::Var(VarRef::Scalar("var_1".into())),
+                    op: AssignOp::Assign,
+                    value: Expr::fp_const(0.0),
+                })],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(4),
+                    body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                        target: LValue::Var(VarRef::Scalar("var_1".into())),
+                        op: AssignOp::AddAssign,
+                        value: Expr::fp_const(1.0),
+                    })]),
+                },
+            })
+        };
+        let p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![mk_region(), mk_region()]),
+        );
+        let k = lower(&p).unwrap();
+        assert_eq!(k.region_count, 2);
+    }
+
+    #[test]
+    fn generated_programs_all_lower() {
+        use ompfuzz_gen::{GeneratorConfig, ProgramGenerator};
+        let mut g = ProgramGenerator::new(GeneratorConfig::paper(), 1234);
+        for p in g.generate_batch(100) {
+            lower(&p).unwrap_or_else(|e| panic!("{} failed to lower: {e}", p.name));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Generator configuration: the knobs of §III-C of the paper, plus the
+//! OpenMP-specific probabilities our extension adds.
+
+use ompfuzz_inputs::ClassMix;
+
+/// How the generator assigns data-sharing attributes and protects shared
+/// accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingMode {
+    /// Race-free by construction (§III-G): shared array writes are
+    /// thread-id-indexed, `comp` is written under a reduction clause or
+    /// inside a critical section, everything else is privatized.
+    #[default]
+    Safe,
+    /// Reproduces the Varity behaviour the paper lists as a limitation
+    /// (§IV-E): with probability [`GeneratorConfig::legacy_race_probability`]
+    /// a `comp` update inside a parallel region is emitted without any
+    /// protection, creating a data race. The campaign's race detector
+    /// filters such programs out, mirroring the paper's manual filtering.
+    Legacy,
+}
+
+/// Probabilities steering the OpenMP extension of the grammar.
+///
+/// These are the structural choices §III-E leaves to the random generator;
+/// the values below give programs that look like the paper's listings
+/// (about half of all tests contain at least one parallel region, criticals
+/// are common inside worksharing loops).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpProbabilities {
+    /// Probability that a block slot at serial level becomes an OpenMP
+    /// parallel block (vs. if/for/assignment).
+    pub parallel_block: f64,
+    /// Probability that the region's loop is a worksharing (`omp for`)
+    /// loop rather than a serial loop run redundantly by the team.
+    pub omp_for: f64,
+    /// Probability that a region carries `reduction(<op>: comp)`.
+    pub reduction: f64,
+    /// Probability that a `comp` update inside a worksharing loop is
+    /// wrapped in `omp critical` *when a reduction is not active* (when no
+    /// reduction is active this is forced — see `SharingMode::Safe`).
+    pub critical: f64,
+    /// Probability that an eligible scope variable is privatized as
+    /// `private` rather than `firstprivate`.
+    pub private_vs_firstprivate: f64,
+}
+
+impl Default for OmpProbabilities {
+    fn default() -> Self {
+        OmpProbabilities {
+            parallel_block: 0.35,
+            omp_for: 0.75,
+            reduction: 0.55,
+            critical: 0.35,
+            private_vs_firstprivate: 0.5,
+        }
+    }
+}
+
+/// All parameters controlling random program generation.
+///
+/// The first block of fields are Varity's original knobs, named after the
+/// configuration keys in the paper (§III-C, §V-A); the rest configure the
+/// OpenMP extension and program shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// `MAX_EXPRESSION_SIZE`: maximum number of terms in an expression
+    /// (arithmetic or boolean).
+    pub max_expression_size: usize,
+    /// `MAX_NESTING_LEVELS`: maximum nesting of if/for/parallel blocks.
+    pub max_nesting_levels: usize,
+    /// `MAX_LINES_IN_BLOCK`: maximum statements in one block.
+    pub max_lines_in_block: usize,
+    /// `ARRAY_SIZE`: number of elements of every array parameter.
+    pub array_size: usize,
+    /// `MAX_SAME_LEVEL_BLOCKS`: maximum structured blocks at the same
+    /// nesting level inside one block.
+    pub max_same_level_blocks: usize,
+    /// `MATH_FUNC_ALLOWED`: whether `math.h` calls may appear.
+    pub math_func_allowed: bool,
+    /// `MATH_FUNC_PROBABILITY`: probability that a generated term is
+    /// wrapped in a math call (0.01 in the paper's evaluation).
+    pub math_func_probability: f64,
+    /// `INPUT_SAMPLES_PER_RUN`: distinct inputs per program test.
+    pub input_samples_per_run: usize,
+
+    /// `num_threads(n)` pinned on every parallel region (32 in the paper).
+    pub num_threads: u32,
+    /// Minimum/maximum number of kernel parameters (excluding `comp`).
+    pub min_params: usize,
+    /// See `min_params`.
+    pub max_params: usize,
+    /// Maximum literal loop trip count (`<int-numeral>` in loop headers).
+    pub max_loop_trip: u32,
+    /// Probability a loop bound references an `int` parameter instead of a
+    /// literal (making trip counts input-dependent).
+    pub param_loop_bound_probability: f64,
+    /// Probability a generated floating-point variable is `double` rather
+    /// than `float`.
+    pub double_probability: f64,
+    /// OpenMP structural probabilities.
+    pub omp: OmpProbabilities,
+    /// Data-sharing safety mode.
+    pub sharing_mode: SharingMode,
+    /// Probability of emitting an unprotected `comp` update in `Legacy`
+    /// mode (ignored in `Safe` mode).
+    pub legacy_race_probability: f64,
+    /// Class mix for the floating-point inputs generated alongside the
+    /// program.
+    pub input_mix: ClassMix,
+}
+
+impl Default for GeneratorConfig {
+    /// The paper's evaluation configuration (§V-A).
+    fn default() -> Self {
+        GeneratorConfig {
+            max_expression_size: 5,
+            max_nesting_levels: 3,
+            max_lines_in_block: 10,
+            array_size: 1000,
+            max_same_level_blocks: 3,
+            math_func_allowed: true,
+            math_func_probability: 0.01,
+            input_samples_per_run: 3,
+            num_threads: 32,
+            min_params: 3,
+            max_params: 10,
+            max_loop_trip: 800,
+            param_loop_bound_probability: 0.3,
+            double_probability: 0.7,
+            omp: OmpProbabilities::default(),
+            sharing_mode: SharingMode::Safe,
+            legacy_race_probability: 0.15,
+            input_mix: ClassMix::default(),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Alias for [`Default::default`], named for readability at call sites.
+    pub fn paper() -> GeneratorConfig {
+        GeneratorConfig::default()
+    }
+
+    /// A reduced configuration for fast unit tests and doc examples:
+    /// smaller expressions, shallower nesting, short loops.
+    pub fn small() -> GeneratorConfig {
+        GeneratorConfig {
+            max_expression_size: 3,
+            max_nesting_levels: 2,
+            max_lines_in_block: 4,
+            array_size: 64,
+            max_same_level_blocks: 2,
+            math_func_probability: 0.05,
+            num_threads: 4,
+            min_params: 2,
+            max_params: 5,
+            max_loop_trip: 32,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Validate internal consistency; returns human-readable problems.
+    pub fn problems(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.max_expression_size == 0 {
+            out.push("max_expression_size must be >= 1".into());
+        }
+        if self.max_nesting_levels == 0 {
+            out.push("max_nesting_levels must be >= 1".into());
+        }
+        if self.max_lines_in_block == 0 {
+            out.push("max_lines_in_block must be >= 1".into());
+        }
+        if self.min_params > self.max_params {
+            out.push("min_params must be <= max_params".into());
+        }
+        if self.num_threads == 0 {
+            out.push("num_threads must be >= 1".into());
+        }
+        if self.array_size < self.num_threads as usize {
+            out.push(format!(
+                "array_size ({}) must be >= num_threads ({}) so thread-id indexing is in bounds",
+                self.array_size, self.num_threads
+            ));
+        }
+        for (name, p) in [
+            ("math_func_probability", self.math_func_probability),
+            ("param_loop_bound_probability", self.param_loop_bound_probability),
+            ("double_probability", self.double_probability),
+            ("legacy_race_probability", self.legacy_race_probability),
+            ("omp.parallel_block", self.omp.parallel_block),
+            ("omp.omp_for", self.omp.omp_for),
+            ("omp.reduction", self.omp.reduction),
+            ("omp.critical", self.omp.critical),
+            ("omp.private_vs_firstprivate", self.omp.private_vs_firstprivate),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                out.push(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_v_a() {
+        let c = GeneratorConfig::paper();
+        assert_eq!(c.max_expression_size, 5);
+        assert_eq!(c.max_nesting_levels, 3);
+        assert_eq!(c.max_lines_in_block, 10);
+        assert_eq!(c.array_size, 1000);
+        assert_eq!(c.max_same_level_blocks, 3);
+        assert!(c.math_func_allowed);
+        assert_eq!(c.math_func_probability, 0.01);
+        assert_eq!(c.input_samples_per_run, 3);
+        assert_eq!(c.num_threads, 32);
+        assert!(c.problems().is_empty());
+    }
+
+    #[test]
+    fn small_config_is_consistent() {
+        assert!(GeneratorConfig::small().problems().is_empty());
+    }
+
+    #[test]
+    fn inconsistencies_are_reported() {
+        let mut c = GeneratorConfig::paper();
+        c.max_expression_size = 0;
+        c.min_params = 20;
+        c.math_func_probability = 1.5;
+        c.array_size = 4; // < num_threads = 32
+        let problems = c.problems();
+        assert_eq!(problems.len(), 4, "{problems:?}");
+    }
+
+    #[test]
+    fn default_mode_is_safe() {
+        assert_eq!(GeneratorConfig::default().sharing_mode, SharingMode::Safe);
+    }
+}

@@ -1,0 +1,331 @@
+//! Random expression generation (arithmetic and boolean), bounded by
+//! `MAX_EXPRESSION_SIZE`.
+
+use crate::config::GeneratorConfig;
+use crate::scope::Scope;
+use ompfuzz_ast::{BinOp, BoolExpr, BoolOp, Expr, FpType, IndexExpr, MathFunc, VarRef};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Context restricting which terms are legal at the current point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExprCtx {
+    /// Inside a parallel region: `omp_get_thread_num()` indexing is
+    /// meaningful and allowed as a *read* index.
+    pub in_parallel: bool,
+}
+
+/// Stateless expression generator (all randomness comes from the `&mut
+/// StdRng` arguments, so the program generator owns the seed).
+#[derive(Debug)]
+pub struct ExprGen<'a> {
+    cfg: &'a GeneratorConfig,
+}
+
+impl<'a> ExprGen<'a> {
+    pub fn new(cfg: &'a GeneratorConfig) -> Self {
+        ExprGen { cfg }
+    }
+
+    /// Generate an arithmetic expression with at most
+    /// `MAX_EXPRESSION_SIZE` terms (at least 1).
+    pub fn gen_expr(&self, rng: &mut StdRng, scope: &Scope, ctx: ExprCtx) -> Expr {
+        let max = self.cfg.max_expression_size.max(1);
+        let terms = rng.gen_range(1..=max);
+        self.gen_expr_sized(rng, scope, ctx, terms)
+    }
+
+    /// Generate an expression with exactly `terms` leaves.
+    pub fn gen_expr_sized(
+        &self,
+        rng: &mut StdRng,
+        scope: &Scope,
+        ctx: ExprCtx,
+        terms: usize,
+    ) -> Expr {
+        if terms <= 1 {
+            return self.gen_term(rng, scope, ctx);
+        }
+        // Split the remaining budget between the two operands.
+        let left = rng.gen_range(1..terms);
+        let right = terms - left;
+        let lhs = self.gen_expr_sized(rng, scope, ctx, left);
+        let rhs = self.gen_expr_sized(rng, scope, ctx, right);
+        let op = *BinOp::all().choose(rng).expect("non-empty");
+        let e = Expr::binary(lhs, op, rhs);
+        // Parenthesize occasionally; parentheses change FP association so
+        // they are semantically real, not cosmetic.
+        if rng.gen_bool(0.25) {
+            Expr::paren(e)
+        } else {
+            e
+        }
+    }
+
+    /// Generate a boolean expression (`<id> <bool-op> <expression>`); the
+    /// left-hand side is a floating-point scalar currently in scope.
+    ///
+    /// Operators are drawn with a mild bias toward `!=` — the one
+    /// comparison whose IEEE outcome differs under NaN operands, i.e. the
+    /// comparison that makes compiler NaN-folding *observable* (§V-B). A
+    /// uniform draw surfaces those cases too rarely to study.
+    pub fn gen_bool_expr(&self, rng: &mut StdRng, scope: &Scope, ctx: ExprCtx) -> BoolExpr {
+        let lhs = match scope.readable_scalars().choose(rng) {
+            Some(v) => VarRef::Scalar(v.name.clone()),
+            // Degenerate scope: compare the accumulator itself.
+            None => VarRef::Scalar("comp".into()),
+        };
+        let op = if rng.gen_bool(0.3) {
+            BoolOp::Ne
+        } else {
+            *BoolOp::all().choose(rng).expect("non-empty")
+        };
+        let budget = self.cfg.max_expression_size.saturating_sub(1).max(1);
+        let terms = rng.gen_range(1..=budget);
+        let rhs = self.gen_expr_sized(rng, scope, ctx, terms);
+        BoolExpr { lhs, op, rhs }
+    }
+
+    /// Generate a single term: a scalar read, an array-element read, or a
+    /// floating-point literal — optionally wrapped in a math call.
+    fn gen_term(&self, rng: &mut StdRng, scope: &Scope, ctx: ExprCtx) -> Expr {
+        let base = match rng.gen_range(0..10u32) {
+            // 50%: scalar variable (if any)
+            0..=4 => self.scalar_read(rng, scope).unwrap_or_else(|| self.fp_literal(rng)),
+            // 20%: array element (if any array in scope)
+            5..=6 => self
+                .array_read(rng, scope, ctx)
+                .unwrap_or_else(|| self.fp_literal(rng)),
+            // 30%: literal constant
+            _ => self.fp_literal(rng),
+        };
+        if self.cfg.math_func_allowed && rng.gen_bool(self.cfg.math_func_probability) {
+            let func = *MathFunc::all().choose(rng).expect("non-empty");
+            Expr::call(func, base)
+        } else {
+            base
+        }
+    }
+
+    fn scalar_read(&self, rng: &mut StdRng, scope: &Scope) -> Option<Expr> {
+        scope
+            .readable_scalars()
+            .choose(rng)
+            .map(|v| Expr::var(v.name.clone()))
+    }
+
+    fn array_read(&self, rng: &mut StdRng, scope: &Scope, ctx: ExprCtx) -> Option<Expr> {
+        let arr = scope.arrays.choose(rng)?;
+        let idx = self.gen_index(rng, scope, ctx);
+        Some(Expr::elem(arr.name.clone(), idx))
+    }
+
+    /// Pick a read-index form. Reads may use any form; it is *writes* whose
+    /// index form is restricted for race freedom (handled by the program
+    /// generator, not here).
+    pub fn gen_index(&self, rng: &mut StdRng, scope: &Scope, ctx: ExprCtx) -> IndexExpr {
+        let mut choices: Vec<u32> = vec![0]; // constant always possible
+        if scope.innermost_loop_var().is_some() {
+            choices.push(1);
+        }
+        if ctx.in_parallel {
+            choices.push(2);
+        }
+        match choices.choose(rng).copied().unwrap_or(0) {
+            1 => IndexExpr::LoopVarMod(
+                scope.innermost_loop_var().expect("checked above").clone(),
+                self.cfg.array_size,
+            ),
+            2 => IndexExpr::ThreadId,
+            _ => IndexExpr::Const(rng.gen_range(0..self.cfg.array_size)),
+        }
+    }
+
+    /// A floating-point literal in the style of the paper's listings:
+    /// small mantissa, mostly modest exponents, occasionally extreme
+    /// (`-1.4719E45` appears in the paper's Figure 4).
+    pub fn fp_literal(&self, rng: &mut StdRng) -> Expr {
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let value = match rng.gen_range(0..10u32) {
+            // 20%: small integral constants like 2.0, 0.0
+            0..=1 => rng.gen_range(0..5) as f64,
+            // 60%: modest scientific constants
+            2..=7 => {
+                let mantissa = rng.gen_range(1.0..10.0f64);
+                let exp = rng.gen_range(-12..13);
+                mantissa * 10f64.powi(exp)
+            }
+            // 20%: extreme exponents that can overflow/underflow
+            _ => {
+                let mantissa = rng.gen_range(1.0..10.0f64);
+                let exp = if rng.gen_bool(0.5) {
+                    rng.gen_range(30..60)
+                } else {
+                    rng.gen_range(-60..-29)
+                };
+                mantissa * 10f64.powi(exp)
+            }
+        };
+        Expr::fp_const_typed(sign * value, FpType::F64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn scope_with_vars() -> Scope {
+        let mut s = Scope::default();
+        s.push_scalar("var_1".into(), FpType::F64, false);
+        s.push_scalar("var_2".into(), FpType::F32, false);
+        s.arrays.push(crate::scope::ArrayVar {
+            name: "var_3".into(),
+            ty: FpType::F64,
+        });
+        s
+    }
+
+    #[test]
+    fn expression_size_is_bounded() {
+        let cfg = GeneratorConfig::paper();
+        let g = ExprGen::new(&cfg);
+        let scope = scope_with_vars();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let e = g.gen_expr(&mut rng, &scope, ExprCtx::default());
+            assert!(e.term_count() >= 1);
+            assert!(
+                e.term_count() <= cfg.max_expression_size,
+                "expression too large: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_size_generation() {
+        let cfg = GeneratorConfig::paper();
+        let g = ExprGen::new(&cfg);
+        let scope = scope_with_vars();
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in 1..=5 {
+            for _ in 0..50 {
+                let e = g.gen_expr_sized(&mut rng, &scope, ExprCtx::default(), n);
+                assert_eq!(e.term_count(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn bool_expression_within_budget() {
+        let cfg = GeneratorConfig::paper();
+        let g = ExprGen::new(&cfg);
+        let scope = scope_with_vars();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let b = g.gen_bool_expr(&mut rng, &scope, ExprCtx::default());
+            assert!(b.term_count() <= cfg.max_expression_size);
+            // lhs must be an in-scope scalar.
+            assert!(["var_1", "var_2"].contains(&b.lhs.name()));
+        }
+    }
+
+    #[test]
+    fn no_math_when_disallowed() {
+        let cfg = GeneratorConfig {
+            math_func_allowed: false,
+            math_func_probability: 1.0,
+            ..GeneratorConfig::paper()
+        };
+        let g = ExprGen::new(&cfg);
+        let scope = scope_with_vars();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let e = g.gen_expr(&mut rng, &scope, ExprCtx::default());
+            assert!(!e.uses_math());
+        }
+    }
+
+    #[test]
+    fn math_appears_when_forced() {
+        let cfg = GeneratorConfig {
+            math_func_allowed: true,
+            math_func_probability: 1.0,
+            ..GeneratorConfig::paper()
+        };
+        let g = ExprGen::new(&cfg);
+        let scope = scope_with_vars();
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = g.gen_expr(&mut rng, &scope, ExprCtx::default());
+        assert!(e.uses_math());
+    }
+
+    #[test]
+    fn thread_id_index_only_in_parallel() {
+        let cfg = GeneratorConfig::paper();
+        let g = ExprGen::new(&cfg);
+        let scope = scope_with_vars();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let idx = g.gen_index(&mut rng, &scope, ExprCtx { in_parallel: false });
+            assert!(
+                !matches!(idx, IndexExpr::ThreadId),
+                "thread-id index outside parallel region"
+            );
+        }
+        // In parallel, ThreadId must eventually appear.
+        let mut saw_tid = false;
+        for _ in 0..500 {
+            if matches!(
+                g.gen_index(&mut rng, &scope, ExprCtx { in_parallel: true }),
+                IndexExpr::ThreadId
+            ) {
+                saw_tid = true;
+                break;
+            }
+        }
+        assert!(saw_tid);
+    }
+
+    #[test]
+    fn const_indices_in_bounds() {
+        let cfg = GeneratorConfig::small();
+        let g = ExprGen::new(&cfg);
+        let scope = scope_with_vars();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..300 {
+            if let IndexExpr::Const(k) = g.gen_index(&mut rng, &scope, ExprCtx::default()) {
+                assert!(k < cfg.array_size);
+            }
+        }
+    }
+
+    #[test]
+    fn literals_are_finite() {
+        let cfg = GeneratorConfig::paper();
+        let g = ExprGen::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..500 {
+            if let Expr::Term(ompfuzz_ast::Term::FpConst(v, _)) = g.fp_literal(&mut rng) {
+                assert!(v.is_finite());
+            } else {
+                panic!("fp_literal must produce a constant term");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_scope_degrades_to_literals() {
+        let cfg = GeneratorConfig::paper();
+        let g = ExprGen::new(&cfg);
+        let scope = Scope::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let e = g.gen_expr(&mut rng, &scope, ExprCtx::default());
+            let mut vars = Vec::new();
+            e.collect_vars(&mut vars);
+            assert!(vars.is_empty(), "no variables available: {e}");
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! The random OpenMP program generator: Varity's generation scheme
+//! (uniform random choices bounded by the configuration knobs) extended
+//! with OpenMP parallel regions, worksharing loops, reductions and critical
+//! sections (§III of the paper).
+
+use crate::config::{GeneratorConfig, SharingMode};
+use crate::exprgen::{ExprCtx, ExprGen};
+use crate::scope::{ArrayVar, NameSupply, Scope};
+use ompfuzz_ast::{
+    Assignment, AssignOp, Block, BlockItem, Expr, ForLoop, FpType, IfBlock, IndexExpr, LValue,
+    LoopBound, OmpClauses, OmpCritical, OmpParallel, Param, Program, ReductionOp, Stmt, VarRef,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generation context threaded through the recursive descent.
+#[derive(Debug, Clone, Copy, Default)]
+struct GenCtx {
+    /// Current block nesting depth (program body = 1).
+    depth: usize,
+    /// Number of enclosing loops (for trip-count scaling).
+    loop_depth: usize,
+    in_parallel: bool,
+    in_omp_for: bool,
+    /// The enclosing region carries `reduction(..: comp)`.
+    has_reduction: bool,
+    /// Lines the caller intends to append to the generated block after the
+    /// fact (region loop bodies reserve room for the guaranteed comp update
+    /// and the designated write-array store).
+    reserved_lines: usize,
+}
+
+impl GenCtx {
+    fn expr_ctx(self) -> ExprCtx {
+        ExprCtx {
+            in_parallel: self.in_parallel,
+        }
+    }
+}
+
+/// Deterministic random program generator. Each call to
+/// [`ProgramGenerator::generate`] consumes randomness from the seeded
+/// stream, so a batch of programs is reproducible from (config, seed).
+#[derive(Debug)]
+pub struct ProgramGenerator {
+    cfg: GeneratorConfig,
+    rng: StdRng,
+    names: NameSupply,
+    /// Set when the current program has written `comp` at least once.
+    wrote_comp: bool,
+    /// Privatized variable names of the region currently being generated.
+    region_privatized: Vec<String>,
+}
+
+impl ProgramGenerator {
+    /// Create a generator. `seed` fixes the whole program stream.
+    pub fn new(cfg: GeneratorConfig, seed: u64) -> ProgramGenerator {
+        assert!(
+            cfg.problems().is_empty(),
+            "invalid GeneratorConfig: {:?}",
+            cfg.problems()
+        );
+        ProgramGenerator {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            names: NameSupply::default(),
+            wrote_comp: false,
+            region_privatized: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    /// Generate one program named `name`.
+    pub fn generate(&mut self, name: &str) -> Program {
+        self.names = NameSupply::default();
+        self.wrote_comp = false;
+        self.region_privatized.clear();
+
+        let (params, mut scope) = self.gen_params();
+        let ctx = GenCtx {
+            depth: 1,
+            // Room for the guaranteed trailing comp update.
+            reserved_lines: 1,
+            ..GenCtx::default()
+        };
+        let mut body = self.gen_block(&mut scope, ctx);
+        if !self.wrote_comp {
+            // Every program must produce an observable result.
+            let value = self.gen_expr(&scope, ctx);
+            body.0.push(BlockItem::Stmt(Stmt::Assign(Assignment {
+                target: LValue::Comp,
+                op: AssignOp::AddAssign,
+                value,
+            })));
+        }
+
+        let mut program = Program::new(params, body);
+        program.name = name.to_string();
+        program.array_size = self.cfg.array_size;
+        program
+    }
+
+    /// Generate `n` programs named `test_0..test_{n-1}`.
+    pub fn generate_batch(&mut self, n: usize) -> Vec<Program> {
+        (0..n).map(|i| self.generate(&format!("test_{i}"))).collect()
+    }
+
+    // ----- parameters ------------------------------------------------------
+
+    fn gen_params(&mut self) -> (Vec<Param>, Scope) {
+        let n = self
+            .rng
+            .gen_range(self.cfg.min_params..=self.cfg.max_params);
+        let mut params = Vec::with_capacity(n);
+        let mut scope = Scope::default();
+
+        // Guarantee the shapes every interesting program needs: one int
+        // (loop bounds) and one fp scalar (expression fodder).
+        let int_name = self.names.fresh_var();
+        params.push(Param::int(int_name.clone()));
+        scope.int_params.push(int_name);
+        let fp_name = self.names.fresh_var();
+        let fp_ty = self.pick_fp_type();
+        params.push(Param::fp(fp_ty, fp_name.clone()));
+        scope.push_scalar(fp_name, fp_ty, false);
+
+        while params.len() < n.max(2) {
+            let name = self.names.fresh_var();
+            match self.rng.gen_range(0..10u32) {
+                0..=1 => {
+                    params.push(Param::int(name.clone()));
+                    scope.int_params.push(name);
+                }
+                2..=6 => {
+                    let ty = self.pick_fp_type();
+                    params.push(Param::fp(ty, name.clone()));
+                    scope.push_scalar(name, ty, false);
+                }
+                _ => {
+                    let ty = self.pick_fp_type();
+                    params.push(Param::fp_array(ty, name.clone()));
+                    scope.arrays.push(ArrayVar { name, ty });
+                }
+            }
+        }
+        (params, scope)
+    }
+
+    fn pick_fp_type(&mut self) -> FpType {
+        if self.rng.gen_bool(self.cfg.double_probability) {
+            FpType::F64
+        } else {
+            FpType::F32
+        }
+    }
+
+    // ----- blocks ----------------------------------------------------------
+
+    fn gen_block(&mut self, scope: &mut Scope, ctx: GenCtx) -> Block {
+        let mark = scope.mark();
+        let budget = self
+            .cfg
+            .max_lines_in_block
+            .saturating_sub(ctx.reserved_lines)
+            .max(1);
+        let lines = self.rng.gen_range(1..=budget);
+        let mut items: Vec<BlockItem> = Vec::with_capacity(lines);
+        let mut structured = 0usize;
+
+        for _ in 0..lines {
+            let can_nest = ctx.depth < self.cfg.max_nesting_levels
+                && structured < self.cfg.max_same_level_blocks;
+            let roll: f64 = self.rng.gen();
+            if can_nest && roll < self.structured_probability(ctx) {
+                let item = self.gen_structured(scope, ctx);
+                if matches!(
+                    item,
+                    BlockItem::Stmt(Stmt::If(_) | Stmt::For(_) | Stmt::OmpParallel(_))
+                        | BlockItem::Critical(_)
+                ) {
+                    structured += 1;
+                }
+                items.push(item);
+            } else {
+                items.push(BlockItem::Stmt(self.gen_assignment(scope, ctx)));
+            }
+        }
+        scope.rollback(mark);
+        Block(items)
+    }
+
+    /// Probability that a block slot becomes a structured block rather than
+    /// an assignment.
+    fn structured_probability(&self, ctx: GenCtx) -> f64 {
+        if ctx.in_parallel {
+            0.3
+        } else {
+            0.4
+        }
+    }
+
+    fn gen_structured(&mut self, scope: &mut Scope, ctx: GenCtx) -> BlockItem {
+        // Reservations apply to the block being filled, not to descendants.
+        let mut ctx = ctx;
+        ctx.reserved_lines = 0;
+        // Critical sections are only grammatical inside loop bodies of
+        // parallel regions.
+        let can_critical = ctx.in_parallel && ctx.loop_depth > 0;
+        // A parallel region consumes two nesting levels (region + loop) and
+        // cannot nest inside another region.
+        let can_parallel = !ctx.in_parallel
+            && ctx.depth + 2 <= self.cfg.max_nesting_levels + 1
+            && self.rng.gen_bool(self.cfg.omp.parallel_block);
+        if can_parallel {
+            return BlockItem::Stmt(Stmt::OmpParallel(self.gen_parallel(scope, ctx)));
+        }
+        if can_critical && self.rng.gen_bool(self.cfg.omp.critical) {
+            return BlockItem::Critical(self.gen_critical(scope, ctx));
+        }
+        if self.rng.gen_bool(0.5) {
+            BlockItem::Stmt(Stmt::If(self.gen_if(scope, ctx)))
+        } else {
+            BlockItem::Stmt(Stmt::For(self.gen_for(scope, ctx, false)))
+        }
+    }
+
+    fn gen_if(&mut self, scope: &mut Scope, ctx: GenCtx) -> IfBlock {
+        let cond = ExprGen::new(&self.cfg).gen_bool_expr(&mut self.rng, scope, ctx.expr_ctx());
+        let mut inner = ctx;
+        inner.depth += 1;
+        let body = self.gen_block(scope, inner);
+        IfBlock { cond, body }
+    }
+
+    fn gen_for(&mut self, scope: &mut Scope, ctx: GenCtx, omp_for: bool) -> ForLoop {
+        let var = self.names.fresh_loop_var();
+        let bound = self.gen_loop_bound(scope, ctx);
+        scope.loop_vars.push(var.clone());
+        let mut inner = ctx;
+        inner.depth += 1;
+        inner.loop_depth += 1;
+        inner.in_omp_for = inner.in_omp_for || omp_for;
+        let body = self.gen_block(scope, inner);
+        scope.loop_vars.pop();
+        ForLoop {
+            omp_for,
+            var,
+            bound,
+            body,
+        }
+    }
+
+    /// Literal trip counts shrink geometrically with loop depth so nested
+    /// loops stay tractable (total work stays bounded by roughly
+    /// `max_loop_trip` × constant).
+    fn gen_loop_bound(&mut self, scope: &Scope, ctx: GenCtx) -> LoopBound {
+        let use_param = !scope.int_params.is_empty()
+            && ctx.loop_depth == 0
+            && self.rng.gen_bool(self.cfg.param_loop_bound_probability);
+        if use_param {
+            let p = scope.int_params.choose(&mut self.rng).expect("non-empty");
+            LoopBound::Param(p.clone())
+        } else {
+            let scale = 4u32.saturating_pow(ctx.loop_depth as u32);
+            let max = (self.cfg.max_loop_trip / scale).max(2);
+            LoopBound::Const(self.rng.gen_range(1..=max))
+        }
+    }
+
+    // ----- OpenMP regions ---------------------------------------------------
+
+    fn gen_parallel(&mut self, scope: &mut Scope, ctx: GenCtx) -> OmpParallel {
+        // 1. Data-sharing assignment (§III-E): randomly privatize scalars.
+        let mut private = Vec::new();
+        let mut firstprivate = Vec::new();
+        for v in scope.scalars.clone() {
+            match self.rng.gen_range(0..3u32) {
+                0 => {
+                    if self.rng.gen_bool(self.cfg.omp.private_vs_firstprivate) {
+                        private.push(v.name);
+                    } else {
+                        firstprivate.push(v.name);
+                    }
+                }
+                _ => {} // stays shared (read-only inside the region)
+            }
+        }
+
+        // 2. Reduction decision (§III-F): reduction variable is always comp.
+        let reduction = if self.rng.gen_bool(self.cfg.omp.reduction) {
+            Some(if self.rng.gen_bool(0.8) {
+                ReductionOp::Add
+            } else {
+                ReductionOp::Mul
+            })
+        } else {
+            None
+        };
+
+        let clauses = OmpClauses {
+            private: private.clone(),
+            firstprivate: firstprivate.clone(),
+            reduction,
+            num_threads: Some(self.cfg.num_threads),
+        };
+
+        // 3. Pick at most one array as the region's write target; it is
+        //    written only as `arr[omp_get_thread_num()]`, and removed from
+        //    the readable arrays for the region so no concurrent read can
+        //    alias a write (§III-G).
+        let write_array = if scope.arrays.is_empty() {
+            None
+        } else if self.rng.gen_bool(0.5) {
+            let idx = self.rng.gen_range(0..scope.arrays.len());
+            Some(scope.arrays.remove(idx))
+        } else {
+            None
+        };
+
+        let saved_privatized =
+            std::mem::replace(&mut self.region_privatized, private.clone());
+        self.region_privatized.extend(firstprivate.iter().cloned());
+        // Region-local declarations (prelude or loop body) must not leak
+        // into scope after the region closes.
+        let region_mark = scope.mark();
+
+        let mut inner = ctx;
+        inner.depth += 1;
+        inner.in_parallel = true;
+        inner.has_reduction = reduction.is_some();
+
+        // 4. Prelude: initialize every `private` variable before use, with
+        //    expressions over *non-private* state only (private copies are
+        //    uninitialized until here).
+        let mut prelude_scope = scope.clone();
+        prelude_scope
+            .scalars
+            .retain(|v| !private.contains(&v.name));
+        let mut prelude: Vec<Stmt> = private
+            .iter()
+            .map(|name| {
+                let value =
+                    ExprGen::new(&self.cfg).gen_expr(&mut self.rng, &prelude_scope, inner.expr_ctx());
+                Stmt::Assign(Assignment {
+                    target: LValue::Var(VarRef::Scalar(name.clone())),
+                    op: AssignOp::Assign,
+                    value,
+                })
+            })
+            .collect();
+        if prelude.is_empty() {
+            // The grammar requires {<assignment>}+ in the region prelude.
+            prelude.push(self.gen_private_or_decl_assignment(scope, inner));
+        }
+
+        // 5. The region's loop (worksharing with probability omp.omp_for).
+        // Reserve room in the loop body for the guaranteed comp update and
+        // the optional write-array store appended below, so the block stays
+        // within MAX_LINES_IN_BLOCK.
+        let omp_for = self.rng.gen_bool(self.cfg.omp.omp_for);
+        inner.reserved_lines = 2;
+        let mut body_loop = self.gen_for(scope, inner, omp_for);
+        inner.reserved_lines = 0;
+
+        // 6. Guarantee the region contributes to comp so regions are
+        //    observable: if its loop body has no comp update, add one
+        //    (protected per the sharing rules).
+        if !block_writes_comp(&body_loop.body) {
+            let item = self.gen_comp_update_in_parallel(scope, inner);
+            body_loop.body.0.push(item);
+        }
+
+        // 7. Optionally write the designated write-array inside the loop.
+        if let Some(arr) = &write_array {
+            let value = self.gen_expr(scope, inner);
+            body_loop.body.0.insert(
+                0,
+                BlockItem::Stmt(Stmt::Assign(Assignment {
+                    target: LValue::Var(VarRef::Element(arr.name.clone(), IndexExpr::ThreadId)),
+                    op: AssignOp::Assign,
+                    value,
+                })),
+            );
+        }
+
+        scope.rollback(region_mark);
+        if let Some(arr) = write_array {
+            scope.arrays.push(arr);
+        }
+        self.region_privatized = saved_privatized;
+
+        OmpParallel {
+            clauses,
+            prelude,
+            body_loop,
+        }
+    }
+
+    fn gen_critical(&mut self, scope: &mut Scope, ctx: GenCtx) -> OmpCritical {
+        // Critical bodies update comp (the canonical shared access the
+        // paper's §III-G protects); one or two statements.
+        let n = self.rng.gen_range(1..=2usize);
+        let stmts: Vec<Stmt> = (0..n)
+            .map(|_| {
+                self.wrote_comp = true;
+                Stmt::Assign(Assignment {
+                    target: LValue::Comp,
+                    op: self.pick_accumulating_op(),
+                    value: self.gen_expr(scope, ctx),
+                })
+            })
+            .collect();
+        OmpCritical {
+            body: Block::of_stmts(stmts),
+        }
+    }
+
+    /// A comp update legal in the current parallel context: bare when the
+    /// region has a reduction clause (each thread updates its private
+    /// copy), inside `omp critical` otherwise. In `Legacy` sharing mode the
+    /// unprotected variant can leak out — reproducing the Varity data-race
+    /// limitation the paper reports (§IV-E).
+    fn gen_comp_update_in_parallel(&mut self, scope: &Scope, ctx: GenCtx) -> BlockItem {
+        self.wrote_comp = true;
+        let assign = Assignment {
+            target: LValue::Comp,
+            op: self.pick_accumulating_op(),
+            value: self.gen_expr(scope, ctx),
+        };
+        let race_ok = matches!(self.cfg.sharing_mode, SharingMode::Legacy)
+            && self.rng.gen_bool(self.cfg.legacy_race_probability);
+        if ctx.has_reduction || race_ok {
+            BlockItem::Stmt(Stmt::Assign(assign))
+        } else {
+            BlockItem::Critical(OmpCritical {
+                body: Block::of_stmts(vec![Stmt::Assign(assign)]),
+            })
+        }
+    }
+
+    // ----- assignments ------------------------------------------------------
+
+    fn gen_assignment(&mut self, scope: &mut Scope, ctx: GenCtx) -> Stmt {
+        if !ctx.in_parallel {
+            // Serial context: comp update, fresh temporary, or array write.
+            match self.rng.gen_range(0..10u32) {
+                0..=3 => {
+                    self.wrote_comp = true;
+                    Stmt::Assign(Assignment {
+                        target: LValue::Comp,
+                        op: self.pick_assign_op(),
+                        value: self.gen_expr(scope, ctx),
+                    })
+                }
+                4..=6 => self.gen_decl(scope, ctx),
+                7..=8 if !scope.arrays.is_empty() => {
+                    let arr = scope.arrays.choose(&mut self.rng).expect("non-empty").clone();
+                    let idx = self.gen_serial_write_index(scope);
+                    Stmt::Assign(Assignment {
+                        target: LValue::Var(VarRef::Element(arr.name, idx)),
+                        op: self.pick_assign_op(),
+                        value: self.gen_expr(scope, ctx),
+                    })
+                }
+                _ => self.gen_scalar_write_or_decl(scope, ctx),
+            }
+        } else {
+            // Parallel context (§III-G): writes may target privatized
+            // scalars or fresh region-local temporaries; comp updates are
+            // emitted through `gen_comp_update_in_parallel` (loop bodies)
+            // or freely under a reduction clause.
+            match self.rng.gen_range(0..10u32) {
+                0..=2 if ctx.has_reduction => {
+                    self.wrote_comp = true;
+                    Stmt::Assign(Assignment {
+                        target: LValue::Comp,
+                        op: self.pick_accumulating_op(),
+                        value: self.gen_expr(scope, ctx),
+                    })
+                }
+                0..=4 => self.gen_private_or_decl_assignment(scope, ctx),
+                _ => self.gen_decl(scope, ctx),
+            }
+        }
+    }
+
+    /// Declaration of a fresh temporary (`double var_9 = <expr>;`).
+    fn gen_decl(&mut self, scope: &mut Scope, ctx: GenCtx) -> Stmt {
+        let name = self.names.fresh_var();
+        let ty = self.pick_fp_type();
+        let value = self.gen_expr(scope, ctx);
+        scope.push_scalar(name.clone(), ty, ctx.in_parallel);
+        Stmt::DeclAssign { ty, name, value }
+    }
+
+    /// Write an existing writable scalar, or fall back to a declaration.
+    fn gen_scalar_write_or_decl(&mut self, scope: &mut Scope, ctx: GenCtx) -> Stmt {
+        let writable: Vec<String> = scope
+            .scalars
+            .iter()
+            .filter(|v| {
+                if !ctx.in_parallel {
+                    true
+                } else {
+                    v.region_local || self.region_privatized.contains(&v.name)
+                }
+            })
+            .map(|v| v.name.clone())
+            .collect();
+        match writable.choose(&mut self.rng) {
+            Some(name) => {
+                let value = self.gen_expr(scope, ctx);
+                Stmt::Assign(Assignment {
+                    target: LValue::Var(VarRef::Scalar(name.clone())),
+                    op: self.pick_assign_op(),
+                    value,
+                })
+            }
+            None => self.gen_decl(scope, ctx),
+        }
+    }
+
+    /// Parallel-context assignment: privatized scalar write or declaration.
+    fn gen_private_or_decl_assignment(&mut self, scope: &mut Scope, ctx: GenCtx) -> Stmt {
+        self.gen_scalar_write_or_decl(scope, ctx)
+    }
+
+    fn gen_serial_write_index(&mut self, scope: &Scope) -> IndexExpr {
+        match scope.innermost_loop_var() {
+            Some(v) if self.rng.gen_bool(0.7) => {
+                IndexExpr::LoopVarMod(v.clone(), self.cfg.array_size)
+            }
+            _ => IndexExpr::Const(self.rng.gen_range(0..self.cfg.array_size)),
+        }
+    }
+
+    fn gen_expr(&mut self, scope: &Scope, ctx: GenCtx) -> Expr {
+        ExprGen::new(&self.cfg).gen_expr(&mut self.rng, scope, ctx.expr_ctx())
+    }
+
+    fn pick_assign_op(&mut self) -> AssignOp {
+        *AssignOp::all().choose(&mut self.rng).expect("non-empty")
+    }
+
+    /// Compound ops only — used for comp in contexts where plain `=` would
+    /// erase other threads' contributions.
+    fn pick_accumulating_op(&mut self) -> AssignOp {
+        *[AssignOp::AddAssign, AssignOp::SubAssign, AssignOp::MulAssign]
+            .choose(&mut self.rng)
+            .expect("non-empty")
+    }
+}
+
+/// Does any statement in the block (recursively) write `comp`?
+fn block_writes_comp(block: &Block) -> bool {
+    block.iter().any(|item| match item {
+        BlockItem::Stmt(Stmt::Assign(a)) => a.target.is_comp(),
+        BlockItem::Stmt(Stmt::If(ifb)) => block_writes_comp(&ifb.body),
+        BlockItem::Stmt(Stmt::For(fl)) => block_writes_comp(&fl.body),
+        BlockItem::Stmt(Stmt::OmpParallel(par)) => {
+            par.prelude.iter().any(|s| matches!(s, Stmt::Assign(a) if a.target.is_comp()))
+                || block_writes_comp(&par.body_loop.body)
+        }
+        BlockItem::Stmt(_) => false,
+        BlockItem::Critical(c) => block_writes_comp(&c.body),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_ast::ProgramFeatures;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = ProgramGenerator::new(GeneratorConfig::small(), 11);
+        let mut b = ProgramGenerator::new(GeneratorConfig::small(), 11);
+        assert_eq!(a.generate_batch(5), b.generate_batch(5));
+        let mut c = ProgramGenerator::new(GeneratorConfig::small(), 12);
+        assert_ne!(a.generate_batch(5), c.generate_batch(5));
+    }
+
+    #[test]
+    fn every_program_writes_comp() {
+        let mut g = ProgramGenerator::new(GeneratorConfig::small(), 3);
+        for p in g.generate_batch(50) {
+            assert!(block_writes_comp(&p.body), "program {} never writes comp", p.name);
+        }
+    }
+
+    #[test]
+    fn nesting_limit_respected() {
+        let cfg = GeneratorConfig::paper();
+        let mut g = ProgramGenerator::new(cfg.clone(), 4);
+        for p in g.generate_batch(50) {
+            assert!(
+                p.body.nesting_depth() <= cfg.max_nesting_levels + 1,
+                "depth {} > limit in {}",
+                p.body.nesting_depth(),
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn openmp_constructs_appear() {
+        let mut g = ProgramGenerator::new(GeneratorConfig::paper(), 5);
+        let batch = g.generate_batch(100);
+        let fx: Vec<ProgramFeatures> = batch.iter().map(ProgramFeatures::of).collect();
+        assert!(fx.iter().any(|f| f.parallel_regions > 0), "no regions in 100 programs");
+        assert!(fx.iter().any(|f| f.omp_for_loops > 0), "no omp for");
+        assert!(fx.iter().any(|f| f.critical_sections > 0), "no criticals");
+        assert!(fx.iter().any(|f| f.reductions > 0), "no reductions");
+        assert!(fx.iter().any(|f| f.if_blocks > 0), "no if blocks");
+    }
+
+    #[test]
+    fn safe_mode_has_no_unprotected_shared_writes() {
+        let mut g = ProgramGenerator::new(GeneratorConfig::paper(), 6);
+        for p in g.generate_batch(100) {
+            let f = ProgramFeatures::of(&p);
+            assert_eq!(
+                f.unprotected_shared_writes, 0,
+                "race in {}:\n{}",
+                p.name,
+                ompfuzz_ast::printer::emit_kernel_source(&p, &Default::default())
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_mode_eventually_races() {
+        let cfg = GeneratorConfig {
+            sharing_mode: SharingMode::Legacy,
+            legacy_race_probability: 0.9,
+            omp: crate::config::OmpProbabilities {
+                parallel_block: 0.9,
+                reduction: 0.0,
+                ..Default::default()
+            },
+            ..GeneratorConfig::paper()
+        };
+        let mut g = ProgramGenerator::new(cfg, 7);
+        let batch = g.generate_batch(50);
+        let any_race = batch.iter().any(|p| {
+            crate::validate::race_freedom_errors(p)
+                .iter()
+                .any(|e| e.contains("comp"))
+        });
+        assert!(any_race, "legacy mode never produced a comp race in 50 programs");
+    }
+
+    #[test]
+    fn num_threads_is_pinned() {
+        let mut g = ProgramGenerator::new(GeneratorConfig::paper(), 8);
+        for p in g.generate_batch(50) {
+            struct Check(bool);
+            impl ompfuzz_ast::visit::Visitor for Check {
+                fn visit_parallel(&mut self, par: &OmpParallel, ctx: ompfuzz_ast::visit::Ctx) {
+                    if par.clauses.num_threads != Some(32) {
+                        self.0 = false;
+                    }
+                    ompfuzz_ast::visit::walk_parallel(self, par, ctx);
+                }
+            }
+            let mut check = Check(true);
+            ompfuzz_ast::visit::Visitor::visit_program(&mut check, &p);
+            assert!(check.0);
+        }
+    }
+
+    #[test]
+    fn programs_have_guaranteed_param_shapes() {
+        let mut g = ProgramGenerator::new(GeneratorConfig::small(), 9);
+        for p in g.generate_batch(30) {
+            assert!(p.int_params().count() >= 1);
+            assert!(p.fp_scalar_params().count() >= 1);
+            assert!(p.params.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Name supply and lexical scope tracking during generation.
+
+use ompfuzz_ast::{FpType, Ident};
+
+/// Fresh-name supply following Varity's conventions: parameters and global
+/// temporaries are `var_<n>`, loop counters are `i`, `j`, `k`, ... then
+/// `i_<n>`.
+#[derive(Debug, Default)]
+pub struct NameSupply {
+    next_var: usize,
+    next_loop: usize,
+}
+
+impl NameSupply {
+    /// `var_1`, `var_2`, ...
+    pub fn fresh_var(&mut self) -> Ident {
+        self.next_var += 1;
+        format!("var_{}", self.next_var)
+    }
+
+    /// `i`, `j`, `k`, `l`, `m`, `n`, then `i_7`, `i_8`, ...
+    pub fn fresh_loop_var(&mut self) -> Ident {
+        const SHORT: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+        let name = if self.next_loop < SHORT.len() {
+            SHORT[self.next_loop].to_string()
+        } else {
+            format!("i_{}", self.next_loop + 1)
+        };
+        self.next_loop += 1;
+        name
+    }
+
+    /// Number of `var_*` names handed out so far.
+    pub fn var_count(&self) -> usize {
+        self.next_var
+    }
+}
+
+/// A floating-point scalar visible in the current scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarVar {
+    pub name: Ident,
+    pub ty: FpType,
+    /// Declared inside the current parallel region (hence thread-private
+    /// regardless of clauses).
+    pub region_local: bool,
+}
+
+/// A floating-point array visible in the current scope (always a kernel
+/// parameter; the generator does not declare local arrays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayVar {
+    pub name: Ident,
+    pub ty: FpType,
+}
+
+/// Variables visible at the current generation point.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    pub scalars: Vec<ScalarVar>,
+    pub arrays: Vec<ArrayVar>,
+    pub int_params: Vec<Ident>,
+    /// Innermost-first stack of live loop counters.
+    pub loop_vars: Vec<Ident>,
+}
+
+impl Scope {
+    /// Scalars readable in expressions right now.
+    pub fn readable_scalars(&self) -> &[ScalarVar] {
+        &self.scalars
+    }
+
+    /// Register a new scalar.
+    pub fn push_scalar(&mut self, name: Ident, ty: FpType, region_local: bool) {
+        self.scalars.push(ScalarVar {
+            name,
+            ty,
+            region_local,
+        });
+    }
+
+    /// The innermost live loop counter, if any.
+    pub fn innermost_loop_var(&self) -> Option<&Ident> {
+        self.loop_vars.last()
+    }
+
+    /// Snapshot length markers so a child scope can be rolled back after a
+    /// nested block closes (block-local declarations go out of scope).
+    pub fn mark(&self) -> ScopeMark {
+        ScopeMark {
+            scalars: self.scalars.len(),
+            loop_vars: self.loop_vars.len(),
+        }
+    }
+
+    /// Roll back to a previous [`ScopeMark`].
+    pub fn rollback(&mut self, mark: ScopeMark) {
+        self.scalars.truncate(mark.scalars);
+        self.loop_vars.truncate(mark.loop_vars);
+    }
+}
+
+/// Opaque rollback token for [`Scope::mark`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeMark {
+    scalars: usize,
+    loop_vars: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_varity_convention() {
+        let mut s = NameSupply::default();
+        assert_eq!(s.fresh_var(), "var_1");
+        assert_eq!(s.fresh_var(), "var_2");
+        assert_eq!(s.fresh_loop_var(), "i");
+        assert_eq!(s.fresh_loop_var(), "j");
+        for _ in 0..4 {
+            s.fresh_loop_var();
+        }
+        assert_eq!(s.fresh_loop_var(), "i_7");
+        assert_eq!(s.var_count(), 2);
+    }
+
+    #[test]
+    fn scope_rollback_restores_visibility() {
+        let mut scope = Scope::default();
+        scope.push_scalar("var_1".into(), FpType::F64, false);
+        let mark = scope.mark();
+        scope.push_scalar("var_2".into(), FpType::F32, true);
+        scope.loop_vars.push("i".into());
+        assert_eq!(scope.scalars.len(), 2);
+        assert_eq!(scope.innermost_loop_var(), Some(&"i".to_string()));
+        scope.rollback(mark);
+        assert_eq!(scope.scalars.len(), 1);
+        assert!(scope.innermost_loop_var().is_none());
+    }
+}

@@ -1,0 +1,511 @@
+//! Static validation of generated programs.
+//!
+//! Three layers, all returning human-readable violation strings:
+//!
+//! 1. [`grammar_errors`] — contextual grammar constraints (delegates to
+//!    `ompfuzz_ast::grammar::derivation_errors`).
+//! 2. [`limit_errors`] — every configuration knob actually bounds the
+//!    program (`MAX_EXPRESSION_SIZE`, `MAX_NESTING_LEVELS`,
+//!    `MAX_LINES_IN_BLOCK`, `MAX_SAME_LEVEL_BLOCKS`, array index bounds).
+//! 3. [`race_freedom_errors`] — the §III-G rules: shared-array writes are
+//!    thread-id-indexed, `comp` is written under a reduction or inside a
+//!    critical section, other parallel writes hit privatized variables
+//!    only, and no array both written and read with aliasing indices in
+//!    the same region.
+//!
+//! [`validate`] combines all three; the generator's property tests assert
+//! it returns no errors for `SharingMode::Safe` output.
+
+use crate::config::GeneratorConfig;
+use ompfuzz_ast::visit::{self, Ctx, Visitor};
+use ompfuzz_ast::{
+    grammar, Assignment, Block, BlockItem, Expr, ForLoop, IfBlock, IndexExpr, LValue, OmpCritical,
+    OmpParallel, Program, Stmt, VarRef,
+};
+
+/// Run all validation layers.
+pub fn validate(program: &Program, cfg: &GeneratorConfig) -> Vec<String> {
+    let mut errors = grammar_errors(program);
+    errors.extend(limit_errors(program, cfg));
+    errors.extend(race_freedom_errors(program));
+    errors
+}
+
+/// Contextual grammar constraints.
+pub fn grammar_errors(program: &Program) -> Vec<String> {
+    grammar::derivation_errors(program)
+}
+
+/// Check every configuration limit against the realized program.
+pub fn limit_errors(program: &Program, cfg: &GeneratorConfig) -> Vec<String> {
+    let mut v = LimitChecker {
+        cfg,
+        errors: Vec::new(),
+    };
+    v.visit_program(program);
+    v.check_block_shape(&program.body);
+    if program.body.nesting_depth() > cfg.max_nesting_levels + 1 {
+        v.errors.push(format!(
+            "nesting depth {} exceeds MAX_NESTING_LEVELS {}",
+            program.body.nesting_depth() - 1,
+            cfg.max_nesting_levels
+        ));
+    }
+    v.errors
+}
+
+struct LimitChecker<'a> {
+    cfg: &'a GeneratorConfig,
+    errors: Vec<String>,
+}
+
+impl LimitChecker<'_> {
+    fn check_expr(&mut self, e: &Expr) {
+        if e.term_count() > self.cfg.max_expression_size {
+            self.errors.push(format!(
+                "expression with {} terms exceeds MAX_EXPRESSION_SIZE {}: {e}",
+                e.term_count(),
+                self.cfg.max_expression_size
+            ));
+        }
+        self.check_indices(e);
+    }
+
+    fn check_indices(&mut self, e: &Expr) {
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        for v in vars {
+            if let VarRef::Element(name, idx) = v {
+                self.check_index(name, idx);
+            }
+        }
+    }
+
+    fn check_index(&mut self, name: &str, idx: &IndexExpr) {
+        match idx {
+            IndexExpr::Const(k) if *k >= self.cfg.array_size => self.errors.push(format!(
+                "constant index {k} out of bounds for {name}[{}]",
+                self.cfg.array_size
+            )),
+            IndexExpr::LoopVarMod(_, m) if *m != self.cfg.array_size => self.errors.push(format!(
+                "modulus {m} does not match ARRAY_SIZE {} on {name}",
+                self.cfg.array_size
+            )),
+            _ => {}
+        }
+    }
+
+    fn check_block_shape(&mut self, block: &Block) {
+        if block.len() > self.cfg.max_lines_in_block {
+            self.errors.push(format!(
+                "block with {} lines exceeds MAX_LINES_IN_BLOCK {}",
+                block.len(),
+                self.cfg.max_lines_in_block
+            ));
+        }
+        let structured = block
+            .iter()
+            .filter(|item| {
+                matches!(
+                    item,
+                    BlockItem::Stmt(Stmt::If(_) | Stmt::For(_) | Stmt::OmpParallel(_))
+                        | BlockItem::Critical(_)
+                )
+            })
+            .count();
+        if structured > self.cfg.max_same_level_blocks {
+            self.errors.push(format!(
+                "{structured} same-level blocks exceed MAX_SAME_LEVEL_BLOCKS {}",
+                self.cfg.max_same_level_blocks
+            ));
+        }
+        for item in block.iter() {
+            match item {
+                BlockItem::Stmt(Stmt::If(ifb)) => self.check_block_shape(&ifb.body),
+                BlockItem::Stmt(Stmt::For(fl)) => self.check_block_shape(&fl.body),
+                BlockItem::Stmt(Stmt::OmpParallel(par)) => {
+                    self.check_block_shape(&par.body_loop.body)
+                }
+                BlockItem::Critical(c) => self.check_block_shape(&c.body),
+                BlockItem::Stmt(_) => {}
+            }
+        }
+    }
+}
+
+impl Visitor for LimitChecker<'_> {
+    fn visit_expr(&mut self, expr: &Expr, _ctx: Ctx) {
+        self.check_expr(expr);
+    }
+
+    fn visit_assignment(&mut self, assign: &Assignment, ctx: Ctx) {
+        if let LValue::Var(VarRef::Element(name, idx)) = &assign.target {
+            self.check_index(name, idx);
+        }
+        visit::walk_assignment(self, assign, ctx);
+    }
+
+    fn visit_bool_expr(&mut self, bexpr: &ompfuzz_ast::BoolExpr, ctx: Ctx) {
+        if bexpr.term_count() > self.cfg.max_expression_size {
+            self.errors.push(format!(
+                "boolean expression with {} terms exceeds MAX_EXPRESSION_SIZE {}",
+                bexpr.term_count(),
+                self.cfg.max_expression_size
+            ));
+        }
+        self.visit_expr(&bexpr.rhs, ctx);
+    }
+}
+
+/// The §III-G data-race freedom rules, checked statically per region.
+pub fn race_freedom_errors(program: &Program) -> Vec<String> {
+    let mut errors = Vec::new();
+    // Walk top-level; analyze each parallel region as a unit.
+    scan_block_for_regions(&program.body, &mut errors);
+    errors
+}
+
+fn scan_block_for_regions(block: &Block, errors: &mut Vec<String>) {
+    for item in block.iter() {
+        match item {
+            BlockItem::Stmt(Stmt::OmpParallel(par)) => analyze_region(par, errors),
+            BlockItem::Stmt(Stmt::If(ifb)) => scan_block_for_regions(&ifb.body, errors),
+            BlockItem::Stmt(Stmt::For(fl)) => scan_block_for_regions(&fl.body, errors),
+            _ => {}
+        }
+    }
+}
+
+/// Per-region analysis state.
+struct RegionAnalysis<'a> {
+    par: &'a OmpParallel,
+    /// Privatized names (clauses) plus region-local declarations seen so far.
+    privatized: Vec<String>,
+    /// Arrays written in the region (with the index form of each write).
+    arrays_written: Vec<(String, IndexExpr)>,
+    /// Array reads (name, index) with critical-context flag.
+    array_reads: Vec<(String, IndexExpr, bool)>,
+    errors: Vec<String>,
+}
+
+fn analyze_region(par: &OmpParallel, errors: &mut Vec<String>) {
+    let mut privatized: Vec<String> = par.clauses.private.clone();
+    privatized.extend(par.clauses.firstprivate.iter().cloned());
+    privatized.push(par.body_loop.var.clone());
+    let mut analysis = RegionAnalysis {
+        par,
+        privatized,
+        arrays_written: Vec::new(),
+        array_reads: Vec::new(),
+        errors: Vec::new(),
+    };
+    for s in &par.prelude {
+        analysis.stmt(s, false);
+    }
+    analysis.for_loop(&par.body_loop, false);
+    analysis.finish();
+    errors.extend(analysis.errors);
+}
+
+impl RegionAnalysis<'_> {
+    fn stmt(&mut self, stmt: &Stmt, in_critical: bool) {
+        match stmt {
+            Stmt::Assign(a) => self.assignment(a, in_critical),
+            Stmt::DeclAssign { name, value, .. } => {
+                // Region-local declaration: thread-private by construction.
+                self.privatized.push(name.clone());
+                self.expr(value, in_critical);
+            }
+            Stmt::If(IfBlock { cond, body }) => {
+                self.expr(&cond.rhs, in_critical);
+                self.read_scalar(cond.lhs.name(), in_critical);
+                self.block(body, in_critical);
+            }
+            Stmt::For(fl) => self.for_loop(fl, in_critical),
+            Stmt::OmpParallel(_) => {
+                self.errors.push("nested parallel region".to_string());
+            }
+        }
+    }
+
+    fn for_loop(&mut self, fl: &ForLoop, in_critical: bool) {
+        self.privatized.push(fl.var.clone());
+        self.block(&fl.body, in_critical);
+    }
+
+    fn block(&mut self, block: &Block, in_critical: bool) {
+        for item in block.iter() {
+            match item {
+                BlockItem::Stmt(s) => self.stmt(s, in_critical),
+                BlockItem::Critical(OmpCritical { body }) => self.block(body, true),
+            }
+        }
+    }
+
+    fn assignment(&mut self, a: &Assignment, in_critical: bool) {
+        match &a.target {
+            LValue::Comp => {
+                let reduction = self.par.clauses.reduction.is_some();
+                if !reduction && !in_critical {
+                    self.errors.push(
+                        "comp written in parallel region without reduction or critical \
+                         (the Varity legacy race)"
+                            .to_string(),
+                    );
+                }
+            }
+            LValue::Var(VarRef::Scalar(name)) => {
+                if !self.is_private(name) && !in_critical {
+                    self.errors.push(format!(
+                        "shared scalar {name} written in parallel region without protection"
+                    ));
+                }
+            }
+            LValue::Var(VarRef::Element(name, idx)) => {
+                if !matches!(idx, IndexExpr::ThreadId) && !in_critical {
+                    self.errors.push(format!(
+                        "shared array {name} written with non-thread-id index {idx} in \
+                         parallel region"
+                    ));
+                }
+                self.arrays_written.push((name.clone(), idx.clone()));
+            }
+        }
+        self.expr(&a.value, in_critical);
+    }
+
+    fn expr(&mut self, e: &Expr, in_critical: bool) {
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        for v in vars {
+            match v {
+                VarRef::Scalar(name) => self.read_scalar(name, in_critical),
+                VarRef::Element(name, idx) => {
+                    self.array_reads
+                        .push((name.clone(), idx.clone(), in_critical));
+                }
+            }
+        }
+    }
+
+    fn read_scalar(&mut self, _name: &str, _in_critical: bool) {
+        // Shared scalars are read-only inside Safe-mode regions, and
+        // privatized reads are local; either way a read alone cannot race
+        // (writes are flagged at the write site).
+    }
+
+    fn is_private(&self, name: &str) -> bool {
+        self.privatized.iter().any(|v| v == name)
+    }
+
+    /// Read/write aliasing check: an array written in the region must only
+    /// be read via `omp_get_thread_num()` (same slot the reader owns) —
+    /// any loop-var or constant read may alias another thread's write.
+    fn finish(&mut self) {
+        for (name, _, in_critical) in &self.array_reads {
+            if *in_critical {
+                continue;
+            }
+            let written = self.arrays_written.iter().any(|(w, _)| w == name);
+            let read_idx_safe = self
+                .array_reads
+                .iter()
+                .filter(|(n, _, _)| n == name)
+                .all(|(_, idx, _)| matches!(idx, IndexExpr::ThreadId));
+            if written && !read_idx_safe {
+                self.errors.push(format!(
+                    "array {name} both written and read with potentially aliasing \
+                     indices in the same region"
+                ));
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SharingMode;
+    use crate::generator::ProgramGenerator;
+    use ompfuzz_ast::ops::{AssignOp, ReductionOp};
+    use ompfuzz_ast::{Block, FpType, LoopBound, OmpClauses, Param};
+
+    fn comp_assign() -> Stmt {
+        Stmt::Assign(Assignment {
+            target: LValue::Comp,
+            op: AssignOp::AddAssign,
+            value: Expr::fp_const(1.0),
+        })
+    }
+
+    fn region(reduction: Option<ReductionOp>, body: Vec<BlockItem>) -> Program {
+        Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses {
+                    reduction,
+                    ..OmpClauses::default()
+                },
+                prelude: vec![Stmt::Assign(Assignment {
+                    target: LValue::Var(VarRef::Scalar("var_1".into())),
+                    op: AssignOp::Assign,
+                    value: Expr::fp_const(0.0),
+                })],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(8),
+                    body: Block(body),
+                },
+            })]),
+        )
+    }
+
+    #[test]
+    fn bare_comp_write_without_reduction_is_a_race() {
+        // Note the prelude writes var_1 (shared, unprivatized): also flagged.
+        let p = region(None, vec![BlockItem::Stmt(comp_assign())]);
+        let errs = race_freedom_errors(&p);
+        assert!(errs.iter().any(|e| e.contains("comp written")), "{errs:?}");
+    }
+
+    #[test]
+    fn comp_write_under_reduction_is_fine() {
+        let p = region(Some(ReductionOp::Add), vec![BlockItem::Stmt(comp_assign())]);
+        let errs = race_freedom_errors(&p);
+        assert!(!errs.iter().any(|e| e.contains("comp written")), "{errs:?}");
+    }
+
+    #[test]
+    fn comp_write_in_critical_is_fine() {
+        let p = region(
+            None,
+            vec![BlockItem::Critical(OmpCritical {
+                body: Block::of_stmts(vec![comp_assign()]),
+            })],
+        );
+        let errs = race_freedom_errors(&p);
+        assert!(!errs.iter().any(|e| e.contains("comp written")), "{errs:?}");
+    }
+
+    #[test]
+    fn non_thread_id_array_write_is_a_race() {
+        let write = Stmt::Assign(Assignment {
+            target: LValue::Var(VarRef::Element(
+                "var_1".into(),
+                IndexExpr::LoopVarMod("i".into(), 1000),
+            )),
+            op: AssignOp::Assign,
+            value: Expr::fp_const(1.0),
+        });
+        let p = region(Some(ReductionOp::Add), vec![BlockItem::Stmt(write)]);
+        let errs = race_freedom_errors(&p);
+        assert!(errs.iter().any(|e| e.contains("non-thread-id")), "{errs:?}");
+    }
+
+    #[test]
+    fn write_read_aliasing_is_detected() {
+        let write = Stmt::Assign(Assignment {
+            target: LValue::Var(VarRef::Element("arr".into(), IndexExpr::ThreadId)),
+            op: AssignOp::Assign,
+            value: Expr::fp_const(1.0),
+        });
+        let read = Stmt::Assign(Assignment {
+            target: LValue::Comp,
+            op: AssignOp::AddAssign,
+            value: Expr::elem("arr", IndexExpr::LoopVarMod("i".into(), 1000)),
+        });
+        let p = region(
+            Some(ReductionOp::Add),
+            vec![BlockItem::Stmt(write), BlockItem::Stmt(read)],
+        );
+        let errs = race_freedom_errors(&p);
+        assert!(errs.iter().any(|e| e.contains("aliasing")), "{errs:?}");
+    }
+
+    #[test]
+    fn generated_safe_programs_fully_validate() {
+        let cfg = GeneratorConfig::paper();
+        let mut g = ProgramGenerator::new(cfg.clone(), 42);
+        for p in g.generate_batch(150) {
+            let errs = validate(&p, &cfg);
+            assert!(
+                errs.is_empty(),
+                "program {} failed validation: {errs:?}\n{}",
+                p.name,
+                ompfuzz_ast::printer::emit_kernel_source(&p, &Default::default())
+            );
+        }
+    }
+
+    #[test]
+    fn generated_small_config_programs_fully_validate() {
+        let cfg = GeneratorConfig::small();
+        let mut g = ProgramGenerator::new(cfg.clone(), 43);
+        for p in g.generate_batch(150) {
+            let errs = validate(&p, &cfg);
+            assert!(errs.is_empty(), "{}: {errs:?}", p.name);
+        }
+    }
+
+    #[test]
+    fn legacy_mode_races_are_caught_by_the_detector() {
+        let cfg = GeneratorConfig {
+            sharing_mode: SharingMode::Legacy,
+            legacy_race_probability: 1.0,
+            omp: crate::config::OmpProbabilities {
+                parallel_block: 0.9,
+                reduction: 0.0,
+                critical: 0.0,
+                ..Default::default()
+            },
+            ..GeneratorConfig::paper()
+        };
+        let mut g = ProgramGenerator::new(cfg, 44);
+        let batch = g.generate_batch(40);
+        let racy = batch
+            .iter()
+            .filter(|p| !race_freedom_errors(p).is_empty())
+            .count();
+        assert!(racy > 0, "no races detected in legacy mode");
+    }
+
+    #[test]
+    fn limit_errors_fire_on_oversized_expression() {
+        let cfg = GeneratorConfig {
+            max_expression_size: 2,
+            ..GeneratorConfig::paper()
+        };
+        let big = Expr::binary(
+            Expr::binary(Expr::fp_const(1.0), ompfuzz_ast::BinOp::Add, Expr::fp_const(2.0)),
+            ompfuzz_ast::BinOp::Add,
+            Expr::fp_const(3.0),
+        );
+        let p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::Assign(Assignment {
+                target: LValue::Comp,
+                op: AssignOp::Assign,
+                value: big,
+            })]),
+        );
+        let errs = limit_errors(&p, &cfg);
+        assert!(errs.iter().any(|e| e.contains("MAX_EXPRESSION_SIZE")));
+    }
+
+    #[test]
+    fn limit_errors_fire_on_out_of_bounds_index() {
+        let cfg = GeneratorConfig::paper();
+        let p = Program::new(
+            vec![Param::fp_array(FpType::F64, "arr")],
+            Block::of_stmts(vec![Stmt::Assign(Assignment {
+                target: LValue::Comp,
+                op: AssignOp::Assign,
+                value: Expr::elem("arr", IndexExpr::Const(5000)),
+            })]),
+        );
+        let errs = limit_errors(&p, &cfg);
+        assert!(errs.iter().any(|e| e.contains("out of bounds")));
+    }
+}

@@ -1,0 +1,362 @@
+//! The campaign driver: Fig. 1's workflow end to end.
+//!
+//! (a) generate programs + inputs → (b) compile with every implementation →
+//! (c) run everything → (d) differential analysis and outlier tallying.
+//!
+//! The driver parallelizes across *programs* with crossbeam scoped threads;
+//! each program's compile+run work is independent, so worker count never
+//! changes any result — records are collected and re-sorted
+//! deterministically.
+
+use crate::config::CampaignConfig;
+use crate::testcase::{generate_corpus, TestCase};
+use crossbeam::channel;
+use ompfuzz_backends::{CompileOptions, OmpBackend, RunOptions, RunStatus};
+use ompfuzz_exec::{ExecOptions, RaceReport};
+use ompfuzz_outlier::{analyze, Analysis, ExecStatus, RunObservation, Tally};
+use std::time::Instant;
+
+/// Per-(program, input) record of every implementation's behaviour.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    pub program_index: usize,
+    pub program_name: String,
+    pub input_index: usize,
+    /// One observation per implementation, aligned with
+    /// [`CampaignResult::labels`].
+    pub observations: Vec<RunObservation>,
+    pub analysis: Analysis,
+}
+
+/// Everything a campaign produces.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Implementation labels in run order.
+    pub labels: Vec<String>,
+    /// One record per (program, input), sorted by (program, input).
+    pub records: Vec<RunRecord>,
+    /// Aggregated Table-I tally.
+    pub tally: Tally,
+    /// Programs excluded by the race filter, with their reports.
+    pub racy_programs: Vec<(String, Vec<RaceReport>)>,
+    /// Programs that failed to compile on some implementation (counted,
+    /// not analyzed further).
+    pub compile_failures: usize,
+    /// Host wall-clock spent driving the campaign.
+    pub wall_time: std::time::Duration,
+    /// Total executions performed (the paper's 1,800 for the full config).
+    pub total_runs: usize,
+}
+
+impl CampaignResult {
+    /// Records whose analysis carries any outlier.
+    pub fn outlier_records(&self) -> impl Iterator<Item = &RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.analysis.correctness.is_some() || r.analysis.performance.is_some())
+    }
+
+    /// Number of records that survived the `min_time_us` filter.
+    pub fn analyzed_records(&self) -> usize {
+        self.records.iter().filter(|r| !r.analysis.filtered).count()
+    }
+}
+
+/// Run a campaign of `config` against `backends`.
+pub fn run_campaign(config: &CampaignConfig, backends: &[&dyn OmpBackend]) -> CampaignResult {
+    let start = Instant::now();
+    let corpus = generate_corpus(config);
+    run_campaign_on(config, backends, &corpus, start)
+}
+
+/// Run a campaign on a pre-generated corpus (used by ablation benches that
+/// sweep α/β over identical runs).
+pub fn run_campaign_on(
+    config: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+    corpus: &[TestCase],
+    start: Instant,
+) -> CampaignResult {
+    let labels: Vec<String> = backends
+        .iter()
+        .map(|b| b.info().vendor.label().to_string())
+        .collect();
+
+    // §IV-E mitigation: drop data-racing programs before differential
+    // analysis (the paper filtered them manually; our detector automates
+    // it). Detection interprets with team semantics once per program.
+    let mut racy_programs = Vec::new();
+    let mut active: Vec<(usize, &TestCase)> = Vec::with_capacity(corpus.len());
+    for (i, tc) in corpus.iter().enumerate() {
+        if config.filter_races {
+            match detect_races(tc, config) {
+                Some(reports) if !reports.is_empty() => {
+                    racy_programs.push((tc.program.name.clone(), reports));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        active.push((i, tc));
+    }
+
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        config.workers
+    };
+
+    let (work_tx, work_rx) = channel::unbounded::<(usize, &TestCase)>();
+    let (res_tx, res_rx) = channel::unbounded::<ProgramOutcome>();
+    for item in &active {
+        work_tx.send(*item).expect("queue open");
+    }
+    drop(work_tx);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let backends = backends;
+            scope.spawn(move |_| {
+                while let Ok((index, tc)) = work_rx.recv() {
+                    let outcome = run_one_program(index, tc, config, backends);
+                    if res_tx.send(outcome).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    })
+    .expect("campaign workers never panic");
+
+    let mut outcomes: Vec<ProgramOutcome> = res_rx.into_iter().collect();
+    outcomes.sort_by_key(|o| o.program_index);
+
+    let mut records = Vec::with_capacity(active.len() * config.inputs_per_program);
+    let mut compile_failures = 0;
+    for o in outcomes {
+        compile_failures += o.compile_failures;
+        records.extend(o.records);
+    }
+
+    let mut tally = Tally::new(labels.clone());
+    for r in &records {
+        tally.add(&r.analysis);
+    }
+
+    let total_runs = records.len() * backends.len();
+    CampaignResult {
+        labels,
+        records,
+        tally,
+        racy_programs,
+        compile_failures,
+        wall_time: start.elapsed(),
+        total_runs,
+    }
+}
+
+struct ProgramOutcome {
+    program_index: usize,
+    compile_failures: usize,
+    records: Vec<RunRecord>,
+}
+
+fn run_one_program(
+    index: usize,
+    tc: &TestCase,
+    config: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+) -> ProgramOutcome {
+    let compile_opts = CompileOptions {
+        opt_level: config.opt_level,
+    };
+    let mut binaries = Vec::with_capacity(backends.len());
+    let mut compile_failures = 0;
+    for b in backends {
+        match b.compile(&tc.program, &compile_opts) {
+            Ok(bin) => binaries.push(bin),
+            Err(_) => compile_failures += 1,
+        }
+    }
+    if binaries.len() != backends.len() {
+        // A program that does not compile everywhere cannot be compared.
+        return ProgramOutcome {
+            program_index: index,
+            compile_failures,
+            records: Vec::new(),
+        };
+    }
+
+    let run_opts = RunOptions {
+        detect_races: false,
+        ..config.run
+    };
+    let mut records = Vec::with_capacity(tc.inputs.len());
+    for (input_index, input) in tc.inputs.iter().enumerate() {
+        let observations: Vec<RunObservation> = binaries
+            .iter()
+            .map(|bin| to_observation(&bin.run(input, &run_opts)))
+            .collect();
+        let analysis = analyze(&observations, &config.outlier);
+        records.push(RunRecord {
+            program_index: index,
+            program_name: tc.program.name.clone(),
+            input_index,
+            observations,
+            analysis,
+        });
+    }
+    ProgramOutcome {
+        program_index: index,
+        compile_failures,
+        records,
+    }
+}
+
+fn to_observation(result: &ompfuzz_backends::RunResult) -> RunObservation {
+    match result.status {
+        RunStatus::Ok => RunObservation {
+            status: ExecStatus::Ok,
+            time_us: result.time_us.map(|t| t as f64),
+            result: result.comp,
+        },
+        RunStatus::Crash { .. } => RunObservation::crash(),
+        RunStatus::Hang { .. } => RunObservation::hang(),
+    }
+}
+
+/// Run the race detector on a test case (first input, reference
+/// interpretation). Returns `None` when the program fails to lower or
+/// exceeds the budget — such programs stay in the campaign and fail there
+/// uniformly.
+fn detect_races(tc: &TestCase, config: &CampaignConfig) -> Option<Vec<RaceReport>> {
+    let input = tc.inputs.first()?;
+    let kernel = ompfuzz_exec::lower(&tc.program).ok()?;
+    let opts = ExecOptions {
+        detect_races: true,
+        limits: ompfuzz_exec::ExecLimits {
+            max_ops: config.run.max_ops,
+        },
+        ..ExecOptions::default()
+    };
+    ompfuzz_exec::run(&kernel, input, &opts).ok().map(|o| o.races)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_backends::{standard_backends, SimBackend};
+    use ompfuzz_gen::SharingMode;
+
+    fn as_dyn(backends: &[SimBackend]) -> Vec<&dyn OmpBackend> {
+        backends.iter().map(|b| b as &dyn OmpBackend).collect()
+    }
+
+    #[test]
+    fn small_campaign_runs_and_is_deterministic() {
+        let cfg = CampaignConfig::small();
+        let backends = standard_backends();
+        let dyns = as_dyn(&backends);
+        let a = run_campaign(&cfg, &dyns);
+        let b = run_campaign(&cfg, &dyns);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.total_runs, b.total_runs);
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.program_name, rb.program_name);
+            assert_eq!(ra.analysis, rb.analysis);
+            for (oa, ob) in ra.observations.iter().zip(&rb.observations) {
+                assert_eq!(oa.status, ob.status);
+                assert_eq!(oa.time_us, ob.time_us);
+                // NaN-aware result equality (NaN == NaN here).
+                assert_eq!(
+                    oa.result.map(f64::to_bits),
+                    ob.result.map(f64::to_bits)
+                );
+            }
+        }
+        assert_eq!(a.labels, vec!["Intel", "Clang", "GCC"]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let mut cfg1 = CampaignConfig::small();
+        cfg1.workers = 1;
+        let mut cfg8 = CampaignConfig::small();
+        cfg8.workers = 8;
+        let backends = standard_backends();
+        let dyns = as_dyn(&backends);
+        let a = run_campaign(&cfg1, &dyns);
+        let b = run_campaign(&cfg8, &dyns);
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.analysis, rb.analysis);
+        }
+    }
+
+    #[test]
+    fn legacy_mode_campaign_filters_racy_programs() {
+        let mut cfg = CampaignConfig::small();
+        cfg.generator.sharing_mode = SharingMode::Legacy;
+        cfg.generator.legacy_race_probability = 0.9;
+        cfg.generator.omp.parallel_block = 0.9;
+        cfg.generator.omp.reduction = 0.0;
+        cfg.programs = 30;
+        let backends = standard_backends();
+        let dyns = as_dyn(&backends);
+        let result = run_campaign(&cfg, &dyns);
+        assert!(
+            !result.racy_programs.is_empty(),
+            "legacy campaign should catch races"
+        );
+        // Racy programs are excluded from the differential records.
+        let racy: Vec<&str> = result
+            .racy_programs
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(result
+            .records
+            .iter()
+            .all(|r| !racy.contains(&r.program_name.as_str())));
+    }
+
+    #[test]
+    fn healthy_backends_produce_no_correctness_outliers() {
+        use ompfuzz_backends::{BugModels, Vendor};
+        let cfg = CampaignConfig::small();
+        let backends = vec![
+            SimBackend::with_bugs(Vendor::IntelLike, BugModels::none()),
+            SimBackend::with_bugs(Vendor::ClangLike, BugModels::none()),
+            SimBackend::with_bugs(Vendor::GccLike, BugModels::none()),
+        ];
+        let dyns = as_dyn(&backends);
+        let result = run_campaign(&cfg, &dyns);
+        let correctness: u64 = (0..3)
+            .map(|i| {
+                result.tally.count(i, ompfuzz_outlier::OutlierKind::Crash)
+                    + result.tally.count(i, ompfuzz_outlier::OutlierKind::Hang)
+            })
+            .sum();
+        assert_eq!(correctness, 0);
+    }
+
+    #[test]
+    fn record_grid_shape() {
+        let cfg = CampaignConfig::small();
+        let backends = standard_backends();
+        let dyns = as_dyn(&backends);
+        let result = run_campaign(&cfg, &dyns);
+        // Every surviving program contributes inputs_per_program records.
+        let expected =
+            (cfg.programs - result.racy_programs.len()) * cfg.inputs_per_program;
+        assert_eq!(result.records.len(), expected);
+        assert_eq!(result.total_runs, expected * 3);
+        assert!(result
+            .records
+            .iter()
+            .all(|r| r.observations.len() == 3));
+    }
+}

@@ -1,0 +1,253 @@
+//! Floating-point number classes and classification.
+//!
+//! The "almost" classes are the paper's extreme cases: *almost infinity* is
+//! a number close to ±INF but still a normal number; *almost subnormal* is a
+//! number close to being subnormal but still normal. We make "close to"
+//! precise with a bounded distance in exponent space (see
+//! [`ALMOST_EXP_MARGIN`]), which matches how Varity constructs these values
+//! (max/min biased exponents ∓ a small slack).
+
+use std::fmt;
+
+/// How many binades from the edge of the normal range still count as
+/// "almost" (both for almost-inf at the top and almost-subnormal at the
+/// bottom).
+pub const ALMOST_EXP_MARGIN: u32 = 2;
+
+/// The five input classes of §III-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FpClass {
+    /// IEEE 754 normal numbers (excluding the "almost" edges below).
+    Normal,
+    /// IEEE 754 subnormal (denormal) numbers.
+    Subnormal,
+    /// Normal numbers within [`ALMOST_EXP_MARGIN`] binades of overflow.
+    AlmostInf,
+    /// Normal numbers within [`ALMOST_EXP_MARGIN`] binades of the smallest
+    /// normal.
+    AlmostSubnormal,
+    /// Positive or negative zero.
+    Zero,
+}
+
+impl FpClass {
+    /// All classes, in a stable order.
+    pub fn all() -> [FpClass; 5] {
+        [
+            FpClass::Normal,
+            FpClass::Subnormal,
+            FpClass::AlmostInf,
+            FpClass::AlmostSubnormal,
+            FpClass::Zero,
+        ]
+    }
+
+    /// Short machine-friendly label (used in CSV reports and file names).
+    pub fn label(self) -> &'static str {
+        match self {
+            FpClass::Normal => "normal",
+            FpClass::Subnormal => "subnormal",
+            FpClass::AlmostInf => "almost_inf",
+            FpClass::AlmostSubnormal => "almost_subnormal",
+            FpClass::Zero => "zero",
+        }
+    }
+}
+
+impl fmt::Display for FpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classify an `f64`. NaN and infinities return `None`: the generator never
+/// produces them as *inputs* (they arise during computation instead).
+pub fn classify_f64(v: f64) -> Option<FpClass> {
+    if v.is_nan() || v.is_infinite() {
+        return None;
+    }
+    if v == 0.0 {
+        return Some(FpClass::Zero);
+    }
+    if v.is_subnormal() {
+        return Some(FpClass::Subnormal);
+    }
+    // Biased exponent of the positive magnitude.
+    let bits = v.abs().to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as u32; // 1..=2046 for normals
+    const MAX_NORMAL_EXP: u32 = 2046;
+    const MIN_NORMAL_EXP: u32 = 1;
+    if exp >= MAX_NORMAL_EXP - ALMOST_EXP_MARGIN + 1 {
+        Some(FpClass::AlmostInf)
+    } else if exp <= MIN_NORMAL_EXP + ALMOST_EXP_MARGIN - 1 {
+        Some(FpClass::AlmostSubnormal)
+    } else {
+        Some(FpClass::Normal)
+    }
+}
+
+/// Classify an `f32` (same scheme with binary32 exponent bounds).
+pub fn classify_f32(v: f32) -> Option<FpClass> {
+    if v.is_nan() || v.is_infinite() {
+        return None;
+    }
+    if v == 0.0 {
+        return Some(FpClass::Zero);
+    }
+    if v.is_subnormal() {
+        return Some(FpClass::Subnormal);
+    }
+    let bits = v.abs().to_bits();
+    let exp = (bits >> 23) & 0xff; // 1..=254 for normals
+    const MAX_NORMAL_EXP: u32 = 254;
+    const MIN_NORMAL_EXP: u32 = 1;
+    if exp >= MAX_NORMAL_EXP - ALMOST_EXP_MARGIN + 1 {
+        Some(FpClass::AlmostInf)
+    } else if exp <= MIN_NORMAL_EXP + ALMOST_EXP_MARGIN - 1 {
+        Some(FpClass::AlmostSubnormal)
+    } else {
+        Some(FpClass::Normal)
+    }
+}
+
+/// Relative weights for drawing each class. The paper draws uniformly; a
+/// mix lets experiments bias toward the extreme classes (useful for the
+/// NaN-control-flow studies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    pub normal: f64,
+    pub subnormal: f64,
+    pub almost_inf: f64,
+    pub almost_subnormal: f64,
+    pub zero: f64,
+}
+
+impl Default for ClassMix {
+    /// Uniform over the five classes.
+    fn default() -> Self {
+        ClassMix {
+            normal: 1.0,
+            subnormal: 1.0,
+            almost_inf: 1.0,
+            almost_subnormal: 1.0,
+            zero: 1.0,
+        }
+    }
+}
+
+impl ClassMix {
+    /// A mix that only produces benign normal numbers (useful when an
+    /// experiment wants no numerical exceptions).
+    pub fn normals_only() -> ClassMix {
+        ClassMix {
+            normal: 1.0,
+            subnormal: 0.0,
+            almost_inf: 0.0,
+            almost_subnormal: 0.0,
+            zero: 0.0,
+        }
+    }
+
+    /// Weight of a given class.
+    pub fn weight(&self, class: FpClass) -> f64 {
+        match class {
+            FpClass::Normal => self.normal,
+            FpClass::Subnormal => self.subnormal,
+            FpClass::AlmostInf => self.almost_inf,
+            FpClass::AlmostSubnormal => self.almost_subnormal,
+            FpClass::Zero => self.zero,
+        }
+    }
+
+    /// Total weight; must be positive for the mix to be usable.
+    pub fn total(&self) -> f64 {
+        FpClass::all().iter().map(|&c| self.weight(c)).sum()
+    }
+
+    /// Pick a class given a uniform sample `u ∈ [0, 1)`.
+    pub fn pick(&self, u: f64) -> FpClass {
+        let total = self.total();
+        assert!(total > 0.0, "ClassMix must have positive total weight");
+        let mut acc = 0.0;
+        let target = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+        for class in FpClass::all() {
+            acc += self.weight(class);
+            if target < acc {
+                return class;
+            }
+        }
+        FpClass::Normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_obvious_cases() {
+        assert_eq!(classify_f64(1.0), Some(FpClass::Normal));
+        assert_eq!(classify_f64(-123.456), Some(FpClass::Normal));
+        assert_eq!(classify_f64(0.0), Some(FpClass::Zero));
+        assert_eq!(classify_f64(-0.0), Some(FpClass::Zero));
+        assert_eq!(classify_f64(5e-324), Some(FpClass::Subnormal));
+        assert_eq!(classify_f64(f64::MAX), Some(FpClass::AlmostInf));
+        assert_eq!(classify_f64(f64::MIN_POSITIVE), Some(FpClass::AlmostSubnormal));
+        assert_eq!(classify_f64(f64::NAN), None);
+        assert_eq!(classify_f64(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn classify_f32_cases() {
+        assert_eq!(classify_f32(1.0f32), Some(FpClass::Normal));
+        assert_eq!(classify_f32(f32::MAX), Some(FpClass::AlmostInf));
+        assert_eq!(classify_f32(f32::MIN_POSITIVE), Some(FpClass::AlmostSubnormal));
+        assert_eq!(classify_f32(1e-45f32), Some(FpClass::Subnormal));
+        assert_eq!(classify_f32(-0.0f32), Some(FpClass::Zero));
+        assert_eq!(classify_f32(f32::NAN), None);
+    }
+
+    #[test]
+    fn almost_margins_are_tight() {
+        // 3 binades below MAX is plain normal again (margin is 2).
+        let just_normal = f64::MAX / 16.0;
+        assert_eq!(classify_f64(just_normal), Some(FpClass::Normal));
+        let just_normal_low = f64::MIN_POSITIVE * 16.0;
+        assert_eq!(classify_f64(just_normal_low), Some(FpClass::Normal));
+    }
+
+    #[test]
+    fn mix_pick_respects_zero_weights() {
+        let mix = ClassMix::normals_only();
+        for i in 0..100 {
+            let u = i as f64 / 100.0;
+            assert_eq!(mix.pick(u), FpClass::Normal);
+        }
+    }
+
+    #[test]
+    fn mix_pick_covers_all_classes_uniformly() {
+        let mix = ClassMix::default();
+        let picks: Vec<FpClass> = (0..5).map(|i| mix.pick(i as f64 / 5.0 + 0.01)).collect();
+        assert_eq!(picks, FpClass::all().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_panics() {
+        let mix = ClassMix {
+            normal: 0.0,
+            subnormal: 0.0,
+            almost_inf: 0.0,
+            almost_subnormal: 0.0,
+            zero: 0.0,
+        };
+        let _ = mix.pick(0.5);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FpClass::AlmostInf.label(), "almost_inf");
+        assert_eq!(FpClass::Zero.to_string(), "zero");
+    }
+}

@@ -1,0 +1,261 @@
+//! The input generation module: draws values of each [`FpClass`] and
+//! assembles whole [`TestInput`]s for a program.
+
+use crate::class::{ClassMix, FpClass, ALMOST_EXP_MARGIN};
+use crate::testinput::{InputValue, TestInput};
+use ompfuzz_ast::{FpType, ParamType, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for integer inputs (loop-bound parameters).
+#[derive(Debug, Clone, Copy)]
+pub struct IntRange {
+    /// Inclusive minimum trip count.
+    pub min: i64,
+    /// Inclusive maximum trip count.
+    pub max: i64,
+}
+
+impl Default for IntRange {
+    /// Trip counts 1..=200 keep interpreted runs fast while leaving room
+    /// for O(n³) nests to be expensive enough to time.
+    fn default() -> Self {
+        IntRange { min: 1, max: 200 }
+    }
+}
+
+/// Deterministic generator of floating-point inputs.
+///
+/// Construction takes a seed; every value drawn thereafter is a pure
+/// function of that seed, so test inputs can be regenerated from the
+/// campaign log alone.
+#[derive(Debug)]
+pub struct InputGenerator {
+    rng: StdRng,
+    mix: ClassMix,
+    int_range: IntRange,
+}
+
+impl InputGenerator {
+    /// New generator with the default (uniform) class mix.
+    pub fn new(seed: u64) -> InputGenerator {
+        InputGenerator::with_mix(seed, ClassMix::default())
+    }
+
+    /// New generator with an explicit class mix.
+    pub fn with_mix(seed: u64, mix: ClassMix) -> InputGenerator {
+        InputGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            mix,
+            int_range: IntRange::default(),
+        }
+    }
+
+    /// Override the integer (trip-count) range.
+    pub fn with_int_range(mut self, range: IntRange) -> Self {
+        self.int_range = range;
+        self
+    }
+
+    /// Draw a class according to the mix.
+    pub fn draw_class(&mut self) -> FpClass {
+        let u: f64 = self.rng.gen();
+        self.mix.pick(u)
+    }
+
+    /// Draw one `f64` of the given class.
+    pub fn draw_f64_of(&mut self, class: FpClass) -> f64 {
+        let sign = if self.rng.gen::<bool>() { 0u64 } else { 1u64 << 63 };
+        let mantissa: u64 = self.rng.gen::<u64>() & ((1u64 << 52) - 1);
+        let bits = match class {
+            FpClass::Zero => sign,
+            FpClass::Subnormal => {
+                // Exponent field 0, nonzero mantissa.
+                sign | mantissa.max(1)
+            }
+            FpClass::AlmostInf => {
+                let exp = 2046 - self.rng.gen_range(0..ALMOST_EXP_MARGIN) as u64;
+                sign | (exp << 52) | mantissa
+            }
+            FpClass::AlmostSubnormal => {
+                let exp = 1 + self.rng.gen_range(0..ALMOST_EXP_MARGIN) as u64;
+                sign | (exp << 52) | mantissa
+            }
+            FpClass::Normal => {
+                // Uniform over the *interior* normal exponents so every
+                // magnitude binade is equally likely (Varity's approach),
+                // excluding the "almost" edges.
+                let lo = 1 + ALMOST_EXP_MARGIN as u64;
+                let hi = 2046 - ALMOST_EXP_MARGIN as u64;
+                let exp = self.rng.gen_range(lo..=hi);
+                sign | (exp << 52) | mantissa
+            }
+        };
+        f64::from_bits(bits)
+    }
+
+    /// Draw one `f32` of the given class (as `f64` for uniform storage; the
+    /// value is exactly representable in binary32).
+    pub fn draw_f32_of(&mut self, class: FpClass) -> f32 {
+        let sign = if self.rng.gen::<bool>() { 0u32 } else { 1u32 << 31 };
+        let mantissa: u32 = self.rng.gen::<u32>() & ((1u32 << 23) - 1);
+        let bits = match class {
+            FpClass::Zero => sign,
+            FpClass::Subnormal => sign | mantissa.max(1),
+            FpClass::AlmostInf => {
+                let exp = 254 - self.rng.gen_range(0..ALMOST_EXP_MARGIN);
+                sign | (exp << 23) | mantissa
+            }
+            FpClass::AlmostSubnormal => {
+                let exp = 1 + self.rng.gen_range(0..ALMOST_EXP_MARGIN);
+                sign | (exp << 23) | mantissa
+            }
+            FpClass::Normal => {
+                let lo = 1 + ALMOST_EXP_MARGIN;
+                let hi = 254 - ALMOST_EXP_MARGIN;
+                let exp = self.rng.gen_range(lo..=hi);
+                sign | (exp << 23) | mantissa
+            }
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Draw a value of a freshly drawn class, at the given precision.
+    pub fn draw_fp(&mut self, ty: FpType) -> f64 {
+        let class = self.draw_class();
+        match ty {
+            FpType::F64 => self.draw_f64_of(class),
+            FpType::F32 => self.draw_f32_of(class) as f64,
+        }
+    }
+
+    /// Draw an integer input (loop trip count).
+    pub fn draw_int(&mut self) -> i64 {
+        self.rng.gen_range(self.int_range.min..=self.int_range.max)
+    }
+
+    /// Generate a complete input vector for `program`: an initial value for
+    /// `comp` followed by one value per parameter (array parameters receive
+    /// a fill value at the parameter's precision).
+    pub fn generate_for(&mut self, program: &Program) -> TestInput {
+        let comp_class = self.draw_class_for_comp();
+        let comp_init = self.draw_f64_of(comp_class);
+        let mut values = Vec::with_capacity(program.params.len());
+        for p in &program.params {
+            let v = match p.ty {
+                ParamType::Int => InputValue::Int(self.draw_int()),
+                ParamType::Fp(ty) => InputValue::Fp(self.draw_fp(ty)),
+                ParamType::FpArray(ty) => InputValue::ArrayFill(self.draw_fp(ty)),
+            };
+            values.push(v);
+        }
+        TestInput { comp_init, values }
+    }
+
+    /// Generate `n` distinct inputs for `program` (`INPUT_SAMPLES_PER_RUN`).
+    pub fn generate_samples(&mut self, program: &Program, n: usize) -> Vec<TestInput> {
+        (0..n).map(|_| self.generate_for(program)).collect()
+    }
+
+    /// comp starts from a tame value: extreme initial accumulators make
+    /// every run overflow immediately and drown the signal, so `comp_init`
+    /// is drawn from normals only.
+    fn draw_class_for_comp(&mut self) -> FpClass {
+        FpClass::Normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{classify_f32, classify_f64};
+    use ompfuzz_ast::{Block, Param};
+
+    #[test]
+    fn drawn_values_classify_back_f64() {
+        let mut g = InputGenerator::new(1);
+        for class in FpClass::all() {
+            for _ in 0..200 {
+                let v = g.draw_f64_of(class);
+                assert_eq!(
+                    classify_f64(v),
+                    Some(class),
+                    "value {v:e} should classify as {class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drawn_values_classify_back_f32() {
+        let mut g = InputGenerator::new(2);
+        for class in FpClass::all() {
+            for _ in 0..200 {
+                let v = g.draw_f32_of(class);
+                assert_eq!(
+                    classify_f32(v),
+                    Some(class),
+                    "value {v:e} should classify as {class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_values_are_exactly_representable() {
+        let mut g = InputGenerator::new(3);
+        for _ in 0..100 {
+            let v = g.draw_fp(FpType::F32);
+            assert_eq!(v, v as f32 as f64);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let p = Program::new(
+            vec![Param::int("var_1"), Param::fp(FpType::F64, "var_2")],
+            Block::default(),
+        );
+        let a = InputGenerator::new(77).generate_samples(&p, 5);
+        let b = InputGenerator::new(77).generate_samples(&p, 5);
+        assert_eq!(a, b);
+        let c = InputGenerator::new(78).generate_samples(&p, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generate_for_matches_param_shapes() {
+        let p = Program::new(
+            vec![
+                Param::int("n"),
+                Param::fp(FpType::F32, "x"),
+                Param::fp_array(FpType::F64, "arr"),
+            ],
+            Block::default(),
+        );
+        let input = InputGenerator::new(9).generate_for(&p);
+        assert_eq!(input.values.len(), 3);
+        assert!(matches!(input.values[0], InputValue::Int(_)));
+        assert!(matches!(input.values[1], InputValue::Fp(_)));
+        assert!(matches!(input.values[2], InputValue::ArrayFill(_)));
+        // comp_init is a plain normal number.
+        assert_eq!(classify_f64(input.comp_init), Some(FpClass::Normal));
+    }
+
+    #[test]
+    fn int_range_is_respected() {
+        let mut g = InputGenerator::new(4).with_int_range(IntRange { min: 5, max: 7 });
+        for _ in 0..100 {
+            let v = g.draw_int();
+            assert!((5..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normals_only_mix_never_draws_extremes() {
+        let mut g = InputGenerator::with_mix(5, ClassMix::normals_only());
+        for _ in 0..500 {
+            assert_eq!(g.draw_class(), FpClass::Normal);
+        }
+    }
+}

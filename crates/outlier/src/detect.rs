@@ -1,0 +1,499 @@
+//! The detection mathematics of §IV.
+
+/// Detection thresholds (§IV-B, §V-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierConfig {
+    /// Comparability threshold α of eq. 1 (0.2 in the evaluation: times
+    /// within 20% are "the same").
+    pub alpha: f64,
+    /// Outlier threshold β of eq. 2 (1.5 in the evaluation: 1.5× away from
+    /// the midpoint of the comparable runs).
+    pub beta: f64,
+    /// Runs whose slowest OK time is below this are filtered out before
+    /// analysis (1,000 µs in §V-A: too short to time reliably).
+    pub min_time_us: f64,
+}
+
+impl Default for OutlierConfig {
+    fn default() -> Self {
+        OutlierConfig {
+            alpha: 0.2,
+            beta: 1.5,
+            min_time_us: 1_000.0,
+        }
+    }
+}
+
+/// Eq. 1: are two execution times comparable under α?
+/// `|ri − rj| / min(ri, rj) ≤ α`, undefined (false) when `min == 0`.
+pub fn comparable(ri: f64, rj: f64, alpha: f64) -> bool {
+    let m = ri.min(rj);
+    if m <= 0.0 {
+        return false;
+    }
+    (ri - rj).abs() / m <= alpha
+}
+
+/// The midpoint `M` of a set of comparable times: their average.
+pub fn midpoint(times: &[f64]) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    times.iter().sum::<f64>() / times.len() as f64
+}
+
+/// A performance outlier verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerfOutlier {
+    /// `r[index] / M ≥ β`: this implementation is much slower.
+    Slow { index: usize, ratio: f64 },
+    /// `M / r[index] ≥ β`: this implementation is much faster.
+    Fast { index: usize, ratio: f64 },
+}
+
+impl PerfOutlier {
+    /// Index of the outlying implementation.
+    pub fn index(&self) -> usize {
+        match *self {
+            PerfOutlier::Slow { index, .. } | PerfOutlier::Fast { index, .. } => index,
+        }
+    }
+
+    /// The ratio against the midpoint (≥ β by construction).
+    pub fn ratio(&self) -> f64 {
+        match *self {
+            PerfOutlier::Slow { ratio, .. } | PerfOutlier::Fast { ratio, .. } => ratio,
+        }
+    }
+
+    /// True for the slow class.
+    pub fn is_slow(&self) -> bool {
+        matches!(self, PerfOutlier::Slow { .. })
+    }
+}
+
+/// §IV-B: find the (unique) performance outlier among `times`, if any.
+///
+/// An index `i` is an outlier when every *other* pair of times is
+/// comparable under α and `times[i]` is ≥ β away from their midpoint
+/// (above → slow, below → fast). Needs at least three runs: with fewer
+/// there is no majority to define the midpoint.
+pub fn detect_performance_outlier(times: &[f64], cfg: &OutlierConfig) -> Option<PerfOutlier> {
+    if times.len() < 3 {
+        return None;
+    }
+    for i in 0..times.len() {
+        let rest: Vec<f64> = times
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, &t)| t)
+            .collect();
+        let rest_comparable = rest
+            .iter()
+            .enumerate()
+            .all(|(a, &ta)| rest.iter().skip(a + 1).all(|&tb| comparable(ta, tb, cfg.alpha)));
+        if !rest_comparable {
+            continue;
+        }
+        let m = midpoint(&rest);
+        if m <= 0.0 {
+            continue;
+        }
+        let r = times[i];
+        if r / m >= cfg.beta {
+            return Some(PerfOutlier::Slow {
+                index: i,
+                ratio: r / m,
+            });
+        }
+        if r > 0.0 && m / r >= cfg.beta {
+            return Some(PerfOutlier::Fast {
+                index: i,
+                ratio: m / r,
+            });
+        }
+    }
+    None
+}
+
+/// Terminal status of one run (§IV-C's `P_OK`, `P_CRASH`, `P_HANG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecStatus {
+    Ok,
+    Crash,
+    Hang,
+}
+
+/// A correctness outlier verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrectnessOutlier {
+    /// One implementation crashed while the others terminated OK.
+    Crash { index: usize },
+    /// One implementation hung while the others terminated OK.
+    Hang { index: usize },
+}
+
+impl CorrectnessOutlier {
+    /// Index of the outlying implementation.
+    pub fn index(&self) -> usize {
+        match *self {
+            CorrectnessOutlier::Crash { index } | CorrectnessOutlier::Hang { index } => index,
+        }
+    }
+}
+
+/// §IV-C: one execution exhibits CRASH or HANG while the others did not.
+pub fn detect_correctness_outlier(statuses: &[ExecStatus]) -> Option<CorrectnessOutlier> {
+    if statuses.len() < 2 {
+        return None;
+    }
+    let bad: Vec<usize> = statuses
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s != ExecStatus::Ok)
+        .map(|(i, _)| i)
+        .collect();
+    if bad.len() != 1 {
+        // Zero bad runs: nothing to report. Several bad runs: the *test*
+        // is broken for everyone (not an implementation outlier).
+        return None;
+    }
+    let index = bad[0];
+    Some(match statuses[index] {
+        ExecStatus::Crash => CorrectnessOutlier::Crash { index },
+        ExecStatus::Hang => CorrectnessOutlier::Hang { index },
+        ExecStatus::Ok => unreachable!(),
+    })
+}
+
+/// Result equality for differential comparison: exact, with all NaNs
+/// identified (a NaN result is "the same wrong answer" regardless of
+/// payload bits).
+pub fn results_match(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+/// Index of the single diverging result, if exactly one run disagrees with
+/// all the (mutually agreeing) others.
+pub fn divergent_result_index(results: &[f64]) -> Option<usize> {
+    if results.len() < 3 {
+        return None;
+    }
+    for i in 0..results.len() {
+        let rest: Vec<f64> = results
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, &v)| v)
+            .collect();
+        let rest_agree = rest.windows(2).all(|w| results_match(w[0], w[1]));
+        let i_differs = rest.iter().all(|&v| !results_match(results[i], v));
+        if rest_agree && i_differs {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// One implementation's observation for a (program, input) test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunObservation {
+    pub status: ExecStatus,
+    /// Execution time (present when status is `Ok`).
+    pub time_us: Option<f64>,
+    /// Printed `comp` (present when status is `Ok`).
+    pub result: Option<f64>,
+}
+
+impl RunObservation {
+    /// A successful observation.
+    pub fn ok(time_us: f64, result: f64) -> RunObservation {
+        RunObservation {
+            status: ExecStatus::Ok,
+            time_us: Some(time_us),
+            result: Some(result),
+        }
+    }
+
+    /// A crashed observation.
+    pub fn crash() -> RunObservation {
+        RunObservation {
+            status: ExecStatus::Crash,
+            time_us: None,
+            result: None,
+        }
+    }
+
+    /// A hung observation.
+    pub fn hang() -> RunObservation {
+        RunObservation {
+            status: ExecStatus::Hang,
+            time_us: None,
+            result: None,
+        }
+    }
+}
+
+/// Complete differential analysis of one test across implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Analysis {
+    /// Correctness outlier, if any. Correctness outliers are *not* also
+    /// performance outliers (§IV-C).
+    pub correctness: Option<CorrectnessOutlier>,
+    /// Performance outlier among the OK runs (only when no correctness
+    /// outlier and the test passed the time filter).
+    pub performance: Option<PerfOutlier>,
+    /// Index of a single diverging numerical result among OK runs.
+    pub divergence: Option<usize>,
+    /// The test was dropped by the `min_time_us` filter.
+    pub filtered: bool,
+}
+
+/// Analyze one test's observations across all implementations.
+pub fn analyze(observations: &[RunObservation], cfg: &OutlierConfig) -> Analysis {
+    let mut analysis = Analysis::default();
+
+    let statuses: Vec<ExecStatus> = observations.iter().map(|o| o.status).collect();
+    analysis.correctness = detect_correctness_outlier(&statuses);
+    if analysis.correctness.is_some() {
+        return analysis;
+    }
+    if statuses.iter().any(|s| *s != ExecStatus::Ok) {
+        // Everything-is-broken tests carry no differential signal.
+        return analysis;
+    }
+
+    let times: Vec<f64> = observations.iter().map(|o| o.time_us.unwrap_or(0.0)).collect();
+    let results: Vec<f64> = observations.iter().map(|o| o.result.unwrap_or(0.0)).collect();
+    analysis.divergence = divergent_result_index(&results);
+
+    // §V-A: filter out tests that take less than `min_time_us`.
+    if times.iter().copied().fold(0.0, f64::max) < cfg.min_time_us {
+        analysis.filtered = true;
+        return analysis;
+    }
+    analysis.performance = detect_performance_outlier(&times, cfg);
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CFG: OutlierConfig = OutlierConfig {
+        alpha: 0.2,
+        beta: 1.5,
+        min_time_us: 1_000.0,
+    };
+
+    #[test]
+    fn eq1_worked_examples() {
+        // 20% apart exactly: comparable at α = 0.2.
+        assert!(comparable(100.0, 120.0, 0.2));
+        assert!(!comparable(100.0, 121.0, 0.2));
+        assert!(comparable(5.0, 5.0, 0.0));
+        // min = 0 is undefined → not comparable.
+        assert!(!comparable(0.0, 5.0, 0.2));
+    }
+
+    #[test]
+    fn fig1_example_detects_slow_compiler_3() {
+        // 5 min, 5 min, 9 min.
+        let out = detect_performance_outlier(&[300e6, 300e6, 540e6], &CFG).unwrap();
+        assert_eq!(out, PerfOutlier::Slow { index: 2, ratio: 1.8 });
+        assert!(out.is_slow());
+    }
+
+    #[test]
+    fn fast_outlier_detected() {
+        // GCC 80% faster than the others (case study 1's shape).
+        let t_gcc = 100_000.0;
+        let t_other = 180_000.0;
+        let out = detect_performance_outlier(&[t_other, t_other * 1.05, t_gcc], &CFG).unwrap();
+        assert_eq!(out.index(), 2);
+        assert!(!out.is_slow());
+        assert!(out.ratio() > 1.5);
+    }
+
+    #[test]
+    fn no_outlier_when_all_comparable() {
+        assert_eq!(detect_performance_outlier(&[100.0, 110.0, 95.0], &CFG), None);
+    }
+
+    #[test]
+    fn no_outlier_when_rest_not_comparable() {
+        // 100 vs 200 aren't comparable, so 1000 can't be judged.
+        assert_eq!(
+            detect_performance_outlier(&[100.0, 200.0, 1000.0], &CFG),
+            None
+        );
+    }
+
+    #[test]
+    fn below_beta_is_not_an_outlier() {
+        // 1.4× the midpoint < β = 1.5.
+        assert_eq!(
+            detect_performance_outlier(&[100.0, 100.0, 140.0], &CFG),
+            None
+        );
+    }
+
+    #[test]
+    fn two_runs_cannot_have_an_outlier() {
+        assert_eq!(detect_performance_outlier(&[100.0, 500.0], &CFG), None);
+    }
+
+    #[test]
+    fn correctness_outlier_cases() {
+        use ExecStatus::*;
+        // The paper's example: P1 OK, P2 CRASH, P3 OK → OpenMP2 outlier.
+        assert_eq!(
+            detect_correctness_outlier(&[Ok, Crash, Ok]),
+            Some(CorrectnessOutlier::Crash { index: 1 })
+        );
+        assert_eq!(
+            detect_correctness_outlier(&[Ok, Ok, Hang]),
+            Some(CorrectnessOutlier::Hang { index: 2 })
+        );
+        assert_eq!(detect_correctness_outlier(&[Ok, Ok, Ok]), None);
+        // Two failures: not a single-implementation outlier.
+        assert_eq!(detect_correctness_outlier(&[Crash, Crash, Ok]), None);
+        assert_eq!(detect_correctness_outlier(&[Ok]), None);
+    }
+
+    #[test]
+    fn divergence_detection() {
+        assert_eq!(divergent_result_index(&[1.0, 1.0, 2.0]), Some(2));
+        assert_eq!(divergent_result_index(&[1.0, 1.0, 1.0]), None);
+        assert_eq!(divergent_result_index(&[1.0, 2.0, 3.0]), None);
+        // All-NaN results agree.
+        assert_eq!(
+            divergent_result_index(&[f64::NAN, f64::NAN, f64::NAN]),
+            None
+        );
+        // One NaN against two agreeing numbers diverges.
+        assert_eq!(divergent_result_index(&[1.0, f64::NAN, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn analyze_prioritizes_correctness() {
+        let obs = [
+            RunObservation::ok(100_000.0, 1.0),
+            RunObservation::crash(),
+            RunObservation::ok(500_000.0, 1.0),
+        ];
+        let a = analyze(&obs, &CFG);
+        assert!(matches!(
+            a.correctness,
+            Some(CorrectnessOutlier::Crash { index: 1 })
+        ));
+        assert_eq!(a.performance, None); // not double-counted
+    }
+
+    #[test]
+    fn analyze_filters_fast_tests() {
+        let obs = [
+            RunObservation::ok(100.0, 1.0),
+            RunObservation::ok(110.0, 1.0),
+            RunObservation::ok(900.0, 1.0),
+        ];
+        let a = analyze(&obs, &CFG);
+        assert!(a.filtered);
+        assert_eq!(a.performance, None);
+    }
+
+    #[test]
+    fn analyze_full_positive_case() {
+        let obs = [
+            RunObservation::ok(100_000.0, 1.0),
+            RunObservation::ok(105_000.0, 1.0),
+            RunObservation::ok(200_000.0, 2.0),
+        ];
+        let a = analyze(&obs, &CFG);
+        assert!(!a.filtered);
+        assert_eq!(a.divergence, Some(2));
+        assert!(matches!(a.performance, Some(PerfOutlier::Slow { index: 2, .. })));
+    }
+
+    #[test]
+    fn analyze_all_broken_reports_nothing() {
+        let obs = [RunObservation::hang(), RunObservation::hang(), RunObservation::hang()];
+        let a = analyze(&obs, &CFG);
+        assert_eq!(a.correctness, None);
+        assert_eq!(a.performance, None);
+    }
+
+    proptest! {
+        /// Comparability is symmetric.
+        #[test]
+        fn comparable_symmetric(a in 1.0..1e9f64, b in 1.0..1e9f64, alpha in 0.0..2.0f64) {
+            prop_assert_eq!(comparable(a, b, alpha), comparable(b, a, alpha));
+        }
+
+        /// Increasing α can only make more pairs comparable.
+        #[test]
+        fn alpha_monotone(a in 1.0..1e9f64, b in 1.0..1e9f64, alpha in 0.0..1.0f64, extra in 0.0..1.0f64) {
+            if comparable(a, b, alpha) {
+                prop_assert!(comparable(a, b, alpha + extra));
+            }
+        }
+
+        /// Scale invariance: verdicts don't depend on time units.
+        #[test]
+        fn detection_scale_invariant(
+            t0 in 1.0e3..1.0e8f64,
+            t1 in 1.0e3..1.0e8f64,
+            t2 in 1.0e3..1.0e8f64,
+            k in 0.001..1000.0f64,
+        ) {
+            let base = detect_performance_outlier(&[t0, t1, t2], &CFG);
+            let scaled = detect_performance_outlier(&[t0 * k, t1 * k, t2 * k], &CFG);
+            match (base, scaled) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.index(), b.index());
+                    prop_assert_eq!(a.is_slow(), b.is_slow());
+                    prop_assert!((a.ratio() - b.ratio()).abs() < 1e-6 * a.ratio());
+                }
+                (a, b) => prop_assert!(false, "scale changed verdict: {:?} vs {:?}", a, b),
+            }
+        }
+
+        /// Raising β can only remove outliers, never create them.
+        #[test]
+        fn beta_monotone(
+            t0 in 1.0e3..1.0e8f64,
+            t1 in 1.0e3..1.0e8f64,
+            t2 in 1.0e3..1.0e8f64,
+            extra in 0.0..2.0f64,
+        ) {
+            let strict = OutlierConfig { beta: CFG.beta + extra, ..CFG };
+            if detect_performance_outlier(&[t0, t1, t2], &strict).is_some() {
+                prop_assert!(detect_performance_outlier(&[t0, t1, t2], &CFG).is_some());
+            }
+        }
+
+        /// Identical times never produce an outlier.
+        #[test]
+        fn equal_times_no_outlier(t in 1.0e3..1.0e9f64, n in 3usize..8) {
+            let times = vec![t; n];
+            prop_assert_eq!(detect_performance_outlier(&times, &CFG), None);
+        }
+
+        /// At most one verdict is produced and its index is in range.
+        #[test]
+        fn verdict_index_in_range(
+            t0 in 1.0e3..1.0e8f64,
+            t1 in 1.0e3..1.0e8f64,
+            t2 in 1.0e3..1.0e8f64,
+            t3 in 1.0e3..1.0e8f64,
+        ) {
+            if let Some(v) = detect_performance_outlier(&[t0, t1, t2, t3], &CFG) {
+                prop_assert!(v.index() < 4);
+                prop_assert!(v.ratio() >= CFG.beta);
+            }
+        }
+    }
+}

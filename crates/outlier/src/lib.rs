@@ -1,0 +1,43 @@
+//! # ompfuzz-outlier
+//!
+//! Outlier detection for randomized differential testing — the paper's §IV,
+//! implemented exactly:
+//!
+//! * **Comparable times** (eq. 1): `|ri − rj| / min(ri, rj) ≤ α`.
+//! * **Midpoint**: the average of a set of pairwise-comparable times.
+//! * **Slow/fast performance outliers** (eq. 2, Fig. 5): a run is a *slow
+//!   outlier* when the remaining runs are pairwise comparable and
+//!   `r / M ≥ β`; a *fast outlier* when `M / r ≥ β`.
+//! * **Correctness outliers** (§IV-C): one run CRASHes or HANGs while every
+//!   other run terminates OK.
+//! * **Result divergence**: one binary prints a different `comp` — used to
+//!   attribute NaN-control-flow outliers (§V-B) and to restrict case
+//!   studies to equal-output runs.
+//!
+//! The detector is generic over the number of implementations (the paper
+//! uses three; the math only needs "all others pairwise comparable").
+//!
+//! ```
+//! use ompfuzz_outlier::{detect_performance_outlier, OutlierConfig, PerfOutlier};
+//!
+//! let cfg = OutlierConfig::default(); // α = 0.2, β = 1.5
+//! // Fig. 1's example: 5 min, 5 min, 9 min → implementation 3 is slow.
+//! let times = [300e6, 300e6, 540e6];
+//! match detect_performance_outlier(&times, &cfg) {
+//!     Some(PerfOutlier::Slow { index, ratio }) => {
+//!         assert_eq!(index, 2);
+//!         assert!(ratio >= 1.5);
+//!     }
+//!     other => panic!("expected a slow outlier, got {other:?}"),
+//! }
+//! ```
+
+pub mod detect;
+pub mod tally;
+
+pub use detect::{
+    analyze, comparable, detect_correctness_outlier, detect_performance_outlier,
+    divergent_result_index, midpoint, results_match, Analysis, CorrectnessOutlier, ExecStatus,
+    OutlierConfig, PerfOutlier, RunObservation,
+};
+pub use tally::{OutlierKind, Tally};

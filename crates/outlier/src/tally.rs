@@ -1,0 +1,223 @@
+//! Campaign-level tallying of outliers per implementation — the data
+//! behind Table I.
+
+use crate::detect::{Analysis, CorrectnessOutlier, PerfOutlier};
+
+/// Outlier classes of Table I's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutlierKind {
+    Slow,
+    Fast,
+    Crash,
+    Hang,
+}
+
+impl OutlierKind {
+    /// Table I column order.
+    pub fn all() -> [OutlierKind; 4] {
+        [
+            OutlierKind::Slow,
+            OutlierKind::Fast,
+            OutlierKind::Crash,
+            OutlierKind::Hang,
+        ]
+    }
+
+    /// Column header.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutlierKind::Slow => "Slow",
+            OutlierKind::Fast => "Fast",
+            OutlierKind::Crash => "Crash",
+            OutlierKind::Hang => "Hang",
+        }
+    }
+}
+
+/// Per-implementation outlier counts plus campaign totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tally {
+    /// Implementation labels, index-aligned with every observation vector.
+    pub labels: Vec<String>,
+    slow: Vec<u64>,
+    fast: Vec<u64>,
+    crash: Vec<u64>,
+    hang: Vec<u64>,
+    /// Total analyses fed in.
+    pub total_runsets: u64,
+    /// Analyses dropped by the time filter.
+    pub filtered: u64,
+    /// Analyses with a single diverging numerical result.
+    pub divergent: u64,
+    /// Performance outliers that *also* diverged numerically (the paper
+    /// attributes about half the GCC fast outliers to this).
+    pub outlier_with_divergence: u64,
+}
+
+impl Tally {
+    /// New tally for the given implementation labels.
+    pub fn new(labels: Vec<String>) -> Tally {
+        let n = labels.len();
+        Tally {
+            labels,
+            slow: vec![0; n],
+            fast: vec![0; n],
+            crash: vec![0; n],
+            hang: vec![0; n],
+            total_runsets: 0,
+            filtered: 0,
+            divergent: 0,
+            outlier_with_divergence: 0,
+        }
+    }
+
+    /// Record one analysis.
+    pub fn add(&mut self, analysis: &Analysis) {
+        self.total_runsets += 1;
+        if analysis.filtered {
+            self.filtered += 1;
+        }
+        if analysis.divergence.is_some() {
+            self.divergent += 1;
+        }
+        match analysis.correctness {
+            Some(CorrectnessOutlier::Crash { index }) => self.crash[index] += 1,
+            Some(CorrectnessOutlier::Hang { index }) => self.hang[index] += 1,
+            None => {}
+        }
+        match analysis.performance {
+            Some(PerfOutlier::Slow { index, .. }) => {
+                self.slow[index] += 1;
+                if analysis.divergence == Some(index) {
+                    self.outlier_with_divergence += 1;
+                }
+            }
+            Some(PerfOutlier::Fast { index, .. }) => {
+                self.fast[index] += 1;
+                if analysis.divergence == Some(index) {
+                    self.outlier_with_divergence += 1;
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Count for one (implementation, kind) cell.
+    pub fn count(&self, index: usize, kind: OutlierKind) -> u64 {
+        match kind {
+            OutlierKind::Slow => self.slow[index],
+            OutlierKind::Fast => self.fast[index],
+            OutlierKind::Crash => self.crash[index],
+            OutlierKind::Hang => self.hang[index],
+        }
+    }
+
+    /// Total outliers of all classes.
+    pub fn total_outliers(&self) -> u64 {
+        (0..self.labels.len())
+            .flat_map(|i| OutlierKind::all().into_iter().map(move |k| self.count(i, k)))
+            .sum()
+    }
+
+    /// Outlier rate over all analyzed run-sets (the paper's 7.4%).
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.total_runsets == 0 {
+            return 0.0;
+        }
+        self.total_outliers() as f64 / self.total_runsets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{analyze, OutlierConfig, RunObservation};
+
+    fn labels() -> Vec<String> {
+        vec!["Intel".into(), "Clang".into(), "GCC".into()]
+    }
+
+    #[test]
+    fn tallies_each_class() {
+        let cfg = OutlierConfig::default();
+        let mut tally = Tally::new(labels());
+
+        // Clang slow.
+        tally.add(&analyze(
+            &[
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::ok(200_000.0, 1.0),
+                RunObservation::ok(105_000.0, 1.0),
+            ],
+            &cfg,
+        ));
+        // GCC fast with divergence.
+        tally.add(&analyze(
+            &[
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::ok(105_000.0, 1.0),
+                RunObservation::ok(30_000.0, 7.0),
+            ],
+            &cfg,
+        ));
+        // GCC crash.
+        tally.add(&analyze(
+            &[
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::crash(),
+            ],
+            &cfg,
+        ));
+        // Intel hang.
+        tally.add(&analyze(
+            &[
+                RunObservation::hang(),
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::ok(100_000.0, 1.0),
+            ],
+            &cfg,
+        ));
+        // Nothing.
+        tally.add(&analyze(
+            &[
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::ok(100_000.0, 1.0),
+            ],
+            &cfg,
+        ));
+
+        assert_eq!(tally.count(1, OutlierKind::Slow), 1);
+        assert_eq!(tally.count(2, OutlierKind::Fast), 1);
+        assert_eq!(tally.count(2, OutlierKind::Crash), 1);
+        assert_eq!(tally.count(0, OutlierKind::Hang), 1);
+        assert_eq!(tally.total_outliers(), 4);
+        assert_eq!(tally.total_runsets, 5);
+        assert_eq!(tally.divergent, 1);
+        assert_eq!(tally.outlier_with_divergence, 1);
+        assert!((tally.outlier_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filtered_runs_are_counted() {
+        let cfg = OutlierConfig::default();
+        let mut tally = Tally::new(labels());
+        tally.add(&analyze(
+            &[
+                RunObservation::ok(10.0, 1.0),
+                RunObservation::ok(12.0, 1.0),
+                RunObservation::ok(11.0, 1.0),
+            ],
+            &cfg,
+        ));
+        assert_eq!(tally.filtered, 1);
+        assert_eq!(tally.total_outliers(), 0);
+    }
+
+    #[test]
+    fn kind_labels_match_table_1() {
+        let labels: Vec<&str> = OutlierKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["Slow", "Fast", "Crash", "Hang"]);
+    }
+}

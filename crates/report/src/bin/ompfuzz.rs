@@ -1,0 +1,193 @@
+//! The `ompfuzz` command-line interface.
+//!
+//! ```text
+//! ompfuzz list-experiments
+//! ompfuzz reproduce -e table1 [--quick]
+//! ompfuzz campaign [--programs N] [--inputs K] [--seed S] [--config FILE] [--csv OUT]
+//! ompfuzz generate --out DIR [--programs N] [--seed S]
+//! ompfuzz emit [--seed S]
+//! ompfuzz config-template
+//! ```
+
+use ompfuzz_backends::{standard_backends, OmpBackend};
+use ompfuzz_harness::{generate_corpus, run_campaign, save_corpus, CampaignConfig};
+use ompfuzz_report::{campaign_to_csv, experiments, render_table1, run_experiment, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        print_usage();
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "list-experiments" => cmd_list(),
+        "reproduce" => cmd_reproduce(rest),
+        "campaign" => cmd_campaign(rest),
+        "generate" => cmd_generate(rest),
+        "emit" => cmd_emit(rest),
+        "config-template" => {
+            println!("{}", CampaignConfig::paper().to_config_file());
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `ompfuzz help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ompfuzz: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "ompfuzz — randomized differential testing for OpenMP implementations\n\n\
+         USAGE:\n  ompfuzz <command> [options]\n\n\
+         COMMANDS:\n\
+         \x20 list-experiments           list every reproducible table/figure\n\
+         \x20 reproduce -e <id> [--quick]  regenerate one experiment (e.g. table1, fig9)\n\
+         \x20 campaign [--programs N] [--inputs K] [--seed S] [--config FILE] [--csv OUT]\n\
+         \x20                            run a differential campaign and print Table I\n\
+         \x20 generate --out DIR [--programs N] [--seed S]\n\
+         \x20                            write generated .cpp tests + inputs to DIR\n\
+         \x20 emit [--seed S]            print one generated test program\n\
+         \x20 config-template            print the default campaign config file"
+    );
+}
+
+/// Pull `--key value` / `-k value` style options out of `rest`.
+struct Opts<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    fn value_of(&self, long: &str, short: Option<&str>) -> Option<&'a str> {
+        let mut iter = self.rest.iter();
+        while let Some(a) = iter.next() {
+            if a == long || short.is_some_and(|s| a == s) {
+                return iter.next().map(|s| s.as_str());
+            }
+        }
+        None
+    }
+
+    fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, long: &str, short: Option<&str>) -> Result<Option<T>, String> {
+        match self.value_of(long, short) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {long}: {v}")),
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<10} {:<22} {}", "id", "paper reference", "title");
+    println!("{}", "-".repeat(72));
+    for e in experiments() {
+        println!("{:<10} {:<22} {}", e.id, e.paper_ref, e.title);
+    }
+    Ok(())
+}
+
+fn cmd_reproduce(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let id = opts
+        .value_of("--experiment", Some("-e"))
+        .ok_or("reproduce requires --experiment <id>")?;
+    let scale = if opts.has_flag("--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let output = run_experiment(id, scale)
+        .ok_or_else(|| format!("unknown experiment `{id}` (see list-experiments)"))?;
+    println!("{output}");
+    Ok(())
+}
+
+fn build_config(opts: &Opts) -> Result<CampaignConfig, String> {
+    let mut cfg = match opts.value_of("--config", Some("-c")) {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read config {path}: {e}"))?;
+            CampaignConfig::from_config_file(&text).map_err(|e| e.to_string())?
+        }
+        None => CampaignConfig::paper(),
+    };
+    if let Some(n) = opts.parsed::<usize>("--programs", Some("-n"))? {
+        cfg.programs = n;
+    }
+    if let Some(k) = opts.parsed::<usize>("--inputs", Some("-i"))? {
+        cfg.inputs_per_program = k;
+    }
+    if let Some(s) = opts.parsed::<u64>("--seed", Some("-s"))? {
+        cfg.seed = s;
+    }
+    Ok(cfg)
+}
+
+fn cmd_campaign(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let cfg = build_config(&opts)?;
+    eprintln!(
+        "running campaign: {} programs × {} inputs × 3 implementations ...",
+        cfg.programs, cfg.inputs_per_program
+    );
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+    let result = run_campaign(&cfg, &dyns);
+    println!("{}", render_table1(&result));
+    eprintln!("campaign wall time: {:.2?}", result.wall_time);
+    if let Some(csv_path) = opts.value_of("--csv", None) {
+        std::fs::write(csv_path, campaign_to_csv(&result))
+            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+        eprintln!("records written to {csv_path}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let out: PathBuf = opts
+        .value_of("--out", Some("-o"))
+        .ok_or("generate requires --out <dir>")?
+        .into();
+    let mut cfg = build_config(&opts)?;
+    if opts.value_of("--programs", Some("-n")).is_none() {
+        cfg.programs = 20; // sensible default for on-disk inspection
+    }
+    let corpus = generate_corpus(&cfg);
+    let files = save_corpus(&corpus, &out).map_err(|e| format!("saving corpus: {e}"))?;
+    println!(
+        "wrote {files} files ({} tests × (source + inputs)) under {}",
+        corpus.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_emit(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let seed = opts.parsed::<u64>("--seed", Some("-s"))?.unwrap_or(42);
+    let mut generator =
+        ompfuzz_gen::ProgramGenerator::new(ompfuzz_gen::GeneratorConfig::paper(), seed);
+    let program = generator.generate("emitted");
+    println!(
+        "{}",
+        ompfuzz_ast::printer::emit_translation_unit(&program, &Default::default())
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # ompfuzz-report
+//!
+//! Rendering and regeneration of every table and figure in the paper's
+//! evaluation, plus the `ompfuzz` command-line interface.
+//!
+//! * [`experiments`] — the per-experiment registry (`table1`, `table2`,
+//!   `table3`, `fig1`, `fig5`–`fig9`, `versions`); each experiment reruns
+//!   its workload and renders paper-style output.
+//! * [`table`] — aligned text tables in the paper's visual style.
+//! * [`csv`] — campaign export for downstream analysis.
+//!
+//! ```
+//! use ompfuzz_report::{run_experiment, Scale};
+//! let fig5 = run_experiment("fig5", Scale::Quick).unwrap();
+//! assert!(fig5.contains("SLOW"));
+//! ```
+
+pub mod csv;
+pub mod experiments;
+pub mod table;
+
+pub use csv::campaign_to_csv;
+pub use experiments::{
+    experiments, hang_run, render_table1, run_experiment, table1_campaign, Experiment, Scale,
+};
+pub use table::TextTable;

@@ -1,0 +1,170 @@
+//! Minimal aligned-column text tables, in the visual style of the paper's
+//! tables.
+
+/// A text table with a title, headers and string rows.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            title: None,
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attach a title line.
+    pub fn with_title(mut self, title: impl Into<String>) -> TextTable {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Append one row (must match the header count).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns: first column left-aligned, the rest
+    /// right-aligned (numeric convention).
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{h:<width$}", width = widths[i]));
+            } else {
+                line.push_str(&format!("{h:>width$}", width = widths[i]));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:>width$}", width = widths[i]));
+                }
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a count the way the paper's Table I does: `–` for zero.
+pub fn dash_zero(n: u64) -> String {
+    if n == 0 {
+        "–".to_string()
+    } else {
+        n.to_string()
+    }
+}
+
+/// Thousands separators for counter values (`110,520,780`).
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Impl", "Slow", "Fast"]).with_title("TABLE X");
+        t.push_row(vec!["Clang", "10", "–"]);
+        t.push_row(vec!["GCC", "4", "115"]);
+        let s = t.render();
+        assert!(s.starts_with("TABLE X\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+        assert!(lines[1].contains("Slow"));
+        assert!(lines[3].starts_with("Clang"));
+        // Right alignment: "115" ends at the same column as header "Fast".
+        let header_end = lines[1].len();
+        assert_eq!(lines[4].len(), header_end);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn dash_zero_formatting() {
+        assert_eq!(dash_zero(0), "–");
+        assert_eq!(dash_zero(7), "7");
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(110520780), "110,520,780");
+    }
+
+    #[test]
+    fn empty_checks() {
+        let t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

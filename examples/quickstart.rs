@@ -1,0 +1,84 @@
+//! Quickstart: generate one random OpenMP test, run it through the three
+//! simulated implementations, and apply differential outlier detection.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ompfuzz::backends::{standard_backends, CompileOptions, OmpBackend, RunOptions};
+use ompfuzz::gen::{GeneratorConfig, ProgramGenerator};
+use ompfuzz::inputs::InputGenerator;
+use ompfuzz::outlier::{analyze, OutlierConfig, RunObservation};
+
+fn main() {
+    // 1. Generate a random OpenMP program (the paper's step (a)).
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+    let mut generator = ProgramGenerator::new(GeneratorConfig::paper(), seed);
+    let program = generator.generate("quickstart");
+    println!("=== generated test (seed {seed}) ===\n");
+    println!(
+        "{}",
+        ompfuzz::ast::printer::emit_kernel_source(&program, &Default::default())
+    );
+
+    // 2. Generate a random floating-point input for it.
+    let input = InputGenerator::new(seed + 1).generate_for(&program);
+    println!("=== input ===\n{}\n", input.to_line());
+
+    // 3. Compile and run with each OpenMP implementation (steps (b)+(c)).
+    let backends = standard_backends();
+    let mut observations = Vec::new();
+    println!("=== runs ===");
+    for backend in &backends {
+        let binary = backend
+            .compile(&program, &CompileOptions::default())
+            .expect("generated programs always compile");
+        let result = binary.run(&input, &RunOptions::default());
+        println!(
+            "  {:<6} status={:<5} comp={:<24} time={:?} µs",
+            backend.info().vendor.label(),
+            result.status.label(),
+            result
+                .comp
+                .map(|c| format!("{c:.17e}"))
+                .unwrap_or_else(|| "-".into()),
+            result.time_us
+        );
+        observations.push(match result.status {
+            ompfuzz::backends::RunStatus::Ok => RunObservation::ok(
+                result.time_us.unwrap_or(0) as f64,
+                result.comp.unwrap_or(f64::NAN),
+            ),
+            ompfuzz::backends::RunStatus::Crash { .. } => RunObservation::crash(),
+            ompfuzz::backends::RunStatus::Hang { .. } => RunObservation::hang(),
+        });
+    }
+
+    // 4. Differential analysis (step (d)).
+    let analysis = analyze(&observations, &OutlierConfig::default());
+    println!("\n=== verdict ===");
+    if let Some(c) = analysis.correctness {
+        println!(
+            "  correctness outlier: {} ({})",
+            backends[c.index()].info().vendor.label(),
+            match c {
+                ompfuzz::outlier::CorrectnessOutlier::Crash { .. } => "CRASH",
+                ompfuzz::outlier::CorrectnessOutlier::Hang { .. } => "HANG",
+            }
+        );
+    } else if let Some(p) = analysis.performance {
+        println!(
+            "  performance outlier: {} is {:.2}× {} the midpoint of the others",
+            backends[p.index()].info().vendor.label(),
+            p.ratio(),
+            if p.is_slow() { "slower than" } else { "faster than" },
+        );
+    } else if analysis.filtered {
+        println!("  test too fast to time reliably (< 1,000 µs) — filtered, try another seed");
+    } else {
+        println!("  no outlier: all implementations comparable (α = 0.2, β = 1.5)");
+    }
+}

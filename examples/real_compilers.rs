@@ -1,0 +1,109 @@
+//! Differential testing against *real* host compilers, exactly as the
+//! paper runs on an HPC system.
+//!
+//! Probes `g++`, `clang++` and `icpx` on the host; every usable toolchain
+//! becomes a backend. With two or more real toolchains this is true
+//! differential testing of your system's OpenMP stacks; with one, the
+//! example still demonstrates the compile→run→parse pipeline and
+//! cross-checks the host's numerics against the simulated backends.
+//!
+//! ```sh
+//! cargo run --release --example real_compilers
+//! ```
+
+use ompfuzz::backends::{standard_backends, CompileOptions, OmpBackend, RunOptions};
+use ompfuzz::gen::{GeneratorConfig, ProgramGenerator};
+use ompfuzz::harness::ProcessBackend;
+use ompfuzz::inputs::InputGenerator;
+use ompfuzz::outlier::{analyze, OutlierConfig, RunObservation};
+
+fn main() {
+    let hosts = ProcessBackend::detect_all();
+    if hosts.is_empty() {
+        println!("no usable host OpenMP toolchain found (tried g++, clang++, icpx).");
+        println!("install one and re-run; falling back to the simulated backends.\n");
+    } else {
+        println!("host OpenMP toolchains detected:");
+        for h in &hosts {
+            println!(
+                "  {} ({}) — {}",
+                h.info().compiler,
+                h.info().vendor.label(),
+                h.info().version
+            );
+        }
+        println!();
+    }
+
+    // Small, quick programs: real compilation dominates the budget.
+    let config = GeneratorConfig {
+        max_loop_trip: 200,
+        num_threads: 4,
+        ..GeneratorConfig::paper()
+    };
+    let mut generator = ProgramGenerator::new(config, 2024);
+    let mut inputs = InputGenerator::new(2025);
+    let run_opts = RunOptions {
+        hang_timeout_us: 10_000_000, // 10 s real time per run
+        ..RunOptions::default()
+    };
+
+    let sims = standard_backends();
+    let backends: Vec<&dyn OmpBackend> = if hosts.len() >= 2 {
+        hosts.iter().map(|h| h as &dyn OmpBackend).collect()
+    } else {
+        // Mixed mode: one real toolchain (if any) + simulated implementations
+        // still exercises the full differential pipeline.
+        hosts
+            .iter()
+            .map(|h| h as &dyn OmpBackend)
+            .chain(sims.iter().map(|s| s as &dyn OmpBackend))
+            .collect()
+    };
+
+    let trials = 5usize;
+    for t in 0..trials {
+        let program = generator.generate(&format!("host_test_{t}"));
+        let input = inputs.generate_for(&program);
+        let mut observations = Vec::new();
+        print!("test {t}: ");
+        for backend in &backends {
+            let label = backend.info().compiler;
+            match backend.compile(&program, &CompileOptions::default()) {
+                Ok(bin) => {
+                    let r = bin.run(&input, &run_opts);
+                    print!(
+                        "{label}[{} {}µs] ",
+                        r.status.label(),
+                        r.time_us.unwrap_or(0)
+                    );
+                    observations.push(match r.status {
+                        ompfuzz::backends::RunStatus::Ok => RunObservation::ok(
+                            r.time_us.unwrap_or(0) as f64,
+                            r.comp.unwrap_or(f64::NAN),
+                        ),
+                        ompfuzz::backends::RunStatus::Crash { .. } => RunObservation::crash(),
+                        ompfuzz::backends::RunStatus::Hang { .. } => RunObservation::hang(),
+                    });
+                }
+                Err(e) => {
+                    print!("{label}[COMPILE-FAIL] ");
+                    eprintln!("\n  {e}");
+                }
+            }
+        }
+        let analysis = analyze(&observations, &OutlierConfig::default());
+        if let Some(c) = analysis.correctness {
+            println!("=> correctness outlier at index {}", c.index());
+        } else if let Some(p) = analysis.performance {
+            println!(
+                "=> {} outlier at index {} ({:.2}×)",
+                if p.is_slow() { "slow" } else { "fast" },
+                p.index(),
+                p.ratio()
+            );
+        } else {
+            println!("=> comparable");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # ompfuzz — umbrella crate
+//!
+//! Re-exports the full `ompfuzz` workspace under one roof so examples,
+//! integration tests and downstream users can depend on a single crate.
+//!
+//! `ompfuzz` is a randomized differential-testing framework for OpenMP
+//! implementations, reproducing *"Testing the Unknown: A Framework for
+//! OpenMP Testing via Random Program Generation"* (SC 2024). See the README
+//! for the architecture overview and DESIGN.md for the per-experiment index.
+
+pub use ompfuzz_ast as ast;
+pub use ompfuzz_backends as backends;
+pub use ompfuzz_exec as exec;
+pub use ompfuzz_gen as gen;
+pub use ompfuzz_harness as harness;
+pub use ompfuzz_inputs as inputs;
+pub use ompfuzz_outlier as outlier;
+pub use ompfuzz_report as report;

@@ -1,0 +1,108 @@
+//! Integration with real host OpenMP toolchains (the paper's actual
+//! deployment mode). Every test skips gracefully when no usable compiler
+//! exists on the host.
+
+use ompfuzz::backends::{CompileOptions, OmpBackend, RunOptions, RunStatus};
+use ompfuzz::gen::{GeneratorConfig, ProgramGenerator};
+use ompfuzz::harness::{caselib, ProcessBackend};
+use ompfuzz::inputs::InputGenerator;
+
+fn host() -> Option<ProcessBackend> {
+    ProcessBackend::detect_all().into_iter().next()
+}
+
+/// Generated programs compile cleanly with a real compiler — the printer
+/// emits valid C++/OpenMP.
+#[test]
+fn generated_programs_compile_on_host() {
+    let Some(backend) = host() else {
+        eprintln!("skipping: no host OpenMP toolchain");
+        return;
+    };
+    let cfg = GeneratorConfig {
+        num_threads: 4,
+        max_loop_trip: 100,
+        ..GeneratorConfig::paper()
+    };
+    let mut pg = ProgramGenerator::new(cfg, 31337);
+    for program in pg.generate_batch(10) {
+        backend
+            .compile(&program, &CompileOptions::default())
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} does not compile:\n{e}\n{}",
+                    program.name,
+                    ompfuzz::ast::printer::emit_translation_unit(&program, &Default::default())
+                )
+            });
+    }
+}
+
+/// Real binary and simulated backend agree numerically on an
+/// order-insensitive reduction program.
+#[test]
+fn host_and_simulated_results_agree() {
+    let Some(backend) = host() else {
+        eprintln!("skipping: no host OpenMP toolchain");
+        return;
+    };
+    let mut ig = InputGenerator::new(99);
+    let program = caselib::case_study_1(256, 4);
+    for _ in 0..3 {
+        let input = ig.generate_for(&program);
+        let host_bin = backend.compile(&program, &CompileOptions::default()).unwrap();
+        let host_result = host_bin.run(&input, &RunOptions::default());
+        if !host_result.status.is_ok() {
+            continue; // host numerics may overflow to non-parseable output
+        }
+        let sim = ompfuzz::backends::SimBackend::gcc()
+            .compile(&program, &CompileOptions::default())
+            .unwrap();
+        let sim_result = sim.run(&input, &RunOptions::default());
+        let (h, s) = (host_result.comp.unwrap(), sim_result.comp.unwrap());
+        if h.is_nan() || s.is_nan() {
+            assert_eq!(h.is_nan(), s.is_nan());
+        } else {
+            let rel = ((h - s) / s.abs().max(1e-300)).abs();
+            assert!(rel < 1e-6, "host {h} vs sim {s}");
+        }
+    }
+}
+
+/// End-to-end differential run across (host + simulated) implementations,
+/// the mixed mode the `real_compilers` example demonstrates.
+#[test]
+fn mixed_backend_differential_run() {
+    let Some(host_backend) = host() else {
+        eprintln!("skipping: no host OpenMP toolchain");
+        return;
+    };
+    let sims = ompfuzz::backends::standard_backends();
+    let backends: Vec<&dyn OmpBackend> = std::iter::once(&host_backend as &dyn OmpBackend)
+        .chain(sims.iter().map(|s| s as &dyn OmpBackend))
+        .collect();
+
+    let mut pg = ProgramGenerator::new(
+        GeneratorConfig {
+            num_threads: 2,
+            max_loop_trip: 64,
+            ..GeneratorConfig::paper()
+        },
+        4242,
+    );
+    let mut ig = InputGenerator::new(4243);
+    let program = pg.generate("mixed");
+    let input = ig.generate_for(&program);
+    let opts = RunOptions {
+        hang_timeout_us: 10_000_000,
+        ..RunOptions::default()
+    };
+    let mut ok = 0;
+    for b in &backends {
+        let bin = b.compile(&program, &CompileOptions::default()).unwrap();
+        if matches!(bin.run(&input, &opts).status, RunStatus::Ok) {
+            ok += 1;
+        }
+    }
+    assert!(ok >= backends.len() - 1, "most backends should succeed");
+}
