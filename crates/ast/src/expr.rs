@@ -261,7 +261,11 @@ mod tests {
     fn sample_expr() -> Expr {
         // (var_2 * var_3) + sin(1.0 / var_4)
         Expr::binary(
-            Expr::paren(Expr::binary(Expr::var("var_2"), BinOp::Mul, Expr::var("var_3"))),
+            Expr::paren(Expr::binary(
+                Expr::var("var_2"),
+                BinOp::Mul,
+                Expr::var("var_3"),
+            )),
             BinOp::Add,
             Expr::call(
                 MathFunc::Sin,

@@ -147,10 +147,10 @@ impl Visitor for FeatureExtractor {
             LValue::Var(crate::expr::VarRef::Element(_, crate::expr::IndexExpr::ThreadId)) => {
                 self.features.thread_id_writes += 1;
             }
-            LValue::Var(v) if ctx.is_parallel() && !ctx.in_critical => {
-                if !self.is_privatized(v.name()) {
-                    self.features.unprotected_shared_writes += 1;
-                }
+            LValue::Var(v)
+                if ctx.is_parallel() && !ctx.in_critical && !self.is_privatized(v.name()) =>
+            {
+                self.features.unprotected_shared_writes += 1;
             }
             LValue::Comp if ctx.is_parallel() && !ctx.in_critical => {
                 // comp is race-free only under a reduction clause; the
@@ -367,7 +367,7 @@ mod tests {
     fn nan_branch_candidate_needs_branch_and_nan_source() {
         let mut program = cs2_program();
         assert!(!ProgramFeatures::of(&program).nan_branch_candidate()); // div but no branch
-        // Wrap in an if
+                                                                        // Wrap in an if
         program.body = Block::of_stmts(vec![Stmt::If(IfBlock {
             cond: BoolExpr {
                 lhs: VarRef::Scalar("var_1".into()),

@@ -179,10 +179,7 @@ pub fn varity_openmp_grammar() -> Grammar {
             vec![nt("expression"), nt("op"), nt("expression")],
         ],
     );
-    g.rule(
-        "term",
-        vec![vec![nt("identifier")], vec![nt("fp-numeral")]],
-    );
+    g.rule("term", vec![vec![nt("identifier")], vec![nt("fp-numeral")]]);
 
     // Block-level rules.
     g.rule(
@@ -288,10 +285,7 @@ pub fn varity_openmp_grammar() -> Grammar {
     );
 
     // Lexical classes (terminals of the generator's random choices).
-    g.rule(
-        "fp-type",
-        vec![vec![t("float")], vec![t("double")]],
-    );
+    g.rule("fp-type", vec![vec![t("float")], vec![t("double")]]);
     g.rule(
         "assign-op",
         vec![
@@ -456,7 +450,7 @@ fn check_for(fl: &ForLoop, in_parallel: bool, errors: &mut Vec<String>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::{Expr, VarRef};
+    use crate::expr::Expr;
     use crate::omp::{OmpClauses, OmpCritical};
     use crate::ops::AssignOp;
     use crate::stmt::{Assignment, LValue, LoopBound};

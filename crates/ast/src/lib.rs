@@ -10,6 +10,8 @@
 //!   self-contained, compilable `-fopenmp` translation unit with timing
 //!   instrumentation, exactly as the paper's framework writes test files;
 //! * a **visitor** ([`visit`]) for structural traversals;
+//! * a **mutation/rebuild API** ([`rewrite`]) for clone-and-replace
+//!   transformations — the substrate of the `ompfuzz-reduce` delta debugger;
 //! * **static feature extraction** ([`features`]) used by the simulated
 //!   OpenMP backends and by the campaign reports.
 //!
@@ -47,6 +49,7 @@ pub mod omp;
 pub mod ops;
 pub mod printer;
 pub mod program;
+pub mod rewrite;
 pub mod stmt;
 pub mod types;
 pub mod visit;

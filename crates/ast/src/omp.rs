@@ -56,8 +56,7 @@ impl OmpClauses {
 
     /// Whether `name` appears in any privatizing clause.
     pub fn is_privatized(&self, name: &str) -> bool {
-        self.private.iter().any(|v| v == name)
-            || self.firstprivate.iter().any(|v| v == name)
+        self.private.iter().any(|v| v == name) || self.firstprivate.iter().any(|v| v == name)
     }
 }
 
@@ -111,7 +110,11 @@ pub struct OmpCritical {
 
 impl fmt::Display for OmpCritical {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#pragma omp critical {{ .. {} stmts .. }}", self.body.stmt_count())
+        write!(
+            f,
+            "#pragma omp critical {{ .. {} stmts .. }}",
+            self.body.stmt_count()
+        )
     }
 }
 

@@ -362,10 +362,7 @@ mod tests {
                             body: Block::of_stmts(vec![Stmt::Assign(Assignment {
                                 target: LValue::Comp,
                                 op: AssignOp::AddAssign,
-                                value: Expr::elem(
-                                    "var_3",
-                                    IndexExpr::LoopVarMod("i".into(), 1000),
-                                ),
+                                value: Expr::elem("var_3", IndexExpr::LoopVarMod("i".into(), 1000)),
                             })]),
                         }),
                     ]),

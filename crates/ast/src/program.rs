@@ -190,7 +190,10 @@ mod tests {
         assert_eq!(p.int_params().count(), 1);
         assert_eq!(p.fp_scalar_params().count(), 1);
         assert_eq!(p.fp_array_params().count(), 1);
-        assert_eq!(p.param("var_3").unwrap().ty, ParamType::FpArray(FpType::F32));
+        assert_eq!(
+            p.param("var_3").unwrap().ty,
+            ParamType::FpArray(FpType::F32)
+        );
         assert!(p.param("nope").is_none());
     }
 

@@ -25,6 +25,26 @@ pub trait OmpBackend: Send + Sync {
         program: &Program,
         opts: &CompileOptions,
     ) -> Result<Box<dyn CompiledTest>, CompileError>;
+
+    /// Compile with an optionally pre-lowered kernel for `program`.
+    ///
+    /// Simulated backends lower through `ompfuzz_exec::lower` as their
+    /// front-end; when the caller already holds the kernel (the campaign
+    /// driver's race filter lowers first, the reducer lowers each candidate
+    /// exactly once), passing it here skips that repeat work. The default
+    /// ignores the kernel — process-based backends compile real source.
+    ///
+    /// The kernel must be `lower(program)`'s output for this exact program;
+    /// callers guarantee the pairing.
+    fn compile_lowered(
+        &self,
+        program: &Program,
+        kernel: Option<&Kernel>,
+        opts: &CompileOptions,
+    ) -> Result<Box<dyn CompiledTest>, CompileError> {
+        let _ = kernel;
+        self.compile(program, opts)
+    }
 }
 
 /// A compiled test, ready to run on inputs.
@@ -126,11 +146,28 @@ impl SimBackend {
         program: &Program,
         opts: &CompileOptions,
     ) -> Result<SimBinary, CompileError> {
-        let mut kernel = lower(program).map_err(|e| CompileError(e.to_string()))?;
+        let kernel = lower(program).map_err(|e| CompileError(e.to_string()))?;
+        Ok(self.assemble(program, kernel, opts))
+    }
+
+    /// Compile reusing an already-lowered kernel, skipping the front-end.
+    /// `kernel` must be `lower(program)`'s output for this exact program.
+    pub fn compile_sim_lowered(
+        &self,
+        program: &Program,
+        kernel: &Kernel,
+        opts: &CompileOptions,
+    ) -> SimBinary {
+        self.assemble(program, kernel.clone(), opts)
+    }
+
+    /// Back-end half of compilation: vendor-specific optimization over the
+    /// lowered kernel plus metadata capture.
+    fn assemble(&self, program: &Program, mut kernel: Kernel, opts: &CompileOptions) -> SimBinary {
         if opts.opt_level >= OptLevel::O1 {
             fold_constants(&mut kernel);
         }
-        Ok(SimBinary {
+        SimBinary {
             vendor: self.info.vendor,
             info: self.info.clone(),
             bugs: self.bugs,
@@ -139,7 +176,7 @@ impl SimBackend {
             features: ProgramFeatures::of(program),
             program_name: program.name.clone(),
             seed: program.seed,
-        })
+        }
     }
 }
 
@@ -154,6 +191,18 @@ impl OmpBackend for SimBackend {
         opts: &CompileOptions,
     ) -> Result<Box<dyn CompiledTest>, CompileError> {
         Ok(Box::new(self.compile_sim(program, opts)?))
+    }
+
+    fn compile_lowered(
+        &self,
+        program: &Program,
+        kernel: Option<&Kernel>,
+        opts: &CompileOptions,
+    ) -> Result<Box<dyn CompiledTest>, CompileError> {
+        match kernel {
+            Some(k) => Ok(Box::new(self.compile_sim_lowered(program, k, opts))),
+            None => self.compile(program, opts),
+        }
     }
 }
 
@@ -256,7 +305,7 @@ impl SimBinary {
         let certain = per_entry_pressure >= 5_000_000;
         let rare = per_entry_pressure >= 30_000 && {
             let h = fnv1a(format!("hang:{}", self.salt(input)).as_bytes());
-            h % 199 == 0
+            h.is_multiple_of(199)
         };
         (certain || rare).then(|| ThreadSnapshot::queuing_lock_livelock(breakdown.max_team))
     }
@@ -284,7 +333,9 @@ impl CompiledTest for SimBinary {
         // 2. Interpret under this backend's semantics.
         let exec_opts = ExecOptions {
             bool_semantics: self.bool_semantics(),
-            limits: ExecLimits { max_ops: opts.max_ops },
+            limits: ExecLimits {
+                max_ops: opts.max_ops,
+            },
             detect_races: opts.detect_races,
         };
         let outcome = match ompfuzz_exec::run(&self.kernel, input, &exec_opts) {
@@ -357,7 +408,9 @@ impl CompiledTest for SimBinary {
         }
 
         // 5. Normal completion: apply measurement jitter.
-        let time_us = (breakdown.total_us * jitter(salt.as_bytes(), 0.03)).max(1.0).round() as u64;
+        let time_us = (breakdown.total_us * jitter(salt.as_bytes(), 0.03))
+            .max(1.0)
+            .round() as u64;
         let counters = counters::compute(self.vendor, &outcome.stats, &breakdown, &salt);
         let profile = profile::build(
             self.vendor,
@@ -384,10 +437,16 @@ impl CompiledTest for SimBinary {
 
 impl SimBinary {
     /// Build the `--children` profile (Fig. 7) for a given input.
-    pub fn children_profile(&self, input: &TestInput, opts: &RunOptions) -> Option<crate::profile::StackProfile> {
+    pub fn children_profile(
+        &self,
+        input: &TestInput,
+        opts: &RunOptions,
+    ) -> Option<crate::profile::StackProfile> {
         let exec_opts = ExecOptions {
             bool_semantics: self.bool_semantics(),
-            limits: ExecLimits { max_ops: opts.max_ops },
+            limits: ExecLimits {
+                max_ops: opts.max_ops,
+            },
             detect_races: false,
         };
         let outcome = ompfuzz_exec::run(&self.kernel, input, &exec_opts).ok()?;
@@ -414,7 +473,7 @@ fn binary_name(program_name: &str) -> String {
 mod tests {
     use super::*;
     use ompfuzz_ast::{
-        Assignment, AssignOp, Block, BlockItem, Expr, ForLoop, FpType, LValue, LoopBound,
+        AssignOp, Assignment, Block, BlockItem, Expr, ForLoop, FpType, LValue, LoopBound,
         OmpClauses, OmpCritical, OmpParallel, Param, ReductionOp, Stmt, VarRef,
     };
     use ompfuzz_inputs::InputValue;
@@ -539,7 +598,10 @@ mod tests {
         let buggy = SimBackend::clang();
         let t_healthy = run_on(&healthy, &p, &input).time_us.unwrap();
         let t_buggy = run_on(&buggy, &p, &input).time_us.unwrap();
-        assert!(t_buggy > 3 * t_healthy, "buggy {t_buggy} healthy {t_healthy}");
+        assert!(
+            t_buggy > 3 * t_healthy,
+            "buggy {t_buggy} healthy {t_healthy}"
+        );
     }
 
     #[test]
@@ -673,11 +735,21 @@ mod tests {
         let input = one_input();
         let backend = SimBackend::intel();
         let o3 = backend
-            .compile(&p, &CompileOptions { opt_level: OptLevel::O3 })
+            .compile(
+                &p,
+                &CompileOptions {
+                    opt_level: OptLevel::O3,
+                },
+            )
             .unwrap()
             .run(&input, &RunOptions::default());
         let o0 = backend
-            .compile(&p, &CompileOptions { opt_level: OptLevel::O0 })
+            .compile(
+                &p,
+                &CompileOptions {
+                    opt_level: OptLevel::O0,
+                },
+            )
             .unwrap()
             .run(&input, &RunOptions::default());
         assert!(o0.time_us.unwrap() > 2 * o3.time_us.unwrap());

@@ -76,7 +76,7 @@ fn fold_expr(e: &mut LExpr, folded: &mut usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ompfuzz_ast::{Assignment, AssignOp, BinOp, Block, Expr, LValue, MathFunc, Program, Stmt};
+    use ompfuzz_ast::{AssignOp, Assignment, BinOp, Block, Expr, LValue, MathFunc, Program, Stmt};
     use ompfuzz_exec::lower;
 
     fn kernel_of(value: Expr) -> Kernel {
@@ -95,7 +95,11 @@ mod tests {
     fn folds_constant_binary_chains() {
         // (2.0 * 3.0) + 1.0 -> 7.0 (two folds)
         let mut k = kernel_of(Expr::binary(
-            Expr::paren(Expr::binary(Expr::fp_const(2.0), BinOp::Mul, Expr::fp_const(3.0))),
+            Expr::paren(Expr::binary(
+                Expr::fp_const(2.0),
+                BinOp::Mul,
+                Expr::fp_const(3.0),
+            )),
             BinOp::Add,
             Expr::fp_const(1.0),
         ));
@@ -120,7 +124,11 @@ mod tests {
     #[test]
     fn folding_preserves_ieee_specials() {
         // 1.0 / 0.0 folds to +inf, 0.0 / 0.0 to NaN.
-        let mut k = kernel_of(Expr::binary(Expr::fp_const(0.0), BinOp::Div, Expr::fp_const(0.0)));
+        let mut k = kernel_of(Expr::binary(
+            Expr::fp_const(0.0),
+            BinOp::Div,
+            Expr::fp_const(0.0),
+        ));
         fold_constants(&mut k);
         match &k.body[0] {
             LStmt::AssignComp(_, LExpr::Const(v)) => assert!(v.is_nan()),

@@ -165,9 +165,8 @@ pub fn compute(vendor: Vendor, stats: &ExecStats, b: &TimeBreakdown, salt: &str)
     let pf = p.pf_base + entries * team * p.pf_per_entry_thread;
 
     // Instructions: codegen'd work + runtime management + spin waiting.
-    let instr = ops * p.instr_per_op
-        + entries * team * 2_500.0
-        + b.wait_thread_us * p.spin_instr_per_us;
+    let instr =
+        ops * p.instr_per_op + entries * team * 2_500.0 + b.wait_thread_us * p.spin_instr_per_us;
 
     // Cycles: busy + waiting thread time at the respective rates.
     let cycles = b.busy_thread_us * p.cycles_per_busy_us + b.wait_thread_us * p.cycles_per_wait_us;

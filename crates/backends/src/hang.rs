@@ -80,12 +80,16 @@ impl ThreadSnapshot {
             "#1  _INTERNAL77814fad::__kmp_acquire_queuing_lock_timed_template<false> (...) \
              at ../../src/kmp_lock.cpp:1208\n",
         );
-        s.push_str("#2  __kmp_acquire_queuing_lock (lck=0x1, gtid=0) at ../../src/kmp_lock.cpp:1254\n");
+        s.push_str(
+            "#2  __kmp_acquire_queuing_lock (lck=0x1, gtid=0) at ../../src/kmp_lock.cpp:1254\n",
+        );
         s.push_str("#3  __kmpc_critical_with_hint (...) at ../../src/kmp_csupport.cpp:1610\n");
         s.push_str(&format!(
             "#4  .omp_outlined._debug__ (...) at {test_file}:103\n"
         ));
-        s.push_str(&format!("#5  .omp_outlined. (void) const (...) at {test_file}:36\n"));
+        s.push_str(&format!(
+            "#5  .omp_outlined. (void) const (...) at {test_file}:36\n"
+        ));
         s
     }
 
@@ -134,7 +138,11 @@ mod tests {
     #[test]
     fn group_states_match_figure_9() {
         let snap = ThreadSnapshot::queuing_lock_livelock(32);
-        let states: Vec<&str> = snap.groups.iter().map(|g| g.state_symbol.as_str()).collect();
+        let states: Vec<&str> = snap
+            .groups
+            .iter()
+            .map(|g| g.state_symbol.as_str())
+            .collect();
         assert!(states[0].contains("__kmp_wait_4"));
         assert!(states[1].contains("__kmp_eq_4"));
         assert!(states[2].contains("sched_yield"));

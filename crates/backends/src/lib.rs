@@ -37,16 +37,20 @@ pub mod compile;
 pub mod counters;
 pub mod hang;
 pub mod model;
+pub mod oracle;
 pub mod profile;
 pub mod rtmodel;
 pub mod sched;
 
-pub use backend::{backend_info, standard_backends, CompiledTest, OmpBackend, SimBackend, SimBinary};
+pub use backend::{
+    backend_info, standard_backends, CompiledTest, OmpBackend, SimBackend, SimBinary,
+};
 pub use counters::PerfCounters;
 pub use hang::{ThreadGroup, ThreadSnapshot};
 pub use model::{
     BackendInfo, CompileError, CompileOptions, OptLevel, RunOptions, RunResult, RunStatus, Vendor,
 };
+pub use oracle::{observe, to_observation};
 pub use profile::{ProfileEntry, ProfileMode, StackProfile};
 pub use rtmodel::{runtime_model, BugModels, RuntimeModel};
 pub use sched::{time_breakdown, TimeBreakdown};

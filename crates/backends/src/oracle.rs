@@ -1,0 +1,177 @@
+//! Cheap single-case oracle: run one `(program, input)` pair across a set
+//! of implementations and return the per-implementation observations that
+//! `ompfuzz_outlier::analyze` consumes.
+//!
+//! The campaign driver batches this over whole corpora; the test-case
+//! reducer calls it hundreds of times on *one* program's candidates, so it
+//! is deliberately free of corpus bookkeeping: compile each backend, run
+//! once, observe. A pre-lowered kernel can be supplied to skip re-lowering
+//! per backend (the reducer lowers each candidate exactly once).
+
+use crate::backend::{CompiledTest, OmpBackend};
+use crate::model::{CompileError, CompileOptions, RunOptions, RunResult, RunStatus};
+use ompfuzz_ast::Program;
+use ompfuzz_exec::Kernel;
+use ompfuzz_inputs::TestInput;
+use ompfuzz_outlier::{ExecStatus, RunObservation};
+
+/// Convert a backend run into the outlier detector's observation record.
+pub fn to_observation(result: &RunResult) -> RunObservation {
+    match result.status {
+        RunStatus::Ok => RunObservation {
+            status: ExecStatus::Ok,
+            time_us: result.time_us.map(|t| t as f64),
+            result: result.comp,
+        },
+        RunStatus::Crash { .. } => RunObservation::crash(),
+        RunStatus::Hang { .. } => RunObservation::hang(),
+    }
+}
+
+/// Compile `program` with every backend and run it once on `input`,
+/// returning one observation per backend (in backend order).
+///
+/// `kernel` optionally carries the program's pre-lowered form so simulated
+/// backends skip redundant lowering (see
+/// [`OmpBackend::compile_lowered`]). Any compile failure aborts the whole
+/// observation — a program that does not compile everywhere cannot be
+/// compared differentially.
+pub fn observe(
+    program: &Program,
+    input: &TestInput,
+    backends: &[&dyn OmpBackend],
+    kernel: Option<&Kernel>,
+    compile_opts: &CompileOptions,
+    run_opts: &RunOptions,
+) -> Result<Vec<RunObservation>, CompileError> {
+    let binaries: Vec<Box<dyn CompiledTest>> = backends
+        .iter()
+        .map(|b| b.compile_lowered(program, kernel, compile_opts))
+        .collect::<Result<_, _>>()?;
+    Ok(binaries
+        .iter()
+        .map(|bin| to_observation(&bin.run(input, run_opts)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{standard_backends, SimBackend};
+    use ompfuzz_ast::{
+        AssignOp, Assignment, Block, Expr, ForLoop, FpType, LValue, LoopBound, OmpClauses,
+        OmpParallel, Param, Stmt,
+    };
+    use ompfuzz_inputs::InputValue;
+
+    fn tiny_program() -> Program {
+        Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses {
+                    reduction: Some(ompfuzz_ast::ReductionOp::Add),
+                    num_threads: Some(4),
+                    ..OmpClauses::default()
+                },
+                prelude: vec![Stmt::DeclAssign {
+                    ty: FpType::F64,
+                    name: "t".into(),
+                    value: Expr::fp_const(0.0),
+                }],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(64),
+                    body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                        target: LValue::Comp,
+                        op: AssignOp::AddAssign,
+                        value: Expr::var("var_1"),
+                    })]),
+                },
+            })]),
+        )
+    }
+
+    fn dyns(backends: &[SimBackend]) -> Vec<&dyn OmpBackend> {
+        backends.iter().map(|b| b as &dyn OmpBackend).collect()
+    }
+
+    #[test]
+    fn observe_matches_per_backend_runs() {
+        let program = tiny_program();
+        let input = TestInput {
+            comp_init: 0.0,
+            values: vec![InputValue::Fp(1.0)],
+        };
+        let backends = standard_backends();
+        let obs = observe(
+            &program,
+            &input,
+            &dyns(&backends),
+            None,
+            &CompileOptions::default(),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(obs.len(), 3);
+        assert!(obs.iter().all(|o| o.status == ExecStatus::Ok));
+        assert!(obs.iter().all(|o| o.result == Some(64.0)));
+    }
+
+    #[test]
+    fn observe_with_prelowered_kernel_is_identical() {
+        let program = tiny_program();
+        let input = TestInput {
+            comp_init: 0.25,
+            values: vec![InputValue::Fp(0.5)],
+        };
+        let backends = standard_backends();
+        let kernel = ompfuzz_exec::lower(&program).unwrap();
+        let fresh = observe(
+            &program,
+            &input,
+            &dyns(&backends),
+            None,
+            &CompileOptions::default(),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let cached = observe(
+            &program,
+            &input,
+            &dyns(&backends),
+            Some(&kernel),
+            &CompileOptions::default(),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(fresh, cached);
+    }
+
+    #[test]
+    fn unlowerable_program_is_a_compile_error() {
+        let broken = Program::new(
+            vec![],
+            Block::of_stmts(vec![Stmt::Assign(Assignment {
+                target: LValue::Comp,
+                op: AssignOp::Assign,
+                value: Expr::var("ghost"),
+            })]),
+        );
+        let input = TestInput {
+            comp_init: 0.0,
+            values: vec![],
+        };
+        let backends = standard_backends();
+        let err = observe(
+            &broken,
+            &input,
+            &dyns(&backends),
+            None,
+            &CompileOptions::default(),
+            &RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("ghost"), "{err}");
+    }
+}

@@ -115,7 +115,10 @@ fn symbols(vendor: Vendor) -> SymbolTable {
                 ("__kmp_hardware_timestamp", 0.03),
             ],
             lock: &[
-                ("_INTERNAL77814fad::__kmp_acquire_queuing_lock_timed_template<false>", 0.75),
+                (
+                    "_INTERNAL77814fad::__kmp_acquire_queuing_lock_timed_template<false>",
+                    0.75,
+                ),
                 ("__kmpc_critical_with_hint", 0.25),
             ],
             work: &[(".omp_outlined.", 1.0)],
@@ -221,7 +224,11 @@ pub fn build(vendor: Vendor, b: &TimeBreakdown, command: &str, mode: ProfileMode
             .iter()
             .enumerate()
             .map(|(i, (symbol, object))| ProfileEntry {
-                overhead_pct: if i + 1 == tab.launch_chain.len() { 0.2 } else { 0.0 },
+                overhead_pct: if i + 1 == tab.launch_chain.len() {
+                    0.2
+                } else {
+                    0.0
+                },
                 children_pct: Some((parallel_share * 100.0 - i as f64 * 0.4).max(0.0)),
                 command: command.to_string(),
                 shared_object: object.to_string(),
@@ -278,7 +285,12 @@ mod tests {
 
     #[test]
     fn gcc_flat_profile_is_dominated_by_do_wait() {
-        let p = build(Vendor::GccLike, &wait_heavy_breakdown(), "_test_2", ProfileMode::Flat);
+        let p = build(
+            Vendor::GccLike,
+            &wait_heavy_breakdown(),
+            "_test_2",
+            ProfileMode::Flat,
+        );
         assert_eq!(p.mode, ProfileMode::Flat);
         let top = p.top().unwrap();
         assert_eq!(top.symbol, "do_wait");
@@ -289,7 +301,12 @@ mod tests {
 
     #[test]
     fn intel_flat_profile_mentions_kmp_wait() {
-        let p = build(Vendor::IntelLike, &wait_heavy_breakdown(), "_test_2", ProfileMode::Flat);
+        let p = build(
+            Vendor::IntelLike,
+            &wait_heavy_breakdown(),
+            "_test_2",
+            ProfileMode::Flat,
+        );
         assert!(p.overhead_of("__kmp_wait_template") > 20.0);
         assert!(p.overhead_of("__kmp_wait_4") > 5.0);
         assert!(p
@@ -331,14 +348,24 @@ mod tests {
 
     #[test]
     fn flat_profile_roughly_normalizes() {
-        let p = build(Vendor::GccLike, &wait_heavy_breakdown(), "t", ProfileMode::Flat);
+        let p = build(
+            Vendor::GccLike,
+            &wait_heavy_breakdown(),
+            "t",
+            ProfileMode::Flat,
+        );
         let total = p.total_self_pct();
         assert!((80.0..=105.0).contains(&total), "total {total}");
     }
 
     #[test]
     fn render_contains_perf_layout() {
-        let p = build(Vendor::IntelLike, &wait_heavy_breakdown(), "_test_2", ProfileMode::Flat);
+        let p = build(
+            Vendor::IntelLike,
+            &wait_heavy_breakdown(),
+            "_test_2",
+            ProfileMode::Flat,
+        );
         let s = p.render();
         assert!(s.contains("Overhead"));
         assert!(s.contains("Shared Object"));

@@ -146,7 +146,11 @@ pub fn runtime_model(vendor: Vendor, bugs: &BugModels) -> RuntimeModel {
             math_cost_factor: 1.0,
             fork_join_us: 2.5,
             team_create_us: 65.0,
-            team_reuse_efficiency: if bugs.clang_team_recreation { 0.08 } else { 0.92 },
+            team_reuse_efficiency: if bugs.clang_team_recreation {
+                0.08
+            } else {
+                0.92
+            },
             barrier_us_per_thread: 0.07,
             // Calibrated so Clang's and Intel's per-acquisition contention
             // costs stay within the paper's α = 0.2 comparability window

@@ -76,9 +76,8 @@ pub fn cost_adjustment(ops: &OpCounts, model: &RuntimeModel) -> f64 {
     if canonical <= 0.0 {
         return 1.0;
     }
-    let adjusted = div_cycles * model.div_cost_factor
-        + math_cycles * model.math_cost_factor
-        + other_cycles;
+    let adjusted =
+        div_cycles * model.div_cost_factor + math_cycles * model.math_cost_factor + other_cycles;
     adjusted / canonical
 }
 

@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench_ablation(c: &mut Criterion) {
     let result = run_standard_campaign(&print_campaign_config());
 
-    println!("\nα/β sweep — performance outliers among {} run-sets", result.records.len());
+    println!(
+        "\nα/β sweep — performance outliers among {} run-sets",
+        result.records.len()
+    );
     print!("{:>8}", "α\\β");
     let betas = [1.2, 1.5, 2.0, 2.5, 3.0];
     let alphas = [0.1, 0.2, 0.3, 0.4, 0.5];

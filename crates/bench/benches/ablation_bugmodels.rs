@@ -11,8 +11,11 @@ use ompfuzz_harness::run_campaign;
 use ompfuzz_outlier::OutlierKind;
 use std::hint::black_box;
 
-fn campaign_counts_with(config: &ompfuzz_harness::CampaignConfig, bugs: BugModels) -> (u64, u64, u64, u64) {
-    let backends = vec![
+fn campaign_counts_with(
+    config: &ompfuzz_harness::CampaignConfig,
+    bugs: BugModels,
+) -> (u64, u64, u64, u64) {
+    let backends = [
         SimBackend::with_bugs(Vendor::IntelLike, bugs),
         SimBackend::with_bugs(Vendor::ClangLike, bugs),
         SimBackend::with_bugs(Vendor::GccLike, bugs),
@@ -62,7 +65,10 @@ fn bench_bugmodels(c: &mut Criterion) {
             ..all
         })
     );
-    println!("  all models off       : {:?}", campaign_counts(BugModels::none()));
+    println!(
+        "  all models off       : {:?}",
+        campaign_counts(BugModels::none())
+    );
 
     let timed_cfg = bench_campaign_config();
     let mut group = c.benchmark_group("ablation_bugmodels");
@@ -70,7 +76,12 @@ fn bench_bugmodels(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(10));
     group.bench_function("healthy_campaign_12x2", |b| {
-        b.iter(|| black_box(campaign_counts_with(&timed_cfg, black_box(BugModels::none()))))
+        b.iter(|| {
+            black_box(campaign_counts_with(
+                &timed_cfg,
+                black_box(BugModels::none()),
+            ))
+        })
     });
     group.finish();
 }

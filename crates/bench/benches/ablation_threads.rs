@@ -19,7 +19,10 @@ fn time_of(backend: &SimBackend, program: &ompfuzz_ast::Program) -> u64 {
 
 fn bench_threads(c: &mut Criterion) {
     println!("\nthread-count sweep, case study 1 (critical in omp for), µs:");
-    println!("{:>8} {:>12} {:>12} {:>12}", "threads", "Intel", "Clang", "GCC");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "threads", "Intel", "Clang", "GCC"
+    );
     for t in [1u32, 2, 4, 8, 16, 32, 64] {
         let p = caselib::case_study_1(5_000, t);
         println!(
@@ -30,7 +33,10 @@ fn bench_threads(c: &mut Criterion) {
         );
     }
     println!("\nthread-count sweep, case study 2 (region in serial loop), µs:");
-    println!("{:>8} {:>12} {:>12} {:>12}", "threads", "Intel", "Clang", "GCC");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "threads", "Intel", "Clang", "GCC"
+    );
     for t in [1u32, 2, 4, 8, 16, 32, 64] {
         let p = caselib::case_study_2(100, 200, t);
         println!(

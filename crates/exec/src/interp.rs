@@ -49,7 +49,9 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_ops: 200_000_000 }
+        ExecLimits {
+            max_ops: 200_000_000,
+        }
     }
 }
 
@@ -106,11 +108,17 @@ pub struct ExecOutcome {
 }
 
 /// Execute `kernel` on `input`.
-pub fn run(kernel: &Kernel, input: &TestInput, opts: &ExecOptions) -> Result<ExecOutcome, ExecError> {
+pub fn run(
+    kernel: &Kernel,
+    input: &TestInput,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
     let mut interp = Interp::new(kernel, opts);
     interp.bind_input(input)?;
     interp.exec_stmts(&kernel.body)?;
-    let Interp { comp, stats, race, .. } = interp;
+    let Interp {
+        comp, stats, race, ..
+    } = interp;
     Ok(ExecOutcome {
         comp,
         stats,
@@ -161,11 +169,7 @@ impl<'k> Interp<'k> {
             scalars: vec![0.0; k.scalars.len()],
             slot_ty: k.scalars.iter().map(|s| s.ty).collect(),
             ints: vec![0; k.ints.len()],
-            arrays: k
-                .arrays
-                .iter()
-                .map(|a| vec![0.0; a.len as usize])
-                .collect(),
+            arrays: k.arrays.iter().map(|a| vec![0.0; a.len as usize]).collect(),
             array_ty: k.arrays.iter().map(|a| a.ty).collect(),
             comp: 0.0,
             comp_private: false,
@@ -215,7 +219,9 @@ impl<'k> Interp<'k> {
     #[inline]
     fn charge(&mut self, cycles: u64) -> Result<(), ExecError> {
         if self.ops_left == 0 {
-            return Err(ExecError::BudgetExceeded { max_ops: self.max_ops });
+            return Err(ExecError::BudgetExceeded {
+                max_ops: self.max_ops,
+            });
         }
         self.ops_left -= 1;
         match &mut self.cur {
@@ -507,7 +513,8 @@ impl<'k> Interp<'k> {
         }
 
         // Save privatized slots and mark them private for the detector.
-        let mut saved: Vec<(SlotId, f64)> = Vec::with_capacity(p.private.len() + p.firstprivate.len());
+        let mut saved: Vec<(SlotId, f64)> =
+            Vec::with_capacity(p.private.len() + p.firstprivate.len());
         for &s in p.private.iter().chain(&p.firstprivate) {
             saved.push((s, self.scalars[s as usize]));
             self.privatized[s as usize] = true;
@@ -524,8 +531,8 @@ impl<'k> Interp<'k> {
             for &(s, v) in saved.iter().skip(p.private.len()) {
                 self.scalars[s as usize] = v;
             }
-            if p.reduction.is_some() {
-                self.comp = p.reduction.unwrap().identity();
+            if let Some(reduction) = p.reduction {
+                self.comp = reduction.identity();
                 self.comp_private = true;
             }
             self.cur = Some(ThreadCtx {
@@ -605,8 +612,7 @@ mod tests {
     use crate::lower::lower;
     use ompfuzz_ast::{
         Assignment, Block, BlockItem, BoolExpr, Expr, ForLoop, IfBlock, IndexExpr, LValue,
-        LoopBound, OmpClauses, OmpCritical, OmpParallel, Param, Program, ReductionOp, Stmt,
-        VarRef,
+        LoopBound, OmpClauses, OmpCritical, OmpParallel, Param, Program, ReductionOp, Stmt, VarRef,
     };
 
     fn input(comp: f64, values: Vec<InputValue>) -> TestInput {
@@ -1071,11 +1077,14 @@ mod tests {
                     omp_for: true,
                     var: "i".into(),
                     bound: LoopBound::Const(64),
-                    body: Block::of_stmts(vec![write, Stmt::Assign(Assignment {
-                        target: LValue::Comp,
-                        op: AssignOp::AddAssign,
-                        value: Expr::elem("arr", IndexExpr::ThreadId),
-                    })]),
+                    body: Block::of_stmts(vec![
+                        write,
+                        Stmt::Assign(Assignment {
+                            target: LValue::Comp,
+                            op: AssignOp::AddAssign,
+                            value: Expr::elem("arr", IndexExpr::ThreadId),
+                        }),
+                    ]),
                 },
             })]),
         );

@@ -25,9 +25,7 @@ pub mod lower;
 pub mod race;
 pub mod stats;
 
-pub use interp::{
-    apply_bool, run, BoolSemantics, ExecError, ExecLimits, ExecOptions, ExecOutcome,
-};
+pub use interp::{apply_bool, run, BoolSemantics, ExecError, ExecLimits, ExecOptions, ExecOutcome};
 pub use kernel::Kernel;
 pub use lower::{lower, LowerError};
 pub use race::{RaceDetector, RaceReport};

@@ -129,7 +129,11 @@ impl<'p> Lowerer<'p> {
     }
 
     fn lookup(&self, name: &str) -> Option<&Binding> {
-        self.env.iter().rev().find(|(n, _)| n == name).map(|(_, b)| b)
+        self.env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b)
     }
 
     fn lookup_scalar(&self, name: &str) -> Result<SlotId, LowerError> {
@@ -181,7 +185,11 @@ impl<'p> Lowerer<'p> {
                 let value = self.lower_expr(value)?;
                 let id = self.alloc_scalar(name, *ty, false);
                 self.env.push((name.clone(), Binding::Scalar(id)));
-                Ok(LStmt::AssignScalar(id, ompfuzz_ast::AssignOp::Assign, value))
+                Ok(LStmt::AssignScalar(
+                    id,
+                    ompfuzz_ast::AssignOp::Assign,
+                    value,
+                ))
             }
             Stmt::If(IfBlock { cond, body }) => {
                 let lhs = self.lookup_scalar(cond.lhs.name())?;
@@ -267,9 +275,7 @@ impl<'p> Lowerer<'p> {
                 Box::new(self.lower_expr(lhs)?),
                 Box::new(self.lower_expr(rhs)?),
             ),
-            Expr::MathCall { func, arg } => {
-                LExpr::Call(*func, Box::new(self.lower_expr(arg)?))
-            }
+            Expr::MathCall { func, arg } => LExpr::Call(*func, Box::new(self.lower_expr(arg)?)),
         })
     }
 

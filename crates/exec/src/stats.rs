@@ -91,7 +91,10 @@ impl RegionTrace {
 
     /// Total critical-section acquisitions across the team.
     pub fn total_critical_acquisitions(&self) -> u64 {
-        self.per_thread.iter().map(|t| t.critical_acquisitions).sum()
+        self.per_thread
+            .iter()
+            .map(|t| t.critical_acquisitions)
+            .sum()
     }
 
     /// Total cycles across the team.
@@ -212,8 +215,10 @@ mod tests {
 
     #[test]
     fn stats_totals() {
-        let mut s = ExecStats::default();
-        s.serial_cycles = 10;
+        let mut s = ExecStats {
+            serial_cycles: 10,
+            ..ExecStats::default()
+        };
         let mut r = RegionTrace::new(0, 2);
         r.entries = 3;
         r.per_thread[0].cycles = 5;

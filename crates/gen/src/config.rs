@@ -186,14 +186,20 @@ impl GeneratorConfig {
         }
         for (name, p) in [
             ("math_func_probability", self.math_func_probability),
-            ("param_loop_bound_probability", self.param_loop_bound_probability),
+            (
+                "param_loop_bound_probability",
+                self.param_loop_bound_probability,
+            ),
             ("double_probability", self.double_probability),
             ("legacy_race_probability", self.legacy_race_probability),
             ("omp.parallel_block", self.omp.parallel_block),
             ("omp.omp_for", self.omp.omp_for),
             ("omp.reduction", self.omp.reduction),
             ("omp.critical", self.omp.critical),
-            ("omp.private_vs_firstprivate", self.omp.private_vs_firstprivate),
+            (
+                "omp.private_vs_firstprivate",
+                self.omp.private_vs_firstprivate,
+            ),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 out.push(format!("{name} must be a probability in [0, 1], got {p}"));

@@ -92,7 +92,9 @@ impl<'a> ExprGen<'a> {
     fn gen_term(&self, rng: &mut StdRng, scope: &Scope, ctx: ExprCtx) -> Expr {
         let base = match rng.gen_range(0..10u32) {
             // 50%: scalar variable (if any)
-            0..=4 => self.scalar_read(rng, scope).unwrap_or_else(|| self.fp_literal(rng)),
+            0..=4 => self
+                .scalar_read(rng, scope)
+                .unwrap_or_else(|| self.fp_literal(rng)),
             // 20%: array element (if any array in scope)
             5..=6 => self
                 .array_read(rng, scope, ctx)

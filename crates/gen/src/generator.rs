@@ -7,7 +7,7 @@ use crate::config::{GeneratorConfig, SharingMode};
 use crate::exprgen::{ExprCtx, ExprGen};
 use crate::scope::{ArrayVar, NameSupply, Scope};
 use ompfuzz_ast::{
-    Assignment, AssignOp, Block, BlockItem, Expr, ForLoop, FpType, IfBlock, IndexExpr, LValue,
+    AssignOp, Assignment, Block, BlockItem, Expr, ForLoop, FpType, IfBlock, IndexExpr, LValue,
     LoopBound, OmpClauses, OmpCritical, OmpParallel, Param, Program, ReductionOp, Stmt, VarRef,
 };
 use rand::rngs::StdRng;
@@ -107,7 +107,9 @@ impl ProgramGenerator {
 
     /// Generate `n` programs named `test_0..test_{n-1}`.
     pub fn generate_batch(&mut self, n: usize) -> Vec<Program> {
-        (0..n).map(|i| self.generate(&format!("test_{i}"))).collect()
+        (0..n)
+            .map(|i| self.generate(&format!("test_{i}")))
+            .collect()
     }
 
     // ----- parameters ------------------------------------------------------
@@ -279,15 +281,14 @@ impl ProgramGenerator {
         let mut private = Vec::new();
         let mut firstprivate = Vec::new();
         for v in scope.scalars.clone() {
-            match self.rng.gen_range(0..3u32) {
-                0 => {
-                    if self.rng.gen_bool(self.cfg.omp.private_vs_firstprivate) {
-                        private.push(v.name);
-                    } else {
-                        firstprivate.push(v.name);
-                    }
+            // One chance in three of privatizing; otherwise the scalar
+            // stays shared (read-only inside the region).
+            if self.rng.gen_range(0..3u32) == 0 {
+                if self.rng.gen_bool(self.cfg.omp.private_vs_firstprivate) {
+                    private.push(v.name);
+                } else {
+                    firstprivate.push(v.name);
                 }
-                _ => {} // stays shared (read-only inside the region)
             }
         }
 
@@ -322,8 +323,7 @@ impl ProgramGenerator {
             None
         };
 
-        let saved_privatized =
-            std::mem::replace(&mut self.region_privatized, private.clone());
+        let saved_privatized = std::mem::replace(&mut self.region_privatized, private.clone());
         self.region_privatized.extend(firstprivate.iter().cloned());
         // Region-local declarations (prelude or loop body) must not leak
         // into scope after the region closes.
@@ -338,14 +338,15 @@ impl ProgramGenerator {
         //    expressions over *non-private* state only (private copies are
         //    uninitialized until here).
         let mut prelude_scope = scope.clone();
-        prelude_scope
-            .scalars
-            .retain(|v| !private.contains(&v.name));
+        prelude_scope.scalars.retain(|v| !private.contains(&v.name));
         let mut prelude: Vec<Stmt> = private
             .iter()
             .map(|name| {
-                let value =
-                    ExprGen::new(&self.cfg).gen_expr(&mut self.rng, &prelude_scope, inner.expr_ctx());
+                let value = ExprGen::new(&self.cfg).gen_expr(
+                    &mut self.rng,
+                    &prelude_scope,
+                    inner.expr_ctx(),
+                );
                 Stmt::Assign(Assignment {
                     target: LValue::Var(VarRef::Scalar(name.clone())),
                     op: AssignOp::Assign,
@@ -459,7 +460,11 @@ impl ProgramGenerator {
                 }
                 4..=6 => self.gen_decl(scope, ctx),
                 7..=8 if !scope.arrays.is_empty() => {
-                    let arr = scope.arrays.choose(&mut self.rng).expect("non-empty").clone();
+                    let arr = scope
+                        .arrays
+                        .choose(&mut self.rng)
+                        .expect("non-empty")
+                        .clone();
                     let idx = self.gen_serial_write_index(scope);
                     Stmt::Assign(Assignment {
                         target: LValue::Var(VarRef::Element(arr.name, idx)),
@@ -550,9 +555,13 @@ impl ProgramGenerator {
     /// Compound ops only — used for comp in contexts where plain `=` would
     /// erase other threads' contributions.
     fn pick_accumulating_op(&mut self) -> AssignOp {
-        *[AssignOp::AddAssign, AssignOp::SubAssign, AssignOp::MulAssign]
-            .choose(&mut self.rng)
-            .expect("non-empty")
+        *[
+            AssignOp::AddAssign,
+            AssignOp::SubAssign,
+            AssignOp::MulAssign,
+        ]
+        .choose(&mut self.rng)
+        .expect("non-empty")
     }
 }
 
@@ -563,7 +572,9 @@ fn block_writes_comp(block: &Block) -> bool {
         BlockItem::Stmt(Stmt::If(ifb)) => block_writes_comp(&ifb.body),
         BlockItem::Stmt(Stmt::For(fl)) => block_writes_comp(&fl.body),
         BlockItem::Stmt(Stmt::OmpParallel(par)) => {
-            par.prelude.iter().any(|s| matches!(s, Stmt::Assign(a) if a.target.is_comp()))
+            par.prelude
+                .iter()
+                .any(|s| matches!(s, Stmt::Assign(a) if a.target.is_comp()))
                 || block_writes_comp(&par.body_loop.body)
         }
         BlockItem::Stmt(_) => false,
@@ -589,7 +600,11 @@ mod tests {
     fn every_program_writes_comp() {
         let mut g = ProgramGenerator::new(GeneratorConfig::small(), 3);
         for p in g.generate_batch(50) {
-            assert!(block_writes_comp(&p.body), "program {} never writes comp", p.name);
+            assert!(
+                block_writes_comp(&p.body),
+                "program {} never writes comp",
+                p.name
+            );
         }
     }
 
@@ -612,7 +627,10 @@ mod tests {
         let mut g = ProgramGenerator::new(GeneratorConfig::paper(), 5);
         let batch = g.generate_batch(100);
         let fx: Vec<ProgramFeatures> = batch.iter().map(ProgramFeatures::of).collect();
-        assert!(fx.iter().any(|f| f.parallel_regions > 0), "no regions in 100 programs");
+        assert!(
+            fx.iter().any(|f| f.parallel_regions > 0),
+            "no regions in 100 programs"
+        );
         assert!(fx.iter().any(|f| f.omp_for_loops > 0), "no omp for");
         assert!(fx.iter().any(|f| f.critical_sections > 0), "no criticals");
         assert!(fx.iter().any(|f| f.reductions > 0), "no reductions");
@@ -625,7 +643,8 @@ mod tests {
         for p in g.generate_batch(100) {
             let f = ProgramFeatures::of(&p);
             assert_eq!(
-                f.unprotected_shared_writes, 0,
+                f.unprotected_shared_writes,
+                0,
                 "race in {}:\n{}",
                 p.name,
                 ompfuzz_ast::printer::emit_kernel_source(&p, &Default::default())
@@ -652,7 +671,10 @@ mod tests {
                 .iter()
                 .any(|e| e.contains("comp"))
         });
-        assert!(any_race, "legacy mode never produced a comp race in 50 programs");
+        assert!(
+            any_race,
+            "legacy mode never produced a comp race in 50 programs"
+        );
     }
 
     #[test]

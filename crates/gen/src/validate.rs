@@ -478,7 +478,11 @@ mod tests {
             ..GeneratorConfig::paper()
         };
         let big = Expr::binary(
-            Expr::binary(Expr::fp_const(1.0), ompfuzz_ast::BinOp::Add, Expr::fp_const(2.0)),
+            Expr::binary(
+                Expr::fp_const(1.0),
+                ompfuzz_ast::BinOp::Add,
+                Expr::fp_const(2.0),
+            ),
             ompfuzz_ast::BinOp::Add,
             Expr::fp_const(3.0),
         );

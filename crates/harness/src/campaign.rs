@@ -9,11 +9,11 @@
 //! deterministically.
 
 use crate::config::CampaignConfig;
+use crate::pool;
 use crate::testcase::{generate_corpus, TestCase};
-use crossbeam::channel;
-use ompfuzz_backends::{CompileOptions, OmpBackend, RunOptions, RunStatus};
+use ompfuzz_backends::{oracle, CompileOptions, OmpBackend, RunOptions};
 use ompfuzz_exec::{ExecOptions, RaceReport};
-use ompfuzz_outlier::{analyze, Analysis, ExecStatus, RunObservation, Tally};
+use ompfuzz_outlier::{analyze, Analysis, OutlierKind, RunObservation, Tally};
 use std::time::Instant;
 
 /// Per-(program, input) record of every implementation's behaviour.
@@ -26,6 +26,41 @@ pub struct RunRecord {
     /// [`CampaignResult::labels`].
     pub observations: Vec<RunObservation>,
     pub analysis: Analysis,
+}
+
+impl RunRecord {
+    /// The record's headline outlier as `(kind, implementation index)`,
+    /// if any — what a reduction of this record must preserve.
+    pub fn outlier(&self) -> Option<(OutlierKind, usize)> {
+        self.analysis.primary_outlier()
+    }
+
+    /// Severity ordering used to pick reduction targets: correctness
+    /// outliers dominate (hang over crash), then
+    /// performance outliers by their ratio. Non-outliers rank lowest.
+    fn severity(&self) -> (u8, f64) {
+        match self.analysis.primary_outlier() {
+            Some((OutlierKind::Hang, _)) => (3, 0.0),
+            Some((OutlierKind::Crash, _)) => (2, 0.0),
+            Some((OutlierKind::Slow | OutlierKind::Fast, _)) => {
+                (1, self.analysis.performance.map_or(0.0, |p| p.ratio()))
+            }
+            None => (0, 0.0),
+        }
+    }
+}
+
+/// The ordering behind `worst_outlier*`: severity class, then performance
+/// ratio, with later `(program, input)` records losing ties so the pick is
+/// deterministic. Shared by the kind-filtered variant — within one kind the
+/// class component is constant, so the comparison degenerates to ratio +
+/// tie-break there.
+fn severity_cmp(a: &RunRecord, b: &RunRecord) -> std::cmp::Ordering {
+    let (sa, ra) = a.severity();
+    let (sb, rb) = b.severity();
+    sa.cmp(&sb)
+        .then(ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal))
+        .then((b.program_index, b.input_index).cmp(&(a.program_index, a.input_index)))
 }
 
 /// Everything a campaign produces.
@@ -59,6 +94,26 @@ impl CampaignResult {
     /// Number of records that survived the `min_time_us` filter.
     pub fn analyzed_records(&self) -> usize {
         self.records.iter().filter(|r| !r.analysis.filtered).count()
+    }
+
+    /// The most severe outlier record — the default reduction target.
+    ///
+    /// Severity: hang > crash > performance (by ratio); ties resolve to the
+    /// earliest `(program, input)`, so the choice is deterministic for a
+    /// given campaign.
+    pub fn worst_outlier(&self) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.outlier().is_some())
+            .max_by(|a, b| severity_cmp(a, b))
+    }
+
+    /// The most severe outlier record of a given kind.
+    pub fn worst_outlier_of_kind(&self, kind: OutlierKind) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.outlier().is_some_and(|(k, _)| k == kind))
+            .max_by(|a, b| severity_cmp(a, b))
     }
 }
 
@@ -100,39 +155,10 @@ pub fn run_campaign_on(
         active.push((i, tc));
     }
 
-    let workers = if config.workers == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        config.workers
-    };
-
-    let (work_tx, work_rx) = channel::unbounded::<(usize, &TestCase)>();
-    let (res_tx, res_rx) = channel::unbounded::<ProgramOutcome>();
-    for item in &active {
-        work_tx.send(*item).expect("queue open");
-    }
-    drop(work_tx);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            let work_rx = work_rx.clone();
-            let res_tx = res_tx.clone();
-            let backends = backends;
-            scope.spawn(move |_| {
-                while let Ok((index, tc)) = work_rx.recv() {
-                    let outcome = run_one_program(index, tc, config, backends);
-                    if res_tx.send(outcome).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-    })
-    .expect("campaign workers never panic");
-
-    let mut outcomes: Vec<ProgramOutcome> = res_rx.into_iter().collect();
-    outcomes.sort_by_key(|o| o.program_index);
+    let workers = pool::resolve_workers(config.workers);
+    let outcomes = pool::map_parallel(workers, &active, |&(index, tc)| {
+        run_one_program(index, tc, config, backends)
+    });
 
     let mut records = Vec::with_capacity(active.len() * config.inputs_per_program);
     let mut compile_failures = 0;
@@ -158,8 +184,8 @@ pub fn run_campaign_on(
     }
 }
 
+/// Per-program result; [`pool::map_parallel`] keeps these in corpus order.
 struct ProgramOutcome {
-    program_index: usize,
     compile_failures: usize,
     records: Vec<RunRecord>,
 }
@@ -173,10 +199,13 @@ fn run_one_program(
     let compile_opts = CompileOptions {
         opt_level: config.opt_level,
     };
+    // One lowering per program: the cached kernel (possibly already filled
+    // by the race filter) feeds every simulated backend's compile.
+    let kernel = tc.kernel().ok();
     let mut binaries = Vec::with_capacity(backends.len());
     let mut compile_failures = 0;
     for b in backends {
-        match b.compile(&tc.program, &compile_opts) {
+        match b.compile_lowered(&tc.program, kernel, &compile_opts) {
             Ok(bin) => binaries.push(bin),
             Err(_) => compile_failures += 1,
         }
@@ -184,7 +213,6 @@ fn run_one_program(
     if binaries.len() != backends.len() {
         // A program that does not compile everywhere cannot be compared.
         return ProgramOutcome {
-            program_index: index,
             compile_failures,
             records: Vec::new(),
         };
@@ -198,7 +226,7 @@ fn run_one_program(
     for (input_index, input) in tc.inputs.iter().enumerate() {
         let observations: Vec<RunObservation> = binaries
             .iter()
-            .map(|bin| to_observation(&bin.run(input, &run_opts)))
+            .map(|bin| oracle::to_observation(&bin.run(input, &run_opts)))
             .collect();
         let analysis = analyze(&observations, &config.outlier);
         records.push(RunRecord {
@@ -210,39 +238,40 @@ fn run_one_program(
         });
     }
     ProgramOutcome {
-        program_index: index,
         compile_failures,
         records,
     }
 }
 
-fn to_observation(result: &ompfuzz_backends::RunResult) -> RunObservation {
-    match result.status {
-        RunStatus::Ok => RunObservation {
-            status: ExecStatus::Ok,
-            time_us: result.time_us.map(|t| t as f64),
-            result: result.comp,
-        },
-        RunStatus::Crash { .. } => RunObservation::crash(),
-        RunStatus::Hang { .. } => RunObservation::hang(),
-    }
+/// The core of the §IV-E race filter: interpret `kernel` on `input` with
+/// the dynamic race detector. Returns `None` when the run fails (op
+/// budget) — callers treat that as "no verdict" and keep the program.
+/// Shared by the campaign driver (first input per program) and the
+/// test-case reducer (the pinned outlier input), so the two stay in sync.
+pub fn detect_kernel_races(
+    kernel: &ompfuzz_exec::Kernel,
+    input: &ompfuzz_inputs::TestInput,
+    max_ops: u64,
+) -> Option<Vec<RaceReport>> {
+    let opts = ExecOptions {
+        detect_races: true,
+        limits: ompfuzz_exec::ExecLimits { max_ops },
+        ..ExecOptions::default()
+    };
+    ompfuzz_exec::run(kernel, input, &opts)
+        .ok()
+        .map(|o| o.races)
 }
 
 /// Run the race detector on a test case (first input, reference
 /// interpretation). Returns `None` when the program fails to lower or
 /// exceeds the budget — such programs stay in the campaign and fail there
-/// uniformly.
+/// uniformly. Lowers through the test case's kernel cache, which the
+/// per-backend compiles reuse.
 fn detect_races(tc: &TestCase, config: &CampaignConfig) -> Option<Vec<RaceReport>> {
     let input = tc.inputs.first()?;
-    let kernel = ompfuzz_exec::lower(&tc.program).ok()?;
-    let opts = ExecOptions {
-        detect_races: true,
-        limits: ompfuzz_exec::ExecLimits {
-            max_ops: config.run.max_ops,
-        },
-        ..ExecOptions::default()
-    };
-    ompfuzz_exec::run(&kernel, input, &opts).ok().map(|o| o.races)
+    let kernel = tc.kernel().ok()?;
+    detect_kernel_races(kernel, input, config.run.max_ops)
 }
 
 #[cfg(test)]
@@ -271,10 +300,7 @@ mod tests {
                 assert_eq!(oa.status, ob.status);
                 assert_eq!(oa.time_us, ob.time_us);
                 // NaN-aware result equality (NaN == NaN here).
-                assert_eq!(
-                    oa.result.map(f64::to_bits),
-                    ob.result.map(f64::to_bits)
-                );
+                assert_eq!(oa.result.map(f64::to_bits), ob.result.map(f64::to_bits));
             }
         }
         assert_eq!(a.labels, vec!["Intel", "Clang", "GCC"]);
@@ -350,13 +376,9 @@ mod tests {
         let dyns = as_dyn(&backends);
         let result = run_campaign(&cfg, &dyns);
         // Every surviving program contributes inputs_per_program records.
-        let expected =
-            (cfg.programs - result.racy_programs.len()) * cfg.inputs_per_program;
+        let expected = (cfg.programs - result.racy_programs.len()) * cfg.inputs_per_program;
         assert_eq!(result.records.len(), expected);
         assert_eq!(result.total_runs, expected * 3);
-        assert!(result
-            .records
-            .iter()
-            .all(|r| r.observations.len() == 3));
+        assert!(result.records.iter().all(|r| r.observations.len() == 3));
     }
 }

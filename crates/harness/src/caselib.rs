@@ -7,7 +7,7 @@
 //! examples, and the benches.
 
 use ompfuzz_ast::{
-    Assignment, AssignOp, BinOp, Block, BlockItem, BoolExpr, BoolOp, Expr, ForLoop, FpType,
+    AssignOp, Assignment, BinOp, Block, BlockItem, BoolExpr, BoolOp, Expr, ForLoop, FpType,
     IfBlock, IndexExpr, LValue, LoopBound, OmpClauses, OmpCritical, OmpParallel, Param, Program,
     ReductionOp, Stmt, VarRef,
 };
@@ -117,10 +117,7 @@ pub fn case_study_2(outer_trip: u32, inner_trip: u32, threads: u32) -> Program {
         ],
         Block::of_stmts(vec![
             Stmt::Assign(Assignment {
-                target: LValue::Var(VarRef::Element(
-                    "var_3".into(),
-                    IndexExpr::Const(0),
-                )),
+                target: LValue::Var(VarRef::Element("var_3".into(), IndexExpr::Const(0))),
                 op: AssignOp::AddAssign,
                 value: Expr::var("var_2"),
             }),
@@ -169,7 +166,11 @@ pub fn nan_divergence(branch_trip: u32) -> Program {
                     body: Block::of_stmts(vec![comp_add(Expr::fp_const(1.0))]),
                 })]),
             }),
-            comp_add(Expr::binary(Expr::var("var_1"), BinOp::Mul, Expr::fp_const(0.5))),
+            comp_add(Expr::binary(
+                Expr::var("var_1"),
+                BinOp::Mul,
+                Expr::fp_const(0.5),
+            )),
         ]),
     );
     p.name = "nan_divergence".into();
@@ -250,7 +251,11 @@ mod tests {
 
     #[test]
     fn cs_programs_are_race_free() {
-        for p in [case_study_1(64, 4), case_study_2(3, 16, 4), case_study_3(16, 4)] {
+        for p in [
+            case_study_1(64, 4),
+            case_study_2(3, 16, 4),
+            case_study_3(16, 4),
+        ] {
             let k = ompfuzz_exec::lower(&p).unwrap();
             let out = ompfuzz_exec::run(
                 &k,

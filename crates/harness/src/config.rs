@@ -91,7 +91,10 @@ impl CampaignConfig {
         kv("programs", self.programs.to_string());
         kv("inputs_per_program", self.inputs_per_program.to_string());
         kv("seed", self.seed.to_string());
-        kv("opt_level", self.opt_level.flag().trim_start_matches('-').to_string());
+        kv(
+            "opt_level",
+            self.opt_level.flag().trim_start_matches('-').to_string(),
+        );
         kv("workers", self.workers.to_string());
         kv("filter_races", self.filter_races.to_string());
         kv("alpha", self.outlier.alpha.to_string());
@@ -107,7 +110,10 @@ impl CampaignConfig {
         kv("MATH_FUNC_ALLOWED", g.math_func_allowed.to_string());
         kv("MATH_FUNC_PROBABILITY", g.math_func_probability.to_string());
         kv("NUM_THREADS", g.num_threads.to_string());
-        kv("LEGACY_SHARING", matches!(g.sharing_mode, SharingMode::Legacy).to_string());
+        kv(
+            "LEGACY_SHARING",
+            matches!(g.sharing_mode, SharingMode::Legacy).to_string(),
+        );
         s
     }
 
@@ -163,15 +169,13 @@ impl CampaignConfig {
                     cfg.generator.array_size = value.parse().map_err(|_| bad("usize"))?
                 }
                 "MAX_SAME_LEVEL_BLOCKS" => {
-                    cfg.generator.max_same_level_blocks =
-                        value.parse().map_err(|_| bad("usize"))?
+                    cfg.generator.max_same_level_blocks = value.parse().map_err(|_| bad("usize"))?
                 }
                 "MATH_FUNC_ALLOWED" => {
                     cfg.generator.math_func_allowed = value.parse().map_err(|_| bad("bool"))?
                 }
                 "MATH_FUNC_PROBABILITY" => {
-                    cfg.generator.math_func_probability =
-                        value.parse().map_err(|_| bad("f64"))?
+                    cfg.generator.math_func_probability = value.parse().map_err(|_| bad("f64"))?
                 }
                 "NUM_THREADS" => {
                     cfg.generator.num_threads = value.parse().map_err(|_| bad("u32"))?

@@ -1,0 +1,98 @@
+//! The worker-pool pattern shared by the campaign driver and the test-case
+//! reducer: fan a slice of independent items over scoped worker threads and
+//! collect the results *in item order*, so callers are deterministic for
+//! every worker count.
+
+use crossbeam::channel;
+
+/// Resolve a configured worker count (`0` = use the machine's available
+/// parallelism, falling back to 4 when it cannot be queried).
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Apply `f` to every item, using up to `workers` scoped threads, and
+/// return the results in item order.
+///
+/// Every item is evaluated — there is no early exit — so the output is
+/// identical whatever the worker count or scheduling. Single-item batches
+/// (and `workers <= 1`) skip the pool: with one item there is nothing to
+/// overlap. Two items already go parallel — this pool's callers run
+/// multi-millisecond closures (full differential oracle checks), which
+/// dwarf the thread-spawn cost.
+pub fn map_parallel<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
+    if workers == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let (work_tx, work_rx) = channel::unbounded::<usize>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for index in 0..items.len() {
+        work_tx.send(index).expect("queue open");
+    }
+    drop(work_tx);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok(index) = work_rx.recv() {
+                    if res_tx.send((index, f(&items[index]))).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    })
+    .expect("pool workers never panic");
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (index, result) in res_rx {
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [0, 1, 3, 8] {
+            let out = map_parallel(resolve_workers(workers), &items, |&x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tiny_batches_and_empty_input_work() {
+        assert_eq!(map_parallel(8, &[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(map_parallel(8, &[7], |&x| x + 1), vec![8]);
+        // Two items take the pooled path; order must still hold.
+        assert_eq!(map_parallel(8, &[1, 2], |&x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn worker_resolution() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(5), 5);
+    }
+}

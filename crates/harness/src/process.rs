@@ -149,9 +149,7 @@ impl OmpBackend for ProcessBackend {
         opts: &CompileOptions,
     ) -> Result<Box<dyn CompiledTest>, CompileError> {
         let id = self.counter.fetch_add(1, Ordering::Relaxed);
-        let src = self
-            .work_dir
-            .join(format!("{}_{}.cpp", program.name, id));
+        let src = self.work_dir.join(format!("{}_{}.cpp", program.name, id));
         let bin = self.work_dir.join(format!("{}_{}", program.name, id));
         let cpp = emit_translation_unit(program, &PrintOptions::default());
         fs::write(&src, cpp).map_err(|e| CompileError(format!("write source: {e}")))?;
@@ -275,9 +273,7 @@ impl CompiledTest for ProcessBinary {
 }
 
 fn parse_field<'a>(stdout: &'a str, prefix: &str) -> Option<&'a str> {
-    stdout
-        .lines()
-        .find_map(|l| l.trim().strip_prefix(prefix))
+    stdout.lines().find_map(|l| l.trim().strip_prefix(prefix))
 }
 
 #[cfg(unix)]
@@ -362,7 +358,12 @@ mod tests {
         let program = caselib::case_study_2(2_000, 5_000, 4);
         let input = caselib::case_study_input(&program);
         let bin = backend
-            .compile(&program, &CompileOptions { opt_level: ompfuzz_backends::OptLevel::O0 })
+            .compile(
+                &program,
+                &CompileOptions {
+                    opt_level: ompfuzz_backends::OptLevel::O0,
+                },
+            )
             .expect("host compile");
         let result = bin.run(
             &input,

@@ -5,17 +5,56 @@
 use crate::config::CampaignConfig;
 use ompfuzz_ast::printer::{emit_translation_unit, PrintOptions};
 use ompfuzz_ast::Program;
+use ompfuzz_exec::{Kernel, LowerError};
 use ompfuzz_gen::ProgramGenerator;
 use ompfuzz_inputs::{InputGenerator, TestInput};
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::OnceLock;
 
 /// One test: a program and its `INPUT_SAMPLES_PER_RUN` inputs.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Invariant: the kernel cache pairs with `program` *as of the first
+/// [`TestCase::kernel`] call*. Treat a `TestCase` as immutable once built —
+/// to run a mutated program (e.g. a `rewrite` product), construct a fresh
+/// `TestCase::new` rather than assigning through the public fields, or the
+/// cached kernel silently stops matching the program.
+#[derive(Debug, Clone)]
 pub struct TestCase {
     pub program: Program,
     pub inputs: Vec<TestInput>,
+    /// Lazily cached `lower(program)` result, shared by the race filter and
+    /// every simulated backend's compile so each program is lowered once per
+    /// campaign instead of once per consumer (`OnceLock` makes the fill
+    /// race-free across campaign workers).
+    lowered: OnceLock<Result<Kernel, LowerError>>,
+}
+
+impl TestCase {
+    /// Pair a program with its inputs.
+    pub fn new(program: Program, inputs: Vec<TestInput>) -> TestCase {
+        TestCase {
+            program,
+            inputs,
+            lowered: OnceLock::new(),
+        }
+    }
+
+    /// The program's lowered kernel, computed on first use.
+    pub fn kernel(&self) -> Result<&Kernel, &LowerError> {
+        self.lowered
+            .get_or_init(|| ompfuzz_exec::lower(&self.program))
+            .as_ref()
+    }
+}
+
+impl PartialEq for TestCase {
+    /// Equality over the test's identity (program + inputs); the kernel
+    /// cache is derived state.
+    fn eq(&self, other: &TestCase) -> bool {
+        self.program == other.program && self.inputs == other.inputs
+    }
 }
 
 /// Generate the full corpus for a campaign configuration.
@@ -29,7 +68,7 @@ pub fn generate_corpus(cfg: &CampaignConfig) -> Vec<TestCase> {
         let mut program = pg.generate(&format!("test_{i}"));
         program.seed = cfg.seed;
         let inputs = ig.generate_samples(&program, cfg.inputs_per_program);
-        corpus.push(TestCase { program, inputs });
+        corpus.push(TestCase::new(program, inputs));
     }
     corpus
 }

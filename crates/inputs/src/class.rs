@@ -77,9 +77,9 @@ pub fn classify_f64(v: f64) -> Option<FpClass> {
     let exp = ((bits >> 52) & 0x7ff) as u32; // 1..=2046 for normals
     const MAX_NORMAL_EXP: u32 = 2046;
     const MIN_NORMAL_EXP: u32 = 1;
-    if exp >= MAX_NORMAL_EXP - ALMOST_EXP_MARGIN + 1 {
+    if exp > MAX_NORMAL_EXP - ALMOST_EXP_MARGIN {
         Some(FpClass::AlmostInf)
-    } else if exp <= MIN_NORMAL_EXP + ALMOST_EXP_MARGIN - 1 {
+    } else if exp < MIN_NORMAL_EXP + ALMOST_EXP_MARGIN {
         Some(FpClass::AlmostSubnormal)
     } else {
         Some(FpClass::Normal)
@@ -101,9 +101,9 @@ pub fn classify_f32(v: f32) -> Option<FpClass> {
     let exp = (bits >> 23) & 0xff; // 1..=254 for normals
     const MAX_NORMAL_EXP: u32 = 254;
     const MIN_NORMAL_EXP: u32 = 1;
-    if exp >= MAX_NORMAL_EXP - ALMOST_EXP_MARGIN + 1 {
+    if exp > MAX_NORMAL_EXP - ALMOST_EXP_MARGIN {
         Some(FpClass::AlmostInf)
-    } else if exp <= MIN_NORMAL_EXP + ALMOST_EXP_MARGIN - 1 {
+    } else if exp < MIN_NORMAL_EXP + ALMOST_EXP_MARGIN {
         Some(FpClass::AlmostSubnormal)
     } else {
         Some(FpClass::Normal)
@@ -192,7 +192,10 @@ mod tests {
         assert_eq!(classify_f64(-0.0), Some(FpClass::Zero));
         assert_eq!(classify_f64(5e-324), Some(FpClass::Subnormal));
         assert_eq!(classify_f64(f64::MAX), Some(FpClass::AlmostInf));
-        assert_eq!(classify_f64(f64::MIN_POSITIVE), Some(FpClass::AlmostSubnormal));
+        assert_eq!(
+            classify_f64(f64::MIN_POSITIVE),
+            Some(FpClass::AlmostSubnormal)
+        );
         assert_eq!(classify_f64(f64::NAN), None);
         assert_eq!(classify_f64(f64::INFINITY), None);
     }
@@ -201,7 +204,10 @@ mod tests {
     fn classify_f32_cases() {
         assert_eq!(classify_f32(1.0f32), Some(FpClass::Normal));
         assert_eq!(classify_f32(f32::MAX), Some(FpClass::AlmostInf));
-        assert_eq!(classify_f32(f32::MIN_POSITIVE), Some(FpClass::AlmostSubnormal));
+        assert_eq!(
+            classify_f32(f32::MIN_POSITIVE),
+            Some(FpClass::AlmostSubnormal)
+        );
         assert_eq!(classify_f32(1e-45f32), Some(FpClass::Subnormal));
         assert_eq!(classify_f32(-0.0f32), Some(FpClass::Zero));
         assert_eq!(classify_f32(f32::NAN), None);

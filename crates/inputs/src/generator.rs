@@ -65,7 +65,11 @@ impl InputGenerator {
 
     /// Draw one `f64` of the given class.
     pub fn draw_f64_of(&mut self, class: FpClass) -> f64 {
-        let sign = if self.rng.gen::<bool>() { 0u64 } else { 1u64 << 63 };
+        let sign = if self.rng.gen::<bool>() {
+            0u64
+        } else {
+            1u64 << 63
+        };
         let mantissa: u64 = self.rng.gen::<u64>() & ((1u64 << 52) - 1);
         let bits = match class {
             FpClass::Zero => sign,
@@ -97,7 +101,11 @@ impl InputGenerator {
     /// Draw one `f32` of the given class (as `f64` for uniform storage; the
     /// value is exactly representable in binary32).
     pub fn draw_f32_of(&mut self, class: FpClass) -> f32 {
-        let sign = if self.rng.gen::<bool>() { 0u32 } else { 1u32 << 31 };
+        let sign = if self.rng.gen::<bool>() {
+            0u32
+        } else {
+            1u32 << 31
+        };
         let mantissa: u32 = self.rng.gen::<u32>() & ((1u32 << 23) - 1);
         let bits = match class {
             FpClass::Zero => sign,

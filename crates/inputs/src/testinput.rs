@@ -105,7 +105,7 @@ mod tests {
         for &v in &[
             1.5,
             -2.75e-300,
-            5e-324,            // smallest subnormal
+            5e-324, // smallest subnormal
             f64::MAX,
             f64::MIN_POSITIVE, // smallest normal
             -0.0,

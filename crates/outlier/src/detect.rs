@@ -89,10 +89,11 @@ pub fn detect_performance_outlier(times: &[f64], cfg: &OutlierConfig) -> Option<
             .filter(|(j, _)| *j != i)
             .map(|(_, &t)| t)
             .collect();
-        let rest_comparable = rest
-            .iter()
-            .enumerate()
-            .all(|(a, &ta)| rest.iter().skip(a + 1).all(|&tb| comparable(ta, tb, cfg.alpha)));
+        let rest_comparable = rest.iter().enumerate().all(|(a, &ta)| {
+            rest.iter()
+                .skip(a + 1)
+                .all(|&tb| comparable(ta, tb, cfg.alpha))
+        });
         if !rest_comparable {
             continue;
         }
@@ -250,6 +251,31 @@ pub struct Analysis {
     pub filtered: bool,
 }
 
+impl Analysis {
+    /// The headline verdict as a `(kind, implementation index)` pair:
+    /// the correctness outlier when present (correctness preempts
+    /// performance, §IV-C), otherwise the performance outlier. This is the
+    /// equality the test-case reducer's oracle preserves.
+    pub fn primary_outlier(&self) -> Option<(crate::tally::OutlierKind, usize)> {
+        use crate::tally::OutlierKind;
+        if let Some(c) = self.correctness {
+            let kind = match c {
+                CorrectnessOutlier::Crash { .. } => OutlierKind::Crash,
+                CorrectnessOutlier::Hang { .. } => OutlierKind::Hang,
+            };
+            return Some((kind, c.index()));
+        }
+        self.performance.map(|p| {
+            let kind = if p.is_slow() {
+                OutlierKind::Slow
+            } else {
+                OutlierKind::Fast
+            };
+            (kind, p.index())
+        })
+    }
+}
+
 /// Analyze one test's observations across all implementations.
 pub fn analyze(observations: &[RunObservation], cfg: &OutlierConfig) -> Analysis {
     let mut analysis = Analysis::default();
@@ -264,8 +290,14 @@ pub fn analyze(observations: &[RunObservation], cfg: &OutlierConfig) -> Analysis
         return analysis;
     }
 
-    let times: Vec<f64> = observations.iter().map(|o| o.time_us.unwrap_or(0.0)).collect();
-    let results: Vec<f64> = observations.iter().map(|o| o.result.unwrap_or(0.0)).collect();
+    let times: Vec<f64> = observations
+        .iter()
+        .map(|o| o.time_us.unwrap_or(0.0))
+        .collect();
+    let results: Vec<f64> = observations
+        .iter()
+        .map(|o| o.result.unwrap_or(0.0))
+        .collect();
     analysis.divergence = divergent_result_index(&results);
 
     // §V-A: filter out tests that take less than `min_time_us`.
@@ -302,7 +334,13 @@ mod tests {
     fn fig1_example_detects_slow_compiler_3() {
         // 5 min, 5 min, 9 min.
         let out = detect_performance_outlier(&[300e6, 300e6, 540e6], &CFG).unwrap();
-        assert_eq!(out, PerfOutlier::Slow { index: 2, ratio: 1.8 });
+        assert_eq!(
+            out,
+            PerfOutlier::Slow {
+                index: 2,
+                ratio: 1.8
+            }
+        );
         assert!(out.is_slow());
     }
 
@@ -319,7 +357,10 @@ mod tests {
 
     #[test]
     fn no_outlier_when_all_comparable() {
-        assert_eq!(detect_performance_outlier(&[100.0, 110.0, 95.0], &CFG), None);
+        assert_eq!(
+            detect_performance_outlier(&[100.0, 110.0, 95.0], &CFG),
+            None
+        );
     }
 
     #[test]
@@ -414,12 +455,43 @@ mod tests {
         let a = analyze(&obs, &CFG);
         assert!(!a.filtered);
         assert_eq!(a.divergence, Some(2));
-        assert!(matches!(a.performance, Some(PerfOutlier::Slow { index: 2, .. })));
+        assert!(matches!(
+            a.performance,
+            Some(PerfOutlier::Slow { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn primary_outlier_prefers_correctness() {
+        use crate::tally::OutlierKind;
+        let crash = analyze(
+            &[
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::crash(),
+                RunObservation::ok(500_000.0, 1.0),
+            ],
+            &CFG,
+        );
+        assert_eq!(crash.primary_outlier(), Some((OutlierKind::Crash, 1)));
+        let slow = analyze(
+            &[
+                RunObservation::ok(100_000.0, 1.0),
+                RunObservation::ok(105_000.0, 1.0),
+                RunObservation::ok(300_000.0, 1.0),
+            ],
+            &CFG,
+        );
+        assert_eq!(slow.primary_outlier(), Some((OutlierKind::Slow, 2)));
+        assert_eq!(Analysis::default().primary_outlier(), None);
     }
 
     #[test]
     fn analyze_all_broken_reports_nothing() {
-        let obs = [RunObservation::hang(), RunObservation::hang(), RunObservation::hang()];
+        let obs = [
+            RunObservation::hang(),
+            RunObservation::hang(),
+            RunObservation::hang(),
+        ];
         let a = analyze(&obs, &CFG);
         assert_eq!(a.correctness, None);
         assert_eq!(a.performance, None);

@@ -115,7 +115,11 @@ impl Tally {
     /// Total outliers of all classes.
     pub fn total_outliers(&self) -> u64 {
         (0..self.labels.len())
-            .flat_map(|i| OutlierKind::all().into_iter().map(move |k| self.count(i, k)))
+            .flat_map(|i| {
+                OutlierKind::all()
+                    .into_iter()
+                    .map(move |k| self.count(i, k))
+            })
             .sum()
     }
 

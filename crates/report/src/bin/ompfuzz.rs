@@ -4,16 +4,24 @@
 //! ompfuzz list-experiments
 //! ompfuzz reproduce -e table1 [--quick]
 //! ompfuzz campaign [--programs N] [--inputs K] [--seed S] [--config FILE] [--csv OUT]
+//! ompfuzz reduce [--programs N] [--seed S] [--kind hang] [--target IDX] [--workers W] [--emit]
 //! ompfuzz generate --out DIR [--programs N] [--seed S]
 //! ompfuzz emit [--seed S]
 //! ompfuzz config-template
 //! ```
 
 use ompfuzz_backends::{standard_backends, OmpBackend};
-use ompfuzz_harness::{generate_corpus, run_campaign, save_corpus, CampaignConfig};
-use ompfuzz_report::{campaign_to_csv, experiments, render_table1, run_experiment, Scale};
+use ompfuzz_harness::{
+    generate_corpus, run_campaign, run_campaign_on, save_corpus, CampaignConfig,
+};
+use ompfuzz_outlier::OutlierKind;
+use ompfuzz_reduce::{ReduceConfig, Reducer, ReductionTarget};
+use ompfuzz_report::{
+    campaign_to_csv, experiments, render_reduction_summary, render_table1, run_experiment, Scale,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +33,7 @@ fn main() -> ExitCode {
         "list-experiments" => cmd_list(),
         "reproduce" => cmd_reproduce(rest),
         "campaign" => cmd_campaign(rest),
+        "reduce" => cmd_reduce(rest),
         "generate" => cmd_generate(rest),
         "emit" => cmd_emit(rest),
         "config-template" => {
@@ -55,6 +64,10 @@ fn print_usage() {
          \x20 reproduce -e <id> [--quick]  regenerate one experiment (e.g. table1, fig9)\n\
          \x20 campaign [--programs N] [--inputs K] [--seed S] [--config FILE] [--csv OUT]\n\
          \x20                            run a differential campaign and print Table I\n\
+         \x20 reduce [--programs N] [--seed S] [--kind slow|fast|crash|hang]\n\
+         \x20        [--target IDX] [--workers W] [--emit]\n\
+         \x20                            run a campaign, then delta-debug its worst\n\
+         \x20                            outlier (or program IDX's) to a minimal kernel\n\
          \x20 generate --out DIR [--programs N] [--seed S]\n\
          \x20                            write generated .cpp tests + inputs to DIR\n\
          \x20 emit [--seed S]            print one generated test program\n\
@@ -82,7 +95,11 @@ impl<'a> Opts<'a> {
         self.rest.iter().any(|a| a == flag)
     }
 
-    fn parsed<T: std::str::FromStr>(&self, long: &str, short: Option<&str>) -> Result<Option<T>, String> {
+    fn parsed<T: std::str::FromStr>(
+        &self,
+        long: &str,
+        short: Option<&str>,
+    ) -> Result<Option<T>, String> {
         match self.value_of(long, short) {
             None => Ok(None),
             Some(v) => v
@@ -94,7 +111,7 @@ impl<'a> Opts<'a> {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<10} {:<22} {}", "id", "paper reference", "title");
+    println!("{:<10} {:<22} title", "id", "paper reference");
     println!("{}", "-".repeat(72));
     for e in experiments() {
         println!("{:<10} {:<22} {}", e.id, e.paper_ref, e.title);
@@ -155,6 +172,86 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         std::fs::write(csv_path, campaign_to_csv(&result))
             .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
         eprintln!("records written to {csv_path}");
+    }
+    Ok(())
+}
+
+fn cmd_reduce(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let cfg = build_config(&opts)?;
+    let kind = match opts.value_of("--kind", Some("-k")) {
+        None => None,
+        Some("slow") => Some(OutlierKind::Slow),
+        Some("fast") => Some(OutlierKind::Fast),
+        Some("crash") => Some(OutlierKind::Crash),
+        Some("hang") => Some(OutlierKind::Hang),
+        Some(other) => return Err(format!("invalid --kind {other} (slow|fast|crash|hang)")),
+    };
+    let program_index = opts.parsed::<usize>("--target", Some("-t"))?;
+
+    eprintln!(
+        "running campaign: {} programs × {} inputs × 3 implementations ...",
+        cfg.programs, cfg.inputs_per_program
+    );
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+    let corpus = generate_corpus(&cfg);
+    let result = run_campaign_on(&cfg, &dyns, &corpus, Instant::now());
+    eprintln!(
+        "campaign done: {} outliers in {} records",
+        result.tally.total_outliers(),
+        result.records.len()
+    );
+
+    // Pick the target record: a specific program's worst outlier, the worst
+    // of one kind, or the campaign-wide worst.
+    let target = match (program_index, kind) {
+        (Some(idx), _) => {
+            let record = result
+                .records
+                .iter()
+                .filter(|r| {
+                    r.program_index == idx
+                        && r.outlier()
+                            .is_some_and(|(k, _)| kind.is_none() || kind == Some(k))
+                })
+                .min_by_key(|r| r.input_index) // prefer the first input's record
+                .ok_or_else(|| format!("program {idx} has no matching outlier record"))?;
+            ReductionTarget::from_record(&corpus, record)
+        }
+        (None, Some(k)) => ReductionTarget::worst_of_kind(&corpus, &result, k),
+        (None, None) => ReductionTarget::worst_of_campaign(&corpus, &result),
+    }
+    .ok_or("campaign produced no matching outlier to reduce")?;
+
+    eprintln!(
+        "reducing {} ({} statements, verdict: {} on {}) ...",
+        target.program.name,
+        target.program.body.stmt_count(),
+        target.verdict.kind.label(),
+        result.labels[target.verdict.backend],
+    );
+    let mut reduce_cfg = ReduceConfig::for_campaign(&cfg);
+    if let Some(w) = opts.parsed::<usize>("--workers", Some("-w"))? {
+        reduce_cfg.workers = w;
+    }
+    let outcome = Reducer::new(&dyns, reduce_cfg).reduce(&target);
+
+    println!("{}", render_reduction_summary(&outcome, &result.labels));
+    println!(
+        "// reduced kernel ({} -> {} statements):",
+        outcome.original_stmts, outcome.reduced_stmts
+    );
+    if opts.has_flag("--emit") {
+        println!(
+            "{}",
+            ompfuzz_ast::printer::emit_translation_unit(&outcome.reduced, &Default::default())
+        );
+    } else {
+        println!(
+            "{}",
+            ompfuzz_ast::printer::emit_kernel_source(&outcome.reduced, &Default::default())
+        );
     }
     Ok(())
 }

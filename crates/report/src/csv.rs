@@ -58,7 +58,10 @@ fn verdict_cells(
     if r.analysis.filtered {
         return ("filtered".to_string(), String::new(), String::new());
     }
-    let _ = PerfOutlier::Slow { index: 0, ratio: 0.0 }; // keep import honest
+    let _ = PerfOutlier::Slow {
+        index: 0,
+        ratio: 0.0,
+    }; // keep import honest
     ("none".to_string(), String::new(), String::new())
 }
 

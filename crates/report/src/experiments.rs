@@ -104,7 +104,10 @@ pub fn experiments() -> Vec<Experiment> {
 
 /// Look up and run one experiment by id.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
-    experiments().iter().find(|e| e.id == id).map(|e| e.run(scale))
+    experiments()
+        .iter()
+        .find(|e| e.id == id)
+        .map(|e| e.run(scale))
 }
 
 // ---------------------------------------------------------------------------
@@ -322,10 +325,16 @@ fn run_fig5(_scale: Scale) -> String {
          (α = 0.2, β = 1.5; times in µs)\n\n",
     );
     let cases = [
-        ("comparable runs, no outlier", [100_000.0, 108_000.0, 96_000.0]),
+        (
+            "comparable runs, no outlier",
+            [100_000.0, 108_000.0, 96_000.0],
+        ),
         ("slow outlier (r₃ ≥ β·M)", [100_000.0, 104_000.0, 190_000.0]),
         ("fast outlier (M ≥ β·r₃)", [100_000.0, 104_000.0, 55_000.0]),
-        ("rest not comparable: undecidable", [100_000.0, 150_000.0, 400_000.0]),
+        (
+            "rest not comparable: undecidable",
+            [100_000.0, 150_000.0, 400_000.0],
+        ),
     ];
     for (label, times) in cases {
         let verdict = match detect_performance_outlier(&times, &cfg) {

@@ -8,6 +8,8 @@
 //!   its workload and renders paper-style output.
 //! * [`table`] — aligned text tables in the paper's visual style.
 //! * [`csv`] — campaign export for downstream analysis.
+//! * [`reduction`] — summary rendering for the `ompfuzz reduce` test-case
+//!   reducer.
 //!
 //! ```
 //! use ompfuzz_report::{run_experiment, Scale};
@@ -17,10 +19,12 @@
 
 pub mod csv;
 pub mod experiments;
+pub mod reduction;
 pub mod table;
 
 pub use csv::campaign_to_csv;
 pub use experiments::{
     experiments, hang_run, render_table1, run_experiment, table1_campaign, Experiment, Scale,
 };
+pub use reduction::render_reduction_summary;
 pub use table::TextTable;

@@ -53,8 +53,14 @@ fn case_study_1() {
     for ((name, iv), (_, gv)) in ri.counters.rows().iter().zip(rg.counters.rows().iter()) {
         println!("{name:>20}  {iv:>13}  {gv:>13}");
     }
-    println!("\nIntel flat profile (Fig. 6, top):\n{}", ri.profile.render());
-    println!("GCC flat profile (Fig. 6, bottom):\n{}", rg.profile.render());
+    println!(
+        "\nIntel flat profile (Fig. 6, top):\n{}",
+        ri.profile.render()
+    );
+    println!(
+        "GCC flat profile (Fig. 6, bottom):\n{}",
+        rg.profile.render()
+    );
 }
 
 fn case_study_2() {
@@ -90,7 +96,10 @@ fn case_study_2() {
         .unwrap();
     assert_eq!(pi.mode, ProfileMode::Children);
     println!("\nIntel --children profile (Fig. 7, top):\n{}", pi.render());
-    println!("Clang --children profile (Fig. 7, bottom):\n{}", pc.render());
+    println!(
+        "Clang --children profile (Fig. 7, bottom):\n{}",
+        pc.render()
+    );
 }
 
 fn case_study_3() {

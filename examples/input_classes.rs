@@ -38,7 +38,9 @@ fn main() {
     );
     let mut histogram = std::collections::BTreeMap::new();
     for _ in 0..10_000 {
-        *histogram.entry(extreme.draw_class().label()).or_insert(0u32) += 1;
+        *histogram
+            .entry(extreme.draw_class().label())
+            .or_insert(0u32) += 1;
     }
     for (label, count) in &histogram {
         println!("  {label:<18} {:>5.1}%", *count as f64 / 100.0);

@@ -74,7 +74,11 @@ fn main() {
             "  performance outlier: {} is {:.2}× {} the midpoint of the others",
             backends[p.index()].info().vendor.label(),
             p.ratio(),
-            if p.is_slow() { "slower than" } else { "faster than" },
+            if p.is_slow() {
+                "slower than"
+            } else {
+                "faster than"
+            },
         );
     } else if analysis.filtered {
         println!("  test too fast to time reliably (< 1,000 µs) — filtered, try another seed");

@@ -15,4 +15,5 @@ pub use ompfuzz_gen as gen;
 pub use ompfuzz_harness as harness;
 pub use ompfuzz_inputs as inputs;
 pub use ompfuzz_outlier as outlier;
+pub use ompfuzz_reduce as reduce;
 pub use ompfuzz_report as report;

@@ -22,8 +22,16 @@ fn generated_programs_survive_the_whole_pipeline() {
     let backends = standard_backends();
     for program in pg.generate_batch(25) {
         // Grammar + static validation.
-        assert!(grammar::derivation_errors(&program).is_empty(), "{}", program.name);
-        assert!(validate::validate(&program, &cfg).is_empty(), "{}", program.name);
+        assert!(
+            grammar::derivation_errors(&program).is_empty(),
+            "{}",
+            program.name
+        );
+        assert!(
+            validate::validate(&program, &cfg).is_empty(),
+            "{}",
+            program.name
+        );
 
         // Printer output looks like a real test file.
         let cpp = printer::emit_translation_unit(&program, &Default::default());
@@ -63,7 +71,9 @@ fn generated_programs_survive_the_whole_pipeline() {
             &kernel,
             &input,
             &ExecOptions {
-                limits: ompfuzz::exec::ExecLimits { max_ops: 20_000_000 },
+                limits: ompfuzz::exec::ExecLimits {
+                    max_ops: 20_000_000,
+                },
                 ..ExecOptions::default()
             },
         ) {
@@ -109,7 +119,7 @@ fn healthy_implementations_agree_everywhere() {
         programs: 20,
         ..CampaignConfig::small()
     };
-    let backends = vec![
+    let backends = [
         SimBackend::with_bugs(Vendor::IntelLike, BugModels::none()),
         SimBackend::with_bugs(Vendor::ClangLike, BugModels::none()),
         SimBackend::with_bugs(Vendor::GccLike, BugModels::none()),

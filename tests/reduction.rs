@@ -1,0 +1,105 @@
+//! End-to-end acceptance of the reduction subsystem: a differential
+//! campaign produces an outlier triggered by the Intel critical-section
+//! (queuing-lock) bug model; the reducer shrinks it by well over half while
+//! preserving the verdict, identically for 1 and 8 workers, and converges
+//! to a kernel structurally equivalent to the crafted `caselib` contention
+//! case study.
+
+use ompfuzz::ast::rewrite;
+use ompfuzz::ast::ProgramFeatures;
+use ompfuzz::backends::{oracle, standard_backends, OmpBackend};
+use ompfuzz::harness::{caselib, generate_corpus, run_campaign_on, CampaignConfig};
+use ompfuzz::outlier::{analyze, OutlierKind};
+use ompfuzz::reduce::{ReduceConfig, Reducer, ReductionTarget};
+use std::time::Instant;
+
+/// A campaign tuned toward critical-section pressure (few reduction
+/// clauses force `comp` updates into criticals) that contains at least one
+/// Intel hang outlier. Seed picked by searching the deterministic stream;
+/// the assertions below re-verify every property it was picked for.
+fn hang_campaign_config() -> CampaignConfig {
+    let mut cfg = CampaignConfig::paper();
+    cfg.programs = 20;
+    cfg.inputs_per_program = 2;
+    cfg.seed = 4;
+    cfg.workers = 0;
+    cfg.run.max_ops = 8_000_000;
+    cfg.generator.omp.parallel_block = 0.6;
+    cfg.generator.omp.reduction = 0.1;
+    cfg.generator.omp.omp_for = 0.5;
+    cfg
+}
+
+#[test]
+fn campaign_outlier_reduces_by_60_percent_deterministically() {
+    let cfg = hang_campaign_config();
+    let corpus = generate_corpus(&cfg);
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+    let result = run_campaign_on(&cfg, &dyns, &corpus, Instant::now());
+
+    // The campaign really contains an Intel hang — the modelled
+    // critical-section (queuing lock) bug.
+    let target = ReductionTarget::worst_of_kind(&corpus, &result, OutlierKind::Hang)
+        .expect("campaign has a hang outlier");
+    assert_eq!(result.labels[target.verdict.backend], "Intel");
+    let features = ProgramFeatures::of(&target.program);
+    assert!(
+        features.critical_sections > 0,
+        "hang target must contain critical sections"
+    );
+
+    // Reduce with 1 and 8 workers.
+    let reduce_once = |workers: usize| {
+        let config = ReduceConfig {
+            workers,
+            ..ReduceConfig::for_campaign(&cfg)
+        };
+        Reducer::new(&dyns, config).reduce(&target)
+    };
+    let seq = reduce_once(1);
+    let par = reduce_once(8);
+
+    // Deterministic: byte-identical reduction regardless of worker count.
+    assert_eq!(seq.reduced, par.reduced);
+    assert_eq!(seq.input, par.input);
+    assert_eq!(seq.oracle_checks, par.oracle_checks);
+    assert_eq!(seq.passes, par.passes);
+
+    // ≥ 60% of statements eliminated.
+    assert!(
+        seq.shrink_percent() >= 60.0,
+        "only {:.1}% shrink ({} -> {} stmts)",
+        seq.shrink_percent(),
+        seq.original_stmts,
+        seq.reduced_stmts
+    );
+    assert!(!seq.reduced.body.is_empty());
+
+    // The verdict is preserved: an independent differential run of the
+    // reduced program still hangs Intel and only Intel.
+    let observations = oracle::observe(
+        &seq.reduced,
+        &seq.input,
+        &dyns,
+        None,
+        &ompfuzz::backends::CompileOptions {
+            opt_level: cfg.opt_level,
+        },
+        &cfg.run,
+    )
+    .expect("reduced program compiles everywhere");
+    let verdict = analyze(&observations, &cfg.outlier).primary_outlier();
+    assert_eq!(verdict, Some((OutlierKind::Hang, target.verdict.backend)));
+
+    // Convergence: the reduced kernel is structurally equivalent to the
+    // crafted contention case study — caselib::case_study_3, i.e.
+    // case_study_1's critical-in-parallel-loop shape with the serial
+    // region loop, stripped to its spine (prelude, array update and comp
+    // write are not part of the queuing-lock trigger).
+    let spine = rewrite::delete_stmts(
+        &caselib::case_study_3(6000, 32),
+        &[1, 2, 4].into_iter().collect(),
+    );
+    assert_eq!(rewrite::skeleton(&seq.reduced), rewrite::skeleton(&spine));
+}

@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate, covering the subset the
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`/`bench_with_input`,
+//! group tuning knobs (accepted, mostly advisory) and `Throughput`.
+//!
+//! Measurement is intentionally simple: each routine is warmed up once,
+//! then timed over an adaptive number of iterations, and one line of
+//! mean-per-iteration (plus throughput when configured) is printed. No
+//! statistics, HTML reports, or comparison against saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// Target wall time for the measurement phase.
+    budget: Duration,
+    /// (iterations, elapsed) of the measurement run.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time the routine: one warm-up call, then as many iterations as fit
+    /// the measurement budget (at least 5).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= 5 && start.elapsed() >= self.budget {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Advisory in this shim (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Advisory in this shim.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d.min(Criterion::MAX_MEASUREMENT);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            measured: None,
+        };
+        f(&mut bencher);
+        let Some((iters, elapsed)) = bencher.measured else {
+            println!("{}/{id}: routine never called Bencher::iter", self.name);
+            return;
+        };
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        let mut line = format!(
+            "{}/{id}: {} / iter ({iters} iterations)",
+            self.name,
+            format_time(per_iter)
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            line.push_str(&format!(", {:.1} M{unit}/s", count as f64 / per_iter / 1e6));
+        }
+        println!("{line}");
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// End the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    benchmarks_run: usize,
+    default_measurement: Duration,
+}
+
+impl Criterion {
+    /// Hard cap on any one benchmark's measurement phase, so the full suite
+    /// stays runnable in CI.
+    const MAX_MEASUREMENT: Duration = Duration::from_secs(3);
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let default = self.default_measurement;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            measurement_time: default,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            benchmarks_run: 0,
+            default_measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_times_a_routine() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group.measurement_time(Duration::from_millis(10));
+            group.throughput(Throughput::Elements(100));
+            group.bench_function("noop", |b| b.iter(|| 1 + 1));
+            group.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &x| b.iter(|| x * 2));
+            group.finish();
+        }
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `crossbeam` crate, providing the subset this
+//! workspace uses: the MPMC unbounded [`channel`] and [`scope`]d threads.
+//!
+//! Built on `std::sync` primitives and `std::thread::scope`; semantics match
+//! what the campaign and reduction drivers rely on — cloneable senders and
+//! receivers, `recv` returning `Err` once the queue is drained and every
+//! sender is gone, and scoped threads that may borrow from the caller.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half of an unbounded MPMC channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded MPMC channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The channel is disconnected and the message could not be delivered.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Create an unbounded channel. Both halves are cloneable; every message
+    /// is delivered to exactly one receiver.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message. Never blocks; only fails if the queue mutex was
+        /// poisoned (a receiver panicked mid-pop), which callers treat as
+        /// disconnection.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.shared.queue.lock() {
+                Ok(mut queue) => {
+                    queue.push_back(value);
+                    self.shared.ready.notify_one();
+                    Ok(())
+                }
+                Err(_) => Err(SendError(value)),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake all blocked receivers so they can
+                // observe disconnection. The queue mutex must be held while
+                // notifying — otherwise a receiver that has seen
+                // `senders == 1` but not yet parked in `wait` misses the
+                // wakeup and blocks forever (classic lost-wakeup race).
+                let _guard = self.shared.queue.lock();
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().map_err(|_| RecvError)?;
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.ready.wait(queue).map_err(|_| RecvError)?;
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// Blocking iterator over received messages, ending at disconnection.
+    pub struct IntoIter<T> {
+        receiver: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { receiver: self }
+        }
+    }
+}
+
+/// Scoped threads in the crossbeam style: the closure receives a scope
+/// handle whose `spawn` accepts closures that themselves take the scope
+/// (allowing nested spawns), and every spawned thread is joined before
+/// `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Handle for spawning threads inside a [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure's argument is the scope itself,
+    /// mirroring crossbeam's signature (commonly ignored as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'s> FnOnce(&Scope<'s, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn work_queue_drains_to_disconnection() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+
+        let (res_tx, res_rx) = channel::unbounded::<usize>();
+        super::scope(|scope| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let res_tx = res_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        res_tx.send(v * 2).unwrap();
+                    }
+                });
+            }
+            drop(res_tx);
+        })
+        .unwrap();
+
+        let mut out: Vec<usize> = res_rx.into_iter().collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn receiver_blocked_on_empty_channel_sees_disconnection() {
+        // Regression for the lost-wakeup race: a receiver parked (or about
+        // to park) on an empty channel must observe the last sender's drop.
+        for _ in 0..200 {
+            let (tx, rx) = channel::unbounded::<u8>();
+            let waiter = std::thread::spawn(move || rx.recv());
+            std::thread::yield_now();
+            drop(tx);
+            assert_eq!(waiter.join().unwrap(), Err(channel::RecvError));
+        }
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let data = [1, 2, 3];
+        let sum = super::scope(|scope| {
+            let h = scope.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+}

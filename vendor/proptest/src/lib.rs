@@ -1,0 +1,154 @@
+//! Offline stand-in for the `proptest` crate, covering the subset the
+//! workspace's property tests use: the `proptest!` test macro with
+//! `name in <range>` bindings over `Range<{f64, usize, ...}>` strategies,
+//! plus `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Each generated test draws `CASES` samples from a PRNG seeded from the
+//! test's name, so failures are reproducible run to run. There is no
+//! shrinking — on failure the offending sampled values are printed instead.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples drawn per property test.
+pub const CASES: usize = 256;
+
+/// A value-producing strategy (upstream's `Strategy`, reduced to ranges).
+pub trait Strategy {
+    type Value: std::fmt::Debug + Clone;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-test seed from the test's name.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Define property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_prop(a in 0.0..1.0f64, n in 1usize..10) {
+///         prop_assert!(a < n as f64 + 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $range:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let seed = $crate::test_runner::seed_for(stringify!($name));
+                let mut rng = <$crate::test_runner::StdRng as $crate::test_runner::SeedableRng>::seed_from_u64(seed);
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($range), &mut rng);)*
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "property {} failed at case {case}: {msg}\n  inputs: {}",
+                            stringify!($name),
+                            [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside `proptest!`, reporting sampled inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // `if cond {} else { .. }` rather than `if !cond` so comparison
+        // conditions don't trip clippy::neg_cmp_op_on_partial_ord at the
+        // macro's expansion sites.
+        if $cond {
+        } else {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+}
+
+/// The conventional glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 1.0..2.0f64, n in 3usize..8) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..8).contains(&n), "n={n} escaped");
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 0.0..1.0f64) {
+                    prop_assert!(x > 2.0);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("x ="), "{msg}");
+    }
+}
