@@ -592,6 +592,256 @@ pub fn remove_param(program: &Program, index: usize) -> Option<Program> {
 }
 
 // ---------------------------------------------------------------------------
+// Grow mutations: the inverses of the shrink edits
+//
+// Where the reducer deletes statements, strips clauses and shrinks trip
+// counts, the corpus-guided fuzzing loop *grows* reduced trigger kernels
+// back toward the surrounding program space: duplicate statements, insert
+// clauses, widen trip counts. Every edit is validity-preserving on a
+// program that already satisfies the generator's static rules — applied to
+// valid input, the result passes `gen::validate` unchanged (the gen crate's
+// property tests pin this).
+// ---------------------------------------------------------------------------
+
+/// The structural limits a grow edit must respect so mutated programs stay
+/// inside the generator's configuration envelope. Mirrors the two
+/// `GeneratorConfig` knobs the edits can push against; the rest
+/// (`MAX_EXPRESSION_SIZE`, nesting, array bounds) are untouched by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowLimits {
+    /// `MAX_LINES_IN_BLOCK`: statement splices never fill a block past this.
+    pub max_lines_in_block: usize,
+    /// `MAX_LOOP_TRIP`: trip widening never exceeds this.
+    pub max_loop_trip: u32,
+}
+
+/// One applicable grow edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrowEdit {
+    /// Duplicate the plain assignment at statement-splice site `site`
+    /// (enumeration order documented on [`splice_sites`]), inserting the
+    /// copy immediately after the original.
+    SpliceStmt { site: usize },
+    /// Add `name` to region `region`'s `firstprivate(...)` clause. Only
+    /// offered for names not already privatized, so each thread gains an
+    /// initialized private copy and reads keep their value — race-freedom
+    /// is preserved whatever the region does with the name.
+    InsertFirstprivate { region: usize, name: String },
+    /// Add `reduction(<op>: comp)` to region `region` (only offered where
+    /// no reduction is present). Protected `comp` updates stay protected;
+    /// the clause merely relaxes which updates *would* be legal, so static
+    /// validity is unchanged.
+    InsertReduction {
+        region: usize,
+        op: crate::ops::ReductionOp,
+    },
+    /// Set constant-bound loop site `site` (see [`loop_sites`]) to `trip`,
+    /// strictly larger than the current bound.
+    WidenLoopTrip { site: usize, trip: u32 },
+}
+
+/// Number of statement-splice sites: plain (non-declaration) assignments in
+/// blocks that still have room under `max_lines_in_block`, in the same
+/// pre-order as [`stmt_sites`] restricted to those items. Declarations are
+/// not sites — duplicating one would redeclare its name. Region preludes
+/// are not blocks and are likewise excluded.
+pub fn splice_sites(program: &Program, limits: &GrowLimits) -> usize {
+    let mut count = 0;
+    splice_block(&program.body, limits, &mut count, usize::MAX);
+    count
+}
+
+/// Enumerate/apply in one traversal: when `apply` is a real site index, the
+/// assignment at that index is duplicated; with `usize::MAX` the function
+/// only counts. Returns the rebuilt block.
+fn splice_block(block: &Block, limits: &GrowLimits, next: &mut usize, apply: usize) -> Block {
+    let has_room = block.len() < limits.max_lines_in_block;
+    let mut items = Vec::with_capacity(block.len() + 1);
+    for item in block.iter() {
+        let rebuilt = match item {
+            BlockItem::Stmt(s) => BlockItem::Stmt(splice_stmt(s, limits, next, apply)),
+            BlockItem::Critical(c) => BlockItem::Critical(OmpCritical {
+                body: splice_block(&c.body, limits, next, apply),
+            }),
+        };
+        let dup = match &rebuilt {
+            BlockItem::Stmt(Stmt::Assign(_)) if has_room => {
+                let site = *next;
+                *next += 1;
+                site == apply
+            }
+            _ => false,
+        };
+        if dup {
+            items.push(rebuilt.clone());
+        }
+        items.push(rebuilt);
+    }
+    Block(items)
+}
+
+fn splice_stmt(stmt: &Stmt, limits: &GrowLimits, next: &mut usize, apply: usize) -> Stmt {
+    match stmt {
+        Stmt::If(ifb) => Stmt::If(IfBlock {
+            cond: ifb.cond.clone(),
+            body: splice_block(&ifb.body, limits, next, apply),
+        }),
+        Stmt::For(fl) => Stmt::For(ForLoop {
+            body: splice_block(&fl.body, limits, next, apply),
+            ..fl.clone()
+        }),
+        Stmt::OmpParallel(par) => Stmt::OmpParallel(OmpParallel {
+            clauses: par.clauses.clone(),
+            prelude: par.prelude.clone(),
+            body_loop: ForLoop {
+                body: splice_block(&par.body_loop.body, limits, next, apply),
+                ..par.body_loop.clone()
+            },
+        }),
+        other => other.clone(),
+    }
+}
+
+/// Every grow edit currently applicable under `limits`, in a fixed order
+/// (splices, then per-region clause insertions, then trip widenings) so a
+/// seeded random pick over the list is deterministic.
+pub fn grow_edits(program: &Program, limits: &GrowLimits) -> Vec<GrowEdit> {
+    let mut edits = Vec::new();
+    for site in 0..splice_sites(program, limits) {
+        edits.push(GrowEdit::SpliceStmt { site });
+    }
+    // Clause insertions: firstprivate over fp scalar params the region has
+    // not privatized yet, and a reduction where none is present. Params are
+    // in scope at every region, and restricting to scalars keeps the edit
+    // inside the clause shapes the generator itself emits.
+    let scalar_params: Vec<&str> = program
+        .params
+        .iter()
+        .filter(|p| matches!(p.ty, crate::program::ParamType::Fp(_)))
+        .map(|p| p.name.as_str())
+        .collect();
+    let mut region = 0;
+    for_each_region(&program.body, &mut |par| {
+        for name in &scalar_params {
+            if !par.clauses.is_privatized(name) {
+                edits.push(GrowEdit::InsertFirstprivate {
+                    region,
+                    name: (*name).to_string(),
+                });
+            }
+        }
+        if par.clauses.reduction.is_none() {
+            for op in crate::ops::ReductionOp::all() {
+                edits.push(GrowEdit::InsertReduction { region, op });
+            }
+        }
+        region += 1;
+    });
+    for (site, &trip) in loop_sites(program).iter().enumerate() {
+        for trial in widen_ladder(trip, limits.max_loop_trip) {
+            edits.push(GrowEdit::WidenLoopTrip { site, trip: trial });
+        }
+    }
+    edits
+}
+
+/// Trial trip counts strictly larger than `trip`, capped at `max`,
+/// ascending: gentle doubling first, the full configured budget last.
+fn widen_ladder(trip: u32, max: u32) -> Vec<u32> {
+    let mut trials: Vec<u32> = [trip.saturating_mul(2), trip.saturating_mul(8), max]
+        .into_iter()
+        .map(|t| t.min(max))
+        .filter(|&t| t > trip)
+        .collect();
+    trials.sort_unstable();
+    trials.dedup();
+    trials
+}
+
+/// Apply one grow edit; `None` when the edit does not match the program
+/// (stale site/region index, or the edit would break a limit).
+pub fn apply_grow_edit(program: &Program, edit: &GrowEdit, limits: &GrowLimits) -> Option<Program> {
+    match edit {
+        GrowEdit::SpliceStmt { site } => {
+            if *site >= splice_sites(program, limits) {
+                return None;
+            }
+            let mut next = 0;
+            Some(Program {
+                body: splice_block(&program.body, limits, &mut next, *site),
+                ..program.clone()
+            })
+        }
+        GrowEdit::InsertFirstprivate { region, name } => {
+            if !program
+                .params
+                .iter()
+                .any(|p| p.name == *name && matches!(p.ty, crate::program::ParamType::Fp(_)))
+            {
+                return None;
+            }
+            edit_region_clauses(program, *region, |clauses| {
+                if clauses.is_privatized(name) {
+                    return false;
+                }
+                clauses.firstprivate.push(name.clone());
+                true
+            })
+        }
+        GrowEdit::InsertReduction { region, op } => {
+            edit_region_clauses(program, *region, |clauses| {
+                if clauses.reduction.is_some() {
+                    return false;
+                }
+                clauses.reduction = Some(*op);
+                true
+            })
+        }
+        GrowEdit::WidenLoopTrip { site, trip } => {
+            let current = *loop_sites(program).get(*site)?;
+            if *trip <= current || *trip > limits.max_loop_trip {
+                return None;
+            }
+            with_loop_trip(program, *site, *trip)
+        }
+    }
+}
+
+/// Rebuild with one region's clauses passed through `f`; `f` returns
+/// whether it changed anything. `None` when the region is missing or `f`
+/// declines.
+fn edit_region_clauses(
+    program: &Program,
+    target_region: usize,
+    mut f: impl FnMut(&mut crate::omp::OmpClauses) -> bool,
+) -> Option<Program> {
+    let mut region = 0;
+    let mut applied = false;
+    let body = map_regions(&program.body, &mut |par| {
+        let here = region == target_region;
+        region += 1;
+        if !here {
+            return par.clone();
+        }
+        let mut clauses = par.clauses.clone();
+        if !f(&mut clauses) {
+            return par.clone();
+        }
+        applied = true;
+        OmpParallel {
+            clauses,
+            prelude: par.prelude.clone(),
+            body_loop: par.body_loop.clone(),
+        }
+    });
+    applied.then(|| Program {
+        body,
+        ..program.clone()
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Structural skeleton
 // ---------------------------------------------------------------------------
 
@@ -888,5 +1138,138 @@ mod tests {
     fn skeleton_of_contention_kernel() {
         let sk = skeleton(&rich_program());
         assert_eq!(sk, "comp if{comp} par{decl ompfor{crit{comp}}}");
+    }
+
+    // -- grow mutations ------------------------------------------------------
+
+    fn limits() -> GrowLimits {
+        GrowLimits {
+            max_lines_in_block: 10,
+            max_loop_trip: 800,
+        }
+    }
+
+    #[test]
+    fn splice_duplicates_one_assignment_in_place() {
+        let p = rich_program();
+        // Assign sites: body[0] comp, if-body comp, critical comp = 3
+        // (the decl prelude is not a block item; decls are never sites).
+        assert_eq!(splice_sites(&p, &limits()), 3);
+        let q = apply_grow_edit(&p, &GrowEdit::SpliceStmt { site: 1 }, &limits()).unwrap();
+        assert_eq!(
+            skeleton(&q),
+            "comp if{comp comp} par{decl ompfor{crit{comp}}}"
+        );
+        assert_eq!(q.body.stmt_count(), p.body.stmt_count() + 1);
+        // Out-of-range site is rejected.
+        assert!(apply_grow_edit(&p, &GrowEdit::SpliceStmt { site: 9 }, &limits()).is_none());
+    }
+
+    #[test]
+    fn splice_respects_block_capacity() {
+        let tight = GrowLimits {
+            max_lines_in_block: 1,
+            max_loop_trip: 800,
+        };
+        // Every block is at capacity 1 except the 3-item top level.
+        let p = rich_program();
+        assert_eq!(splice_sites(&p, &tight), 0);
+        let roomy = GrowLimits {
+            max_lines_in_block: 4,
+            max_loop_trip: 800,
+        };
+        // Top-level block has 3 items < 4: only its comp assign is a site.
+        assert_eq!(splice_sites(&p, &roomy), 3);
+        let q = apply_grow_edit(&p, &GrowEdit::SpliceStmt { site: 0 }, &roomy).unwrap();
+        assert!(skeleton(&q).starts_with("comp comp "));
+    }
+
+    #[test]
+    fn clause_insertions_grow_then_strip_back() {
+        let p = rich_program();
+        let edits = grow_edits(&p, &limits());
+        // Region 0 already privatizes a (private) and b (firstprivate) and
+        // carries a reduction: no clause insertions apply.
+        assert!(edits.iter().all(|e| !matches!(
+            e,
+            GrowEdit::InsertFirstprivate { .. } | GrowEdit::InsertReduction { .. }
+        )));
+        // Strip the clauses, then the insertions reappear.
+        let mut bare = p.clone();
+        for e in clause_edits(&bare) {
+            if let Some(q) = apply_clause_edit(&bare, &e) {
+                bare = q;
+            }
+        }
+        let edits = grow_edits(&bare, &limits());
+        let fp: Vec<&GrowEdit> = edits
+            .iter()
+            .filter(|e| matches!(e, GrowEdit::InsertFirstprivate { .. }))
+            .collect();
+        assert_eq!(fp.len(), 2, "{edits:?}"); // params a and b
+        let q = apply_grow_edit(&bare, fp[0], &limits()).unwrap();
+        // Re-inserting the same name is stale.
+        assert!(apply_grow_edit(&q, fp[0], &limits()).is_none());
+        let red = edits
+            .iter()
+            .find(|e| matches!(e, GrowEdit::InsertReduction { .. }))
+            .unwrap();
+        let r = apply_grow_edit(&bare, red, &limits()).unwrap();
+        assert_eq!(clause_edits(&r).len(), 1); // the reduction is back
+        assert!(apply_grow_edit(&r, red, &limits()).is_none());
+    }
+
+    #[test]
+    fn widen_ladder_is_ascending_strict_and_capped() {
+        assert_eq!(widen_ladder(100, 800), vec![200, 800]);
+        assert_eq!(widen_ladder(1, 800), vec![2, 8, 800]);
+        assert!(widen_ladder(800, 800).is_empty());
+        assert_eq!(widen_ladder(500, 800), vec![800]);
+        for t in [1u32, 7, 100, 799] {
+            let l = widen_ladder(t, 800);
+            assert!(l.windows(2).all(|w| w[0] < w[1]));
+            assert!(l.iter().all(|&x| x > t && x <= 800));
+        }
+    }
+
+    #[test]
+    fn widen_loop_trip_grows_the_bound() {
+        let p = rich_program();
+        let q = apply_grow_edit(
+            &p,
+            &GrowEdit::WidenLoopTrip { site: 0, trip: 400 },
+            &limits(),
+        )
+        .unwrap();
+        assert_eq!(loop_sites(&q), vec![400]);
+        // Not strictly larger, over the cap, or missing site: rejected.
+        assert!(apply_grow_edit(
+            &p,
+            &GrowEdit::WidenLoopTrip { site: 0, trip: 100 },
+            &limits()
+        )
+        .is_none());
+        assert!(apply_grow_edit(
+            &p,
+            &GrowEdit::WidenLoopTrip { site: 0, trip: 900 },
+            &limits()
+        )
+        .is_none());
+        assert!(apply_grow_edit(
+            &p,
+            &GrowEdit::WidenLoopTrip { site: 3, trip: 400 },
+            &limits()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn grow_edits_enumeration_is_deterministic() {
+        let p = rich_program();
+        assert_eq!(grow_edits(&p, &limits()), grow_edits(&p, &limits()));
+        // And every enumerated edit applies.
+        for e in grow_edits(&p, &limits()) {
+            assert!(apply_grow_edit(&p, &e, &limits()).is_some(), "{e:?}");
+        }
     }
 }

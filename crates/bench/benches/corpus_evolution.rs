@@ -1,0 +1,64 @@
+//! Corpus-evolution benchmark: does feedback pay for itself?
+//!
+//! Measures outliers-per-1k-programs and distinct trigger skeletons for
+//! biased (feature feedback + mutation seeding) vs. uniform rounds at the
+//! same fixed seed and program budget, plus the throughput of one
+//! evolutionary round.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ompfuzz_backends::{standard_backends, OmpBackend};
+use ompfuzz_corpus::{run_evolution, EvolveConfig, TriggerCatalog};
+use ompfuzz_harness::CampaignConfig;
+use std::hint::black_box;
+
+/// The shared CI/test-scale base campaign (see [`EvolveConfig::quick`]).
+fn base_config() -> CampaignConfig {
+    EvolveConfig::quick().base
+}
+
+fn bench_corpus_evolution(c: &mut Criterion) {
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+
+    let rounds = 3;
+    let biased_cfg = EvolveConfig {
+        rounds,
+        ..EvolveConfig::new(base_config())
+    };
+    let uniform_cfg = EvolveConfig {
+        rounds,
+        ..EvolveConfig::uniform(base_config())
+    };
+
+    // Print the headline comparison once, paper-style: same budget, same
+    // seed, feedback on vs. off.
+    let budget = (rounds * base_config().programs) as f64;
+    let biased = run_evolution(&biased_cfg, &dyns, TriggerCatalog::new());
+    let uniform = run_evolution(&uniform_cfg, &dyns, TriggerCatalog::new());
+    println!(
+        "\ncorpus evolution @ {budget} programs, seed {}:",
+        base_config().seed
+    );
+    for (label, evo) in [("biased", &biased), ("uniform", &uniform)] {
+        println!(
+            "  {label:>8}: {:.1} outliers/1k programs, {} distinct trigger skeletons",
+            1000.0 * evo.total_outliers() as f64 / budget,
+            evo.catalog.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("corpus_evolution");
+    group.throughput(Throughput::Elements(
+        (rounds * base_config().programs) as u64,
+    ));
+    group.bench_function("biased_3_rounds", |b| {
+        b.iter(|| black_box(run_evolution(&biased_cfg, &dyns, TriggerCatalog::new())))
+    });
+    group.bench_function("uniform_3_rounds", |b| {
+        b.iter(|| black_box(run_evolution(&uniform_cfg, &dyns, TriggerCatalog::new())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus_evolution);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Feature-bias feedback: steer the generator toward the structural
+//! neighborhood of the catalog's trigger kernels.
+//!
+//! The catalog's reduced spines say *which structures* trip
+//! implementations — critical sections under worksharing loops (lock
+//! contention), regions inside serial loops (team re-creation), reductions
+//! over `comp`, NaN-capable arithmetic feeding branches. The bias converts
+//! their prevalence into nudged [`GeneratorConfig`] probabilities, so the
+//! next round samples near known-fertile regions instead of uniformly.
+//! Everything here is a pure function of the catalog — no RNG, no state —
+//! which keeps the evolutionary loop deterministic.
+
+use crate::catalog::TriggerCatalog;
+use ompfuzz_gen::GeneratorConfig;
+
+/// Aggregate structural pressure of a catalog, each component in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorBias {
+    /// Fraction of kernels containing a parallel region.
+    pub parallel: f64,
+    /// Fraction whose regions use worksharing (`omp for`) loops.
+    pub omp_for: f64,
+    /// Fraction stressing lock contention (critical inside `omp for` —
+    /// Case studies 1/3).
+    pub lock: f64,
+    /// Fraction stressing team re-creation (region inside a serial loop —
+    /// Case study 2).
+    pub team: f64,
+    /// Fraction carrying a `reduction(...: comp)` clause.
+    pub reduction: f64,
+    /// Fraction that are NaN-branch candidates (§V-B fast outliers).
+    pub nan: f64,
+    /// Interpolation strength toward the derived targets, in `[0, 1]`.
+    pub strength: f64,
+}
+
+/// Probability floor/ceiling after steering: the bias concentrates the
+/// sampler, it never collapses it — every structure stays reachable.
+const P_MIN: f64 = 0.05;
+const P_MAX: f64 = 0.9;
+
+impl GeneratorBias {
+    /// Derive the bias from a catalog; `None` when the catalog is empty
+    /// (no evidence, no steering).
+    pub fn from_catalog(catalog: &TriggerCatalog, strength: f64) -> Option<GeneratorBias> {
+        if catalog.is_empty() {
+            return None;
+        }
+        let n = catalog.len() as f64;
+        // One feature extraction per kernel; all six fractions read the
+        // same pass (features() walks the whole AST).
+        let features: Vec<ompfuzz_ast::ProgramFeatures> =
+            catalog.kernels().map(|k| k.features()).collect();
+        let frac = |pred: fn(&ompfuzz_ast::ProgramFeatures) -> bool| {
+            features.iter().filter(|f| pred(f)).count() as f64 / n
+        };
+        Some(GeneratorBias {
+            parallel: frac(|f| f.parallel_regions > 0),
+            omp_for: frac(|f| f.omp_for_loops > 0),
+            lock: frac(|f| f.stresses_lock_contention()),
+            team: frac(|f| f.stresses_team_recreation()),
+            reduction: frac(|f| f.reductions > 0),
+            nan: frac(|f| f.nan_branch_candidate()),
+            strength: strength.clamp(0.0, 1.0),
+        })
+    }
+
+    /// Steer `base` toward the catalog's structural neighborhood. Always
+    /// starts from the *base* configuration (not the previous round's
+    /// steered one), so repeated application converges instead of drifting
+    /// to the clamp rails; the result always satisfies
+    /// [`GeneratorConfig::problems`].
+    pub fn steer(&self, base: &GeneratorConfig) -> GeneratorConfig {
+        let mut cfg = base.clone();
+        let nudge = |current: f64, target: f64| {
+            (current + self.strength * (target - current)).clamp(P_MIN, P_MAX)
+        };
+        // Structural targets: a floor keeps baseline pressure, the catalog
+        // fraction scales the rest.
+        cfg.omp.parallel_block = nudge(base.omp.parallel_block, 0.25 + 0.65 * self.parallel);
+        cfg.omp.omp_for = nudge(base.omp.omp_for, 0.3 + 0.65 * self.omp_for);
+        cfg.omp.critical = nudge(base.omp.critical, 0.2 + 0.7 * self.lock);
+        cfg.omp.reduction = nudge(base.omp.reduction, 0.15 + 0.75 * self.reduction);
+        // NaN-branch pressure: more math calls feed more NaN sources into
+        // branches; kept an order of magnitude below the structural knobs
+        // (math calls dominate runtime cost). The ceiling never lowers a
+        // base value the user configured above it — zero strength (and
+        // zero pressure) must be the identity for every valid base.
+        let math_ceiling = base.math_func_probability.max(0.2);
+        cfg.math_func_probability =
+            (base.math_func_probability + self.strength * self.nan * 0.05).clamp(0.0, math_ceiling);
+        // Team re-creation needs the region's *enclosing* serial loop to
+        // come from a parameter bound rarely being zero — raising literal
+        // bounds probability concentrates the stressor. The target only
+        // ever lowers the base, so no `nudge` floor here: a configured
+        // 0.0 stays 0.0 (zero pressure must be the identity).
+        let param_target = base.param_loop_bound_probability * (1.0 - 0.5 * self.team);
+        cfg.param_loop_bound_probability = (base.param_loop_bound_probability
+            + self.strength * (param_target - base.param_loop_bound_probability))
+            .clamp(0.0, P_MAX);
+        debug_assert!(cfg.problems().is_empty(), "{:?}", cfg.problems());
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Provenance, TriggerKernel};
+    use ompfuzz_ast::{
+        Block, BlockItem, Expr, ForLoop, FpType, LValue, LoopBound, OmpClauses, OmpCritical,
+        OmpParallel, Param, Program, Stmt,
+    };
+    use ompfuzz_inputs::TestInput;
+    use ompfuzz_outlier::OutlierKind;
+
+    fn contention_kernel() -> TriggerKernel {
+        let program = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses::default(),
+                prelude: vec![Stmt::Assign(ompfuzz_ast::Assignment {
+                    target: LValue::Comp,
+                    op: ompfuzz_ast::AssignOp::AddAssign,
+                    value: Expr::var("var_1"),
+                })],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(100),
+                    body: Block(vec![BlockItem::Critical(OmpCritical {
+                        body: Block::of_stmts(vec![Stmt::Assign(ompfuzz_ast::Assignment {
+                            target: LValue::Comp,
+                            op: ompfuzz_ast::AssignOp::AddAssign,
+                            value: Expr::var("var_1"),
+                        })]),
+                    })]),
+                },
+            })]),
+        );
+        TriggerKernel {
+            program,
+            input: TestInput {
+                comp_init: 0.0,
+                values: vec![ompfuzz_inputs::InputValue::Fp(1.0)],
+            },
+            kind: OutlierKind::Hang,
+            backend: 0,
+            provenance: Provenance {
+                seed: 1,
+                round: 0,
+                source_program: "test_0".into(),
+                program_index: 0,
+                input_index: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_catalog_gives_no_bias() {
+        assert!(GeneratorBias::from_catalog(&TriggerCatalog::new(), 0.5).is_none());
+    }
+
+    #[test]
+    fn contention_catalog_raises_critical_and_parallel_pressure() {
+        let mut cat = TriggerCatalog::new();
+        cat.insert(contention_kernel());
+        let bias = GeneratorBias::from_catalog(&cat, 0.5).unwrap();
+        assert_eq!(bias.parallel, 1.0);
+        assert_eq!(bias.lock, 1.0);
+        assert_eq!(bias.omp_for, 1.0);
+        let base = GeneratorConfig::paper();
+        let steered = bias.steer(&base);
+        assert!(steered.omp.critical > base.omp.critical);
+        assert!(steered.omp.parallel_block > base.omp.parallel_block);
+        assert!(steered.problems().is_empty());
+        // Zero strength is the identity on the structural knobs.
+        let id = GeneratorBias {
+            strength: 0.0,
+            ..bias
+        }
+        .steer(&base);
+        assert_eq!(id.omp, base.omp);
+    }
+
+    #[test]
+    fn zero_param_bound_probability_stays_zero() {
+        let mut cat = TriggerCatalog::new();
+        cat.insert(contention_kernel()); // team pressure = 0
+        let mut base = GeneratorConfig::paper();
+        base.param_loop_bound_probability = 0.0; // all-literal bounds
+        assert!(base.problems().is_empty());
+        let bias = GeneratorBias::from_catalog(&cat, 1.0).unwrap();
+        assert_eq!(bias.steer(&base).param_loop_bound_probability, 0.0);
+    }
+
+    #[test]
+    fn steering_never_lowers_a_high_math_probability_base() {
+        let mut cat = TriggerCatalog::new();
+        cat.insert(contention_kernel()); // nan pressure = 0
+        let mut base = GeneratorConfig::paper();
+        base.math_func_probability = 0.3; // valid, above the stock ceiling
+        assert!(base.problems().is_empty());
+        let bias = GeneratorBias::from_catalog(&cat, 1.0).unwrap();
+        let steered = bias.steer(&base);
+        assert_eq!(steered.math_func_probability, 0.3);
+    }
+
+    #[test]
+    fn steering_is_idempotent_from_base() {
+        let mut cat = TriggerCatalog::new();
+        cat.insert(contention_kernel());
+        let bias = GeneratorBias::from_catalog(&cat, 1.0).unwrap();
+        let base = GeneratorConfig::paper();
+        let once = bias.steer(&base);
+        let twice = bias.steer(&base);
+        assert_eq!(once, twice);
+        // Full strength pins the knob at the target (clamped).
+        assert!(once.omp.critical <= P_MAX && once.omp.critical >= P_MIN);
+    }
+}

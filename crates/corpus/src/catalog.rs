@@ -1,0 +1,342 @@
+//! The trigger-kernel catalog: every distinct reduced outlier a campaign
+//! (or a multi-round evolution) has produced, deduplicated by structural
+//! skeleton.
+//!
+//! The catalog is the persistent artifact of the evolutionary loop: batch
+//! reduction folds reduced kernels in, the feature-bias feedback reads the
+//! aggregate [`ProgramFeatures`] back out, and mutation seeding draws
+//! kernels from it for the next round's corpus. Entries are keyed by
+//! [`rewrite::skeleton`] — two kernels with the same statement/nesting
+//! structure exercise the same OpenMP control shape, so only the first
+//! (lowest round, lowest record) witness is kept.
+
+use crate::store::{self, Node, StoreError};
+use ompfuzz_ast::rewrite;
+use ompfuzz_ast::{Program, ProgramFeatures};
+use ompfuzz_inputs::TestInput;
+use ompfuzz_outlier::OutlierKind;
+use std::collections::BTreeMap;
+
+/// Where a trigger kernel came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Campaign seed of the round that produced the outlier.
+    pub seed: u64,
+    /// Evolution round (0 for a one-shot batch reduction).
+    pub round: usize,
+    /// Name of the generated program the kernel was reduced from.
+    pub source_program: String,
+    /// Corpus index of that program.
+    pub program_index: usize,
+    /// Index of the pinned input within the program's input set.
+    pub input_index: usize,
+}
+
+/// One reduced, deduplicated trigger kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerKernel {
+    /// The reduced program (minimal trigger spine).
+    pub program: Program,
+    /// The pinned input the verdict reproduces on.
+    pub input: TestInput,
+    /// Outlier class the kernel triggers.
+    pub kind: OutlierKind,
+    /// Index of the outlying implementation in the campaign's backend order.
+    pub backend: usize,
+    /// Provenance of the witness.
+    pub provenance: Provenance,
+}
+
+impl TriggerKernel {
+    /// The dedup key: the kernel's structural skeleton.
+    pub fn skeleton(&self) -> String {
+        rewrite::skeleton(&self.program)
+    }
+
+    /// Structural features (recomputed, never stored — the program is the
+    /// single source of truth).
+    pub fn features(&self) -> ProgramFeatures {
+        ProgramFeatures::of(&self.program)
+    }
+}
+
+/// Skeleton-deduplicated collection of trigger kernels.
+///
+/// Iteration order is skeleton order (a `BTreeMap`), which is what makes
+/// every consumer — bias aggregation, mutation seeding, rendering, and the
+/// saved file — deterministic for a given set of entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriggerCatalog {
+    entries: BTreeMap<String, TriggerKernel>,
+}
+
+impl TriggerCatalog {
+    /// An empty catalog.
+    pub fn new() -> TriggerCatalog {
+        TriggerCatalog::default()
+    }
+
+    /// Number of distinct trigger skeletons.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no kernel has been cataloged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a kernel; returns `true` when its skeleton is new. An
+    /// existing entry wins — the first witness (earliest round / record)
+    /// stays the canonical kernel for its skeleton.
+    pub fn insert(&mut self, kernel: TriggerKernel) -> bool {
+        let skeleton = kernel.skeleton();
+        if self.entries.contains_key(&skeleton) {
+            return false;
+        }
+        self.entries.insert(skeleton, kernel);
+        true
+    }
+
+    /// Kernels in skeleton order.
+    pub fn kernels(&self) -> impl Iterator<Item = &TriggerKernel> {
+        self.entries.values()
+    }
+
+    /// Skeletons in order, with their kernels.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TriggerKernel)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Look up the kernel for a skeleton.
+    pub fn get(&self, skeleton: &str) -> Option<&TriggerKernel> {
+        self.entries.get(skeleton)
+    }
+
+    /// Count of cataloged kernels per outlier kind, in Table-I order.
+    pub fn kind_counts(&self) -> [(OutlierKind, usize); 4] {
+        OutlierKind::all().map(|k| (k, self.kernels().filter(|e| e.kind == k).count()))
+    }
+
+    /// Merge another catalog in (existing skeletons win); returns how many
+    /// entries were new.
+    pub fn merge(&mut self, other: TriggerCatalog) -> usize {
+        other
+            .entries
+            .into_values()
+            .map(|k| usize::from(self.insert(k)))
+            .sum()
+    }
+
+    /// Serialize the whole catalog. The output is a stable function of the
+    /// entry set: same entries → same bytes, whatever order they were
+    /// inserted in or how many workers produced them.
+    pub fn save_to_string(&self) -> String {
+        let mut out = String::from("; ompfuzz trigger-kernel catalog v1\n");
+        out.push_str(&format!("(catalog v1 {}\n", self.len()));
+        for (skeleton, kernel) in self.iter() {
+            out.push_str(&format!("; {} | {skeleton}\n", kernel.kind.label()));
+            out.push_str(&format!(
+                "(entry {} {} {} {} ",
+                kind_tag(kernel.kind),
+                kernel.backend,
+                kernel.provenance.seed,
+                kernel.provenance.round
+            ));
+            out.push('"');
+            out.push_str(&kernel.provenance.source_program);
+            out.push_str(&format!(
+                "\" {} {}\n  ",
+                kernel.provenance.program_index, kernel.provenance.input_index
+            ));
+            out.push_str(&store::write_program(&kernel.program));
+            out.push_str("\n  ");
+            out.push_str(&store::write_input(&kernel.input));
+            out.push_str(")\n");
+        }
+        out.push_str(")\n");
+        out
+    }
+
+    /// Parse a catalog previously written by [`Self::save_to_string`].
+    pub fn load_from_string(text: &str) -> Result<TriggerCatalog, StoreError> {
+        let nodes = store::parse_nodes(text)?;
+        let [root] = nodes.as_slice() else {
+            return Err(StoreError(format!(
+                "expected one (catalog ...) form, found {}",
+                nodes.len()
+            )));
+        };
+        let rest = root.tagged("catalog")?;
+        let [version, count, entries @ ..] = rest else {
+            return Err(StoreError(
+                "catalog needs (catalog v1 count entries...)".into(),
+            ));
+        };
+        if version != &Node::Atom("v1".into()) {
+            return Err(StoreError("unsupported catalog version".into()));
+        }
+        let declared: usize = count.parse_atom("entry count")?;
+        if declared != entries.len() {
+            return Err(StoreError(format!(
+                "catalog declares {declared} entries but contains {} — \
+                 truncated or hand-merged file",
+                entries.len()
+            )));
+        }
+        let mut catalog = TriggerCatalog::new();
+        for entry in entries {
+            catalog.insert(read_entry(entry)?);
+        }
+        Ok(catalog)
+    }
+}
+
+fn kind_tag(kind: OutlierKind) -> &'static str {
+    match kind {
+        OutlierKind::Slow => "slow",
+        OutlierKind::Fast => "fast",
+        OutlierKind::Crash => "crash",
+        OutlierKind::Hang => "hang",
+    }
+}
+
+fn read_kind(tag: &str) -> Result<OutlierKind, StoreError> {
+    match tag {
+        "slow" => Ok(OutlierKind::Slow),
+        "fast" => Ok(OutlierKind::Fast),
+        "crash" => Ok(OutlierKind::Crash),
+        "hang" => Ok(OutlierKind::Hang),
+        other => Err(StoreError(format!("unknown outlier kind `{other}`"))),
+    }
+}
+
+fn read_entry(node: &Node) -> Result<TriggerKernel, StoreError> {
+    let rest = node.tagged("entry")?;
+    let [kind, backend, seed, round, source, pidx, iidx, program, input] = rest else {
+        return Err(StoreError(
+            "entry needs (entry kind backend seed round source pidx iidx program input)".into(),
+        ));
+    };
+    Ok(TriggerKernel {
+        program: store::read_program(program)?,
+        input: store::read_input(input)?,
+        kind: read_kind(kind.as_atom()?)?,
+        backend: backend.parse_atom("backend index")?,
+        provenance: Provenance {
+            seed: seed.parse_atom("seed")?,
+            round: round.parse_atom("round")?,
+            source_program: source.as_str()?.to_string(),
+            program_index: pidx.parse_atom("program index")?,
+            input_index: iidx.parse_atom("input index")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_ast::{Block, BlockItem, Expr, FpType, LValue, Param, Stmt};
+
+    fn kernel(name: &str, body: Vec<BlockItem>, kind: OutlierKind) -> TriggerKernel {
+        let mut program = Program::new(vec![Param::fp(FpType::F64, "var_1")], Block(body));
+        program.name = name.to_string();
+        TriggerKernel {
+            program,
+            input: TestInput {
+                comp_init: 0.0,
+                values: vec![ompfuzz_inputs::InputValue::Fp(1.5)],
+            },
+            kind,
+            backend: 0,
+            provenance: Provenance {
+                seed: 7,
+                round: 0,
+                source_program: name.to_string(),
+                program_index: 3,
+                input_index: 1,
+            },
+        }
+    }
+
+    fn comp_stmt() -> BlockItem {
+        BlockItem::Stmt(Stmt::Assign(ompfuzz_ast::Assignment {
+            target: LValue::Comp,
+            op: ompfuzz_ast::AssignOp::AddAssign,
+            value: Expr::var("var_1"),
+        }))
+    }
+
+    #[test]
+    fn dedup_keeps_the_first_witness() {
+        let mut cat = TriggerCatalog::new();
+        assert!(cat.insert(kernel("a", vec![comp_stmt()], OutlierKind::Hang)));
+        // Same skeleton (one comp assignment), different name: duplicate.
+        assert!(!cat.insert(kernel("b", vec![comp_stmt()], OutlierKind::Slow)));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.kernels().next().unwrap().program.name, "a");
+        // Different skeleton: new entry.
+        assert!(cat.insert(kernel(
+            "c",
+            vec![comp_stmt(), comp_stmt()],
+            OutlierKind::Slow
+        )));
+        assert_eq!(cat.len(), 2);
+        let counts = cat.kind_counts();
+        assert_eq!(counts[0], (OutlierKind::Slow, 1));
+        assert_eq!(counts[3], (OutlierKind::Hang, 1));
+    }
+
+    #[test]
+    fn save_load_round_trips_and_is_stable() {
+        let mut cat = TriggerCatalog::new();
+        cat.insert(kernel("a", vec![comp_stmt()], OutlierKind::Hang));
+        cat.insert(kernel(
+            "c",
+            vec![comp_stmt(), comp_stmt()],
+            OutlierKind::Fast,
+        ));
+        let text = cat.save_to_string();
+        let back = TriggerCatalog::load_from_string(&text).unwrap();
+        assert_eq!(back, cat);
+        // Stable bytes: saving the reload reproduces the file.
+        assert_eq!(back.save_to_string(), text);
+        // Insertion order does not matter.
+        let mut other = TriggerCatalog::new();
+        other.insert(kernel(
+            "c",
+            vec![comp_stmt(), comp_stmt()],
+            OutlierKind::Fast,
+        ));
+        other.insert(kernel("a", vec![comp_stmt()], OutlierKind::Hang));
+        assert_eq!(other.save_to_string(), text);
+    }
+
+    #[test]
+    fn merge_counts_new_skeletons() {
+        let mut a = TriggerCatalog::new();
+        a.insert(kernel("a", vec![comp_stmt()], OutlierKind::Hang));
+        let mut b = TriggerCatalog::new();
+        b.insert(kernel("b", vec![comp_stmt()], OutlierKind::Hang));
+        b.insert(kernel(
+            "c",
+            vec![comp_stmt(), comp_stmt()],
+            OutlierKind::Slow,
+        ));
+        assert_eq!(a.merge(b), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn malformed_catalog_is_rejected() {
+        for bad in [
+            "",
+            "(catalog v2 0)",
+            "(catalog v1 1 (entry hang))",
+            "(catalog v1 0) (catalog v1 0)",
+            "(catalog v1 5)",
+        ] {
+            assert!(TriggerCatalog::load_from_string(bad).is_err(), "`{bad}`");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # ompfuzz-corpus
+//!
+//! Corpus-guided evolutionary fuzzing: the subsystem that turns the
+//! one-shot campaign pipeline into a multi-round feedback loop.
+//!
+//! Three layers, bottom to top:
+//!
+//! 1. **Batch reduction + catalog** ([`batch`], [`catalog`], [`store`]):
+//!    every outlier of a campaign is delta-debugged on the worker pool and
+//!    the reduced kernels are deduplicated by structural skeleton into a
+//!    persistent [`TriggerCatalog`] (exact AST round-trip — programs are
+//!    saved as s-expressions with bit-exact floats, not as C++).
+//! 2. **Feature-bias feedback** ([`bias`]): the catalog's aggregate
+//!    [`ProgramFeatures`](ompfuzz_ast::ProgramFeatures) steer the next
+//!    round's [`GeneratorConfig`](ompfuzz_gen::GeneratorConfig) toward the
+//!    structural neighborhood of known triggers.
+//! 3. **Kernel mutation seeding** ([`mutate`]) and the round driver
+//!    ([`evolve`]): a fraction of each round's corpus is grow-mutated
+//!    catalog kernels, and [`run_evolution`] chains campaigns, reductions
+//!    and feedback into a deterministic, worker-count-independent loop
+//!    (`ompfuzz evolve` on the command line).
+//!
+//! ```
+//! use ompfuzz_corpus::{run_evolution, EvolveConfig, TriggerCatalog};
+//! use ompfuzz_backends::{standard_backends, OmpBackend};
+//! use ompfuzz_harness::CampaignConfig;
+//!
+//! let mut base = CampaignConfig::small();
+//! base.programs = 10;
+//! let mut config = EvolveConfig::new(base);
+//! config.rounds = 2;
+//! let backends = standard_backends();
+//! let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+//! let evolution = run_evolution(&config, &dyns, TriggerCatalog::new());
+//! assert_eq!(evolution.rounds.len(), 2);
+//! ```
+
+pub mod batch;
+pub mod bias;
+pub mod catalog;
+pub mod evolve;
+pub mod mutate;
+pub mod store;
+
+pub use batch::{fold_into_catalog, reduce_all, BatchConfig, BatchReduction, ReducedOutlier};
+pub use bias::GeneratorBias;
+pub use catalog::{Provenance, TriggerCatalog, TriggerKernel};
+pub use evolve::{round_seed, run_evolution, Evolution, EvolveConfig, RoundSummary};
+pub use mutate::{grow_limits, mutant_seed, mutate_kernel};
+pub use store::StoreError;

@@ -1,0 +1,104 @@
+//! Property tests pinning the contract between `ompfuzz_ast::rewrite`'s
+//! grow mutations and this crate's validator: a grow edit applied to a
+//! valid generated program NEVER produces a program `gen::validate`
+//! rejects. This is what lets the corpus-guided evolutionary loop splice
+//! mutated trigger kernels into a campaign corpus without re-checking them
+//! against the grammar, the configuration limits, or the §III-G
+//! race-freedom rules.
+
+use ompfuzz_ast::rewrite::{self, GrowEdit, GrowLimits};
+use ompfuzz_gen::{validate, GeneratorConfig, ProgramGenerator};
+use proptest::prelude::*;
+
+fn limits_of(cfg: &GeneratorConfig) -> GrowLimits {
+    GrowLimits {
+        max_lines_in_block: cfg.max_lines_in_block,
+        max_loop_trip: cfg.max_loop_trip,
+    }
+}
+
+fn config_for(seed: u64) -> GeneratorConfig {
+    // Alternate between the two stock configurations so both envelopes
+    // (paper-scale and test-scale limits) are exercised.
+    if seed.is_multiple_of(2) {
+        GeneratorConfig::paper()
+    } else {
+        GeneratorConfig::small()
+    }
+}
+
+proptest! {
+    /// Every single enumerated grow edit keeps the program fully valid:
+    /// grammar, configuration limits, and race freedom.
+    #[test]
+    fn every_grow_edit_preserves_validity(seed in 0u64..4000, pick in 0usize..1_000_000) {
+        let cfg = config_for(seed);
+        let mut generator = ProgramGenerator::new(cfg.clone(), seed);
+        let program = generator.generate("prop");
+        prop_assert!(validate::validate(&program, &cfg).is_empty(), "seed program invalid");
+        let limits = limits_of(&cfg);
+        let edits = rewrite::grow_edits(&program, &limits);
+        if !edits.is_empty() {
+            let edit = &edits[pick % edits.len()];
+            let mutated = rewrite::apply_grow_edit(&program, edit, &limits)
+                .expect("enumerated edits always apply");
+            let errors = validate::validate(&mutated, &cfg);
+            prop_assert!(errors.is_empty(), "edit {edit:?} broke validity: {errors:?}");
+        }
+    }
+
+    /// Chains of random grow edits (the mutation-seeding shape: several
+    /// edits per kernel, re-enumerated after each) stay valid too, and
+    /// only ever grow the program.
+    #[test]
+    fn grow_edit_chains_preserve_validity(seed in 0u64..1500, walk in 0u64..u64::MAX) {
+        let cfg = config_for(seed);
+        let mut generator = ProgramGenerator::new(cfg.clone(), seed);
+        let mut program = generator.generate("prop_chain");
+        let limits = limits_of(&cfg);
+        let before_stmts = program.body.stmt_count();
+        let mut choice = walk;
+        for step in 0..5 {
+            let edits = rewrite::grow_edits(&program, &limits);
+            if edits.is_empty() {
+                break;
+            }
+            let edit = &edits[(choice % edits.len() as u64) as usize];
+            choice = choice.rotate_right(13) ^ step;
+            program = rewrite::apply_grow_edit(&program, edit, &limits)
+                .expect("enumerated edits always apply");
+            let errors = validate::validate(&program, &cfg);
+            prop_assert!(errors.is_empty(), "step {step}, edit {edit:?}: {errors:?}");
+        }
+        prop_assert!(program.body.stmt_count() >= before_stmts);
+    }
+
+    /// Grow edits respect the structural budget they were given: a splice
+    /// never pushes a block past `max_lines_in_block` and a widen never
+    /// exceeds `max_loop_trip` — checked here through the validator's
+    /// limit layer with the *tightest* limits the program already meets.
+    #[test]
+    fn splices_never_overfill_blocks(seed in 0u64..1500) {
+        let cfg = GeneratorConfig::small();
+        let mut generator = ProgramGenerator::new(cfg.clone(), seed);
+        let program = generator.generate("prop_budget");
+        let limits = limits_of(&cfg);
+        for edit in rewrite::grow_edits(&program, &limits) {
+            let mutated = rewrite::apply_grow_edit(&program, &edit, &limits)
+                .expect("enumerated edits always apply");
+            match edit {
+                GrowEdit::SpliceStmt { .. } => {
+                    prop_assert!(validate::limit_errors(&mutated, &cfg).is_empty());
+                    prop_assert_eq!(
+                        mutated.body.stmt_count(),
+                        program.body.stmt_count() + 1
+                    );
+                }
+                GrowEdit::WidenLoopTrip { trip, .. } => {
+                    prop_assert!(trip <= cfg.max_loop_trip);
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -50,17 +50,22 @@ impl RunRecord {
     }
 }
 
-/// The ordering behind `worst_outlier*`: severity class, then performance
-/// ratio, with later `(program, input)` records losing ties so the pick is
-/// deterministic. Shared by the kind-filtered variant — within one kind the
-/// class component is constant, so the comparison degenerates to ratio +
-/// tie-break there.
-fn severity_cmp(a: &RunRecord, b: &RunRecord) -> std::cmp::Ordering {
-    let (sa, ra) = a.severity();
-    let (sb, rb) = b.severity();
-    sa.cmp(&sb)
-        .then(ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal))
-        .then((b.program_index, b.input_index).cmp(&(a.program_index, a.input_index)))
+/// Pick the worst record: highest severity class, then highest performance
+/// ratio, with ties resolved to the *lowest* `(program_index, input_index)`
+/// record identity. The order is total over distinct record identities and
+/// never consults a record's position in the slice, so the pick is
+/// identical for every worker count and whatever order records were
+/// discovered or stored in. Shared by the kind-filtered variant — within
+/// one kind the class component is constant, so the comparison degenerates
+/// to ratio + identity there.
+fn pick_worst<'a>(records: impl Iterator<Item = &'a RunRecord>) -> Option<&'a RunRecord> {
+    records.min_by(|a, b| {
+        let (sa, ra) = a.severity();
+        let (sb, rb) = b.severity();
+        sb.cmp(&sa)
+            .then(rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal))
+            .then((a.program_index, a.input_index).cmp(&(b.program_index, b.input_index)))
+    })
 }
 
 /// Everything a campaign produces.
@@ -99,21 +104,20 @@ impl CampaignResult {
     /// The most severe outlier record — the default reduction target.
     ///
     /// Severity: hang > crash > performance (by ratio); ties resolve to the
-    /// earliest `(program, input)`, so the choice is deterministic for a
-    /// given campaign.
+    /// lowest `(program_index, input_index)` — the record's identity, not
+    /// its position — so the choice is deterministic for a given campaign
+    /// whatever the worker count.
     pub fn worst_outlier(&self) -> Option<&RunRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.outlier().is_some())
-            .max_by(|a, b| severity_cmp(a, b))
+        pick_worst(self.records.iter().filter(|r| r.outlier().is_some()))
     }
 
     /// The most severe outlier record of a given kind.
     pub fn worst_outlier_of_kind(&self, kind: OutlierKind) -> Option<&RunRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.outlier().is_some_and(|(k, _)| k == kind))
-            .max_by(|a, b| severity_cmp(a, b))
+        pick_worst(
+            self.records
+                .iter()
+                .filter(|r| r.outlier().is_some_and(|(k, _)| k == kind)),
+        )
     }
 }
 
@@ -367,6 +371,70 @@ mod tests {
             })
             .sum();
         assert_eq!(correctness, 0);
+    }
+
+    /// Regression: `worst_outlier` ties must resolve by record identity
+    /// (`(program_index, input_index)`), not by whatever order the records
+    /// happen to occupy in the vector — the order a parallel driver
+    /// discovers outliers in is scheduling-dependent.
+    #[test]
+    fn worst_outlier_tie_break_ignores_record_order() {
+        use ompfuzz_outlier::{Analysis, CorrectnessOutlier, PerfOutlier};
+
+        fn record(program_index: usize, input_index: usize, analysis: Analysis) -> RunRecord {
+            RunRecord {
+                program_index,
+                program_name: format!("test_{program_index}"),
+                input_index,
+                observations: Vec::new(),
+                analysis,
+            }
+        }
+        let hang = Analysis {
+            correctness: Some(CorrectnessOutlier::Hang { index: 0 }),
+            ..Analysis::default()
+        };
+        let slow = |ratio| Analysis {
+            performance: Some(PerfOutlier::Slow { index: 1, ratio }),
+            ..Analysis::default()
+        };
+        // Two hangs tie on severity; the slow record never wins over them
+        // regardless of its ratio.
+        let records = vec![
+            record(7, 1, hang),
+            record(2, 0, slow(80.0)),
+            record(3, 1, hang),
+            record(3, 0, hang),
+        ];
+        let base = CampaignResult {
+            labels: vec!["Intel".into(), "Clang".into(), "GCC".into()],
+            records,
+            tally: Tally::new(vec!["Intel".into(), "Clang".into(), "GCC".into()]),
+            racy_programs: Vec::new(),
+            compile_failures: 0,
+            wall_time: std::time::Duration::ZERO,
+            total_runs: 0,
+        };
+        let pick = |r: &CampaignResult| {
+            let w = r.worst_outlier().expect("has outliers");
+            (w.program_index, w.input_index)
+        };
+        assert_eq!(pick(&base), (3, 0));
+        // Any permutation of the same records picks the same identity.
+        let mut permuted = base;
+        permuted.records.reverse();
+        assert_eq!(pick(&permuted), (3, 0));
+        permuted.records.swap(0, 2);
+        assert_eq!(pick(&permuted), (3, 0));
+        // Kind filtering keeps the same identity-based tie-break.
+        let w = permuted
+            .worst_outlier_of_kind(OutlierKind::Hang)
+            .expect("hangs present");
+        assert_eq!((w.program_index, w.input_index), (3, 0));
+        // Among performance outliers the larger ratio wins before identity.
+        let mut perf = permuted;
+        perf.records = vec![record(5, 0, slow(2.0)), record(9, 1, slow(4.0))];
+        assert_eq!(pick(&perf), (9, 1));
     }
 
     #[test]

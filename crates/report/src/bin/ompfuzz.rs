@@ -4,20 +4,27 @@
 //! ompfuzz list-experiments
 //! ompfuzz reproduce -e table1 [--quick]
 //! ompfuzz campaign [--programs N] [--inputs K] [--seed S] [--config FILE] [--csv OUT]
-//! ompfuzz reduce [--programs N] [--seed S] [--kind hang] [--target IDX] [--workers W] [--emit]
+//! ompfuzz reduce [--all] [--programs N] [--seed S] [--kind hang] [--target IDX]
+//!                [--workers W] [--catalog FILE] [--emit]
+//! ompfuzz evolve [--rounds N] [--seed S] [--programs N] [--config FILE] [--quick]
+//!                [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]
 //! ompfuzz generate --out DIR [--programs N] [--seed S]
 //! ompfuzz emit [--seed S]
 //! ompfuzz config-template
 //! ```
 
 use ompfuzz_backends::{standard_backends, OmpBackend};
+use ompfuzz_corpus::{
+    fold_into_catalog, reduce_all, run_evolution, BatchConfig, EvolveConfig, TriggerCatalog,
+};
 use ompfuzz_harness::{
     generate_corpus, run_campaign, run_campaign_on, save_corpus, CampaignConfig,
 };
 use ompfuzz_outlier::OutlierKind;
 use ompfuzz_reduce::{ReduceConfig, Reducer, ReductionTarget};
 use ompfuzz_report::{
-    campaign_to_csv, experiments, render_reduction_summary, render_table1, run_experiment, Scale,
+    campaign_to_csv, experiments, render_catalog, render_evolution, render_reduction_summary,
+    render_table1, run_experiment, Scale,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,6 +41,7 @@ fn main() -> ExitCode {
         "reproduce" => cmd_reproduce(rest),
         "campaign" => cmd_campaign(rest),
         "reduce" => cmd_reduce(rest),
+        "evolve" => cmd_evolve(rest),
         "generate" => cmd_generate(rest),
         "emit" => cmd_emit(rest),
         "config-template" => {
@@ -64,10 +72,16 @@ fn print_usage() {
          \x20 reproduce -e <id> [--quick]  regenerate one experiment (e.g. table1, fig9)\n\
          \x20 campaign [--programs N] [--inputs K] [--seed S] [--config FILE] [--csv OUT]\n\
          \x20                            run a differential campaign and print Table I\n\
-         \x20 reduce [--programs N] [--seed S] [--kind slow|fast|crash|hang]\n\
-         \x20        [--target IDX] [--workers W] [--emit]\n\
+         \x20 reduce [--all] [--programs N] [--seed S] [--kind slow|fast|crash|hang]\n\
+         \x20        [--target IDX] [--workers W] [--catalog FILE] [--emit]\n\
          \x20                            run a campaign, then delta-debug its worst\n\
-         \x20                            outlier (or program IDX's) to a minimal kernel\n\
+         \x20                            outlier (or program IDX's) to a minimal kernel;\n\
+         \x20                            --all batch-reduces every outlier into a\n\
+         \x20                            skeleton-deduplicated trigger catalog\n\
+         \x20 evolve [--rounds N] [--seed S] [--programs N] [--config FILE] [--quick]\n\
+         \x20        [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]\n\
+         \x20                            corpus-guided evolutionary loop: campaign ->\n\
+         \x20                            batch-reduce -> catalog -> bias + mutate -> repeat\n\
          \x20 generate --out DIR [--programs N] [--seed S]\n\
          \x20                            write generated .cpp tests + inputs to DIR\n\
          \x20 emit [--seed S]            print one generated test program\n\
@@ -203,6 +217,41 @@ fn cmd_reduce(rest: &[String]) -> Result<(), String> {
         result.records.len()
     );
 
+    if opts.has_flag("--all") {
+        // Batch mode reduces whole classes of records; the single-target
+        // selectors and the single-kernel emitter don't compose with it.
+        if program_index.is_some() {
+            return Err("--all and --target are mutually exclusive".into());
+        }
+        if opts.has_flag("--emit") {
+            return Err("--emit applies to a single reduction, not --all \
+                        (the saved --catalog file carries every kernel)"
+                .into());
+        }
+        // `--kind` narrows the batch to one outlier class.
+        let mut result = result;
+        if let Some(k) = kind {
+            result
+                .records
+                .retain(|r| r.outlier().is_some_and(|(rk, _)| rk == k));
+        }
+        let mut batch_cfg = BatchConfig::for_campaign(&cfg);
+        if let Some(w) = opts.parsed::<usize>("--workers", Some("-w"))? {
+            batch_cfg.workers = w;
+        }
+        let batch = reduce_all(&corpus, &result, &dyns, &batch_cfg);
+        eprintln!(
+            "batch reduction: {} outliers reduced, {} oracle checks",
+            batch.reduced.len(),
+            batch.oracle_checks
+        );
+        let mut catalog = TriggerCatalog::new();
+        fold_into_catalog(&mut catalog, &batch, cfg.seed, 0);
+        println!("{}", render_catalog(&catalog, &result.labels));
+        save_catalog_if_requested(&opts, &catalog)?;
+        return Ok(());
+    }
+
     // Pick the target record: a specific program's worst outlier, the worst
     // of one kind, or the campaign-wide worst.
     let target = match (program_index, kind) {
@@ -253,6 +302,91 @@ fn cmd_reduce(rest: &[String]) -> Result<(), String> {
             ompfuzz_ast::printer::emit_kernel_source(&outcome.reduced, &Default::default())
         );
     }
+    Ok(())
+}
+
+fn save_catalog_if_requested(opts: &Opts, catalog: &TriggerCatalog) -> Result<(), String> {
+    if let Some(path) = opts.value_of("--catalog", None) {
+        std::fs::write(path, catalog.save_to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("catalog ({} kernels) written to {path}", catalog.len());
+    }
+    Ok(())
+}
+
+fn cmd_evolve(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let base = if opts.has_flag("--quick") {
+        // CI-scale smoke: the small campaign config with the time-filter
+        // floor dropped (small programs finish in microseconds), 2 rounds.
+        // It replaces the whole campaign config, so a config file cannot
+        // also apply — reject the combination instead of ignoring it.
+        if opts.value_of("--config", Some("-c")).is_some() {
+            return Err("--quick and --config are mutually exclusive".into());
+        }
+        let mut quick = EvolveConfig::quick().base;
+        if let Some(s) = opts.parsed::<u64>("--seed", Some("-s"))? {
+            quick.seed = s;
+        }
+        if let Some(n) = opts.parsed::<usize>("--programs", Some("-n"))? {
+            quick.programs = n;
+        }
+        if let Some(k) = opts.parsed::<usize>("--inputs", Some("-i"))? {
+            quick.inputs_per_program = k;
+        }
+        quick
+    } else {
+        build_config(&opts)?
+    };
+    let mut config = EvolveConfig::new(base);
+    if let Some(r) = opts.parsed::<usize>("--rounds", Some("-r"))? {
+        config.rounds = r;
+    } else if opts.has_flag("--quick") {
+        config.rounds = EvolveConfig::quick().rounds;
+    }
+    if let Some(f) = opts.parsed::<f64>("--mutation-fraction", None)? {
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("--mutation-fraction must be in [0, 1], got {f}"));
+        }
+        config.mutation_fraction = f;
+    }
+    if let Some(b) = opts.parsed::<f64>("--bias", None)? {
+        if !(0.0..=1.0).contains(&b) {
+            return Err(format!("--bias must be in [0, 1], got {b}"));
+        }
+        config.bias_strength = b;
+    }
+    let initial = match opts.value_of("--resume", None) {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read catalog {path}: {e}"))?;
+            let catalog = TriggerCatalog::load_from_string(&text).map_err(|e| e.to_string())?;
+            eprintln!("resuming from {path}: {} kernels", catalog.len());
+            catalog
+        }
+        None => TriggerCatalog::new(),
+    };
+
+    eprintln!(
+        "evolving: {} rounds × {} programs (mutation {:.0}%, bias {:.1}) ...",
+        config.rounds,
+        config.base.programs,
+        100.0 * config.mutation_fraction,
+        config.bias_strength
+    );
+    let start = Instant::now();
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+    let evolution = run_evolution(&config, &dyns, initial);
+
+    println!("{}", render_evolution(&evolution.rounds));
+    let labels: Vec<String> = dyns
+        .iter()
+        .map(|b| b.info().vendor.label().to_string())
+        .collect();
+    println!("{}", render_catalog(&evolution.catalog, &labels));
+    eprintln!("evolution wall time: {:.2?}", start.elapsed());
+    save_catalog_if_requested(&opts, &evolution.catalog)?;
     Ok(())
 }
 

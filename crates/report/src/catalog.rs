@@ -1,0 +1,113 @@
+//! Rendering of the trigger-kernel catalog and the per-round evolution
+//! summary (`ompfuzz evolve` / `ompfuzz reduce --all`).
+
+use crate::table::TextTable;
+use ompfuzz_corpus::{RoundSummary, TriggerCatalog};
+
+/// Longest skeleton rendered verbatim; longer ones are elided in the
+/// middle (the saved catalog file always carries the full string).
+const SKELETON_WIDTH: usize = 44;
+
+fn elide(skeleton: &str) -> String {
+    if skeleton.len() <= SKELETON_WIDTH {
+        return skeleton.to_string();
+    }
+    let half = (SKELETON_WIDTH - 3) / 2;
+    let head: String = skeleton.chars().take(half).collect();
+    let tail_start = skeleton.len() - half;
+    format!("{head}...{}", &skeleton[tail_start..])
+}
+
+/// The catalog table: one row per distinct trigger skeleton, with the
+/// outlier class, the outlying implementation, kernel size, the structural
+/// stressors the kernel carries, and its provenance.
+pub fn render_catalog(catalog: &TriggerCatalog, labels: &[String]) -> String {
+    let mut table = TextTable::new(vec![
+        "skeleton", "kind", "impl", "stmts", "lock", "team", "nan", "round", "source",
+    ])
+    .with_title(format!(
+        "TRIGGER CATALOG ({} distinct kernels)",
+        catalog.len()
+    ));
+    for (skeleton, kernel) in catalog.iter() {
+        let features = kernel.features();
+        let backend = labels
+            .get(kernel.backend)
+            .map(String::as_str)
+            .unwrap_or("?");
+        let flag = |on: bool| if on { "x" } else { "–" };
+        table.push_row(vec![
+            elide(skeleton),
+            kernel.kind.label().to_string(),
+            backend.to_string(),
+            kernel.program.body.stmt_count().to_string(),
+            flag(features.stresses_lock_contention()).to_string(),
+            flag(features.stresses_team_recreation()).to_string(),
+            flag(features.nan_branch_candidate()).to_string(),
+            kernel.provenance.round.to_string(),
+            format!(
+                "{}@{}",
+                kernel.provenance.source_program, kernel.provenance.seed
+            ),
+        ]);
+    }
+    table.render()
+}
+
+/// The evolution summary: one row per round.
+pub fn render_evolution(rounds: &[RoundSummary]) -> String {
+    let mut table = TextTable::new(vec![
+        "round", "seed", "programs", "mutants", "racy", "outliers", "reduced", "new", "catalog",
+    ])
+    .with_title("EVOLUTION SUMMARY");
+    for r in rounds {
+        table.push_row(vec![
+            r.round.to_string(),
+            r.seed.to_string(),
+            r.programs.to_string(),
+            r.mutants.to_string(),
+            r.racy.to_string(),
+            r.outlier_records.to_string(),
+            r.reduced.to_string(),
+            r.new_skeletons.to_string(),
+            r.catalog_size.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_backends::{standard_backends, OmpBackend};
+    use ompfuzz_corpus::{run_evolution, EvolveConfig};
+
+    #[test]
+    fn catalog_and_evolution_tables_render() {
+        let config = EvolveConfig::quick();
+        let backends = standard_backends();
+        let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+        let evolution = run_evolution(&config, &dyns, TriggerCatalog::new());
+
+        let labels = vec!["Intel".to_string(), "Clang".to_string(), "GCC".to_string()];
+        let cat = render_catalog(&evolution.catalog, &labels);
+        assert!(cat.contains("TRIGGER CATALOG"), "{cat}");
+        assert_eq!(
+            cat.lines().count(),
+            3 + evolution.catalog.len(), // title, header, rule, rows
+            "{cat}"
+        );
+        let evo = render_evolution(&evolution.rounds);
+        assert!(evo.contains("EVOLUTION SUMMARY"), "{evo}");
+        assert!(evo.lines().count() == 3 + evolution.rounds.len(), "{evo}");
+    }
+
+    #[test]
+    fn long_skeletons_are_elided() {
+        let long = "par{".repeat(30);
+        let e = elide(&long);
+        assert!(e.len() <= SKELETON_WIDTH);
+        assert!(e.contains("..."));
+        assert_eq!(elide("comp"), "comp");
+    }
+}

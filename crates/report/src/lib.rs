@@ -10,6 +10,8 @@
 //! * [`csv`] — campaign export for downstream analysis.
 //! * [`reduction`] — summary rendering for the `ompfuzz reduce` test-case
 //!   reducer.
+//! * [`catalog`] — the trigger-kernel catalog table and the per-round
+//!   summary of the `ompfuzz evolve` loop.
 //!
 //! ```
 //! use ompfuzz_report::{run_experiment, Scale};
@@ -17,11 +19,13 @@
 //! assert!(fig5.contains("SLOW"));
 //! ```
 
+pub mod catalog;
 pub mod csv;
 pub mod experiments;
 pub mod reduction;
 pub mod table;
 
+pub use catalog::{render_catalog, render_evolution};
 pub use csv::campaign_to_csv;
 pub use experiments::{
     experiments, hang_run, render_table1, run_experiment, table1_campaign, Experiment, Scale,

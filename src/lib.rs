@@ -10,6 +10,7 @@
 
 pub use ompfuzz_ast as ast;
 pub use ompfuzz_backends as backends;
+pub use ompfuzz_corpus as corpus;
 pub use ompfuzz_exec as exec;
 pub use ompfuzz_gen as gen;
 pub use ompfuzz_harness as harness;
