@@ -1,0 +1,87 @@
+//! Sharded-coordinator benchmark: what does splitting a round into shards
+//! cost, and what does resuming from a fully-checkpointed campaign save?
+//!
+//! Prints the equivalence check once (1-shard vs. 4-shard catalogs must be
+//! byte-identical — the CI invariant, visible here at bench scale), then
+//! times the coordinator at 1 and 4 shards and a warm resume where every
+//! shard loads from its checkpoint instead of running.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ompfuzz_backends::{standard_backends, OmpBackend};
+use ompfuzz_corpus::{run_sharded_evolution, EvolveConfig, ShardedEvolveConfig, TriggerCatalog};
+use std::hint::black_box;
+
+fn config(shards: usize) -> ShardedEvolveConfig {
+    ShardedEvolveConfig {
+        evolve: EvolveConfig::quick(),
+        shards,
+    }
+}
+
+fn bench_sharded_evolution(c: &mut Criterion) {
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+
+    let one = run_sharded_evolution(&config(1), &dyns, TriggerCatalog::new(), None).unwrap();
+    let four = run_sharded_evolution(&config(4), &dyns, TriggerCatalog::new(), None).unwrap();
+    assert_eq!(
+        one.evolution.catalog.save_to_string(),
+        four.evolution.catalog.save_to_string(),
+        "shard count changed the catalog"
+    );
+    println!(
+        "\nsharded evolution @ {} rounds × {} programs: {} kernels cataloged, \
+         identical bytes for 1 and 4 shards",
+        config(1).evolve.rounds,
+        config(1).evolve.base.programs,
+        one.evolution.catalog.len()
+    );
+
+    let programs = (config(1).evolve.rounds * config(1).evolve.base.programs) as u64;
+    let mut group = c.benchmark_group("sharded_evolution");
+    group.throughput(Throughput::Elements(programs));
+    group.bench_function("coordinator_1_shard", |b| {
+        b.iter(|| {
+            black_box(run_sharded_evolution(
+                &config(1),
+                &dyns,
+                TriggerCatalog::new(),
+                None,
+            ))
+            .unwrap()
+        })
+    });
+    group.bench_function("coordinator_4_shards", |b| {
+        b.iter(|| {
+            black_box(run_sharded_evolution(
+                &config(4),
+                &dyns,
+                TriggerCatalog::new(),
+                None,
+            ))
+            .unwrap()
+        })
+    });
+
+    // Warm resume: every shard of every round loads from its checkpoint.
+    let dir = std::env::temp_dir().join(format!("ompfuzz-bench-resume-{}", std::process::id()));
+    run_sharded_evolution(&config(4), &dyns, TriggerCatalog::new(), Some(&dir)).unwrap();
+    group.bench_function("warm_resume_4_shards", |b| {
+        b.iter(|| {
+            let resumed =
+                run_sharded_evolution(&config(4), &dyns, TriggerCatalog::new(), Some(&dir))
+                    .unwrap();
+            assert!(resumed
+                .progress
+                .iter()
+                .flat_map(|r| &r.shards)
+                .all(|s| s.status == ompfuzz_corpus::ShardStatus::Cached));
+            black_box(resumed)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_sharded_evolution);
+criterion_main!(benches);

@@ -167,6 +167,12 @@ impl TriggerCatalog {
                 nodes.len()
             )));
         };
+        TriggerCatalog::from_node(root)
+    }
+
+    /// Rebuild a catalog from an already-parsed `(catalog ...)` node (shard
+    /// checkpoint files embed one after their own header form).
+    pub fn from_node(root: &Node) -> Result<TriggerCatalog, StoreError> {
         let rest = root.tagged("catalog")?;
         let [version, count, entries @ ..] = rest else {
             return Err(StoreError(
@@ -186,7 +192,17 @@ impl TriggerCatalog {
         }
         let mut catalog = TriggerCatalog::new();
         for entry in entries {
-            catalog.insert(read_entry(entry)?);
+            let kernel = read_entry(entry)?;
+            let skeleton = kernel.skeleton();
+            if !catalog.insert(kernel) {
+                // A saved catalog is deduplicated by construction; a
+                // repeated skeleton means the file was hand-merged or
+                // corrupted. Silently keeping the first entry would
+                // double-count the skeleton's prevalence on a later merge.
+                return Err(StoreError(format!(
+                    "duplicate skeleton in catalog file: {skeleton}"
+                )));
+            }
         }
         Ok(catalog)
     }
@@ -325,6 +341,24 @@ mod tests {
         ));
         assert_eq!(a.merge(b), 1);
         assert_eq!(a.len(), 2);
+    }
+
+    /// A file carrying two entries with the same skeleton must be rejected,
+    /// not silently collapsed: the declared count would check out, but a
+    /// later merge would have double-counted the skeleton's prevalence.
+    #[test]
+    fn duplicate_skeletons_in_a_file_are_rejected() {
+        let mut one = TriggerCatalog::new();
+        one.insert(kernel("a", vec![comp_stmt()], OutlierKind::Hang));
+        let text = one.save_to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        // lines: banner comment, "(catalog v1 1", entry lines..., ")".
+        let entry = lines[2..lines.len() - 1].join("\n");
+        let forged = format!("{}\n(catalog v1 2\n{entry}\n{entry}\n)\n", lines[0]);
+        let err = TriggerCatalog::load_from_string(&forged).unwrap_err();
+        assert!(err.0.contains("duplicate skeleton"), "{err}");
+        // The pristine file still loads.
+        assert_eq!(TriggerCatalog::load_from_string(&text).unwrap(), one);
     }
 
     #[test]

@@ -1,0 +1,848 @@
+//! The campaign coordinator: shard-parallel, crash-resumable multi-round
+//! evolution with on-disk checkpoints.
+//!
+//! A *campaign directory* records everything a killed run needs to pick up
+//! where it stopped:
+//!
+//! ```text
+//! <dir>/round-<r>/manifest.txt   round index, round seed, config
+//!                                fingerprint, shard count, completed shards
+//! <dir>/round-<r>/shard-<i>.txt  one shard's summary + per-shard catalog
+//! <dir>/round-<r>/catalog.txt    merged catalog after round r (the
+//!                                between-rounds checkpoint)
+//! ```
+//!
+//! Every file is a deterministic function of `(config, seed)`, so re-running
+//! a shard overwrites its checkpoint with identical bytes — which is what
+//! makes resume safe even when a previous run died mid-write of the
+//! *manifest*: the worst case is an already-finished shard running again.
+//! The config fingerprint stamps every manifest and shard file; a
+//! checkpoint directory produced under a different configuration (other
+//! seed, budget, shard count, or starting catalog) is rejected instead of
+//! silently merged.
+//!
+//! [`run_sharded_evolution`] is the coordinator loop; with one shard and no
+//! checkpoint directory it degenerates to exactly the in-memory
+//! [`run_evolution`](crate::run_evolution) (which delegates here, so every
+//! evolution — sharded or not — is one code path and the catalogs are
+//! byte-identical by construction). [`run_standalone_shard`] is the
+//! out-of-process worker entry (`ompfuzz shard --round R --shard I/N`).
+
+use crate::catalog::TriggerCatalog;
+use crate::evolve::{build_round_corpus, round_campaign, Evolution, EvolveConfig, RoundSummary};
+use crate::shard::{
+    plan_shards, read_shard_file, run_planned_shard, write_shard_file, ShardCoords, ShardOutcome,
+    ShardSummary,
+};
+use crate::store::{self, Node, StoreError};
+use ompfuzz_backends::OmpBackend;
+use ompfuzz_harness::TestCase;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// An evolution split into shards (each round's corpus is divided into
+/// `shards` contiguous slices, run independently, and merged in order).
+#[derive(Debug, Clone)]
+pub struct ShardedEvolveConfig {
+    /// The underlying evolution (budget, rounds, feedback knobs).
+    pub evolve: EvolveConfig,
+    /// Shards per round; `0` and `1` both mean unsharded. The merged result
+    /// never depends on this — it only controls how the work is split.
+    pub shards: usize,
+}
+
+/// Coordinator failure: checkpoint I/O, a stale/foreign checkpoint
+/// directory, or invalid shard coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordError(pub String);
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "coordinator error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl From<StoreError> for CoordError {
+    fn from(e: StoreError) -> CoordError {
+        CoordError(e.to_string())
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CoordError> {
+    Err(CoordError(msg.into()))
+}
+
+/// How a shard's result was obtained during a coordinated round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Computed in this run.
+    Ran,
+    /// Loaded from a checkpoint written by an earlier (possibly killed) run.
+    Cached,
+}
+
+impl ShardStatus {
+    /// Progress-table label (`ran` / `cached`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardStatus::Ran => "ran",
+            ShardStatus::Cached => "cached",
+        }
+    }
+}
+
+/// One shard's accounting plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct ShardProgress {
+    pub summary: ShardSummary,
+    pub status: ShardStatus,
+}
+
+/// Per-round shard progress, in shard order.
+#[derive(Debug, Clone)]
+pub struct RoundProgress {
+    pub round: usize,
+    pub shards: Vec<ShardProgress>,
+}
+
+/// A finished coordinated evolution: the merged result plus the per-shard
+/// progress (what ran, what resumed from checkpoint).
+#[derive(Debug)]
+pub struct ShardedEvolution {
+    pub evolution: Evolution,
+    pub progress: Vec<RoundProgress>,
+}
+
+// ---------------------------------------------------------------------------
+// Config fingerprint
+// ---------------------------------------------------------------------------
+
+/// Identity of a sharded campaign: FNV-1a over the canonical config-file
+/// rendering of the base campaign, the evolution knobs (bit-exact floats),
+/// the shard count, and the starting catalog's bytes. Two runs with the
+/// same fingerprint produce the same checkpoint files byte for byte.
+///
+/// The `workers` knob is excluded: results are worker-count-independent
+/// (pinned by the determinism tests), so a checkpoint written on one host
+/// must resume on a host with different parallelism.
+pub fn campaign_fingerprint(config: &EvolveConfig, shards: usize, initial: &TriggerCatalog) -> u64 {
+    let base: String = config
+        .base
+        .to_config_file()
+        .lines()
+        .filter(|line| !line.starts_with("workers"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let canonical = format!(
+        "{base}\nrounds = {}\nmutation_fraction = {:016x}\nbias_strength = {:016x}\n\
+         edits_per_mutant = {}\nshards = {}\n{}",
+        config.rounds,
+        config.mutation_fraction.to_bits(),
+        config.bias_strength.to_bits(),
+        config.edits_per_mutant,
+        shards.max(1),
+        initial.save_to_string(),
+    );
+    fnv1a(canonical.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Round manifest
+// ---------------------------------------------------------------------------
+
+/// The small per-round bookkeeping record the coordinator checkpoints
+/// alongside shard results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundManifest {
+    /// Evolution round the manifest describes.
+    pub round: usize,
+    /// The round's campaign seed ([`round_seed`](crate::round_seed)).
+    pub seed: u64,
+    /// [`campaign_fingerprint`] of the configuration that produced it.
+    pub fingerprint: u64,
+    /// Shard count the round was planned for.
+    pub shards: usize,
+    /// Shard indices whose checkpoint files are complete.
+    pub completed: BTreeSet<usize>,
+}
+
+impl RoundManifest {
+    fn new(round: usize, seed: u64, fingerprint: u64, shards: usize) -> RoundManifest {
+        RoundManifest {
+            round,
+            seed,
+            fingerprint,
+            shards,
+            completed: BTreeSet::new(),
+        }
+    }
+
+    /// Serialize as one s-expression line (deterministic: the completed set
+    /// renders in index order).
+    pub fn to_text(&self) -> String {
+        let mut done = String::new();
+        for i in &self.completed {
+            done.push(' ');
+            done.push_str(&i.to_string());
+        }
+        format!(
+            "; ompfuzz round manifest v1\n(manifest v1 {} {} {} {} (done{done}))\n",
+            self.fingerprint, self.round, self.seed, self.shards
+        )
+    }
+
+    /// Parse a manifest written by [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<RoundManifest, StoreError> {
+        let nodes = store::parse_nodes(text)?;
+        let [root] = nodes.as_slice() else {
+            return Err(StoreError(format!(
+                "expected one (manifest ...) form, found {}",
+                nodes.len()
+            )));
+        };
+        let rest = root.tagged("manifest")?;
+        let [version, fingerprint, round, seed, shards, done] = rest else {
+            return Err(StoreError(
+                "manifest needs (manifest v1 fingerprint round seed shards (done ...))".into(),
+            ));
+        };
+        if version != &Node::Atom("v1".into()) {
+            return Err(StoreError("unsupported manifest version".into()));
+        }
+        let completed = done
+            .tagged("done")?
+            .iter()
+            .map(|n| n.parse_atom::<usize>("shard index"))
+            .collect::<Result<BTreeSet<usize>, _>>()?;
+        Ok(RoundManifest {
+            round: round.parse_atom("round")?,
+            seed: seed.parse_atom("seed")?,
+            fingerprint: fingerprint.parse_atom("fingerprint")?,
+            shards: shards.parse_atom("shard count")?,
+            completed,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign directory
+// ---------------------------------------------------------------------------
+
+/// Handle to a campaign (checkpoint) directory.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    dir: PathBuf,
+}
+
+impl Checkpoint {
+    /// Open (creating if needed) a campaign directory.
+    pub fn open(dir: &Path) -> Result<Checkpoint, CoordError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| CoordError(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(Checkpoint {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn round_dir(&self, round: usize) -> PathBuf {
+        self.dir.join(format!("round-{round}"))
+    }
+
+    fn manifest_path(&self, round: usize) -> PathBuf {
+        self.round_dir(round).join("manifest.txt")
+    }
+
+    fn shard_path(&self, round: usize, shard: usize) -> PathBuf {
+        self.round_dir(round).join(format!("shard-{shard}.txt"))
+    }
+
+    fn catalog_path(&self, round: usize) -> PathBuf {
+        self.round_dir(round).join("catalog.txt")
+    }
+
+    fn read_optional(&self, path: &Path) -> Result<Option<String>, CoordError> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Atomic checkpoint write: temp file in the target directory, then
+    /// rename. A kill mid-write must never leave a truncated manifest or
+    /// catalog behind — resume's worst case is re-running a finished shard,
+    /// not a parse error on a half-written file. The temp name carries the
+    /// process id so concurrent `ompfuzz shard` workers never collide.
+    fn write(&self, path: &Path, text: &str) -> Result<(), CoordError> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| CoordError(format!("cannot create {}: {e}", parent.display())))?;
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".{}.tmp", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, text)
+            .map_err(|e| CoordError(format!("cannot write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, path).map_err(|e| {
+            CoordError(format!(
+                "cannot rename {} over {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })
+    }
+
+    /// Load a round's manifest, if present.
+    pub fn load_manifest(&self, round: usize) -> Result<Option<RoundManifest>, CoordError> {
+        self.read_optional(&self.manifest_path(round))?
+            .map(|text| RoundManifest::from_text(&text).map_err(CoordError::from))
+            .transpose()
+    }
+
+    /// Write a round's manifest.
+    pub fn store_manifest(&self, manifest: &RoundManifest) -> Result<(), CoordError> {
+        self.write(&self.manifest_path(manifest.round), &manifest.to_text())
+    }
+
+    /// Load one shard's checkpoint (recorded fingerprint + outcome).
+    pub fn load_shard(
+        &self,
+        round: usize,
+        shard: usize,
+    ) -> Result<Option<(u64, ShardOutcome)>, CoordError> {
+        self.read_optional(&self.shard_path(round, shard))?
+            .map(|text| read_shard_file(&text).map_err(CoordError::from))
+            .transpose()
+    }
+
+    /// Write one shard's checkpoint.
+    pub fn store_shard(&self, outcome: &ShardOutcome, fingerprint: u64) -> Result<(), CoordError> {
+        self.write(
+            &self.shard_path(outcome.summary.round, outcome.summary.shard),
+            &write_shard_file(outcome, fingerprint),
+        )
+    }
+
+    /// Load the merged catalog checkpointed after `round`, if present.
+    pub fn load_round_catalog(&self, round: usize) -> Result<Option<TriggerCatalog>, CoordError> {
+        self.read_optional(&self.catalog_path(round))?
+            .map(|text| TriggerCatalog::load_from_string(&text).map_err(CoordError::from))
+            .transpose()
+    }
+
+    /// Checkpoint the merged catalog after `round`.
+    pub fn store_round_catalog(
+        &self,
+        round: usize,
+        catalog: &TriggerCatalog,
+    ) -> Result<(), CoordError> {
+        self.write(&self.catalog_path(round), &catalog.save_to_string())
+    }
+
+    /// Load-or-create a round manifest, rejecting one written under a
+    /// different configuration.
+    fn round_manifest(
+        &self,
+        round: usize,
+        seed: u64,
+        fingerprint: u64,
+        shards: usize,
+    ) -> Result<RoundManifest, CoordError> {
+        match self.load_manifest(round)? {
+            None => Ok(RoundManifest::new(round, seed, fingerprint, shards)),
+            Some(m) => {
+                if m.fingerprint != fingerprint
+                    || m.seed != seed
+                    || m.shards != shards
+                    || m.round != round
+                {
+                    return err(format!(
+                        "checkpoint {} was written by a different campaign \
+                         (fingerprint {:016x}, seed {}, {} shards; this run: \
+                         {fingerprint:016x}, seed {seed}, {shards} shards) — \
+                         remove the directory or rerun with the original configuration",
+                        self.manifest_path(round).display(),
+                        m.fingerprint,
+                        m.seed,
+                        m.shards,
+                    ));
+                }
+                Ok(m)
+            }
+        }
+    }
+
+    /// Mark `shard` complete. The manifest is re-read from disk and the
+    /// completed sets are unioned before writing, so concurrent
+    /// out-of-process workers recording *other* shards of the same round
+    /// are not erased by a stale in-memory copy. Writes are atomic
+    /// renames, and a completion lost to the remaining tiny race window is
+    /// benign: the shard re-runs and rewrites identical bytes.
+    fn record_completed(
+        &self,
+        current: &RoundManifest,
+        shard: usize,
+    ) -> Result<RoundManifest, CoordError> {
+        let mut merged = self.round_manifest(
+            current.round,
+            current.seed,
+            current.fingerprint,
+            current.shards,
+        )?;
+        merged.completed.extend(current.completed.iter().copied());
+        merged.completed.insert(shard);
+        self.store_manifest(&merged)?;
+        Ok(merged)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The coordinator loop
+// ---------------------------------------------------------------------------
+
+/// Run a full sharded evolution, optionally checkpointing to (and resuming
+/// from) a campaign directory.
+///
+/// Per round: plan contiguous shards over the round corpus, obtain each
+/// shard's result — from its checkpoint when the manifest marks it complete
+/// and the file validates, by running it otherwise — then merge the shard
+/// catalogs *in shard order* into the cumulative catalog, checkpoint the
+/// merge, and derive the next round's generator bias from it. The merged
+/// catalog is byte-identical for every shard count and for any
+/// kill/resume point, because shard results themselves are deterministic
+/// and merge order is fixed.
+pub fn run_sharded_evolution(
+    config: &ShardedEvolveConfig,
+    backends: &[&dyn OmpBackend],
+    initial: TriggerCatalog,
+    checkpoint: Option<&Path>,
+) -> Result<ShardedEvolution, CoordError> {
+    let shards = config.shards.max(1);
+    let fingerprint = campaign_fingerprint(&config.evolve, shards, &initial);
+    let ckpt = checkpoint.map(Checkpoint::open).transpose()?;
+
+    let mut catalog = initial;
+    let mut rounds = Vec::with_capacity(config.evolve.rounds);
+    let mut progress = Vec::with_capacity(config.evolve.rounds);
+    for round in 0..config.evolve.rounds {
+        let campaign = round_campaign(&config.evolve, &catalog, round);
+        let plan = plan_shards(campaign.programs, shards);
+        let mut manifest = match &ckpt {
+            Some(c) => c.round_manifest(round, campaign.seed, fingerprint, shards)?,
+            None => RoundManifest::new(round, campaign.seed, fingerprint, shards),
+        };
+
+        // The round corpus is only materialized if some shard actually has
+        // to run; a fully-checkpointed round skips generation entirely.
+        let mut corpus: Option<(Vec<TestCase>, usize)> = None;
+        let mut shard_rows: Vec<ShardProgress> = Vec::with_capacity(shards);
+        let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
+        for (index, range) in plan.iter().enumerate() {
+            let cached = match (&ckpt, manifest.completed.contains(&index)) {
+                (Some(c), true) => c.load_shard(round, index)?,
+                _ => None,
+            };
+            let (outcome, status) = match cached {
+                Some((fp, outcome)) => {
+                    let s = &outcome.summary;
+                    if fp != fingerprint
+                        || s.round != round
+                        || s.shard != index
+                        || s.shards != shards
+                        || (s.start, s.end) != (range.start, range.end)
+                    {
+                        return err(format!(
+                            "shard checkpoint round-{round}/shard-{index} does not match \
+                             this campaign — remove the checkpoint directory",
+                        ));
+                    }
+                    (outcome, ShardStatus::Cached)
+                }
+                None => {
+                    let (full, mutants) = corpus.get_or_insert_with(|| {
+                        build_round_corpus(&campaign, &catalog, &config.evolve)
+                    });
+                    let fresh = full.len() - *mutants;
+                    let outcome = run_planned_shard(
+                        &campaign,
+                        backends,
+                        full,
+                        fresh,
+                        range.clone(),
+                        ShardCoords {
+                            round,
+                            shard: index,
+                            shards,
+                        },
+                    );
+                    if let Some(c) = &ckpt {
+                        // Shard file first, then the manifest: a kill
+                        // between the two re-runs the shard on resume and
+                        // rewrites identical bytes.
+                        c.store_shard(&outcome, fingerprint)?;
+                        manifest = c.record_completed(&manifest, index)?;
+                    }
+                    (outcome, ShardStatus::Ran)
+                }
+            };
+            shard_rows.push(ShardProgress {
+                summary: outcome.summary.clone(),
+                status,
+            });
+            outcomes.push(outcome);
+        }
+
+        let mut new_skeletons = 0;
+        for outcome in outcomes {
+            new_skeletons += catalog.merge(outcome.catalog);
+        }
+        if let Some(c) = &ckpt {
+            c.store_round_catalog(round, &catalog)?;
+        }
+        rounds.push(RoundSummary {
+            round,
+            seed: campaign.seed,
+            programs: shard_rows.iter().map(|s| s.summary.programs()).sum(),
+            mutants: shard_rows.iter().map(|s| s.summary.mutants).sum(),
+            racy: shard_rows.iter().map(|s| s.summary.racy).sum(),
+            outlier_records: shard_rows.iter().map(|s| s.summary.outlier_records).sum(),
+            reduced: shard_rows.iter().map(|s| s.summary.reduced).sum(),
+            new_skeletons,
+            catalog_size: catalog.len(),
+        });
+        progress.push(RoundProgress {
+            round,
+            shards: shard_rows,
+        });
+    }
+    Ok(ShardedEvolution {
+        evolution: Evolution { rounds, catalog },
+        progress,
+    })
+}
+
+/// Run exactly one shard of one round against a campaign directory — the
+/// out-of-process worker behind `ompfuzz shard --round R --shard I/N`.
+///
+/// Round 0 starts from `initial` (the `--resume` catalog, or empty); later
+/// rounds need the previous round's merged catalog to be checkpointed
+/// already. Writes the shard checkpoint and marks it complete in the round
+/// manifest; a shard already marked complete is loaded and reported as
+/// [`ShardStatus::Cached`] without re-running.
+pub fn run_standalone_shard(
+    config: &ShardedEvolveConfig,
+    backends: &[&dyn OmpBackend],
+    initial: TriggerCatalog,
+    checkpoint: &Path,
+    round: usize,
+    shard: usize,
+) -> Result<ShardProgress, CoordError> {
+    let shards = config.shards.max(1);
+    if round >= config.evolve.rounds {
+        return err(format!(
+            "round {round} out of range (campaign has {} rounds)",
+            config.evolve.rounds
+        ));
+    }
+    if shard >= shards {
+        return err(format!("shard {shard} out of range (0..{shards})"));
+    }
+    let fingerprint = campaign_fingerprint(&config.evolve, shards, &initial);
+    let ckpt = Checkpoint::open(checkpoint)?;
+    let catalog = if round == 0 {
+        initial
+    } else {
+        ckpt.load_round_catalog(round - 1)?.ok_or_else(|| {
+            CoordError(format!(
+                "round {} has no checkpointed catalog in {} — shards of round \
+                 {round} derive their corpus from the previous round's merge",
+                round - 1,
+                checkpoint.display()
+            ))
+        })?
+    };
+    let campaign = round_campaign(&config.evolve, &catalog, round);
+    let manifest = ckpt.round_manifest(round, campaign.seed, fingerprint, shards)?;
+    if manifest.completed.contains(&shard) {
+        if let Some((fp, outcome)) = ckpt.load_shard(round, shard)? {
+            if fp != fingerprint {
+                return err(format!(
+                    "shard checkpoint round-{round}/shard-{shard} was written by a \
+                     different campaign — remove the checkpoint directory"
+                ));
+            }
+            return Ok(ShardProgress {
+                summary: outcome.summary,
+                status: ShardStatus::Cached,
+            });
+        }
+    }
+    let plan = plan_shards(campaign.programs, shards);
+    let (corpus, mutants) = build_round_corpus(&campaign, &catalog, &config.evolve);
+    let fresh = corpus.len() - mutants;
+    let outcome = run_planned_shard(
+        &campaign,
+        backends,
+        &corpus,
+        fresh,
+        plan[shard].clone(),
+        ShardCoords {
+            round,
+            shard,
+            shards,
+        },
+    );
+    ckpt.store_shard(&outcome, fingerprint)?;
+    ckpt.record_completed(&manifest, shard)?;
+    Ok(ShardProgress {
+        summary: outcome.summary,
+        status: ShardStatus::Ran,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_backends::{standard_backends, SimBackend};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn dyns(backends: &[SimBackend]) -> Vec<&dyn OmpBackend> {
+        backends.iter().map(|b| b as &dyn OmpBackend).collect()
+    }
+
+    /// A smaller-than-`quick` budget: the coordinator tests run several
+    /// full evolutions each.
+    fn test_config() -> EvolveConfig {
+        let mut config = EvolveConfig::quick();
+        config.base.programs = 24;
+        config
+    }
+
+    fn sharded(shards: usize) -> ShardedEvolveConfig {
+        ShardedEvolveConfig {
+            evolve: test_config(),
+            shards,
+        }
+    }
+
+    static DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+    /// A unique scratch directory per test invocation (no tempfile crate in
+    /// the offline workspace).
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ompfuzz-coord-{tag}-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::SeqCst)
+        ))
+    }
+
+    /// The headline invariant: the merged catalog — and the per-round
+    /// summaries — are identical for 1, 3 and 4 shards, checkpointed or
+    /// not.
+    #[test]
+    fn shard_count_never_changes_the_result() {
+        let backends = standard_backends();
+        let dyns = dyns(&backends);
+        let baseline = crate::run_evolution(&test_config(), &dyns, TriggerCatalog::new());
+        let four = run_sharded_evolution(&sharded(4), &dyns, TriggerCatalog::new(), None).unwrap();
+        assert_eq!(baseline.rounds, four.evolution.rounds);
+        assert_eq!(
+            baseline.catalog.save_to_string(),
+            four.evolution.catalog.save_to_string()
+        );
+        let dir = scratch("counts");
+        let three =
+            run_sharded_evolution(&sharded(3), &dyns, TriggerCatalog::new(), Some(&dir)).unwrap();
+        assert_eq!(baseline.rounds, three.evolution.rounds);
+        assert_eq!(
+            baseline.catalog.save_to_string(),
+            three.evolution.catalog.save_to_string()
+        );
+        // The between-rounds checkpoint of the last round IS the result.
+        let ckpt = Checkpoint::open(&dir).unwrap();
+        let last = ckpt
+            .load_round_catalog(test_config().rounds - 1)
+            .unwrap()
+            .expect("final round checkpointed");
+        assert_eq!(last.save_to_string(), baseline.catalog.save_to_string());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Kill/resume at a shard boundary: one shard runs standalone (the
+    /// `ompfuzz shard` path), then the coordinator finishes the campaign,
+    /// skipping the completed shard; a second coordinator run resumes
+    /// everything. All three views agree byte-for-byte with unsharded.
+    #[test]
+    fn resume_skips_completed_shards_and_preserves_bytes() {
+        let backends = standard_backends();
+        let dyns = dyns(&backends);
+        let baseline = crate::run_evolution(&test_config(), &dyns, TriggerCatalog::new());
+        let dir = scratch("resume");
+
+        let first =
+            run_standalone_shard(&sharded(3), &dyns, TriggerCatalog::new(), &dir, 0, 1).unwrap();
+        assert_eq!(first.status, ShardStatus::Ran);
+        assert_eq!(first.summary.shard, 1);
+        // Running the same shard again is a no-op.
+        let again =
+            run_standalone_shard(&sharded(3), &dyns, TriggerCatalog::new(), &dir, 0, 1).unwrap();
+        assert_eq!(again.status, ShardStatus::Cached);
+        assert_eq!(again.summary, first.summary);
+
+        let resumed =
+            run_sharded_evolution(&sharded(3), &dyns, TriggerCatalog::new(), Some(&dir)).unwrap();
+        let statuses: Vec<ShardStatus> = resumed.progress[0]
+            .shards
+            .iter()
+            .map(|s| s.status)
+            .collect();
+        assert_eq!(
+            statuses,
+            vec![ShardStatus::Ran, ShardStatus::Cached, ShardStatus::Ran]
+        );
+        assert_eq!(
+            baseline.catalog.save_to_string(),
+            resumed.evolution.catalog.save_to_string()
+        );
+        assert_eq!(baseline.rounds, resumed.evolution.rounds);
+
+        // A second coordinator pass finds every shard checkpointed.
+        let rerun =
+            run_sharded_evolution(&sharded(3), &dyns, TriggerCatalog::new(), Some(&dir)).unwrap();
+        assert!(rerun
+            .progress
+            .iter()
+            .flat_map(|r| &r.shards)
+            .all(|s| s.status == ShardStatus::Cached));
+        assert_eq!(
+            baseline.catalog.save_to_string(),
+            rerun.evolution.catalog.save_to_string()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A checkpoint directory written under a different configuration is
+    /// rejected, not silently merged.
+    #[test]
+    fn foreign_checkpoints_are_rejected() {
+        let backends = standard_backends();
+        let dyns = dyns(&backends);
+        let dir = scratch("foreign");
+        run_standalone_shard(&sharded(2), &dyns, TriggerCatalog::new(), &dir, 0, 0).unwrap();
+        let mut other = sharded(2);
+        other.evolve.base.seed += 1;
+        let e = run_sharded_evolution(&other, &dyns, TriggerCatalog::new(), Some(&dir))
+            .expect_err("mismatched seed must be rejected");
+        assert!(e.0.contains("different campaign"), "{e}");
+        // Same config with a different shard count is also a different
+        // campaign as far as the manifests are concerned.
+        let e = run_sharded_evolution(&sharded(3), &dyns, TriggerCatalog::new(), Some(&dir))
+            .expect_err("mismatched shard count must be rejected");
+        assert!(e.0.contains("different campaign"), "{e}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Standalone shards of a later round need the previous round's merged
+    /// catalog checkpoint; without it the worker cannot reconstruct its
+    /// corpus and must refuse.
+    #[test]
+    fn later_round_shards_require_the_previous_checkpoint() {
+        let backends = standard_backends();
+        let dyns = dyns(&backends);
+        let dir = scratch("later");
+        let e = run_standalone_shard(&sharded(2), &dyns, TriggerCatalog::new(), &dir, 1, 0)
+            .expect_err("round 1 without round 0 checkpoint");
+        assert!(e.0.contains("no checkpointed catalog"), "{e}");
+        // Out-of-range coordinates are rejected up front.
+        assert!(
+            run_standalone_shard(&sharded(2), &dyns, TriggerCatalog::new(), &dir, 9, 0).is_err()
+        );
+        assert!(
+            run_standalone_shard(&sharded(2), &dyns, TriggerCatalog::new(), &dir, 0, 2).is_err()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A checkpoint written on one host must resume on a host with a
+    /// different worker count — results are worker-count-independent, so
+    /// the fingerprint must be too. Everything result-affecting still
+    /// changes it.
+    #[test]
+    fn fingerprint_ignores_workers_but_not_results() {
+        let base = test_config();
+        let fp = |c: &EvolveConfig, shards: usize| {
+            campaign_fingerprint(c, shards, &TriggerCatalog::new())
+        };
+        let mut other_workers = base.clone();
+        other_workers.base.workers = 16;
+        assert_eq!(fp(&base, 2), fp(&other_workers, 2));
+        let mut other_seed = base.clone();
+        other_seed.base.seed += 1;
+        assert_ne!(fp(&base, 2), fp(&other_seed, 2));
+        let mut other_bias = base.clone();
+        other_bias.bias_strength += 0.1;
+        assert_ne!(fp(&base, 2), fp(&other_bias, 2));
+        assert_ne!(fp(&base, 2), fp(&base, 3));
+        let mut seeded = TriggerCatalog::new();
+        let mut pg = ompfuzz_gen::ProgramGenerator::new(base.base.generator.clone(), 5);
+        seeded.insert(crate::TriggerKernel {
+            input: ompfuzz_inputs::InputGenerator::new(1).generate_for(&pg.generate("test_k")),
+            program: pg.generate("test_k"),
+            kind: ompfuzz_outlier::OutlierKind::Slow,
+            backend: 0,
+            provenance: crate::Provenance {
+                seed: 1,
+                round: 0,
+                source_program: "test_k".into(),
+                program_index: 0,
+                input_index: 0,
+            },
+        });
+        assert_ne!(fp(&base, 2), campaign_fingerprint(&base, 2, &seeded));
+    }
+
+    /// Recording a completion unions with what is already on disk, so an
+    /// out-of-process worker that finished another shard meanwhile is not
+    /// erased by this process's stale in-memory manifest.
+    #[test]
+    fn recording_completions_preserves_concurrent_progress() {
+        let dir = scratch("union");
+        let ckpt = Checkpoint::open(&dir).unwrap();
+        let base = RoundManifest::new(0, 7, 42, 3);
+        // Worker A records shard 2 while our in-memory copy is still empty.
+        ckpt.record_completed(&base, 2).unwrap();
+        // Our process records shard 0 from the stale copy.
+        let merged = ckpt.record_completed(&base, 0).unwrap();
+        assert_eq!(
+            merged.completed.iter().copied().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(ckpt.load_manifest(0).unwrap().unwrap(), merged);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifests_round_trip() {
+        let mut m = RoundManifest::new(2, 77, 0xABCD, 5);
+        m.completed.insert(3);
+        m.completed.insert(0);
+        let text = m.to_text();
+        assert_eq!(RoundManifest::from_text(&text).unwrap(), m);
+        assert!(RoundManifest::from_text("(manifest v2 0 0 0 0 (done))").is_err());
+        assert!(RoundManifest::from_text("(manifest v1 0 0)").is_err());
+    }
+}

@@ -10,14 +10,13 @@
 //! pure functions of `(config, seed)`, so the whole evolution — including
 //! the saved catalog bytes — is reproducible and worker-count-independent.
 
-use crate::batch::{fold_into_catalog, reduce_all, BatchConfig};
 use crate::bias::GeneratorBias;
 use crate::catalog::TriggerCatalog;
+use crate::coordinator::{run_sharded_evolution, ShardedEvolveConfig};
 use crate::mutate::{mutant_seed, mutate_kernel};
 use ompfuzz_backends::OmpBackend;
-use ompfuzz_harness::{run_campaign_on, CampaignConfig, TestCase};
+use ompfuzz_harness::{CampaignConfig, TestCase};
 use ompfuzz_inputs::InputGenerator;
-use std::time::Instant;
 
 /// Configuration of an evolutionary run.
 #[derive(Debug, Clone)]
@@ -127,58 +126,49 @@ pub fn round_seed(seed: u64, round: usize) -> u64 {
 /// Run a full evolution. Pass a pre-loaded `catalog` to resume from an
 /// earlier run's kernels (they seed round 0's mutants); start from
 /// [`TriggerCatalog::new`] otherwise.
+///
+/// This is the one-shard, in-memory face of the campaign coordinator: it
+/// delegates to [`run_sharded_evolution`] with a single shard and no
+/// checkpoint directory, so sharded and unsharded runs share one code path
+/// — and one set of bytes in the saved catalog.
 pub fn run_evolution(
     config: &EvolveConfig,
     backends: &[&dyn OmpBackend],
-    mut catalog: TriggerCatalog,
+    catalog: TriggerCatalog,
 ) -> Evolution {
-    let mut rounds = Vec::with_capacity(config.rounds);
-    let mut generator = config.base.generator.clone();
-    // A resumed catalog is evidence like any other: steer round 0 from it
-    // (an empty starting catalog yields no bias and the base generator).
+    run_sharded_evolution(
+        &ShardedEvolveConfig {
+            evolve: config.clone(),
+            shards: 1,
+        },
+        backends,
+        catalog,
+        None,
+    )
+    .expect("in-memory evolution performs no checkpoint I/O")
+    .evolution
+}
+
+/// The campaign of round `round`, given the catalog state *before* the
+/// round: seed stepped by [`round_seed`], generator steered toward the
+/// catalog's aggregate features. A pure function of `(config, catalog,
+/// round)` — steering always starts from the base generator, never from the
+/// previous round's steered one — which is what lets an out-of-process
+/// shard reconstruct its round's campaign from the checkpointed catalog
+/// alone.
+pub(crate) fn round_campaign(
+    config: &EvolveConfig,
+    catalog: &TriggerCatalog,
+    round: usize,
+) -> CampaignConfig {
+    let mut campaign = config.base.clone();
+    campaign.seed = round_seed(config.base.seed, round);
     if config.bias_strength > 0.0 {
-        if let Some(bias) = GeneratorBias::from_catalog(&catalog, config.bias_strength) {
-            generator = bias.steer(&config.base.generator);
+        if let Some(bias) = GeneratorBias::from_catalog(catalog, config.bias_strength) {
+            campaign.generator = bias.steer(&config.base.generator);
         }
     }
-    for round in 0..config.rounds {
-        let mut campaign = config.base.clone();
-        campaign.seed = round_seed(config.base.seed, round);
-        campaign.generator = generator.clone();
-
-        let (corpus, mutants) = build_round_corpus(&campaign, &catalog, config);
-        let result = run_campaign_on(&campaign, backends, &corpus, Instant::now());
-        let batch = reduce_all(
-            &corpus,
-            &result,
-            backends,
-            &BatchConfig::for_campaign(&campaign),
-        );
-        let new_skeletons = fold_into_catalog(&mut catalog, &batch, campaign.seed, round);
-
-        if config.bias_strength > 0.0 {
-            if let Some(bias) = GeneratorBias::from_catalog(&catalog, config.bias_strength) {
-                generator = bias.steer(&config.base.generator);
-            }
-        }
-
-        rounds.push(RoundSummary {
-            round,
-            seed: campaign.seed,
-            programs: corpus.len(),
-            mutants,
-            racy: result.racy_programs.len(),
-            outlier_records: result
-                .records
-                .iter()
-                .filter(|r| r.outlier().is_some())
-                .count(),
-            reduced: batch.reduced.len(),
-            new_skeletons,
-            catalog_size: catalog.len(),
-        });
-    }
-    Evolution { rounds, catalog }
+    campaign
 }
 
 /// Build one round's corpus: fresh generated programs up front, mutated
@@ -192,7 +182,7 @@ pub fn run_evolution(
 /// catalog resumed from a run with larger limits must not inject programs
 /// the current configuration could never generate — grow edits bound the
 /// *edits*, not the kernel they start from.
-fn build_round_corpus(
+pub(crate) fn build_round_corpus(
     campaign: &CampaignConfig,
     catalog: &TriggerCatalog,
     config: &EvolveConfig,

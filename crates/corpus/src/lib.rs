@@ -3,7 +3,7 @@
 //! Corpus-guided evolutionary fuzzing: the subsystem that turns the
 //! one-shot campaign pipeline into a multi-round feedback loop.
 //!
-//! Three layers, bottom to top:
+//! Four layers, bottom to top:
 //!
 //! 1. **Batch reduction + catalog** ([`batch`], [`catalog`], [`store`]):
 //!    every outlier of a campaign is delta-debugged on the worker pool and
@@ -19,6 +19,13 @@
 //!    catalog kernels, and [`run_evolution`] chains campaigns, reductions
 //!    and feedback into a deterministic, worker-count-independent loop
 //!    (`ompfuzz evolve` on the command line).
+//! 4. **Sharding + coordination** ([`shard`], [`coordinator`]): each
+//!    round's corpus splits into contiguous shards that run independently
+//!    (in-process or as separate `ompfuzz shard` processes) and merge back
+//!    in shard order; the coordinator checkpoints shard results, a round
+//!    manifest, and the merged catalog to a campaign directory, so
+//!    `ompfuzz evolve --shards N --checkpoint-dir D` resumes mid-round
+//!    after a kill — with catalog bytes identical to the unsharded run.
 //!
 //! ```
 //! use ompfuzz_corpus::{run_evolution, EvolveConfig, TriggerCatalog};
@@ -38,13 +45,23 @@
 pub mod batch;
 pub mod bias;
 pub mod catalog;
+pub mod coordinator;
 pub mod evolve;
 pub mod mutate;
+pub mod shard;
 pub mod store;
 
 pub use batch::{fold_into_catalog, reduce_all, BatchConfig, BatchReduction, ReducedOutlier};
 pub use bias::GeneratorBias;
 pub use catalog::{Provenance, TriggerCatalog, TriggerKernel};
+pub use coordinator::{
+    campaign_fingerprint, run_sharded_evolution, run_standalone_shard, Checkpoint, CoordError,
+    RoundManifest, RoundProgress, ShardProgress, ShardStatus, ShardedEvolution,
+    ShardedEvolveConfig,
+};
 pub use evolve::{round_seed, run_evolution, Evolution, EvolveConfig, RoundSummary};
 pub use mutate::{grow_limits, mutant_seed, mutate_kernel};
+pub use shard::{
+    plan_shards, read_shard_file, write_shard_file, ShardCoords, ShardOutcome, ShardSummary,
+};
 pub use store::StoreError;

@@ -1,0 +1,319 @@
+//! Shard planning and execution: one evolution round split into contiguous
+//! corpus slices that can run in separate processes (or hosts) and merge
+//! back into the exact catalog the unsharded round would have produced.
+//!
+//! The invariant everything here defends: **the final catalog is a pure
+//! function of `(config, seed)`, never of the shard count**. It holds
+//! because
+//!
+//! * the round corpus is deterministic, so every shard can rebuild the
+//!   *whole* corpus and take its slice by index;
+//! * per-record analysis never looks across programs, so a slice campaign
+//!   ([`run_campaign_slice`]) produces exactly the full run's records for
+//!   its range, with global indices;
+//! * [`TriggerCatalog::merge`] keeps the existing (earlier) witness, so
+//!   merging shard catalogs **in shard order** reproduces the sequential
+//!   first-witness-wins fold over the whole record stream.
+//!
+//! The [`coordinator`](crate::coordinator) module layers checkpointing and
+//! resume on top of these pieces.
+
+use crate::batch::{fold_into_catalog, reduce_all, BatchConfig};
+use crate::catalog::TriggerCatalog;
+use crate::store::{self, Node, StoreError};
+use ompfuzz_backends::OmpBackend;
+use ompfuzz_harness::{run_campaign_slice, CampaignConfig, TestCase};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Split `len` items into `shards` contiguous, non-overlapping ranges that
+/// cover `0..len` in order. The first `len % shards` shards carry one extra
+/// item; with more shards than items the tail shards are empty (an empty
+/// shard runs a zero-program campaign and contributes an empty catalog).
+/// `shards == 0` is treated as 1.
+pub fn plan_shards(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// What one shard of one round did (the per-shard slice of
+/// [`RoundSummary`](crate::RoundSummary)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Evolution round the shard belongs to.
+    pub round: usize,
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// Total shards the round was planned for.
+    pub shards: usize,
+    /// Global corpus range `[start, end)` the shard covered.
+    pub start: usize,
+    /// End of the range (exclusive).
+    pub end: usize,
+    /// Mutated catalog kernels inside the range.
+    pub mutants: usize,
+    /// Programs the race filter excluded.
+    pub racy: usize,
+    /// Outlier records the slice campaign produced.
+    pub outlier_records: usize,
+    /// Outliers successfully reduced.
+    pub reduced: usize,
+}
+
+impl ShardSummary {
+    /// Programs in the shard's range.
+    pub fn programs(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// One executed shard: its accounting plus the catalog folded from its own
+/// reduced outliers (deduplicated *within* the shard only — the coordinator
+/// merges across shards and rounds).
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    pub summary: ShardSummary,
+    pub catalog: TriggerCatalog,
+}
+
+/// Position of one shard within a campaign: which round, which shard of
+/// how many.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCoords {
+    pub round: usize,
+    pub shard: usize,
+    pub shards: usize,
+}
+
+/// Run one planned shard of a round: slice campaign over `range`, batch
+/// reduction of its outliers, fold into a fresh per-shard catalog.
+///
+/// `campaign` must be the round's campaign (seed stepped, generator
+/// steered) and `corpus` the **full** round corpus — the slice campaign
+/// stamps global indices, and the reducer resolves them against the full
+/// corpus, so catalog provenance matches the unsharded run exactly.
+/// `fresh` is the index of the first mutant slot (see
+/// [`build_round_corpus`](crate::evolve)).
+pub fn run_planned_shard(
+    campaign: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+    corpus: &[TestCase],
+    fresh: usize,
+    range: Range<usize>,
+    coords: ShardCoords,
+) -> ShardOutcome {
+    let result = run_campaign_slice(
+        campaign,
+        backends,
+        &corpus[range.clone()],
+        range.start,
+        Instant::now(),
+    );
+    let batch = reduce_all(
+        corpus,
+        &result,
+        backends,
+        &BatchConfig::for_campaign(campaign),
+    );
+    let mut catalog = TriggerCatalog::new();
+    fold_into_catalog(&mut catalog, &batch, campaign.seed, coords.round);
+    ShardOutcome {
+        summary: ShardSummary {
+            round: coords.round,
+            shard: coords.shard,
+            shards: coords.shards,
+            start: range.start,
+            end: range.end,
+            // Mutants occupy the corpus tail `[fresh, len)`; count the
+            // overlap with this shard's range.
+            mutants: range.end - fresh.clamp(range.start, range.end),
+            racy: result.racy_programs.len(),
+            outlier_records: result
+                .records
+                .iter()
+                .filter(|r| r.outlier().is_some())
+                .count(),
+            reduced: batch.reduced.len(),
+        },
+        catalog,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard checkpoint files
+// ---------------------------------------------------------------------------
+
+/// Serialize a shard outcome as a checkpoint file: a `(shard ...)` header
+/// (stamped with the campaign fingerprint so stale files are detected)
+/// followed by the shard's catalog. Byte-deterministic, like the catalog
+/// itself — re-running a shard rewrites the identical file.
+pub fn write_shard_file(outcome: &ShardOutcome, fingerprint: u64) -> String {
+    let s = &outcome.summary;
+    format!(
+        "; ompfuzz shard checkpoint v1\n\
+         (shard v1 {fingerprint} {} {} {} {} {} {} {} {} {})\n{}",
+        s.round,
+        s.shard,
+        s.shards,
+        s.start,
+        s.end,
+        s.mutants,
+        s.racy,
+        s.outlier_records,
+        s.reduced,
+        outcome.catalog.save_to_string()
+    )
+}
+
+/// Parse a file written by [`write_shard_file`]; returns the recorded
+/// fingerprint alongside the outcome so callers can reject stale
+/// checkpoints.
+pub fn read_shard_file(text: &str) -> Result<(u64, ShardOutcome), StoreError> {
+    let nodes = store::parse_nodes(text)?;
+    let [header, catalog] = nodes.as_slice() else {
+        return Err(StoreError(format!(
+            "shard file needs (shard ...) then (catalog ...), found {} forms",
+            nodes.len()
+        )));
+    };
+    let rest = header.tagged("shard")?;
+    let [version, fingerprint, round, shard, shards, start, end, mutants, racy, outliers, reduced] =
+        rest
+    else {
+        return Err(StoreError(
+            "shard header needs (shard v1 fingerprint round shard shards \
+             start end mutants racy outliers reduced)"
+                .into(),
+        ));
+    };
+    if version != &Node::Atom("v1".into()) {
+        return Err(StoreError("unsupported shard file version".into()));
+    }
+    let summary = ShardSummary {
+        round: round.parse_atom("round")?,
+        shard: shard.parse_atom("shard index")?,
+        shards: shards.parse_atom("shard count")?,
+        start: start.parse_atom("range start")?,
+        end: end.parse_atom("range end")?,
+        mutants: mutants.parse_atom("mutant count")?,
+        racy: racy.parse_atom("racy count")?,
+        outlier_records: outliers.parse_atom("outlier count")?,
+        reduced: reduced.parse_atom("reduced count")?,
+    };
+    Ok((
+        fingerprint.parse_atom("fingerprint")?,
+        ShardOutcome {
+            summary,
+            catalog: TriggerCatalog::from_node(catalog)?,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_contiguous_and_cover_the_corpus() {
+        for (len, shards) in [(40, 1), (40, 4), (41, 4), (7, 3), (100, 7)] {
+            let plan = plan_shards(len, shards);
+            assert_eq!(plan.len(), shards);
+            assert_eq!(plan[0].start, 0);
+            assert_eq!(plan.last().unwrap().end, len);
+            for w in plan.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "{len}/{shards}: {plan:?}");
+            }
+            // Balanced: sizes differ by at most one, larger shards first.
+            let sizes: Vec<usize> = plan.iter().map(|r| r.len()).collect();
+            assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "{sizes:?}");
+            assert!(sizes[0] - sizes.last().unwrap() <= 1, "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn empty_corpus_plans_empty_shards() {
+        let plan = plan_shards(0, 3);
+        assert_eq!(plan, vec![0..0, 0..0, 0..0]);
+    }
+
+    #[test]
+    fn more_shards_than_programs_leaves_tail_shards_empty() {
+        let plan = plan_shards(2, 5);
+        assert_eq!(plan, vec![0..1, 1..2, 2..2, 2..2, 2..2]);
+    }
+
+    #[test]
+    fn zero_shards_degrades_to_one() {
+        assert_eq!(plan_shards(9, 0), vec![0..9]);
+    }
+
+    #[test]
+    fn shard_files_round_trip() {
+        use crate::catalog::{Provenance, TriggerKernel};
+        use ompfuzz_ast::{Block, FpType, Param, Program};
+
+        let mut catalog = TriggerCatalog::new();
+        let mut program = Program::new(vec![Param::fp(FpType::F64, "var_1")], Block(Vec::new()));
+        program.name = "test_3".into();
+        catalog.insert(TriggerKernel {
+            program,
+            input: ompfuzz_inputs::TestInput {
+                comp_init: 0.5,
+                values: vec![ompfuzz_inputs::InputValue::Fp(2.0)],
+            },
+            kind: ompfuzz_outlier::OutlierKind::Slow,
+            backend: 1,
+            provenance: Provenance {
+                seed: 9,
+                round: 1,
+                source_program: "test_3".into(),
+                program_index: 3,
+                input_index: 0,
+            },
+        });
+        let outcome = ShardOutcome {
+            summary: ShardSummary {
+                round: 1,
+                shard: 2,
+                shards: 4,
+                start: 20,
+                end: 30,
+                mutants: 3,
+                racy: 1,
+                outlier_records: 5,
+                reduced: 4,
+            },
+            catalog,
+        };
+        let text = write_shard_file(&outcome, 0xDEAD_BEEF);
+        let (fingerprint, back) = read_shard_file(&text).expect("parses");
+        assert_eq!(fingerprint, 0xDEAD_BEEF);
+        assert_eq!(back.summary, outcome.summary);
+        assert_eq!(back.catalog, outcome.catalog);
+        // Byte-stable: rewriting the reload reproduces the file.
+        assert_eq!(write_shard_file(&back, fingerprint), text);
+    }
+
+    #[test]
+    fn malformed_shard_files_are_rejected() {
+        for bad in [
+            "",
+            "(shard v1 1 0 0 1 0 10 0 0 0 0)", // header without catalog
+            "(shard v2 1 0 0 1 0 10 0 0 0 0)\n(catalog v1 0)",
+            "(shard v1 0 0 1)\n(catalog v1 0)",
+            "(catalog v1 0)\n(catalog v1 0)",
+        ] {
+            assert!(read_shard_file(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+}

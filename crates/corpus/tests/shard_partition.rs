@@ -1,0 +1,103 @@
+//! Property tests pinning the algebra the sharded coordinator relies on:
+//! folding a kernel stream into per-chunk catalogs and merging the chunks
+//! **in order** produces exactly the catalog of the sequential fold —
+//! whatever the partition, including empty chunks and chunks that split a
+//! duplicated skeleton across shards. This, plus deterministic shard
+//! execution, is why `ompfuzz evolve --shards N` is byte-identical to the
+//! unsharded run for every `N`.
+
+use ompfuzz_corpus::{plan_shards, Provenance, TriggerCatalog, TriggerKernel};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A fixed pool of trigger kernels built from generated programs, doubled
+/// so every skeleton appears at least twice with *different* witnesses
+/// (different provenance) — the interesting case for first-witness-wins
+/// merging across partition boundaries.
+fn kernel_pool() -> &'static Vec<TriggerKernel> {
+    static POOL: OnceLock<Vec<TriggerKernel>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut generator =
+            ompfuzz_gen::ProgramGenerator::new(ompfuzz_gen::GeneratorConfig::small(), 917);
+        let mut inputs = ompfuzz_inputs::InputGenerator::new(918);
+        let mut pool = Vec::new();
+        for (i, program) in generator.generate_batch(12).into_iter().enumerate() {
+            let input = inputs.generate_for(&program);
+            for witness in 0..2 {
+                let mut kernel_program = program.clone();
+                kernel_program.name = format!("test_{}", 2 * i + witness);
+                pool.push(TriggerKernel {
+                    program: kernel_program,
+                    input: input.clone(),
+                    kind: ompfuzz_outlier::OutlierKind::Slow,
+                    backend: witness,
+                    provenance: Provenance {
+                        seed: 1,
+                        round: witness,
+                        source_program: format!("test_{}", 2 * i + witness),
+                        program_index: 2 * i + witness,
+                        input_index: 0,
+                    },
+                });
+            }
+        }
+        // Interleave the two witness generations so duplicates are spread
+        // through the stream rather than adjacent.
+        pool.sort_by_key(|k| (k.provenance.round, k.provenance.program_index));
+        pool
+    })
+}
+
+fn sequential_fold(kernels: &[TriggerKernel]) -> TriggerCatalog {
+    let mut catalog = TriggerCatalog::new();
+    for k in kernels {
+        catalog.insert(k.clone());
+    }
+    catalog
+}
+
+proptest! {
+    /// Merging per-chunk catalogs in chunk order equals the sequential fold
+    /// for ANY partition of the stream (cut positions drawn from `walk`).
+    #[test]
+    fn merge_over_any_partition_equals_the_sequential_fold(cuts in 0usize..7, walk in 0u64..u64::MAX) {
+        let pool = kernel_pool();
+        let len = pool.len();
+        let mut bounds = vec![0, len];
+        let mut choice = walk;
+        for _ in 0..cuts {
+            bounds.push((choice % (len as u64 + 1)) as usize);
+            choice = choice.rotate_right(11).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        bounds.sort_unstable();
+
+        let mut merged = TriggerCatalog::new();
+        let mut merged_new = 0;
+        for pair in bounds.windows(2) {
+            let chunk = sequential_fold(&pool[pair[0]..pair[1]]);
+            merged_new += merged.merge(chunk);
+        }
+        let expected = sequential_fold(pool);
+        prop_assert_eq!(merged.len(), expected.len());
+        prop_assert_eq!(merged_new, expected.len());
+        prop_assert_eq!(merged.save_to_string(), expected.save_to_string());
+    }
+
+    /// `plan_shards` is a partition: contiguous, non-overlapping, covering,
+    /// balanced to within one item — for any corpus size and shard count.
+    #[test]
+    fn plans_partition_any_corpus(len in 0usize..500, shards in 0usize..33) {
+        let plan = plan_shards(len, shards);
+        prop_assert_eq!(plan.len(), shards.max(1));
+        let mut cursor = 0;
+        for range in &plan {
+            prop_assert_eq!(range.start, cursor);
+            prop_assert!(range.start <= range.end);
+            cursor = range.end;
+        }
+        prop_assert_eq!(cursor, len);
+        let min = plan.iter().map(|r| r.len()).min().unwrap();
+        let max = plan.iter().map(|r| r.len()).max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced plan: {:?}", plan);
+    }
+}

@@ -136,6 +136,24 @@ pub fn run_campaign_on(
     corpus: &[TestCase],
     start: Instant,
 ) -> CampaignResult {
+    run_campaign_slice(config, backends, corpus, 0, start)
+}
+
+/// Run a campaign on a contiguous slice of a larger corpus, stamping every
+/// record with its *global* index (`index_offset` + position in the slice).
+///
+/// This is what makes sharded campaigns composable: a shard runs only its
+/// slice, but the records it produces index and name programs exactly as
+/// the whole-corpus run would, so reduction targets, catalog provenance —
+/// and therefore the saved catalog bytes — are identical however the corpus
+/// was split.
+pub fn run_campaign_slice(
+    config: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+    corpus: &[TestCase],
+    index_offset: usize,
+    start: Instant,
+) -> CampaignResult {
     let labels: Vec<String> = backends
         .iter()
         .map(|b| b.info().vendor.label().to_string())
@@ -156,7 +174,7 @@ pub fn run_campaign_on(
                 _ => {}
             }
         }
-        active.push((i, tc));
+        active.push((index_offset + i, tc));
     }
 
     let workers = pool::resolve_workers(config.workers);
@@ -435,6 +453,32 @@ mod tests {
         let mut perf = permuted;
         perf.records = vec![record(5, 0, slow(2.0)), record(9, 1, slow(4.0))];
         assert_eq!(pick(&perf), (9, 1));
+    }
+
+    /// A slice run must reproduce exactly the full run's records for that
+    /// range — same global indices, same analyses — since per-record
+    /// analysis never looks across programs.
+    #[test]
+    fn slice_records_match_the_full_run() {
+        let cfg = CampaignConfig::small();
+        let corpus = generate_corpus(&cfg);
+        let backends = standard_backends();
+        let dyns = as_dyn(&backends);
+        let full = run_campaign_on(&cfg, &dyns, &corpus, std::time::Instant::now());
+        let mid = corpus.len() / 2;
+        let lo = run_campaign_slice(&cfg, &dyns, &corpus[..mid], 0, std::time::Instant::now());
+        let hi = run_campaign_slice(&cfg, &dyns, &corpus[mid..], mid, std::time::Instant::now());
+        assert_eq!(lo.records.len() + hi.records.len(), full.records.len());
+        assert_eq!(
+            lo.racy_programs.len() + hi.racy_programs.len(),
+            full.racy_programs.len()
+        );
+        for (sliced, whole) in lo.records.iter().chain(&hi.records).zip(&full.records) {
+            assert_eq!(sliced.program_index, whole.program_index);
+            assert_eq!(sliced.program_name, whole.program_name);
+            assert_eq!(sliced.input_index, whole.input_index);
+            assert_eq!(sliced.analysis, whole.analysis);
+        }
     }
 
     #[test]

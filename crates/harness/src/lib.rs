@@ -37,7 +37,10 @@ pub mod pool;
 pub mod process;
 pub mod testcase;
 
-pub use campaign::{detect_kernel_races, run_campaign, run_campaign_on, CampaignResult, RunRecord};
+pub use campaign::{
+    detect_kernel_races, run_campaign, run_campaign_on, run_campaign_slice, CampaignResult,
+    RunRecord,
+};
 pub use config::{CampaignConfig, ConfigError};
 pub use process::{ProcessBackend, ProcessBinary};
 pub use testcase::{generate_corpus, load_inputs, save_corpus, TestCase};

@@ -8,6 +8,8 @@
 //!                [--workers W] [--catalog FILE] [--emit]
 //! ompfuzz evolve [--rounds N] [--seed S] [--programs N] [--config FILE] [--quick]
 //!                [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]
+//!                [--shards N] [--checkpoint-dir DIR]
+//! ompfuzz shard --round R --shard I/N --checkpoint-dir DIR [evolve options]
 //! ompfuzz generate --out DIR [--programs N] [--seed S]
 //! ompfuzz emit [--seed S]
 //! ompfuzz config-template
@@ -15,7 +17,8 @@
 
 use ompfuzz_backends::{standard_backends, OmpBackend};
 use ompfuzz_corpus::{
-    fold_into_catalog, reduce_all, run_evolution, BatchConfig, EvolveConfig, TriggerCatalog,
+    fold_into_catalog, reduce_all, run_sharded_evolution, run_standalone_shard, BatchConfig,
+    EvolveConfig, ShardedEvolveConfig, TriggerCatalog,
 };
 use ompfuzz_harness::{
     generate_corpus, run_campaign, run_campaign_on, save_corpus, CampaignConfig,
@@ -24,7 +27,7 @@ use ompfuzz_outlier::OutlierKind;
 use ompfuzz_reduce::{ReduceConfig, Reducer, ReductionTarget};
 use ompfuzz_report::{
     campaign_to_csv, experiments, render_catalog, render_evolution, render_reduction_summary,
-    render_table1, run_experiment, Scale,
+    render_shard_progress, render_shard_summary, render_table1, run_experiment, Scale,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(rest),
         "reduce" => cmd_reduce(rest),
         "evolve" => cmd_evolve(rest),
+        "shard" => cmd_shard(rest),
         "generate" => cmd_generate(rest),
         "emit" => cmd_emit(rest),
         "config-template" => {
@@ -80,8 +84,16 @@ fn print_usage() {
          \x20                            skeleton-deduplicated trigger catalog\n\
          \x20 evolve [--rounds N] [--seed S] [--programs N] [--config FILE] [--quick]\n\
          \x20        [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]\n\
+         \x20        [--shards N] [--checkpoint-dir DIR]\n\
          \x20                            corpus-guided evolutionary loop: campaign ->\n\
-         \x20                            batch-reduce -> catalog -> bias + mutate -> repeat\n\
+         \x20                            batch-reduce -> catalog -> bias + mutate -> repeat;\n\
+         \x20                            --shards splits each round into N slices merged\n\
+         \x20                            in order, --checkpoint-dir makes the campaign\n\
+         \x20                            crash-resumable (completed shards are skipped)\n\
+         \x20 shard --round R --shard I/N --checkpoint-dir DIR [evolve options]\n\
+         \x20                            run ONE shard of one evolution round and\n\
+         \x20                            checkpoint it (the out-of-process worker behind\n\
+         \x20                            a sharded evolve)\n\
          \x20 generate --out DIR [--programs N] [--seed S]\n\
          \x20                            write generated .cpp tests + inputs to DIR\n\
          \x20 emit [--seed S]            print one generated test program\n\
@@ -314,8 +326,10 @@ fn save_catalog_if_requested(opts: &Opts, catalog: &TriggerCatalog) -> Result<()
     Ok(())
 }
 
-fn cmd_evolve(rest: &[String]) -> Result<(), String> {
-    let opts = Opts { rest };
+/// Build the evolution configuration and starting catalog shared by
+/// `evolve` and `shard` (which must agree exactly for the shard's
+/// checkpoint fingerprint to match the coordinator's).
+fn build_evolve_config(opts: &Opts) -> Result<(EvolveConfig, TriggerCatalog), String> {
     let base = if opts.has_flag("--quick") {
         // CI-scale smoke: the small campaign config with the time-filter
         // floor dropped (small programs finish in microseconds), 2 rounds.
@@ -336,7 +350,7 @@ fn cmd_evolve(rest: &[String]) -> Result<(), String> {
         }
         quick
     } else {
-        build_config(&opts)?
+        build_config(opts)?
     };
     let mut config = EvolveConfig::new(base);
     if let Some(r) = opts.parsed::<usize>("--rounds", Some("-r"))? {
@@ -366,27 +380,109 @@ fn cmd_evolve(rest: &[String]) -> Result<(), String> {
         }
         None => TriggerCatalog::new(),
     };
+    Ok((config, initial))
+}
+
+fn cmd_evolve(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let (config, initial) = build_evolve_config(&opts)?;
+    let shards = opts.parsed::<usize>("--shards", None)?.unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let checkpoint = opts.value_of("--checkpoint-dir", None).map(PathBuf::from);
 
     eprintln!(
-        "evolving: {} rounds × {} programs (mutation {:.0}%, bias {:.1}) ...",
+        "evolving: {} rounds × {} programs × {} shard(s) (mutation {:.0}%, bias {:.1}) ...",
         config.rounds,
         config.base.programs,
+        shards,
         100.0 * config.mutation_fraction,
         config.bias_strength
     );
     let start = Instant::now();
     let backends = standard_backends();
     let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
-    let evolution = run_evolution(&config, &dyns, initial);
+    let sharded = ShardedEvolveConfig {
+        evolve: config,
+        shards,
+    };
+    let result = run_sharded_evolution(&sharded, &dyns, initial, checkpoint.as_deref())
+        .map_err(|e| e.to_string())?;
 
-    println!("{}", render_evolution(&evolution.rounds));
+    if shards > 1 || checkpoint.is_some() {
+        println!("{}", render_shard_progress(&result.progress));
+    }
+    println!("{}", render_evolution(&result.evolution.rounds));
     let labels: Vec<String> = dyns
         .iter()
         .map(|b| b.info().vendor.label().to_string())
         .collect();
-    println!("{}", render_catalog(&evolution.catalog, &labels));
+    println!("{}", render_catalog(&result.evolution.catalog, &labels));
     eprintln!("evolution wall time: {:.2?}", start.elapsed());
-    save_catalog_if_requested(&opts, &evolution.catalog)?;
+    save_catalog_if_requested(&opts, &result.evolution.catalog)?;
+    Ok(())
+}
+
+/// Parse the `I/N` shard coordinate of `ompfuzz shard --shard I/N`.
+fn parse_shard_spec(spec: &str) -> Result<(usize, usize), String> {
+    let parsed = spec.split_once('/').and_then(|(i, n)| {
+        Some((
+            i.trim().parse::<usize>().ok()?,
+            n.trim().parse::<usize>().ok()?,
+        ))
+    });
+    match parsed {
+        Some((shard, shards)) if shards > 0 && shard < shards => Ok((shard, shards)),
+        Some((shard, shards)) => Err(format!(
+            "shard index {shard} out of range for {shards} shards (expected I in 0..N)"
+        )),
+        None => Err(format!("--shard expects I/N (e.g. 1/3), got `{spec}`")),
+    }
+}
+
+fn cmd_shard(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let round = opts
+        .parsed::<usize>("--round", None)?
+        .ok_or("shard requires --round <R>")?;
+    let (shard, shards) = parse_shard_spec(
+        opts.value_of("--shard", None)
+            .ok_or("shard requires --shard <I/N>")?,
+    )?;
+    let dir: PathBuf = opts
+        .value_of("--checkpoint-dir", None)
+        .ok_or("shard requires --checkpoint-dir <dir>")?
+        .into();
+    if let Some(n) = opts.parsed::<usize>("--shards", None)? {
+        if n != shards {
+            return Err(format!("--shards {n} contradicts --shard {shard}/{shards}"));
+        }
+    }
+    let (config, initial) = build_evolve_config(&opts)?;
+
+    eprintln!(
+        "running shard {shard}/{shards} of round {round} ({} programs, checkpoint {}) ...",
+        config.base.programs,
+        dir.display()
+    );
+    let start = Instant::now();
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+    let progress = run_standalone_shard(
+        &ShardedEvolveConfig {
+            evolve: config,
+            shards,
+        },
+        &dyns,
+        initial,
+        &dir,
+        round,
+        shard,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{}", render_shard_summary(&progress));
+    eprintln!("shard wall time: {:.2?}", start.elapsed());
     Ok(())
 }
 

@@ -1,8 +1,9 @@
-//! Rendering of the trigger-kernel catalog and the per-round evolution
-//! summary (`ompfuzz evolve` / `ompfuzz reduce --all`).
+//! Rendering of the trigger-kernel catalog, the per-round evolution
+//! summary, and the per-shard progress table (`ompfuzz evolve` /
+//! `ompfuzz reduce --all` / `ompfuzz shard`).
 
 use crate::table::TextTable;
-use ompfuzz_corpus::{RoundSummary, TriggerCatalog};
+use ompfuzz_corpus::{RoundProgress, RoundSummary, ShardProgress, TriggerCatalog};
 
 /// Longest skeleton rendered verbatim; longer ones are elided in the
 /// middle (the saved catalog file always carries the full string).
@@ -76,6 +77,53 @@ pub fn render_evolution(rounds: &[RoundSummary]) -> String {
     table.render()
 }
 
+/// The per-shard progress table of a coordinated (sharded/checkpointed)
+/// evolution: one row per `(round, shard)` with the slice it covered, its
+/// accounting, and whether it ran in this invocation or was loaded from a
+/// checkpoint (`cached`) — the row CI greps to pin resume semantics.
+pub fn render_shard_progress(progress: &[RoundProgress]) -> String {
+    let shards = progress.first().map_or(0, |r| r.shards.len());
+    let mut table = TextTable::new(SHARD_COLUMNS.to_vec()).with_title(format!(
+        "SHARD PROGRESS ({} rounds × {shards} shards)",
+        progress.len()
+    ));
+    for round in progress {
+        for shard in &round.shards {
+            table.push_row(shard_row(shard));
+        }
+    }
+    table.render()
+}
+
+/// Shared by the multi-row progress table and the single-shard result so
+/// `ompfuzz evolve` and `ompfuzz shard` output (and the CI greps over it)
+/// can never drift apart.
+const SHARD_COLUMNS: [&str; 9] = [
+    "round", "shard", "slice", "programs", "mutants", "racy", "outliers", "reduced", "status",
+];
+
+fn shard_row(progress: &ShardProgress) -> Vec<String> {
+    let s = &progress.summary;
+    vec![
+        s.round.to_string(),
+        format!("{}/{}", s.shard, s.shards),
+        format!("{}..{}", s.start, s.end),
+        s.programs().to_string(),
+        s.mutants.to_string(),
+        s.racy.to_string(),
+        s.outlier_records.to_string(),
+        s.reduced.to_string(),
+        progress.status.label().to_string(),
+    ]
+}
+
+/// One shard's progress as a standalone table (`ompfuzz shard` output).
+pub fn render_shard_summary(progress: &ShardProgress) -> String {
+    let mut table = TextTable::new(SHARD_COLUMNS.to_vec()).with_title("SHARD RESULT");
+    table.push_row(shard_row(progress));
+    table.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +148,36 @@ mod tests {
         let evo = render_evolution(&evolution.rounds);
         assert!(evo.contains("EVOLUTION SUMMARY"), "{evo}");
         assert!(evo.lines().count() == 3 + evolution.rounds.len(), "{evo}");
+    }
+
+    #[test]
+    fn shard_progress_tables_render_with_status_labels() {
+        use ompfuzz_corpus::{run_sharded_evolution, ShardedEvolveConfig, TriggerCatalog};
+        let mut config = EvolveConfig::quick();
+        config.rounds = 1;
+        config.base.programs = 12;
+        let backends = standard_backends();
+        let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+        let result = run_sharded_evolution(
+            &ShardedEvolveConfig {
+                evolve: config,
+                shards: 3,
+            },
+            &dyns,
+            TriggerCatalog::new(),
+            None,
+        )
+        .unwrap();
+        let table = render_shard_progress(&result.progress);
+        assert!(
+            table.contains("SHARD PROGRESS (1 rounds × 3 shards)"),
+            "{table}"
+        );
+        assert_eq!(table.lines().count(), 3 + 3, "{table}");
+        assert_eq!(table.matches(" ran").count(), 3, "{table}");
+        let one = render_shard_summary(&result.progress[0].shards[0]);
+        assert!(one.contains("SHARD RESULT"), "{one}");
+        assert!(one.contains("0/3"), "{one}");
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod experiments;
 pub mod reduction;
 pub mod table;
 
-pub use catalog::{render_catalog, render_evolution};
+pub use catalog::{render_catalog, render_evolution, render_shard_progress, render_shard_summary};
 pub use csv::campaign_to_csv;
 pub use experiments::{
     experiments, hang_run, render_table1, run_experiment, table1_campaign, Experiment, Scale,
