@@ -1,7 +1,6 @@
 //! The simulated backends: compile a generated program against one of the
 //! three modelled OpenMP implementations and run the resulting "binary".
 
-use crate::compile::fold_constants;
 use crate::counters;
 use crate::hang::ThreadSnapshot;
 use crate::model::{
@@ -11,8 +10,9 @@ use crate::profile::{self, ProfileMode};
 use crate::rtmodel::{runtime_model, BugModels, RuntimeModel};
 use crate::sched::{fnv1a, jitter, time_breakdown, TimeBreakdown};
 use ompfuzz_ast::{Program, ProgramFeatures};
-use ompfuzz_exec::{lower, BoolSemantics, ExecLimits, ExecOptions, Kernel};
+use ompfuzz_exec::{lower, BoolSemantics, CompiledKernel, ExecLimits, ExecOptions, PreparedKernel};
 use ompfuzz_inputs::TestInput;
+use std::sync::Arc;
 
 /// An OpenMP implementation the campaign can compile against. Object-safe
 /// so simulated and process-based (real compiler) backends interchange.
@@ -26,23 +26,26 @@ pub trait OmpBackend: Send + Sync {
         opts: &CompileOptions,
     ) -> Result<Box<dyn CompiledTest>, CompileError>;
 
-    /// Compile with an optionally pre-lowered kernel for `program`.
+    /// Compile with an optionally pre-compiled kernel for `program`.
     ///
-    /// Simulated backends lower through `ompfuzz_exec::lower` as their
-    /// front-end; when the caller already holds the kernel (the campaign
-    /// driver's race filter lowers first, the reducer lowers each candidate
-    /// exactly once), passing it here skips that repeat work. The default
-    /// ignores the kernel — process-based backends compile real source.
+    /// Simulated backends lower through `ompfuzz_exec::lower` and flatten
+    /// through `ompfuzz_exec::bytecode` as their front-end; when the caller
+    /// already holds the [`PreparedKernel`] (the campaign driver caches one
+    /// per test case, the reducer prepares each candidate exactly once),
+    /// passing it here makes all vendors share one compilation — the
+    /// constant-folded `-O1`+ bytecode is vendor-independent, so three
+    /// simulated compiles collapse into one `Arc` clone each. The default
+    /// ignores it — process-based backends compile real source.
     ///
-    /// The kernel must be `lower(program)`'s output for this exact program;
-    /// callers guarantee the pairing.
+    /// The prepared kernel must come from `lower(program)` for this exact
+    /// program; callers guarantee the pairing.
     fn compile_lowered(
         &self,
         program: &Program,
-        kernel: Option<&Kernel>,
+        prepared: Option<&PreparedKernel>,
         opts: &CompileOptions,
     ) -> Result<Box<dyn CompiledTest>, CompileError> {
-        let _ = kernel;
+        let _ = prepared;
         self.compile(program, opts)
     }
 }
@@ -147,32 +150,38 @@ impl SimBackend {
         opts: &CompileOptions,
     ) -> Result<SimBinary, CompileError> {
         let kernel = lower(program).map_err(|e| CompileError(e.to_string()))?;
-        Ok(self.assemble(program, kernel, opts))
+        Ok(self.assemble(program, &PreparedKernel::new(kernel), opts))
     }
 
-    /// Compile reusing an already-lowered kernel, skipping the front-end.
-    /// `kernel` must be `lower(program)`'s output for this exact program.
+    /// Compile reusing an already-prepared kernel, skipping the front-end
+    /// and the bytecode stage. `prepared` must come from `lower(program)`
+    /// for this exact program.
     pub fn compile_sim_lowered(
         &self,
         program: &Program,
-        kernel: &Kernel,
+        prepared: &PreparedKernel,
         opts: &CompileOptions,
     ) -> SimBinary {
-        self.assemble(program, kernel.clone(), opts)
+        self.assemble(program, prepared, opts)
     }
 
-    /// Back-end half of compilation: vendor-specific optimization over the
-    /// lowered kernel plus metadata capture.
-    fn assemble(&self, program: &Program, mut kernel: Kernel, opts: &CompileOptions) -> SimBinary {
-        if opts.opt_level >= OptLevel::O1 {
-            fold_constants(&mut kernel);
-        }
+    /// Back-end half of compilation: pick the optimization-matching flat
+    /// compilation (constant-folded at `-O1`+ — identical for every
+    /// vendor, so this is an `Arc` clone, not a re-compile) plus metadata
+    /// capture.
+    fn assemble(
+        &self,
+        program: &Program,
+        prepared: &PreparedKernel,
+        opts: &CompileOptions,
+    ) -> SimBinary {
+        let code = prepared.for_opt(opts.opt_level >= OptLevel::O1).clone();
         SimBinary {
             vendor: self.info.vendor,
             info: self.info.clone(),
             bugs: self.bugs,
             opt_level: opts.opt_level,
-            kernel,
+            code,
             features: ProgramFeatures::of(program),
             program_name: program.name.clone(),
             seed: program.seed,
@@ -196,24 +205,29 @@ impl OmpBackend for SimBackend {
     fn compile_lowered(
         &self,
         program: &Program,
-        kernel: Option<&Kernel>,
+        prepared: Option<&PreparedKernel>,
         opts: &CompileOptions,
     ) -> Result<Box<dyn CompiledTest>, CompileError> {
-        match kernel {
-            Some(k) => Ok(Box::new(self.compile_sim_lowered(program, k, opts))),
+        match prepared {
+            Some(p) => Ok(Box::new(self.compile_sim_lowered(program, p, opts))),
             None => self.compile(program, opts),
         }
     }
 }
 
 /// A program compiled by a [`SimBackend`].
+///
+/// Holds the flat compilation behind an `Arc`: the three vendor binaries
+/// of one program share the same bytecode (their semantic differences —
+/// `BoolSemantics`, bug models, cost models — are run options and
+/// post-processing, not code).
 #[derive(Debug, Clone)]
 pub struct SimBinary {
     vendor: Vendor,
     info: BackendInfo,
     bugs: BugModels,
     opt_level: OptLevel,
-    kernel: Kernel,
+    code: Arc<CompiledKernel>,
     features: ProgramFeatures,
     program_name: String,
     seed: u64,
@@ -330,15 +344,17 @@ impl CompiledTest for SimBinary {
             };
         }
 
-        // 2. Interpret under this backend's semantics.
+        // 2. Interpret under this backend's semantics, on the engine the
+        //    run options select (flat bytecode by default).
         let exec_opts = ExecOptions {
             bool_semantics: self.bool_semantics(),
             limits: ExecLimits {
                 max_ops: opts.max_ops,
             },
             detect_races: opts.detect_races,
+            engine: opts.engine,
         };
-        let outcome = match ompfuzz_exec::run(&self.kernel, input, &exec_opts) {
+        let outcome = match self.code.run(input, &exec_opts) {
             Ok(o) => o,
             Err(ompfuzz_exec::ExecError::BudgetExceeded { .. }) => {
                 // The binary genuinely runs far beyond the timeout: a hang
@@ -448,8 +464,9 @@ impl SimBinary {
                 max_ops: opts.max_ops,
             },
             detect_races: false,
+            engine: opts.engine,
         };
-        let outcome = ompfuzz_exec::run(&self.kernel, input, &exec_opts).ok()?;
+        let outcome = self.code.run(input, &exec_opts).ok()?;
         let breakdown = time_breakdown(&outcome.stats, &self.runtime(), self.opt_factor());
         Some(profile::build(
             self.vendor,

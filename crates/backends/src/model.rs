@@ -95,6 +95,9 @@ pub struct RunOptions {
     pub max_ops: u64,
     /// Enable the dynamic race detector during this run.
     pub detect_races: bool,
+    /// Execution engine (flat bytecode by default; the tree interpreter is
+    /// the reference — results are bit-identical either way).
+    pub engine: ompfuzz_exec::ExecEngine,
 }
 
 impl Default for RunOptions {
@@ -103,6 +106,7 @@ impl Default for RunOptions {
             hang_timeout_us: 180_000_000, // 3 minutes
             max_ops: 200_000_000,
             detect_races: false,
+            engine: ompfuzz_exec::ExecEngine::default(),
         }
     }
 }

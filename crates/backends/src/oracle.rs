@@ -11,7 +11,7 @@
 use crate::backend::{CompiledTest, OmpBackend};
 use crate::model::{CompileError, CompileOptions, RunOptions, RunResult, RunStatus};
 use ompfuzz_ast::Program;
-use ompfuzz_exec::Kernel;
+use ompfuzz_exec::PreparedKernel;
 use ompfuzz_inputs::TestInput;
 use ompfuzz_outlier::{ExecStatus, RunObservation};
 
@@ -31,22 +31,22 @@ pub fn to_observation(result: &RunResult) -> RunObservation {
 /// Compile `program` with every backend and run it once on `input`,
 /// returning one observation per backend (in backend order).
 ///
-/// `kernel` optionally carries the program's pre-lowered form so simulated
-/// backends skip redundant lowering (see
-/// [`OmpBackend::compile_lowered`]). Any compile failure aborts the whole
-/// observation — a program that does not compile everywhere cannot be
-/// compared differentially.
+/// `prepared` optionally carries the program's pre-lowered, pre-compiled
+/// form so simulated backends skip redundant lowering *and* share one
+/// bytecode compilation (see [`OmpBackend::compile_lowered`]). Any compile
+/// failure aborts the whole observation — a program that does not compile
+/// everywhere cannot be compared differentially.
 pub fn observe(
     program: &Program,
     input: &TestInput,
     backends: &[&dyn OmpBackend],
-    kernel: Option<&Kernel>,
+    prepared: Option<&PreparedKernel>,
     compile_opts: &CompileOptions,
     run_opts: &RunOptions,
 ) -> Result<Vec<RunObservation>, CompileError> {
     let binaries: Vec<Box<dyn CompiledTest>> = backends
         .iter()
-        .map(|b| b.compile_lowered(program, kernel, compile_opts))
+        .map(|b| b.compile_lowered(program, prepared, compile_opts))
         .collect::<Result<_, _>>()?;
     Ok(binaries
         .iter()
@@ -119,14 +119,14 @@ mod tests {
     }
 
     #[test]
-    fn observe_with_prelowered_kernel_is_identical() {
+    fn observe_with_prepared_kernel_is_identical() {
         let program = tiny_program();
         let input = TestInput {
             comp_init: 0.25,
             values: vec![InputValue::Fp(0.5)],
         };
         let backends = standard_backends();
-        let kernel = ompfuzz_exec::lower(&program).unwrap();
+        let prepared = PreparedKernel::new(ompfuzz_exec::lower(&program).unwrap());
         let fresh = observe(
             &program,
             &input,
@@ -140,7 +140,7 @@ mod tests {
             &program,
             &input,
             &dyns(&backends),
-            Some(&kernel),
+            Some(&prepared),
             &CompileOptions::default(),
             &RunOptions::default(),
         )

@@ -1,37 +1,215 @@
 //! Substrate benchmark: interpreter throughput (the cost floor under every
 //! simulated run; 1,800-run campaigns are only practical because this stays
 //! in the tens of millions of operations per second).
+//!
+//! Benchmarks the tree-walk reference against the flat bytecode VM, with
+//! and without race detection, and writes the comparison to
+//! `BENCH_interp.json` at the repository root. The run **fails** if the
+//! bytecode engine is not faster than the tree baseline on the plain
+//! `cs2_interpretation` workload — the engine's reason to exist is that
+//! floor.
+//!
+//! `OMPFUZZ_BENCH_QUICK=1` shortens the measurement phase for the CI smoke
+//! step; the JSON records which mode produced it.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ompfuzz_exec::{lower, run as exec_run, ExecOptions};
+use ompfuzz_exec::{lower, CompiledKernel, ExecOptions, Kernel};
 use ompfuzz_harness::caselib;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Ops/second of `routine` over one wall-clock window.
+fn window_rate(ops_per_run: u64, window: Duration, routine: &mut dyn FnMut()) -> f64 {
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    loop {
+        routine();
+        iters += 1;
+        if iters >= 3 && start.elapsed() >= window {
+            break;
+        }
+    }
+    (ops_per_run * iters) as f64 / start.elapsed().as_secs_f64()
+}
+
+struct EngineRates {
+    plain: f64,
+    race: f64,
+}
+
+/// Best-of-K interleaved windows per configuration: rounds alternate
+/// between all four (engine × race-detection) routines so scheduler noise
+/// and frequency drift hit every configuration alike, and the max strips
+/// the windows a neighbour stole.
+fn measure_engines(
+    ops: u64,
+    windows: usize,
+    window: Duration,
+    routines: &mut [&mut dyn FnMut(); 4],
+) -> (EngineRates, EngineRates) {
+    let mut best = [0f64; 4];
+    for r in routines.iter_mut() {
+        r(); // warm-up
+    }
+    for _ in 0..windows {
+        for (slot, routine) in best.iter_mut().zip(routines.iter_mut()) {
+            *slot = slot.max(window_rate(ops, window, *routine));
+        }
+    }
+    (
+        EngineRates {
+            plain: best[0],
+            race: best[1],
+        },
+        EngineRates {
+            plain: best[2],
+            race: best[3],
+        },
+    )
+}
+
+fn write_json(
+    path: &std::path::Path,
+    mode: &str,
+    ops: u64,
+    tree: &EngineRates,
+    byte: &EngineRates,
+) {
+    let json = format!(
+        "{{\n  \"bench\": \"interp_throughput\",\n  \"workload\": \"cs2_interpretation\",\n  \
+         \"mode\": \"{mode}\",\n  \"ops_per_run\": {ops},\n  \"engines\": {{\n    \
+         \"tree\": {{ \"ops_per_sec\": {:.0}, \"ops_per_sec_with_races\": {:.0} }},\n    \
+         \"bytecode\": {{ \"ops_per_sec\": {:.0}, \"ops_per_sec_with_races\": {:.0} }}\n  }},\n  \
+         \"speedup\": {{ \"plain\": {:.2}, \"with_races\": {:.2} }}\n}}\n",
+        tree.plain,
+        tree.race,
+        byte.plain,
+        byte.race,
+        byte.plain / tree.plain,
+        byte.race / tree.race,
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {}: {e}", path.display());
+    }
+}
 
 fn bench_interp(c: &mut Criterion) {
     let program = caselib::case_study_2(50, 400, 8);
     let input = caselib::case_study_input(&program);
     let kernel = lower(&program).unwrap();
+    let compiled = CompiledKernel::compile(kernel.clone());
     let opts = ExecOptions::default();
-    let out = exec_run(&kernel, &input, &opts).unwrap();
+    let ropts = ExecOptions::with_race_detection();
+    let out = ompfuzz_exec::interp::run(&kernel, &input, &opts).unwrap();
     let ops = out.stats.ops.total();
     println!(
-        "\ninterpreter workload: {} ops, {} loop iterations, {} region entries",
+        "\ninterpreter workload: {} ops, {} loop iterations, {} region entries, {} instrs flat",
         ops,
         out.stats.loop_iterations,
-        out.stats.total_region_entries()
+        out.stats.total_region_entries(),
+        compiled.instr_count(),
+    );
+
+    // Engine comparison, written to BENCH_interp.json and gated: the VM
+    // must beat the tree walk on the plain workload.
+    let quick = std::env::var_os("OMPFUZZ_BENCH_QUICK").is_some();
+    let (mode, windows, window) = if quick {
+        ("quick", 4, Duration::from_millis(120))
+    } else {
+        ("full", 8, Duration::from_millis(250))
+    };
+    let tree_run = |o: &ExecOptions| {
+        let _ = black_box(ompfuzz_exec::interp::run(
+            black_box(&kernel),
+            black_box(&input),
+            o,
+        ));
+    };
+    let vm_run = |o: &ExecOptions| {
+        let _ = black_box(ompfuzz_exec::vm::run(
+            black_box(&compiled),
+            black_box(&input),
+            o,
+        ));
+    };
+    let (tree, byte) = measure_engines(
+        ops,
+        windows,
+        window,
+        &mut [
+            &mut || tree_run(&opts),
+            &mut || tree_run(&ropts),
+            &mut || vm_run(&opts),
+            &mut || vm_run(&ropts),
+        ],
+    );
+    println!(
+        "cs2_interpretation: tree {:.1} Mops/s, bytecode {:.1} Mops/s ({:.2}x); \
+         with races: tree {:.1} Mops/s, bytecode {:.1} Mops/s ({:.2}x)",
+        tree.plain / 1e6,
+        byte.plain / 1e6,
+        byte.plain / tree.plain,
+        tree.race / 1e6,
+        byte.race / 1e6,
+        byte.race / tree.race,
+    );
+    let json_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json");
+    write_json(&json_path, mode, ops, &tree, &byte);
+    assert!(
+        byte.plain > tree.plain,
+        "bytecode engine ({:.1} Mops/s) is not faster than the tree baseline ({:.1} Mops/s) \
+         on cs2_interpretation",
+        byte.plain / 1e6,
+        tree.plain / 1e6,
     );
 
     let mut group = c.benchmark_group("interp_throughput");
+    if quick {
+        group.measurement_time(Duration::from_millis(100));
+    }
     group.throughput(Throughput::Elements(ops));
     group.bench_function("cs2_interpretation", |b| {
-        b.iter(|| black_box(exec_run(black_box(&kernel), black_box(&input), &opts)))
+        b.iter(|| {
+            black_box(ompfuzz_exec::vm::run(
+                black_box(&compiled),
+                black_box(&input),
+                &opts,
+            ))
+        })
+    });
+    group.bench_function("cs2_tree_walk", |b| {
+        b.iter(|| {
+            black_box(ompfuzz_exec::interp::run(
+                black_box(&kernel),
+                black_box(&input),
+                &opts,
+            ))
+        })
     });
     group.bench_function("cs2_with_race_detection", |b| {
-        let ropts = ExecOptions::with_race_detection();
-        b.iter(|| black_box(exec_run(black_box(&kernel), black_box(&input), &ropts)))
+        b.iter(|| {
+            black_box(ompfuzz_exec::vm::run(
+                black_box(&compiled),
+                black_box(&input),
+                &ropts,
+            ))
+        })
+    });
+    group.bench_function("cs2_tree_walk_with_race_detection", |b| {
+        b.iter(|| {
+            black_box(ompfuzz_exec::interp::run(
+                black_box(&kernel),
+                black_box(&input),
+                &ropts,
+            ))
+        })
     });
     group.bench_function("lowering", |b| {
         b.iter(|| black_box(lower(black_box(&program))))
+    });
+    group.bench_function("bytecode_compile", |b| {
+        b.iter(|| black_box(CompiledKernel::compile(black_box::<Kernel>(kernel.clone()))))
     });
     group.finish();
 }

@@ -33,16 +33,18 @@ fn bench_reduction(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("reduction_throughput");
 
-    // One oracle check: lower + 3 simulated compile/run cycles + analysis.
+    // One oracle check: lower + bytecode compile + 3 simulated compile/run
+    // cycles + analysis.
     group.throughput(Throughput::Elements(1));
     group.bench_function("single_oracle_check", |b| {
         b.iter(|| {
             let kernel = ompfuzz_exec::lower(black_box(&target.program)).unwrap();
+            let prepared = ompfuzz_exec::PreparedKernel::new(kernel);
             black_box(oracle::observe(
                 &target.program,
                 &target.input,
                 &dyns,
-                Some(&kernel),
+                Some(&prepared),
                 &CompileOptions::default(),
                 &RunOptions {
                     max_ops: 40_000_000,

@@ -46,8 +46,8 @@ pub struct ReducedOutlier {
     pub program_index: usize,
     /// Input index the verdict was pinned on.
     pub input_index: usize,
-    /// Name of the source program.
-    pub program_name: String,
+    /// Name of the source program (shared with the campaign record).
+    pub program_name: std::sync::Arc<str>,
     /// The reduction result (reduced program, synced input, stats).
     pub outcome: ReductionOutcome,
 }
@@ -83,7 +83,7 @@ pub fn reduce_all(
     backends: &[&dyn OmpBackend],
     config: &BatchConfig,
 ) -> BatchReduction {
-    let targets: Vec<(usize, usize, String, ReductionTarget)> = result
+    let targets: Vec<(usize, usize, std::sync::Arc<str>, ReductionTarget)> = result
         .records
         .iter()
         .filter(|r| r.outlier().is_some())
@@ -139,7 +139,7 @@ pub fn fold_into_catalog(
                 provenance: Provenance {
                     seed,
                     round,
-                    source_program: r.program_name.clone(),
+                    source_program: r.program_name.to_string(),
                     program_index: r.program_index,
                     input_index: r.input_index,
                 },

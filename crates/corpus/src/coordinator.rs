@@ -126,15 +126,18 @@ pub struct ShardedEvolution {
 /// the shard count, and the starting catalog's bytes. Two runs with the
 /// same fingerprint produce the same checkpoint files byte for byte.
 ///
-/// The `workers` knob is excluded: results are worker-count-independent
-/// (pinned by the determinism tests), so a checkpoint written on one host
-/// must resume on a host with different parallelism.
+/// The result-neutral knobs are excluded: results are worker-count- and
+/// execution-engine-independent (both pinned by determinism/equivalence
+/// tests and CI catalog comparisons), so a checkpoint written on one host
+/// must resume on a host with different parallelism, and a campaign
+/// started under `--engine tree` must resume under the default bytecode
+/// engine (and vice versa) into byte-identical files.
 pub fn campaign_fingerprint(config: &EvolveConfig, shards: usize, initial: &TriggerCatalog) -> u64 {
     let base: String = config
         .base
         .to_config_file()
         .lines()
-        .filter(|line| !line.starts_with("workers"))
+        .filter(|line| !line.starts_with("workers") && !line.starts_with("engine"))
         .collect::<Vec<_>>()
         .join("\n");
     let canonical = format!(
@@ -778,9 +781,10 @@ mod tests {
     }
 
     /// A checkpoint written on one host must resume on a host with a
-    /// different worker count — results are worker-count-independent, so
-    /// the fingerprint must be too. Everything result-affecting still
-    /// changes it.
+    /// different worker count, and a campaign started on one execution
+    /// engine must resume on the other — results are independent of both
+    /// knobs, so the fingerprint must be too. Everything result-affecting
+    /// still changes it.
     #[test]
     fn fingerprint_ignores_workers_but_not_results() {
         let base = test_config();
@@ -790,6 +794,9 @@ mod tests {
         let mut other_workers = base.clone();
         other_workers.base.workers = 16;
         assert_eq!(fp(&base, 2), fp(&other_workers, 2));
+        let mut other_engine = base.clone();
+        other_engine.base.run.engine = ompfuzz_exec::ExecEngine::Tree;
+        assert_eq!(fp(&base, 2), fp(&other_engine, 2));
         let mut other_seed = base.clone();
         other_seed.base.seed += 1;
         assert_ne!(fp(&base, 2), fp(&other_seed, 2));

@@ -28,6 +28,48 @@ use ompfuzz_ast::{AssignOp, BinOp, BoolOp, FpType, MathFunc};
 use ompfuzz_inputs::{InputValue, TestInput};
 use std::fmt;
 
+/// Which execution engine interprets a kernel.
+///
+/// Both engines are bit-identical in every observable — `comp`, statistics,
+/// race reports, budget exhaustion — which the `bytecode_equiv` suite and a
+/// debug-build parity assert enforce. The tree walker is the *reference
+/// semantics*; the flat bytecode VM is the production engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// The original recursive tree-walk interpreter (reference).
+    Tree,
+    /// The flat bytecode VM (`lower` → `bytecode::compile` → `vm::run`).
+    #[default]
+    Bytecode,
+}
+
+impl ExecEngine {
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecEngine::Tree => "tree",
+            ExecEngine::Bytecode => "bytecode",
+        }
+    }
+}
+
+impl std::str::FromStr for ExecEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecEngine, String> {
+        match s {
+            "tree" => Ok(ExecEngine::Tree),
+            "bytecode" => Ok(ExecEngine::Bytecode),
+            other => Err(format!("unknown engine `{other}` (tree|bytecode)")),
+        }
+    }
+}
+
+impl fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Branch-condition semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BoolSemantics {
@@ -63,6 +105,9 @@ pub struct ExecOptions {
     /// Record shared accesses during the first entry of each region and
     /// report data races.
     pub detect_races: bool,
+    /// Engine selection; [`crate::bytecode::CompiledKernel::run`] and the
+    /// crate-level [`crate::run`] dispatch on this.
+    pub engine: ExecEngine,
 }
 
 impl ExecOptions {
@@ -107,7 +152,11 @@ pub struct ExecOutcome {
     pub races: Vec<RaceReport>,
 }
 
-/// Execute `kernel` on `input`.
+/// Execute `kernel` on `input` with the tree-walk interpreter.
+///
+/// This is the reference engine and ignores `opts.engine`; the crate-level
+/// [`crate::run`] (and [`crate::bytecode::CompiledKernel::run`]) dispatch
+/// between engines.
 pub fn run(
     kernel: &Kernel,
     input: &TestInput,

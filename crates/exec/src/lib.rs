@@ -4,10 +4,17 @@
 //!
 //! * [`lower`] — name resolution from the surface AST to a slot-based IR
 //!   ([`kernel::Kernel`]), the moral equivalent of a compiler front-end;
-//! * [`interp`] — a deterministic interpreter implementing the OpenMP
-//!   semantic model (parallel regions, static `omp for` scheduling,
+//! * [`bytecode`] — a second compilation stage flattening a lowered kernel
+//!   into one linear instruction stream with batched op-budget charging and
+//!   pre-resolved race-check flags; [`vm`] is its dispatch loop and the
+//!   production engine;
+//! * [`interp`] — the deterministic tree-walk interpreter implementing the
+//!   OpenMP semantic model (parallel regions, static `omp for` scheduling,
 //!   `private`/`firstprivate`, reductions over `comp`, critical sections)
-//!   with full work accounting per thread and per region;
+//!   with full work accounting per thread and per region; kept as the
+//!   reference semantics behind [`ExecOptions::engine`], bit-identical to
+//!   the VM;
+//! * [`fold`] — the shared `-O1`+ constant-folding pass;
 //! * [`race`] — a dynamic data-race detector that automates the manual
 //!   race filtering of the paper's §IV-E;
 //! * [`stats`] — the execution statistics consumed by the simulated
@@ -19,14 +26,38 @@
 //! microseconds is the backends' job, because that is exactly where real
 //! OpenMP implementations differ.
 
+pub mod bytecode;
+pub mod fold;
 pub mod interp;
 pub mod kernel;
 pub mod lower;
 pub mod race;
 pub mod stats;
+pub mod vm;
 
-pub use interp::{apply_bool, run, BoolSemantics, ExecError, ExecLimits, ExecOptions, ExecOutcome};
+pub use bytecode::{CompiledKernel, PreparedKernel};
+pub use interp::{
+    apply_bool, BoolSemantics, ExecEngine, ExecError, ExecLimits, ExecOptions, ExecOutcome,
+};
 pub use kernel::Kernel;
 pub use lower::{lower, LowerError};
 pub use race::{RaceDetector, RaceReport};
 pub use stats::{ExecStats, OpCounts, RegionTrace, ThreadWork};
+
+/// Execute `kernel` on `input`, dispatching on `opts.engine`.
+///
+/// Convenience for one-shot runs: the bytecode engine compiles the kernel
+/// on the fly. Hot paths (backends, the campaign driver, the reducer) hold
+/// a [`CompiledKernel`] — via [`PreparedKernel`] — and call
+/// [`CompiledKernel::run`] instead, so each kernel is compiled once however
+/// many times it runs.
+pub fn run(
+    kernel: &Kernel,
+    input: &ompfuzz_inputs::TestInput,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    match opts.engine {
+        ExecEngine::Tree => interp::run(kernel, input, opts),
+        ExecEngine::Bytecode => vm::run(&CompiledKernel::compile(kernel.clone()), input, opts),
+    }
+}

@@ -1,0 +1,933 @@
+//! Linear dispatch over the flat bytecode form.
+//!
+//! [`run`] executes a [`CompiledKernel`] and produces an [`ExecOutcome`]
+//! bit-identical to the tree interpreter's for the same `(kernel, input,
+//! options)` — same `comp` bits, same [`crate::stats::ExecStats`], same
+//! race reports, and budget exhaustion on exactly the same runs. The hot
+//! loop is a single `match` over a contiguous instruction slice: no
+//! recursion, no per-node budget checks (straight-line blocks charge once,
+//! via their precomputed [`crate::bytecode::BlockCost`]), and no dynamic
+//! sharing analysis (race-check flags were resolved at compile time).
+//!
+//! In debug builds every successful run is re-executed on the tree
+//! interpreter and the batched statistics are asserted equal to the
+//! per-node counts — the accounting-drift tripwire backing the
+//! `bytecode_equiv` differential suite.
+
+use crate::bytecode::{BlockCost, CompiledKernel, Instr, Operand};
+use crate::interp::{apply_bool, BoolSemantics, ExecError, ExecOptions, ExecOutcome};
+use crate::kernel::{ArrayId, IntSlotId, LBound, LIndex, ParamBinding, SlotId};
+use crate::race::{Loc, RaceDetector};
+use crate::stats::{ExecStats, RegionTrace, ThreadWork};
+use ompfuzz_ast::FpType;
+use ompfuzz_inputs::{InputValue, TestInput};
+
+/// Execute `ck` on `input` with the bytecode engine.
+pub fn run(
+    ck: &CompiledKernel,
+    input: &TestInput,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let mut vm = Vm::new(ck, opts);
+    vm.bind_input(input)?;
+    vm.dispatch()?;
+    let outcome = ExecOutcome {
+        comp: vm.comp,
+        stats: vm.stats,
+        races: vm.race.into_reports(),
+    };
+    #[cfg(debug_assertions)]
+    parity_check(ck, input, opts, &outcome);
+    Ok(outcome)
+}
+
+/// Debug-build tripwire for accounting drift: the batched block charges
+/// must reproduce the tree interpreter's per-node statistics exactly.
+#[cfg(debug_assertions)]
+fn parity_check(ck: &CompiledKernel, input: &TestInput, opts: &ExecOptions, outcome: &ExecOutcome) {
+    // Race detection never changes charges, so the reference run skips it.
+    let reference_opts = ExecOptions {
+        detect_races: false,
+        ..*opts
+    };
+    match crate::interp::run(&ck.kernel, input, &reference_opts) {
+        Ok(tree) => {
+            debug_assert_eq!(
+                tree.stats, outcome.stats,
+                "bytecode-batched statistics drifted from the tree interpreter's per-node counts"
+            );
+            debug_assert_eq!(
+                tree.comp.to_bits(),
+                outcome.comp.to_bits(),
+                "bytecode result diverged from the tree interpreter"
+            );
+        }
+        Err(e) => debug_assert!(
+            false,
+            "tree interpreter failed ({e}) on a run the bytecode engine completed"
+        ),
+    }
+}
+
+/// Per-thread context while inside a parallel region.
+#[derive(Debug, Clone, Copy, Default)]
+struct ThreadCtx {
+    tid: u32,
+    team: u32,
+    cycles: u64,
+    ops: u64,
+    critical_acquisitions: u64,
+    critical_cycles: u64,
+    /// `omp critical` nesting depth (tree's `in_critical` with prev-restore
+    /// semantics, as a counter).
+    crit_depth: u32,
+}
+
+/// An active (serial or worksharing) loop.
+#[derive(Debug, Clone, Copy)]
+struct LoopFrame {
+    counter: IntSlotId,
+    i: u64,
+    end: u64,
+}
+
+/// The outermost parallel region currently executing its team.
+#[derive(Debug)]
+struct RegionFrame {
+    tid: u32,
+    team: u32,
+    /// Pre-region values of privatized slots (private first, then
+    /// firstprivate — the firstprivate tail doubles as the per-thread
+    /// initializer).
+    saved: Vec<(SlotId, f64)>,
+    comp_before: f64,
+    partials: Vec<f64>,
+    recording: bool,
+}
+
+struct Vm<'c> {
+    ck: &'c CompiledKernel,
+    bool_semantics: BoolSemantics,
+    detect_races: bool,
+    scalars: Vec<f64>,
+    slot_ty: Vec<FpType>,
+    ints: Vec<i64>,
+    arrays: Vec<Vec<f64>>,
+    array_ty: Vec<FpType>,
+    comp: f64,
+    stack: Vec<f64>,
+    /// The innermost active loop, kept out of the spill stack so the
+    /// once-per-iteration `LoopNext` touches a plain field.
+    cur_loop: LoopFrame,
+    loops: Vec<LoopFrame>,
+    ctx: Option<ThreadCtx>,
+    region: Option<RegionFrame>,
+    /// Depth of nested regions executing inline on the outer team.
+    nested: u32,
+    stats: ExecStats,
+    /// Executions per block; the global, order-independent statistics
+    /// (`OpCounts`, loop iterations, branches) are reconstructed from these
+    /// once at the end (`flush_block_stats`) instead of being merged on
+    /// every block entry — the hot loop touches one counter, not ten.
+    block_hits: Vec<u64>,
+    ops_left: u64,
+    max_ops: u64,
+    race: RaceDetector,
+    region_analyzed: Vec<bool>,
+    /// First entry of a region is being recorded for race analysis.
+    recording: bool,
+}
+
+impl<'c> Vm<'c> {
+    fn new(ck: &'c CompiledKernel, opts: &ExecOptions) -> Vm<'c> {
+        let k = &ck.kernel;
+        Vm {
+            ck,
+            bool_semantics: opts.bool_semantics,
+            detect_races: opts.detect_races,
+            scalars: vec![0.0; k.scalars.len()],
+            slot_ty: k.scalars.iter().map(|s| s.ty).collect(),
+            ints: vec![0; k.ints.len()],
+            arrays: k.arrays.iter().map(|a| vec![0.0; a.len as usize]).collect(),
+            array_ty: k.arrays.iter().map(|a| a.ty).collect(),
+            comp: 0.0,
+            stack: Vec::with_capacity(ck.max_stack),
+            cur_loop: LoopFrame {
+                counter: 0,
+                i: 0,
+                end: 0,
+            },
+            loops: Vec::new(),
+            ctx: None,
+            region: None,
+            nested: 0,
+            stats: ExecStats::default(),
+            block_hits: vec![0; ck.blocks.len()],
+            ops_left: opts.limits.max_ops,
+            max_ops: opts.limits.max_ops,
+            race: RaceDetector::new(),
+            region_analyzed: vec![false; k.region_count as usize],
+            recording: false,
+        }
+    }
+
+    /// Identical input-binding semantics to the tree interpreter.
+    fn bind_input(&mut self, input: &TestInput) -> Result<(), ExecError> {
+        let k = &self.ck.kernel;
+        if input.values.len() != k.param_order.len() {
+            return Err(ExecError::InputMismatch(format!(
+                "kernel has {} parameters, input provides {}",
+                k.param_order.len(),
+                input.values.len()
+            )));
+        }
+        self.comp = input.comp_init;
+        for (binding, value) in k.param_order.iter().zip(&input.values) {
+            match (binding, value) {
+                (ParamBinding::Scalar(s), InputValue::Fp(v)) => {
+                    self.scalars[*s as usize] = self.slot_ty[*s as usize].round(*v);
+                }
+                (ParamBinding::Int(i), InputValue::Int(v)) => {
+                    self.ints[*i as usize] = *v;
+                }
+                (ParamBinding::Array(a), InputValue::ArrayFill(v) | InputValue::Fp(v)) => {
+                    let fill = self.array_ty[*a as usize].round(*v);
+                    self.arrays[*a as usize].fill(fill);
+                }
+                (b, v) => {
+                    return Err(ExecError::InputMismatch(format!(
+                        "binding {b:?} incompatible with input value {v:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- accounting -------------------------------------------------------
+
+    /// Charge a straight-line block in one step. Only the context-dependent
+    /// attribution (thread cycles/ops) happens here; the global counters
+    /// are deferred to [`Vm::flush_block_stats`] via the hit count.
+    #[inline]
+    fn charge_block(&mut self, idx: usize, b: &BlockCost) -> Result<(), ExecError> {
+        if self.ops_left < b.ops {
+            return Err(ExecError::BudgetExceeded {
+                max_ops: self.max_ops,
+            });
+        }
+        self.ops_left -= b.ops;
+        self.block_hits[idx] += 1;
+        match &mut self.ctx {
+            Some(c) => {
+                c.cycles += b.cycles;
+                c.ops += b.ops;
+                if c.crit_depth > 0 {
+                    c.critical_cycles += b.cycles;
+                }
+                c.critical_acquisitions += b.crit_acqs;
+            }
+            None => self.stats.serial_cycles += b.cycles,
+        }
+        Ok(())
+    }
+
+    /// Reconstruct the global statistics from the per-block hit counts:
+    /// every counter is an order-independent sum, so `count × hits` at the
+    /// end equals merging on every entry.
+    fn flush_block_stats(&mut self) {
+        for (hits, b) in self.block_hits.iter().zip(&self.ck.blocks) {
+            let n = *hits;
+            if n == 0 {
+                continue;
+            }
+            let o = &mut self.stats.ops;
+            o.add_sub += b.counts.add_sub * n;
+            o.mul += b.counts.mul * n;
+            o.div += b.counts.div * n;
+            o.math += b.counts.math * n;
+            o.math_cycles += b.counts.math_cycles * n;
+            o.loads += b.counts.loads * n;
+            o.stores += b.counts.stores * n;
+            o.compares += b.counts.compares * n;
+            self.stats.loop_iterations += b.loop_iters * n;
+            self.stats.branches += b.branches * n;
+        }
+    }
+
+    /// Charge `n` executions of a straight-line block in one step (the
+    /// whole trip of a bulk loop). Every field is a sum, so `cost × n` at
+    /// entry equals charging each iteration; saturation can only overstate
+    /// the bill, which the budget check then correctly rejects.
+    fn charge_block_times(&mut self, idx: usize, b: &BlockCost, n: u64) -> Result<(), ExecError> {
+        let total_ops = b.ops.saturating_mul(n);
+        if self.ops_left < total_ops {
+            return Err(ExecError::BudgetExceeded {
+                max_ops: self.max_ops,
+            });
+        }
+        self.ops_left -= total_ops;
+        self.block_hits[idx] += n;
+        let cycles = b.cycles.saturating_mul(n);
+        match &mut self.ctx {
+            Some(c) => {
+                c.cycles += cycles;
+                c.ops += total_ops;
+                if c.crit_depth > 0 {
+                    c.critical_cycles += cycles;
+                }
+                c.critical_acquisitions += b.crit_acqs.saturating_mul(n);
+            }
+            None => self.stats.serial_cycles += cycles,
+        }
+        Ok(())
+    }
+
+    /// One dynamic charge (the per-thread fork/join cost).
+    fn charge_one(&mut self, cycles: u64) -> Result<(), ExecError> {
+        if self.ops_left == 0 {
+            return Err(ExecError::BudgetExceeded {
+                max_ops: self.max_ops,
+            });
+        }
+        self.ops_left -= 1;
+        match &mut self.ctx {
+            Some(c) => {
+                c.cycles += cycles;
+                c.ops += 1;
+                if c.crit_depth > 0 {
+                    c.critical_cycles += cycles;
+                }
+            }
+            None => self.stats.serial_cycles += cycles,
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn note_fp(&mut self, result: f64, inputs_ok: bool) {
+        if inputs_ok {
+            if result.is_nan() {
+                self.stats.nan_produced += 1;
+            } else if result.is_infinite() {
+                self.stats.inf_produced += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, loc: Loc, write: bool) {
+        let (tid, protected) = match &self.ctx {
+            Some(c) => (c.tid, c.crit_depth > 0),
+            None => (0, false),
+        };
+        self.race.record(loc, tid, write, protected);
+    }
+
+    /// The common store tail: `comp <op>= v` with race recording and
+    /// NaN/Inf accounting, shared by the plain and fused instructions.
+    #[inline(always)]
+    fn store_comp(&mut self, op: ompfuzz_ast::AssignOp, race: bool, v: f64) {
+        if race && self.recording {
+            if op.reads_target() {
+                self.record(Loc::Comp, false);
+            }
+            self.record(Loc::Comp, true);
+        }
+        let new = op.apply(self.comp, v);
+        self.note_fp(new, self.comp.is_finite() && v.is_finite());
+        self.comp = new;
+    }
+
+    /// The common store tail: `scalar <op>= v`, rounded to the slot type.
+    #[inline(always)]
+    fn store_scalar(&mut self, slot: SlotId, op: ompfuzz_ast::AssignOp, race: bool, v: f64) {
+        let i = slot as usize;
+        if race && self.recording {
+            if op.reads_target() {
+                self.record(Loc::Scalar(slot), false);
+            }
+            self.record(Loc::Scalar(slot), true);
+        }
+        self.scalars[i] = self.slot_ty[i].round(op.apply(self.scalars[i], v));
+    }
+
+    /// Load one inline operand (or pop a pushed intermediate). Callers
+    /// load rhs before lhs so two `Stack` operands pop in evaluation order.
+    #[inline(always)]
+    fn value_of(&mut self, o: &Operand) -> f64 {
+        match o {
+            Operand::Stack => self.stack.pop().expect("operand on stack"),
+            Operand::Const(v) => *v,
+            Operand::Scalar { slot, race } => {
+                if *race && self.recording {
+                    self.record(Loc::Scalar(*slot), false);
+                }
+                self.scalars[*slot as usize]
+            }
+            Operand::Elem { array, index, race } => {
+                let i = self.resolve_index(*index, *array);
+                if *race && self.recording {
+                    self.record(Loc::Elem(*array, i as u32), false);
+                }
+                self.arrays[*array as usize][i]
+            }
+        }
+    }
+
+    #[inline]
+    fn resolve_index(&self, idx: LIndex, array: ArrayId) -> usize {
+        let len = self.arrays[array as usize].len();
+        match idx {
+            LIndex::Const(k) => (k as usize).min(len - 1),
+            LIndex::LoopMod(slot, m) => {
+                let i = self.ints[slot as usize];
+                let m = m.max(1) as i64;
+                // Counters usually sit below the modulus: `i in [0, m)` is
+                // the identity, sparing the 64-bit division (a negative `i`
+                // wraps past `m` as u64 and takes the exact path).
+                let v = if (i as u64) < m as u64 {
+                    i as usize
+                } else {
+                    i.rem_euclid(m) as usize
+                };
+                v.min(len - 1)
+            }
+            LIndex::ThreadId => {
+                let tid = self.ctx.as_ref().map_or(0, |c| c.tid);
+                (tid as usize).min(len - 1)
+            }
+        }
+    }
+
+    // ----- regions ----------------------------------------------------------
+
+    fn enter_region(&mut self, region: u32) -> Result<(), ExecError> {
+        let ck = self.ck;
+        let meta = &ck.regions[region as usize];
+        let team = meta.num_threads.max(1);
+        let rid = meta.region_id as usize;
+        while self.stats.regions.len() <= rid {
+            let id = self.stats.regions.len() as u32;
+            self.stats.regions.push(RegionTrace::new(id, team));
+        }
+        let tr = &mut self.stats.regions[rid];
+        tr.num_threads = team;
+        if tr.per_thread.len() != team as usize {
+            tr.per_thread = vec![ThreadWork::default(); team as usize];
+        }
+        tr.omp_for = meta.omp_for;
+        tr.has_reduction = meta.reduction.is_some();
+        tr.entries += 1;
+
+        let recording = self.detect_races && !self.region_analyzed[rid];
+        if recording {
+            self.race.begin_region(meta.region_id);
+            self.recording = true;
+        }
+
+        let mut saved = Vec::with_capacity(meta.private.len() + meta.firstprivate.len());
+        for &s in meta.private.iter().chain(&meta.firstprivate) {
+            saved.push((s, self.scalars[s as usize]));
+        }
+        self.region = Some(RegionFrame {
+            tid: 0,
+            team,
+            saved,
+            comp_before: self.comp,
+            partials: Vec::new(),
+            recording,
+        });
+        self.begin_thread(region, 0, team)
+    }
+
+    /// Fresh private copies, reduction identity, thread context, fork cost.
+    fn begin_thread(&mut self, region: u32, tid: u32, team: u32) -> Result<(), ExecError> {
+        let ck = self.ck;
+        let meta = &ck.regions[region as usize];
+        for &s in &meta.private {
+            self.scalars[s as usize] = 0.0;
+        }
+        let frame = self.region.take().expect("active region");
+        for &(s, v) in &frame.saved[meta.private.len()..] {
+            self.scalars[s as usize] = v;
+        }
+        self.region = Some(frame);
+        if let Some(red) = meta.reduction {
+            self.comp = red.identity();
+        }
+        self.ctx = Some(ThreadCtx {
+            tid,
+            team,
+            ..ThreadCtx::default()
+        });
+        self.charge_one(2)
+    }
+
+    /// Merge the finished thread; returns `true` when another thread should
+    /// run (the caller jumps back to the region prelude).
+    fn finish_thread(&mut self, region: u32) -> Result<bool, ExecError> {
+        let ck = self.ck;
+        let meta = &ck.regions[region as usize];
+        let mut frame = self.region.take().expect("active region");
+        let ctx = self.ctx.take().expect("thread context");
+        let rid = meta.region_id as usize;
+        let tw = &mut self.stats.regions[rid].per_thread[frame.tid as usize];
+        tw.cycles += ctx.cycles;
+        tw.ops += ctx.ops;
+        tw.critical_acquisitions += ctx.critical_acquisitions;
+        tw.critical_cycles += ctx.critical_cycles;
+        if meta.reduction.is_some() {
+            frame.partials.push(self.comp);
+        }
+
+        frame.tid += 1;
+        if frame.tid < frame.team {
+            let (tid, team) = (frame.tid, frame.team);
+            self.region = Some(frame);
+            self.begin_thread(region, tid, team)?;
+            return Ok(true);
+        }
+
+        // Join: restore privatized slots, combine the reduction, close the
+        // race-recording window.
+        for &(s, v) in &frame.saved {
+            self.scalars[s as usize] = v;
+        }
+        if let Some(op) = meta.reduction {
+            let mut acc = frame.comp_before;
+            for p in &frame.partials {
+                acc = op.combine(acc, *p);
+            }
+            self.comp = acc;
+        }
+        if frame.recording {
+            self.region_analyzed[rid] = true;
+            self.recording = false;
+            let k = &ck.kernel;
+            self.race.end_region(&|loc| match loc {
+                Loc::Comp => "comp".to_string(),
+                Loc::Scalar(s) => k.scalars[s as usize].name.clone(),
+                Loc::Elem(a, i) => format!("{}[{}]", k.arrays[a as usize].name, i),
+            });
+        }
+        Ok(false)
+    }
+
+    // ----- the dispatch loop ------------------------------------------------
+
+    fn dispatch(&mut self) -> Result<(), ExecError> {
+        let ck = self.ck;
+        let instrs = ck.instrs.as_slice();
+        let blocks = ck.blocks.as_slice();
+        let mut ip = 0usize;
+        loop {
+            let ins = &instrs[ip];
+            ip += 1;
+            match ins {
+                Instr::Charge(b) => {
+                    let idx = *b as usize;
+                    self.charge_block(idx, &blocks[idx])?;
+                }
+                Instr::Binary { op, lhs, rhs } => {
+                    let r = self.value_of(rhs);
+                    let l = self.value_of(lhs);
+                    let v = op.apply(l, r);
+                    self.note_fp(v, l.is_finite() && r.is_finite());
+                    self.stack.push(v);
+                }
+                Instr::Call { func, arg } => {
+                    let a = self.value_of(arg);
+                    let v = func.apply(a);
+                    self.note_fp(v, a.is_finite());
+                    self.stack.push(v);
+                }
+                Instr::StoreComp { op, race, value } => {
+                    let v = self.value_of(value);
+                    self.store_comp(*op, *race, v);
+                }
+                Instr::StoreScalar {
+                    slot,
+                    op,
+                    race,
+                    value,
+                } => {
+                    let v = self.value_of(value);
+                    self.store_scalar(*slot, *op, *race, v);
+                }
+                Instr::StoreCompBin {
+                    op,
+                    race,
+                    bin,
+                    lhs,
+                    rhs,
+                } => {
+                    let r = self.value_of(rhs);
+                    let l = self.value_of(lhs);
+                    let v = bin.apply(l, r);
+                    self.note_fp(v, l.is_finite() && r.is_finite());
+                    self.store_comp(*op, *race, v);
+                }
+                Instr::StoreScalarBin {
+                    slot,
+                    op,
+                    race,
+                    bin,
+                    lhs,
+                    rhs,
+                } => {
+                    let r = self.value_of(rhs);
+                    let l = self.value_of(lhs);
+                    let v = bin.apply(l, r);
+                    self.note_fp(v, l.is_finite() && r.is_finite());
+                    self.store_scalar(*slot, *op, *race, v);
+                }
+                Instr::StoreElem {
+                    array,
+                    index,
+                    op,
+                    race,
+                    value,
+                } => {
+                    let v = self.value_of(value);
+                    let a = *array as usize;
+                    let i = self.resolve_index(*index, *array);
+                    if *race && self.recording {
+                        if op.reads_target() {
+                            self.record(Loc::Elem(*array, i as u32), false);
+                        }
+                        self.record(Loc::Elem(*array, i as u32), true);
+                    }
+                    let old = self.arrays[a][i];
+                    self.arrays[a][i] = self.array_ty[a].round(op.apply(old, v));
+                }
+                Instr::BoolTest {
+                    lhs,
+                    op,
+                    race,
+                    rhs,
+                    if_false,
+                } => {
+                    let r = self.value_of(rhs);
+                    if *race && self.recording {
+                        self.record(Loc::Scalar(*lhs), false);
+                    }
+                    let l = self.scalars[*lhs as usize];
+                    if apply_bool(self.bool_semantics, *op, l, r) {
+                        self.stats.branches_taken += 1;
+                    } else {
+                        ip = *if_false as usize;
+                    }
+                }
+                Instr::LoopStart {
+                    counter,
+                    bound,
+                    omp_for,
+                    exit,
+                    body_block,
+                    bulk,
+                } => {
+                    let n = match bound {
+                        LBound::Const(n) => *n as i64,
+                        LBound::IntSlot(s) => self.ints[*s as usize],
+                    }
+                    .max(0) as u64;
+                    let (start, end) = match (&self.ctx, omp_for) {
+                        (Some(c), true) => {
+                            // OpenMP static schedule: contiguous ceil(n/T).
+                            let team = c.team.max(1) as u64;
+                            let chunk = n.div_ceil(team);
+                            let start = (c.tid as u64) * chunk;
+                            (start.min(n), (start + chunk).min(n))
+                        }
+                        _ => (0, n),
+                    };
+                    if start >= end {
+                        ip = *exit as usize;
+                    } else {
+                        self.ints[*counter as usize] = start as i64;
+                        self.loops.push(self.cur_loop);
+                        self.cur_loop = LoopFrame {
+                            counter: *counter,
+                            i: start,
+                            end,
+                        };
+                        let idx = *body_block as usize;
+                        if *bulk {
+                            self.charge_block_times(idx, &blocks[idx], end - start)?;
+                        } else {
+                            self.charge_block(idx, &blocks[idx])?;
+                        }
+                    }
+                }
+                Instr::LoopNext {
+                    body,
+                    body_block,
+                    bulk,
+                } => {
+                    self.cur_loop.i += 1;
+                    if self.cur_loop.i < self.cur_loop.end {
+                        self.ints[self.cur_loop.counter as usize] = self.cur_loop.i as i64;
+                        if !*bulk {
+                            let idx = *body_block as usize;
+                            self.charge_block(idx, &blocks[idx])?;
+                        }
+                        ip = *body as usize;
+                    } else {
+                        self.cur_loop = self.loops.pop().expect("active loop");
+                    }
+                }
+                Instr::CriticalEnter => {
+                    if let Some(c) = &mut self.ctx {
+                        c.crit_depth += 1;
+                    }
+                }
+                Instr::CriticalExit => {
+                    if let Some(c) = &mut self.ctx {
+                        c.crit_depth -= 1;
+                    }
+                }
+                Instr::RegionEnter { region } => {
+                    if self.ctx.is_some() {
+                        // Nested region: execute inline on the current
+                        // thread (a serialized nested region).
+                        self.nested += 1;
+                    } else {
+                        self.enter_region(*region)?;
+                    }
+                }
+                Instr::RegionExit { region, prelude } => {
+                    if self.nested > 0 {
+                        self.nested -= 1;
+                    } else if self.finish_thread(*region)? {
+                        ip = *prelude as usize;
+                    }
+                }
+                Instr::Halt => break,
+            }
+        }
+        self.flush_block_stats();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ExecLimits, ExecOptions};
+    use crate::lower::lower;
+    use ompfuzz_ast::{
+        AssignOp, Assignment, Block, BlockItem, Expr, ForLoop, FpType, LValue, LoopBound,
+        OmpClauses, OmpCritical, OmpParallel, Param, Program, ReductionOp, Stmt, VarRef,
+    };
+
+    fn both_engines(p: &Program, input: &TestInput, opts: &ExecOptions) {
+        let kernel = lower(p).expect("lowers");
+        let ck = CompiledKernel::compile(kernel.clone());
+        let tree = crate::interp::run(&kernel, input, opts);
+        let byte = run(&ck, input, opts);
+        match (tree, byte) {
+            (Ok(t), Ok(b)) => {
+                assert_eq!(t.comp.to_bits(), b.comp.to_bits());
+                assert_eq!(t.stats, b.stats);
+                assert_eq!(t.races, b.races);
+            }
+            (Err(te), Err(be)) => assert_eq!(te, be),
+            (t, b) => panic!("engines disagree: tree {t:?} vs bytecode {b:?}"),
+        }
+    }
+
+    fn fp_input(values: Vec<f64>) -> TestInput {
+        TestInput {
+            comp_init: 1.5,
+            values: values.into_iter().map(InputValue::Fp).collect(),
+        }
+    }
+
+    #[test]
+    fn parallel_reduction_with_critical_matches_tree() {
+        let p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses {
+                    firstprivate: vec!["var_1".into()],
+                    reduction: Some(ReductionOp::Add),
+                    num_threads: Some(4),
+                    ..OmpClauses::default()
+                },
+                prelude: vec![Stmt::DeclAssign {
+                    ty: FpType::F32,
+                    name: "t".into(),
+                    value: Expr::binary(
+                        Expr::var("var_1"),
+                        ompfuzz_ast::BinOp::Mul,
+                        Expr::fp_const(3.0),
+                    ),
+                }],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(10),
+                    body: Block(vec![BlockItem::Critical(OmpCritical {
+                        body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                            target: LValue::Comp,
+                            op: AssignOp::AddAssign,
+                            value: Expr::var("t"),
+                        })]),
+                    })]),
+                },
+            })]),
+        );
+        both_engines(&p, &fp_input(vec![2.5]), &ExecOptions::default());
+        both_engines(
+            &p,
+            &fp_input(vec![2.5]),
+            &ExecOptions::with_race_detection(),
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_engine_independent() {
+        let p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::For(ForLoop {
+                omp_for: false,
+                var: "i".into(),
+                bound: LoopBound::Const(100_000),
+                body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                    target: LValue::Comp,
+                    op: AssignOp::AddAssign,
+                    value: Expr::var("var_1"),
+                })]),
+            })]),
+        );
+        let input = fp_input(vec![1.0]);
+        let kernel = lower(&p).unwrap();
+        let ck = CompiledKernel::compile(kernel.clone());
+        // Probe the exact total with the tree engine, then pin the
+        // boundary: budget == total succeeds on both, total - 1 fails on
+        // both.
+        let big = ExecOptions::default();
+        let total = big.limits.max_ops - {
+            let mut vm = Vm::new(&ck, &big);
+            vm.bind_input(&input).unwrap();
+            vm.dispatch().unwrap();
+            vm.ops_left
+        };
+        for (budget, ok) in [(total, true), (total - 1, false), (total / 2, false)] {
+            let opts = ExecOptions {
+                limits: ExecLimits { max_ops: budget },
+                ..ExecOptions::default()
+            };
+            let t = crate::interp::run(&kernel, &input, &opts);
+            let b = run(&ck, &input, &opts);
+            assert_eq!(t.is_ok(), ok, "tree at budget {budget}");
+            assert_eq!(b.is_ok(), ok, "bytecode at budget {budget}");
+            if !ok {
+                assert!(matches!(
+                    b.unwrap_err(),
+                    ExecError::BudgetExceeded { max_ops } if max_ops == budget
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_racy_comp_reports_match_tree() {
+        // Unprotected comp updates across a team: both engines report the
+        // same races.
+        let p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::OmpParallel(OmpParallel {
+                clauses: OmpClauses {
+                    num_threads: Some(4),
+                    ..OmpClauses::default()
+                },
+                prelude: vec![Stmt::DeclAssign {
+                    ty: FpType::F64,
+                    name: "t".into(),
+                    value: Expr::fp_const(0.0),
+                }],
+                body_loop: ForLoop {
+                    omp_for: true,
+                    var: "i".into(),
+                    bound: LoopBound::Const(16),
+                    body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                        target: LValue::Comp,
+                        op: AssignOp::AddAssign,
+                        value: Expr::fp_const(1.0),
+                    })]),
+                },
+            })]),
+        );
+        let input = fp_input(vec![0.0]);
+        let kernel = lower(&p).unwrap();
+        let ck = CompiledKernel::compile(kernel.clone());
+        let opts = ExecOptions::with_race_detection();
+        let b = run(&ck, &input, &opts).unwrap();
+        assert!(!b.races.is_empty());
+        both_engines(&p, &input, &opts);
+    }
+
+    #[test]
+    fn input_mismatch_matches_tree() {
+        let p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::Assign(Assignment {
+                target: LValue::Comp,
+                op: AssignOp::Assign,
+                value: Expr::var("var_1"),
+            })]),
+        );
+        let empty = TestInput {
+            comp_init: 0.0,
+            values: vec![],
+        };
+        both_engines(&p, &empty, &ExecOptions::default());
+    }
+
+    #[test]
+    fn region_in_serial_loop_matches_tree() {
+        // Case-study-2 shape: the region (and its trace bookkeeping,
+        // including entries and per-thread accumulation) re-runs per outer
+        // iteration.
+        let region = Stmt::OmpParallel(OmpParallel {
+            clauses: OmpClauses {
+                private: vec!["var_1".into()],
+                reduction: Some(ReductionOp::Add),
+                num_threads: Some(3),
+                ..OmpClauses::default()
+            },
+            prelude: vec![Stmt::Assign(Assignment {
+                target: LValue::Var(VarRef::Scalar("var_1".into())),
+                op: AssignOp::Assign,
+                value: Expr::fp_const(0.0),
+            })],
+            body_loop: ForLoop {
+                omp_for: true,
+                var: "i".into(),
+                bound: LoopBound::Const(7),
+                body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                    target: LValue::Comp,
+                    op: AssignOp::AddAssign,
+                    value: Expr::fp_const(1.0),
+                })]),
+            },
+        });
+        let p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::For(ForLoop {
+                omp_for: false,
+                var: "k".into(),
+                bound: LoopBound::Const(5),
+                body: Block::of_stmts(vec![region]),
+            })]),
+        );
+        both_engines(&p, &fp_input(vec![0.0]), &ExecOptions::default());
+        both_engines(
+            &p,
+            &fp_input(vec![0.0]),
+            &ExecOptions::with_race_detection(),
+        );
+    }
+}

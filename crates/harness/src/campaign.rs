@@ -12,15 +12,19 @@ use crate::config::CampaignConfig;
 use crate::pool;
 use crate::testcase::{generate_corpus, TestCase};
 use ompfuzz_backends::{oracle, CompileOptions, OmpBackend, RunOptions};
-use ompfuzz_exec::{ExecOptions, RaceReport};
+use ompfuzz_exec::{CompiledKernel, ExecEngine, ExecOptions, RaceReport};
 use ompfuzz_outlier::{analyze, Analysis, OutlierKind, RunObservation, Tally};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-(program, input) record of every implementation's behaviour.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
     pub program_index: usize,
-    pub program_name: String,
+    /// Shared name of the source program: one `Arc<str>` per program,
+    /// cloned by refcount into each of its (program, input) records instead
+    /// of re-allocating the string in the campaign hot loop.
+    pub program_name: Arc<str>,
     pub input_index: usize,
     /// One observation per implementation, aligned with
     /// [`CampaignResult::labels`].
@@ -78,7 +82,7 @@ pub struct CampaignResult {
     /// Aggregated Table-I tally.
     pub tally: Tally,
     /// Programs excluded by the race filter, with their reports.
-    pub racy_programs: Vec<(String, Vec<RaceReport>)>,
+    pub racy_programs: Vec<(Arc<str>, Vec<RaceReport>)>,
     /// Programs that failed to compile on some implementation (counted,
     /// not analyzed further).
     pub compile_failures: usize,
@@ -168,7 +172,7 @@ pub fn run_campaign_slice(
         if config.filter_races {
             match detect_races(tc, config) {
                 Some(reports) if !reports.is_empty() => {
-                    racy_programs.push((tc.program.name.clone(), reports));
+                    racy_programs.push((Arc::from(tc.program.name.as_str()), reports));
                     continue;
                 }
                 _ => {}
@@ -221,13 +225,14 @@ fn run_one_program(
     let compile_opts = CompileOptions {
         opt_level: config.opt_level,
     };
-    // One lowering per program: the cached kernel (possibly already filled
-    // by the race filter) feeds every simulated backend's compile.
-    let kernel = tc.kernel().ok();
+    // One compilation per program: the cached prepared kernel (possibly
+    // already filled by the race filter) feeds every simulated backend's
+    // compile — the three vendor binaries share one flat bytecode.
+    let prepared = tc.prepared().ok();
     let mut binaries = Vec::with_capacity(backends.len());
     let mut compile_failures = 0;
     for b in backends {
-        match b.compile_lowered(&tc.program, kernel, &compile_opts) {
+        match b.compile_lowered(&tc.program, prepared, &compile_opts) {
             Ok(bin) => binaries.push(bin),
             Err(_) => compile_failures += 1,
         }
@@ -244,6 +249,8 @@ fn run_one_program(
         detect_races: false,
         ..config.run
     };
+    // One allocation per program, refcounted into each record.
+    let program_name: Arc<str> = Arc::from(tc.program.name.as_str());
     let mut records = Vec::with_capacity(tc.inputs.len());
     for (input_index, input) in tc.inputs.iter().enumerate() {
         let observations: Vec<RunObservation> = binaries
@@ -253,7 +260,7 @@ fn run_one_program(
         let analysis = analyze(&observations, &config.outlier);
         records.push(RunRecord {
             program_index: index,
-            program_name: tc.program.name.clone(),
+            program_name: Arc::clone(&program_name),
             input_index,
             observations,
             analysis,
@@ -265,35 +272,40 @@ fn run_one_program(
     }
 }
 
-/// The core of the §IV-E race filter: interpret `kernel` on `input` with
-/// the dynamic race detector. Returns `None` when the run fails (op
-/// budget) — callers treat that as "no verdict" and keep the program.
-/// Shared by the campaign driver (first input per program) and the
-/// test-case reducer (the pinned outlier input), so the two stay in sync.
+/// The core of the §IV-E race filter: run `code` on `input` with the
+/// dynamic race detector, on the selected engine. Returns `None` when the
+/// run fails (op budget) — callers treat that as "no verdict" and keep the
+/// program. Shared by the campaign driver (first input per program) and
+/// the test-case reducer (the pinned outlier input), so the two stay in
+/// sync.
 pub fn detect_kernel_races(
-    kernel: &ompfuzz_exec::Kernel,
+    code: &CompiledKernel,
     input: &ompfuzz_inputs::TestInput,
     max_ops: u64,
+    engine: ExecEngine,
 ) -> Option<Vec<RaceReport>> {
     let opts = ExecOptions {
         detect_races: true,
         limits: ompfuzz_exec::ExecLimits { max_ops },
+        engine,
         ..ExecOptions::default()
     };
-    ompfuzz_exec::run(kernel, input, &opts)
-        .ok()
-        .map(|o| o.races)
+    code.run(input, &opts).ok().map(|o| o.races)
 }
 
-/// Run the race detector on a test case (first input, reference
-/// interpretation). Returns `None` when the program fails to lower or
-/// exceeds the budget — such programs stay in the campaign and fail there
-/// uniformly. Lowers through the test case's kernel cache, which the
-/// per-backend compiles reuse.
+/// Run the race detector on a test case (first input). Returns `None` when
+/// the program fails to lower or exceeds the budget — such programs stay
+/// in the campaign and fail there uniformly. Runs through the test case's
+/// shared compilation, which the per-backend compiles reuse.
 fn detect_races(tc: &TestCase, config: &CampaignConfig) -> Option<Vec<RaceReport>> {
     let input = tc.inputs.first()?;
-    let kernel = tc.kernel().ok()?;
-    detect_kernel_races(kernel, input, config.run.max_ops)
+    let prepared = tc.prepared().ok()?;
+    detect_kernel_races(
+        prepared.plain(),
+        input,
+        config.run.max_ops,
+        config.run.engine,
+    )
 }
 
 #[cfg(test)]
@@ -360,15 +372,11 @@ mod tests {
             "legacy campaign should catch races"
         );
         // Racy programs are excluded from the differential records.
-        let racy: Vec<&str> = result
-            .racy_programs
-            .iter()
-            .map(|(n, _)| n.as_str())
-            .collect();
+        let racy: Vec<&str> = result.racy_programs.iter().map(|(n, _)| &**n).collect();
         assert!(result
             .records
             .iter()
-            .all(|r| !racy.contains(&r.program_name.as_str())));
+            .all(|r| !racy.contains(&&*r.program_name)));
     }
 
     #[test]
@@ -402,7 +410,7 @@ mod tests {
         fn record(program_index: usize, input_index: usize, analysis: Analysis) -> RunRecord {
             RunRecord {
                 program_index,
-                program_name: format!("test_{program_index}"),
+                program_name: format!("test_{program_index}").into(),
                 input_index,
                 observations: Vec::new(),
                 analysis,
@@ -478,6 +486,41 @@ mod tests {
             assert_eq!(sliced.program_name, whole.program_name);
             assert_eq!(sliced.input_index, whole.input_index);
             assert_eq!(sliced.analysis, whole.analysis);
+        }
+    }
+
+    /// The acceptance invariant of the bytecode engine: campaign results
+    /// are engine-independent — every record (status, time, result bits,
+    /// analysis), the tally, and the race filter's exclusions are identical
+    /// whether kernels run on the tree interpreter or the flat bytecode VM.
+    #[test]
+    fn campaign_results_are_engine_independent() {
+        use ompfuzz_exec::ExecEngine;
+        let mut tree_cfg = CampaignConfig::small();
+        tree_cfg.run.engine = ExecEngine::Tree;
+        let mut byte_cfg = CampaignConfig::small();
+        byte_cfg.run.engine = ExecEngine::Bytecode;
+        let backends = standard_backends();
+        let dyns = as_dyn(&backends);
+        let tree = run_campaign(&tree_cfg, &dyns);
+        let byte = run_campaign(&byte_cfg, &dyns);
+        assert_eq!(tree.records.len(), byte.records.len());
+        assert_eq!(tree.total_runs, byte.total_runs);
+        assert_eq!(tree.tally, byte.tally);
+        assert_eq!(tree.racy_programs.len(), byte.racy_programs.len());
+        for ((tn, tr), (bn, br)) in tree.racy_programs.iter().zip(&byte.racy_programs) {
+            assert_eq!(tn, bn);
+            assert_eq!(tr, br);
+        }
+        for (rt, rb) in tree.records.iter().zip(&byte.records) {
+            assert_eq!(rt.program_name, rb.program_name);
+            assert_eq!(rt.input_index, rb.input_index);
+            assert_eq!(rt.analysis, rb.analysis);
+            for (ot, ob) in rt.observations.iter().zip(&rb.observations) {
+                assert_eq!(ot.status, ob.status);
+                assert_eq!(ot.time_us, ob.time_us);
+                assert_eq!(ot.result.map(f64::to_bits), ob.result.map(f64::to_bits));
+            }
         }
     }
 

@@ -97,6 +97,7 @@ impl CampaignConfig {
         );
         kv("workers", self.workers.to_string());
         kv("filter_races", self.filter_races.to_string());
+        kv("engine", self.run.engine.label().to_string());
         kv("alpha", self.outlier.alpha.to_string());
         kv("beta", self.outlier.beta.to_string());
         kv("min_time_us", self.outlier.min_time_us.to_string());
@@ -149,6 +150,7 @@ impl CampaignConfig {
                 }
                 "workers" => cfg.workers = value.parse().map_err(|_| bad("usize"))?,
                 "filter_races" => cfg.filter_races = value.parse().map_err(|_| bad("bool"))?,
+                "engine" => cfg.run.engine = value.parse().map_err(|_| bad("tree|bytecode"))?,
                 "alpha" => cfg.outlier.alpha = value.parse().map_err(|_| bad("f64"))?,
                 "beta" => cfg.outlier.beta = value.parse().map_err(|_| bad("f64"))?,
                 "min_time_us" => cfg.outlier.min_time_us = value.parse().map_err(|_| bad("f64"))?,
@@ -285,6 +287,17 @@ mod tests {
         let err =
             CampaignConfig::from_config_file("ARRAY_SIZE = 4\nNUM_THREADS = 32\n").unwrap_err();
         assert!(err.0.contains("inconsistent"));
+    }
+
+    #[test]
+    fn engine_round_trips() {
+        use ompfuzz_exec::ExecEngine;
+        assert_eq!(CampaignConfig::paper().run.engine, ExecEngine::Bytecode);
+        let c = CampaignConfig::from_config_file("engine = tree\n").unwrap();
+        assert_eq!(c.run.engine, ExecEngine::Tree);
+        assert!(c.to_config_file().contains("engine = tree"));
+        let err = CampaignConfig::from_config_file("engine = jit\n").unwrap_err();
+        assert!(err.0.contains("engine"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::config::CampaignConfig;
 use ompfuzz_ast::printer::{emit_translation_unit, PrintOptions};
 use ompfuzz_ast::Program;
-use ompfuzz_exec::{Kernel, LowerError};
+use ompfuzz_exec::{Kernel, LowerError, PreparedKernel};
 use ompfuzz_gen::ProgramGenerator;
 use ompfuzz_inputs::{InputGenerator, TestInput};
 use std::fs;
@@ -16,19 +16,21 @@ use std::sync::OnceLock;
 /// One test: a program and its `INPUT_SAMPLES_PER_RUN` inputs.
 ///
 /// Invariant: the kernel cache pairs with `program` *as of the first
-/// [`TestCase::kernel`] call*. Treat a `TestCase` as immutable once built —
-/// to run a mutated program (e.g. a `rewrite` product), construct a fresh
-/// `TestCase::new` rather than assigning through the public fields, or the
-/// cached kernel silently stops matching the program.
+/// [`TestCase::kernel`]/[`TestCase::prepared`] call*. Treat a `TestCase` as
+/// immutable once built — to run a mutated program (e.g. a `rewrite`
+/// product), construct a fresh `TestCase::new` rather than assigning
+/// through the public fields, or the cached kernel silently stops matching
+/// the program.
 #[derive(Debug, Clone)]
 pub struct TestCase {
     pub program: Program,
     pub inputs: Vec<TestInput>,
-    /// Lazily cached `lower(program)` result, shared by the race filter and
-    /// every simulated backend's compile so each program is lowered once per
+    /// Lazily cached `lower(program)` + bytecode compilation, shared by the
+    /// race filter, every simulated backend's compile, and the reducer's
+    /// candidate checks, so each program is lowered and flattened once per
     /// campaign instead of once per consumer (`OnceLock` makes the fill
     /// race-free across campaign workers).
-    lowered: OnceLock<Result<Kernel, LowerError>>,
+    lowered: OnceLock<Result<PreparedKernel, LowerError>>,
 }
 
 impl TestCase {
@@ -43,8 +45,14 @@ impl TestCase {
 
     /// The program's lowered kernel, computed on first use.
     pub fn kernel(&self) -> Result<&Kernel, &LowerError> {
+        self.prepared().map(|p| p.kernel())
+    }
+
+    /// The program's shared compilation (lowered kernel + flat bytecode),
+    /// computed on first use.
+    pub fn prepared(&self) -> Result<&PreparedKernel, &LowerError> {
         self.lowered
-            .get_or_init(|| ompfuzz_exec::lower(&self.program))
+            .get_or_init(|| ompfuzz_exec::lower(&self.program).map(PreparedKernel::new))
             .as_ref()
     }
 }

@@ -11,7 +11,7 @@ use crate::target::{ReductionTarget, Verdict};
 use ompfuzz_ast::rewrite::{self, ClauseEdit, ExprSide};
 use ompfuzz_ast::Program;
 use ompfuzz_backends::{oracle, CompileOptions, OmpBackend, RunOptions};
-use ompfuzz_exec::Kernel;
+use ompfuzz_exec::PreparedKernel;
 use ompfuzz_harness::{pool, CampaignConfig};
 use ompfuzz_inputs::TestInput;
 use ompfuzz_outlier::{analyze, OutlierConfig};
@@ -178,8 +178,13 @@ impl<'b> Reducer<'b> {
         // exist), gating would reject the unmodified program and silently
         // no-op — allow races for the whole reduction instead.
         let allow_races = self.config.filter_races
-            && ompfuzz_exec::lower(&target.program)
-                .is_ok_and(|kernel| candidate_races(&kernel, &target.input, &self.config.run));
+            && ompfuzz_exec::lower(&target.program).is_ok_and(|kernel| {
+                candidate_races(
+                    &PreparedKernel::new(kernel),
+                    &target.input,
+                    &self.config.run,
+                )
+            });
         let ctx = OracleCtx {
             verdict: target.verdict,
             allow_races,
@@ -234,9 +239,12 @@ impl<'b> Reducer<'b> {
         let Ok(kernel) = ompfuzz_exec::lower(program) else {
             return false;
         };
+        // One compilation per candidate: the race gate and every backend
+        // run the same prepared bytecode.
+        let prepared = PreparedKernel::new(kernel);
         if self.config.filter_races
             && !ctx.allow_races
-            && candidate_races(&kernel, input, &self.config.run)
+            && candidate_races(&prepared, input, &self.config.run)
         {
             return false;
         }
@@ -244,7 +252,7 @@ impl<'b> Reducer<'b> {
             program,
             input,
             self.backends,
-            Some(&kernel),
+            Some(&prepared),
             &self.config.compile,
             &self.config.run,
         ) else {
@@ -457,13 +465,14 @@ struct OracleCtx {
     allow_races: bool,
 }
 
-/// Does the lowered candidate race on `input`? Delegates to the campaign
+/// Does the compiled candidate race on `input`? Delegates to the campaign
 /// driver's §IV-E detector ([`ompfuzz_harness::detect_kernel_races`]) so
-/// reducer and campaign can never drift. A run that fails (op budget) is
-/// treated as race-free, exactly as the campaign treats it — such programs
-/// stay in play and fail uniformly at the oracle instead.
-fn candidate_races(kernel: &Kernel, input: &TestInput, run: &RunOptions) -> bool {
-    ompfuzz_harness::detect_kernel_races(kernel, input, run.max_ops)
+/// reducer and campaign can never drift — same shared compilation, same
+/// engine. A run that fails (op budget) is treated as race-free, exactly as
+/// the campaign treats it — such programs stay in play and fail uniformly
+/// at the oracle instead.
+fn candidate_races(prepared: &PreparedKernel, input: &TestInput, run: &RunOptions) -> bool {
+    ompfuzz_harness::detect_kernel_races(prepared.plain(), input, run.max_ops, run.engine)
         .is_some_and(|races| !races.is_empty())
 }
 

@@ -62,7 +62,7 @@ impl ReductionTarget {
     pub fn from_record(corpus: &[TestCase], record: &RunRecord) -> Option<ReductionTarget> {
         let (kind, backend) = record.outlier()?;
         let tc = corpus.get(record.program_index)?;
-        if tc.program.name != record.program_name {
+        if tc.program.name.as_str() != &*record.program_name {
             return None;
         }
         let input = tc.inputs.get(record.input_index)?.clone();
@@ -126,7 +126,7 @@ mod tests {
         // And the worst-of-campaign helper agrees with the driver's pick.
         if let Some(worst) = result.worst_outlier() {
             let t = ReductionTarget::worst_of_campaign(&corpus, &result).unwrap();
-            assert_eq!(t.program.name, worst.program_name);
+            assert_eq!(t.program.name.as_str(), &*worst.program_name);
         }
     }
 

@@ -4,11 +4,12 @@
 //! ompfuzz list-experiments
 //! ompfuzz reproduce -e table1 [--quick]
 //! ompfuzz campaign [--programs N] [--inputs K] [--seed S] [--config FILE] [--csv OUT]
+//!                  [--engine tree|bytecode]
 //! ompfuzz reduce [--all] [--programs N] [--seed S] [--kind hang] [--target IDX]
-//!                [--workers W] [--catalog FILE] [--emit]
+//!                [--workers W] [--catalog FILE] [--emit] [--engine tree|bytecode]
 //! ompfuzz evolve [--rounds N] [--seed S] [--programs N] [--config FILE] [--quick]
 //!                [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]
-//!                [--shards N] [--checkpoint-dir DIR]
+//!                [--shards N] [--checkpoint-dir DIR] [--engine tree|bytecode]
 //! ompfuzz shard --round R --shard I/N --checkpoint-dir DIR [evolve options]
 //! ompfuzz generate --out DIR [--programs N] [--seed S]
 //! ompfuzz emit [--seed S]
@@ -75,16 +76,20 @@ fn print_usage() {
          \x20 list-experiments           list every reproducible table/figure\n\
          \x20 reproduce -e <id> [--quick]  regenerate one experiment (e.g. table1, fig9)\n\
          \x20 campaign [--programs N] [--inputs K] [--seed S] [--config FILE] [--csv OUT]\n\
+         \x20          [--engine tree|bytecode]\n\
          \x20                            run a differential campaign and print Table I\n\
+         \x20                            (--engine picks the interpreter; results are\n\
+         \x20                            bit-identical, bytecode is the fast default)\n\
          \x20 reduce [--all] [--programs N] [--seed S] [--kind slow|fast|crash|hang]\n\
          \x20        [--target IDX] [--workers W] [--catalog FILE] [--emit]\n\
+         \x20        [--engine tree|bytecode]\n\
          \x20                            run a campaign, then delta-debug its worst\n\
          \x20                            outlier (or program IDX's) to a minimal kernel;\n\
          \x20                            --all batch-reduces every outlier into a\n\
          \x20                            skeleton-deduplicated trigger catalog\n\
          \x20 evolve [--rounds N] [--seed S] [--programs N] [--config FILE] [--quick]\n\
          \x20        [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]\n\
-         \x20        [--shards N] [--checkpoint-dir DIR]\n\
+         \x20        [--shards N] [--checkpoint-dir DIR] [--engine tree|bytecode]\n\
          \x20                            corpus-guided evolutionary loop: campaign ->\n\
          \x20                            batch-reduce -> catalog -> bias + mutate -> repeat;\n\
          \x20                            --shards splits each round into N slices merged\n\
@@ -179,7 +184,17 @@ fn build_config(opts: &Opts) -> Result<CampaignConfig, String> {
     if let Some(s) = opts.parsed::<u64>("--seed", Some("-s"))? {
         cfg.seed = s;
     }
+    apply_engine(opts, &mut cfg)?;
     Ok(cfg)
+}
+
+/// Apply `--engine tree|bytecode` (results are bit-identical either way;
+/// the tree interpreter is the reference for differential self-testing).
+fn apply_engine(opts: &Opts, cfg: &mut CampaignConfig) -> Result<(), String> {
+    if let Some(e) = opts.value_of("--engine", None) {
+        cfg.run.engine = e.parse()?;
+    }
+    Ok(())
 }
 
 fn cmd_campaign(rest: &[String]) -> Result<(), String> {
@@ -348,6 +363,7 @@ fn build_evolve_config(opts: &Opts) -> Result<(EvolveConfig, TriggerCatalog), St
         if let Some(k) = opts.parsed::<usize>("--inputs", Some("-i"))? {
             quick.inputs_per_program = k;
         }
+        apply_engine(opts, &mut quick)?;
         quick
     } else {
         build_config(opts)?
