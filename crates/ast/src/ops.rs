@@ -16,6 +16,28 @@ pub enum BinOp {
     Div,
 }
 
+/// Collapse any NaN to the positive quiet NaN (`0x7FF8_0000_0000_0000`).
+///
+/// IEEE 754 leaves NaN sign and payload unspecified, and in practice they
+/// depend on *codegen*: x86 hardware produces the negative "real
+/// indefinite" (`0xFFF8...`) for invalid operations, while LLVM
+/// constant-folds (and some libm entry points return) the positive form,
+/// and operand commutation changes which input NaN an instruction
+/// propagates. The two execution engines compile the same `apply` calls
+/// into different surrounding code, so without canonicalization their
+/// `comp` bits can diverge on NaN-producing runs in optimized builds.
+/// Canonicalizing at every value-producing operation makes bit-level
+/// outcomes a pure function of the semantics again — on every engine,
+/// optimization level and host.
+#[inline(always)]
+pub fn canonical_nan(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::from_bits(0x7FF8_0000_0000_0000)
+    } else {
+        v
+    }
+}
+
 impl BinOp {
     /// All arithmetic operators, in grammar order.
     pub fn all() -> [BinOp; 4] {
@@ -32,14 +54,15 @@ impl BinOp {
         }
     }
 
-    /// IEEE 754 double-precision evaluation.
+    /// IEEE 754 double-precision evaluation, with NaN results canonicalized
+    /// by [`canonical_nan`] so every execution path produces identical bits.
     pub fn apply(self, lhs: f64, rhs: f64) -> f64 {
-        match self {
+        canonical_nan(match self {
             BinOp::Add => lhs + rhs,
             BinOp::Sub => lhs - rhs,
             BinOp::Mul => lhs * rhs,
             BinOp::Div => lhs / rhs,
-        }
+        })
     }
 
     /// Rough relative latency in cycles on a modern x86 core; used by the
@@ -94,13 +117,15 @@ impl AssignOp {
     }
 
     /// Apply `target <op>= value` and return the new value of `target`.
+    /// NaN results are canonicalized (see [`canonical_nan`]); a plain `=`
+    /// copies the value bits untouched.
     pub fn apply(self, target: f64, value: f64) -> f64 {
         match self {
             AssignOp::Assign => value,
-            AssignOp::AddAssign => target + value,
-            AssignOp::SubAssign => target - value,
-            AssignOp::MulAssign => target * value,
-            AssignOp::DivAssign => target / value,
+            AssignOp::AddAssign => canonical_nan(target + value),
+            AssignOp::SubAssign => canonical_nan(target - value),
+            AssignOp::MulAssign => canonical_nan(target * value),
+            AssignOp::DivAssign => canonical_nan(target / value),
         }
     }
 
@@ -223,10 +248,10 @@ impl ReductionOp {
 
     /// Combine two partial results.
     pub fn combine(self, a: f64, b: f64) -> f64 {
-        match self {
+        canonical_nan(match self {
             ReductionOp::Add => a + b,
             ReductionOp::Mul => a * b,
-        }
+        })
     }
 }
 
@@ -288,10 +313,11 @@ impl MathFunc {
         }
     }
 
-    /// Double-precision evaluation, mirroring libm.
+    /// Double-precision evaluation, mirroring libm; NaN results are
+    /// canonicalized (see [`canonical_nan`]).
     pub fn apply(self, x: f64) -> f64 {
         use MathFunc::*;
-        match self {
+        canonical_nan(match self {
             Sin => x.sin(),
             Cos => x.cos(),
             Tan => x.tan(),
@@ -307,7 +333,7 @@ impl MathFunc {
             Fabs => x.abs(),
             Floor => x.floor(),
             Ceil => x.ceil(),
-        }
+        })
     }
 
     /// Approximate call cost in cycles; transcendental functions dominate

@@ -10,7 +10,9 @@ use crate::profile::{self, ProfileMode};
 use crate::rtmodel::{runtime_model, BugModels, RuntimeModel};
 use crate::sched::{fnv1a, jitter, time_breakdown, TimeBreakdown};
 use ompfuzz_ast::{Program, ProgramFeatures};
-use ompfuzz_exec::{lower, BoolSemantics, CompiledKernel, ExecLimits, ExecOptions, PreparedKernel};
+use ompfuzz_exec::{
+    lower, BoolSemantics, CompiledKernel, ExecLimits, ExecOptions, ExecScratch, PreparedKernel,
+};
 use ompfuzz_inputs::TestInput;
 use std::sync::Arc;
 
@@ -54,6 +56,22 @@ pub trait OmpBackend: Send + Sync {
 pub trait CompiledTest: Send + Sync {
     /// Execute with one input under the run options.
     fn run(&self, input: &TestInput, opts: &RunOptions) -> RunResult;
+    /// Execute reusing a caller-held [`ExecScratch`]: the campaign driver
+    /// shares one scratch across a test case's race-filter run and every
+    /// (input × backend) run, the reducer one per candidate across the
+    /// race gate and all backend runs — so those executions stop
+    /// reallocating their state vectors. The default ignores the scratch —
+    /// process-based backends execute real binaries and have no
+    /// interpreter state.
+    fn run_with(
+        &self,
+        input: &TestInput,
+        opts: &RunOptions,
+        scratch: &mut ExecScratch,
+    ) -> RunResult {
+        let _ = scratch;
+        self.run(input, opts)
+    }
     /// Label of the producing implementation (for reports).
     fn backend_label(&self) -> String;
 }
@@ -327,6 +345,15 @@ impl SimBinary {
 
 impl CompiledTest for SimBinary {
     fn run(&self, input: &TestInput, opts: &RunOptions) -> RunResult {
+        self.run_with(input, opts, &mut ExecScratch::new())
+    }
+
+    fn run_with(
+        &self,
+        input: &TestInput,
+        opts: &RunOptions,
+        scratch: &mut ExecScratch,
+    ) -> RunResult {
         // 1. Modelled compile-bug crash (before any output).
         if self.crash_triggered(input) {
             return RunResult {
@@ -354,7 +381,7 @@ impl CompiledTest for SimBinary {
             detect_races: opts.detect_races,
             engine: opts.engine,
         };
-        let outcome = match self.code.run(input, &exec_opts) {
+        let outcome = match self.code.run_with(input, &exec_opts, scratch) {
             Ok(o) => o,
             Err(ompfuzz_exec::ExecError::BudgetExceeded { .. }) => {
                 // The binary genuinely runs far beyond the timeout: a hang

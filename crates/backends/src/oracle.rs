@@ -11,7 +11,7 @@
 use crate::backend::{CompiledTest, OmpBackend};
 use crate::model::{CompileError, CompileOptions, RunOptions, RunResult, RunStatus};
 use ompfuzz_ast::Program;
-use ompfuzz_exec::PreparedKernel;
+use ompfuzz_exec::{ExecScratch, PreparedKernel};
 use ompfuzz_inputs::TestInput;
 use ompfuzz_outlier::{ExecStatus, RunObservation};
 
@@ -44,13 +44,38 @@ pub fn observe(
     compile_opts: &CompileOptions,
     run_opts: &RunOptions,
 ) -> Result<Vec<RunObservation>, CompileError> {
+    observe_with(
+        program,
+        input,
+        backends,
+        prepared,
+        compile_opts,
+        run_opts,
+        &mut ExecScratch::new(),
+    )
+}
+
+/// [`observe`] reusing a caller-held [`ExecScratch`] across the
+/// per-backend runs (and across whatever other executions the caller
+/// threads through the same scratch — the reducer shares one per
+/// candidate between the race gate and all three backend runs).
+#[allow(clippy::too_many_arguments)]
+pub fn observe_with(
+    program: &Program,
+    input: &TestInput,
+    backends: &[&dyn OmpBackend],
+    prepared: Option<&PreparedKernel>,
+    compile_opts: &CompileOptions,
+    run_opts: &RunOptions,
+    scratch: &mut ExecScratch,
+) -> Result<Vec<RunObservation>, CompileError> {
     let binaries: Vec<Box<dyn CompiledTest>> = backends
         .iter()
         .map(|b| b.compile_lowered(program, prepared, compile_opts))
         .collect::<Result<_, _>>()?;
     Ok(binaries
         .iter()
-        .map(|bin| to_observation(&bin.run(input, run_opts)))
+        .map(|bin| to_observation(&bin.run_with(input, run_opts, scratch)))
         .collect())
 }
 

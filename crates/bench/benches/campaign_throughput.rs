@@ -1,0 +1,224 @@
+//! End-to-end campaign throughput: programs/second through the full
+//! front half (generate → lower/compile → §IV-E race filter → differential
+//! runs), comparing two architectures over identical work:
+//!
+//! * **serial-front-half baseline** — the pre-pipelining driver: every
+//!   shard worker rebuilds the *whole* round corpus on one thread
+//!   (O(corpus) serial work per shard), race-filters its slice serially,
+//!   and only then fans the differential runs over the pool, each run on
+//!   freshly allocated interpreter state;
+//! * **pipelined** — the current driver: each shard generates only its
+//!   O(slice) of the index-addressed corpus on the pool, and generation,
+//!   the race filter and every differential run execute as one fused
+//!   per-program worker closure through a reused `ExecScratch`.
+//!
+//! Both architectures produce the same records/racy/outlier counts
+//! (asserted). The comparison is written to `BENCH_campaign.json` at the
+//! repository root and the run **fails** if the pipelined architecture is
+//! not faster. `OMPFUZZ_BENCH_QUICK=1` shortens the measurement for the CI
+//! smoke step.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ompfuzz_backends::{oracle, standard_backends, CompileOptions, OmpBackend, RunOptions};
+use ompfuzz_corpus::plan_shards;
+use ompfuzz_exec::ExecScratch;
+use ompfuzz_harness::{
+    detect_kernel_races, generate_case, generate_corpus, pool, run_campaign_generated,
+    CampaignConfig, TestCase,
+};
+use ompfuzz_outlier::analyze;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Shards per measured round — the paper's cluster-scale knob. The
+/// baseline pays O(corpus) generation *per shard*, the pipelined side
+/// O(corpus) in total, so its advantage grows with the shard count; 16
+/// shards over 8 workers models two rounds of oversubscribed cluster
+/// workers.
+const SHARDS: usize = 16;
+/// Worker threads for both architectures (the acceptance point).
+const WORKERS: usize = 8;
+
+/// The measured campaign: small-envelope programs (cheap runs, so the
+/// front half matters — the generator-throughput-bound regime of large
+/// sharded campaigns) at one input per program.
+fn campaign_config() -> CampaignConfig {
+    let mut cfg = CampaignConfig::small();
+    cfg.programs = 192;
+    cfg.inputs_per_program = 1;
+    cfg.seed = 20240;
+    cfg.workers = WORKERS;
+    cfg
+}
+
+/// `(records, racy, outliers)` across all shards — the work signature both
+/// architectures must agree on.
+type Signature = (usize, usize, usize);
+
+/// The pre-pipelining architecture, reconstructed faithfully: full-corpus
+/// rebuild per shard on one thread, serial race-filter pre-pass, pooled
+/// differential runs on fresh per-run state.
+fn run_baseline(cfg: &CampaignConfig, backends: &[&dyn OmpBackend]) -> Signature {
+    let mut signature = (0usize, 0usize, 0usize);
+    for range in plan_shards(cfg.programs, SHARDS) {
+        // O(corpus) serial rebuild per shard — the old "every shard can
+        // rebuild the whole corpus and take its slice by index".
+        let mut serial_cfg = cfg.clone();
+        serial_cfg.workers = 1;
+        let corpus = generate_corpus(&serial_cfg);
+        let slice = &corpus[range.clone()];
+
+        // Serial §IV-E pre-pass, fresh detector state per program.
+        let mut active: Vec<(usize, &TestCase)> = Vec::with_capacity(slice.len());
+        for (i, tc) in slice.iter().enumerate() {
+            let prepared = tc.prepared().expect("generated programs lower");
+            let input = tc.inputs.first().expect("one input per program");
+            let reports = detect_kernel_races(
+                prepared.plain(),
+                input,
+                cfg.run.max_ops,
+                cfg.run.engine,
+                &mut ExecScratch::new(),
+            );
+            if reports.is_some_and(|r| !r.is_empty()) {
+                signature.1 += 1;
+                continue;
+            }
+            active.push((range.start + i, tc));
+        }
+
+        // Pooled differential runs, fresh interpreter state per run (the
+        // scratch-free `CompiledTest::run` path).
+        let compile_opts = CompileOptions {
+            opt_level: cfg.opt_level,
+        };
+        let run_opts = RunOptions {
+            detect_races: false,
+            ..cfg.run
+        };
+        let outcomes = pool::map_parallel(WORKERS, &active, |&(_index, tc)| {
+            let prepared = tc.prepared().ok();
+            let binaries: Vec<_> = backends
+                .iter()
+                .map(|b| {
+                    b.compile_lowered(&tc.program, prepared, &compile_opts)
+                        .expect("simulated compiles succeed")
+                })
+                .collect();
+            let mut analyses = Vec::with_capacity(tc.inputs.len());
+            for input in &tc.inputs {
+                let observations: Vec<_> = binaries
+                    .iter()
+                    .map(|bin| oracle::to_observation(&bin.run(input, &run_opts)))
+                    .collect();
+                analyses.push(analyze(&observations, &cfg.outlier));
+            }
+            analyses
+        });
+        for analysis in outcomes.iter().flatten() {
+            signature.0 += 1;
+            signature.2 += usize::from(analysis.primary_outlier().is_some());
+        }
+    }
+    signature
+}
+
+/// The pipelined architecture through the public API: each shard runs a
+/// fused campaign whose worker closures generate their own O(slice)
+/// index-addressed tests, race-filter and run them through one reused
+/// scratch — no pre-materialized corpus anywhere.
+fn run_pipelined(cfg: &CampaignConfig, backends: &[&dyn OmpBackend]) -> Signature {
+    let mut signature = (0usize, 0usize, 0usize);
+    for range in plan_shards(cfg.programs, SHARDS) {
+        let (result, _slice) = run_campaign_generated(
+            cfg,
+            backends,
+            range,
+            &|i| generate_case(cfg, i),
+            Instant::now(),
+        );
+        signature.0 += result.records.len();
+        signature.1 += result.racy_programs.len();
+        signature.2 += result
+            .records
+            .iter()
+            .filter(|r| r.outlier().is_some())
+            .count();
+    }
+    signature
+}
+
+fn write_json(path: &std::path::Path, mode: &str, baseline_pps: f64, pipelined_pps: f64) {
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \
+         \"workload\": \"sharded_campaign_front_half\",\n  \
+         \"mode\": \"{mode}\",\n  \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n  \
+         \"programs_per_round\": {},\n  \"architectures\": {{\n    \
+         \"serial_front_half\": {{ \"programs_per_sec\": {:.1} }},\n    \
+         \"pipelined\": {{ \"programs_per_sec\": {:.1} }}\n  }},\n  \
+         \"speedup\": {:.2}\n}}\n",
+        campaign_config().programs,
+        baseline_pps,
+        pipelined_pps,
+        pipelined_pps / baseline_pps,
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {}: {e}", path.display());
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let cfg = campaign_config();
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+    let quick = std::env::var_os("OMPFUZZ_BENCH_QUICK").is_some();
+    let (mode, rounds) = if quick { ("quick", 2) } else { ("full", 4) };
+
+    // Identical work first (also warms both paths).
+    let base_sig = run_baseline(&cfg, &dyns);
+    let pipe_sig = run_pipelined(&cfg, &dyns);
+    assert_eq!(
+        base_sig, pipe_sig,
+        "architectures disagree on the campaign's records/racy/outlier counts"
+    );
+
+    // Interleave the two architectures round-robin so scheduler noise and
+    // frequency drift hit both alike; keep each side's best rate.
+    let mut best_base = 0f64;
+    let mut best_pipe = 0f64;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        black_box(run_baseline(&cfg, &dyns));
+        best_base = best_base.max(cfg.programs as f64 / t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(run_pipelined(&cfg, &dyns));
+        best_pipe = best_pipe.max(cfg.programs as f64 / t.elapsed().as_secs_f64());
+    }
+    println!(
+        "campaign front half ({} programs, {SHARDS} shards, {WORKERS} workers): \
+         serial-front-half {best_base:.1} programs/s, pipelined {best_pipe:.1} programs/s ({:.2}x)",
+        cfg.programs,
+        best_pipe / best_base,
+    );
+    let json_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    write_json(&json_path, mode, best_base, best_pipe);
+    assert!(
+        best_pipe > best_base,
+        "pipelined campaign ({best_pipe:.1} programs/s) is not faster than the \
+         serial-front-half baseline ({best_base:.1} programs/s)"
+    );
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    if quick {
+        group.sample_size(10);
+    }
+    group.throughput(Throughput::Elements(cfg.programs as u64));
+    group.bench_function("pipelined_front_half", |b| {
+        b.iter(|| black_box(run_pipelined(&cfg, &dyns)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -83,12 +83,25 @@ pub fn reduce_all(
     backends: &[&dyn OmpBackend],
     config: &BatchConfig,
 ) -> BatchReduction {
+    reduce_all_slice(corpus, 0, result, backends, config)
+}
+
+/// [`reduce_all`] against a contiguous corpus slice starting at global
+/// index `index_offset` — shard workers materialize only their O(slice)
+/// corpus, and their slice campaign's records carry global indices.
+pub fn reduce_all_slice(
+    corpus: &[TestCase],
+    index_offset: usize,
+    result: &CampaignResult,
+    backends: &[&dyn OmpBackend],
+    config: &BatchConfig,
+) -> BatchReduction {
     let targets: Vec<(usize, usize, std::sync::Arc<str>, ReductionTarget)> = result
         .records
         .iter()
         .filter(|r| r.outlier().is_some())
         .filter_map(|r| {
-            ReductionTarget::from_record(corpus, r)
+            ReductionTarget::from_record_slice(corpus, index_offset, r)
                 .map(|t| (r.program_index, r.input_index, r.program_name.clone(), t))
         })
         .collect();

@@ -29,14 +29,13 @@
 //! out-of-process worker entry (`ompfuzz shard --round R --shard I/N`).
 
 use crate::catalog::TriggerCatalog;
-use crate::evolve::{build_round_corpus, round_campaign, Evolution, EvolveConfig, RoundSummary};
+use crate::evolve::{round_campaign, round_case_fn, Evolution, EvolveConfig, RoundSummary};
 use crate::shard::{
     plan_shards, read_shard_file, run_planned_shard, write_shard_file, ShardCoords, ShardOutcome,
     ShardSummary,
 };
 use crate::store::{self, Node, StoreError};
 use ompfuzz_backends::OmpBackend;
-use ompfuzz_harness::TestCase;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
@@ -448,9 +447,11 @@ pub fn run_sharded_evolution(
             None => RoundManifest::new(round, campaign.seed, fingerprint, shards),
         };
 
-        // The round corpus is only materialized if some shard actually has
-        // to run; a fully-checkpointed round skips generation entirely.
-        let mut corpus: Option<(Vec<TestCase>, usize)> = None;
+        // Every shard generates only its own slice — O(slice) work per
+        // shard, O(corpus) across the whole round, fused per-program into
+        // the shard campaign's worker closures — and a checkpointed shard
+        // skips generation entirely.
+        let (gen, fresh) = round_case_fn(&campaign, &catalog, &config.evolve);
         let mut shard_rows: Vec<ShardProgress> = Vec::with_capacity(shards);
         let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
         for (index, range) in plan.iter().enumerate() {
@@ -475,14 +476,10 @@ pub fn run_sharded_evolution(
                     (outcome, ShardStatus::Cached)
                 }
                 None => {
-                    let (full, mutants) = corpus.get_or_insert_with(|| {
-                        build_round_corpus(&campaign, &catalog, &config.evolve)
-                    });
-                    let fresh = full.len() - *mutants;
                     let outcome = run_planned_shard(
                         &campaign,
                         backends,
-                        full,
+                        &gen,
                         fresh,
                         range.clone(),
                         ShardCoords {
@@ -507,6 +504,9 @@ pub fn run_sharded_evolution(
             });
             outcomes.push(outcome);
         }
+        // The round generator borrows the catalog; release it before the
+        // merge below mutates it.
+        drop(gen);
 
         let mut new_skeletons = 0;
         for outcome in outcomes {
@@ -594,12 +594,14 @@ pub fn run_standalone_shard(
         }
     }
     let plan = plan_shards(campaign.programs, shards);
-    let (corpus, mutants) = build_round_corpus(&campaign, &catalog, &config.evolve);
-    let fresh = corpus.len() - mutants;
+    // The out-of-process worker's headline saving: generate only this
+    // shard's slice — per program, inside the campaign closures — never
+    // the whole round corpus.
+    let (gen, fresh) = round_case_fn(&campaign, &catalog, &config.evolve);
     let outcome = run_planned_shard(
         &campaign,
         backends,
-        &corpus,
+        &gen,
         fresh,
         plan[shard].clone(),
         ShardCoords {

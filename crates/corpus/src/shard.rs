@@ -6,8 +6,10 @@
 //! function of `(config, seed)`, never of the shard count**. It holds
 //! because
 //!
-//! * the round corpus is deterministic, so every shard can rebuild the
-//!   *whole* corpus and take its slice by index;
+//! * every test of the round corpus is index-addressed — a pure function
+//!   of `(config, seed, index)` — so a shard generates **only its slice**
+//!   (O(slice) work, not O(corpus) per shard) and still holds exactly the
+//!   tests the whole-corpus build would put in its range;
 //! * per-record analysis never looks across programs, so a slice campaign
 //!   ([`run_campaign_slice`]) produces exactly the full run's records for
 //!   its range, with global indices;
@@ -18,11 +20,11 @@
 //! The [`coordinator`](crate::coordinator) module layers checkpointing and
 //! resume on top of these pieces.
 
-use crate::batch::{fold_into_catalog, reduce_all, BatchConfig};
+use crate::batch::{fold_into_catalog, reduce_all_slice, BatchConfig};
 use crate::catalog::TriggerCatalog;
 use crate::store::{self, Node, StoreError};
 use ompfuzz_backends::OmpBackend;
-use ompfuzz_harness::{run_campaign_slice, CampaignConfig, TestCase};
+use ompfuzz_harness::{run_campaign_generated, CampaignConfig, TestCase};
 use std::ops::Range;
 use std::time::Instant;
 
@@ -95,32 +97,32 @@ pub struct ShardCoords {
     pub shards: usize,
 }
 
-/// Run one planned shard of a round: slice campaign over `range`, batch
-/// reduction of its outliers, fold into a fresh per-shard catalog.
+/// Run one planned shard of a round: fused campaign over `range` —
+/// per-program generation through `gen`, race filter and differential runs
+/// in one worker closure — then batch reduction of its outliers, folded
+/// into a fresh per-shard catalog.
 ///
 /// `campaign` must be the round's campaign (seed stepped, generator
-/// steered) and `corpus` the **full** round corpus — the slice campaign
-/// stamps global indices, and the reducer resolves them against the full
-/// corpus, so catalog provenance matches the unsharded run exactly.
-/// `fresh` is the index of the first mutant slot (see
-/// [`build_round_corpus`](crate::evolve)).
+/// steered) and `gen` the round's index-addressed slot generator
+/// ([`round_case_fn`](crate::evolve)): the shard generates **only its
+/// slice**, O(slice) work instead of the O(corpus) full-corpus rebuild
+/// per shard the pre-pipelining driver paid. The slice campaign stamps
+/// global indices and the reducer resolves them back through
+/// `range.start`, so catalog provenance matches the unsharded run
+/// exactly. `fresh` is the global index of the first mutant slot.
 pub fn run_planned_shard(
     campaign: &CampaignConfig,
     backends: &[&dyn OmpBackend],
-    corpus: &[TestCase],
+    gen: &(dyn Fn(usize) -> TestCase + Sync),
     fresh: usize,
     range: Range<usize>,
     coords: ShardCoords,
 ) -> ShardOutcome {
-    let result = run_campaign_slice(
-        campaign,
-        backends,
-        &corpus[range.clone()],
+    let (result, slice) =
+        run_campaign_generated(campaign, backends, range.clone(), gen, Instant::now());
+    let batch = reduce_all_slice(
+        &slice,
         range.start,
-        Instant::now(),
-    );
-    let batch = reduce_all(
-        corpus,
         &result,
         backends,
         &BatchConfig::for_campaign(campaign),

@@ -29,8 +29,9 @@
 
 use crate::fold::fold_constants;
 use crate::kernel::*;
+use crate::scratch::ExecScratch;
 use crate::stats::OpCounts;
-use ompfuzz_ast::{AssignOp, BinOp, BoolOp, MathFunc, ReductionOp};
+use ompfuzz_ast::{AssignOp, BinOp, BoolOp, FpType, MathFunc, ReductionOp};
 use std::sync::{Arc, OnceLock};
 
 /// Costs and statistics of one straight-line block, charged in a single
@@ -207,6 +208,11 @@ pub struct CompiledKernel {
     pub(crate) instrs: Vec<Instr>,
     pub(crate) blocks: Vec<BlockCost>,
     pub(crate) regions: Vec<RegionMeta>,
+    /// Per-slot store precision, cached flat so the VM's store tail never
+    /// walks `kernel.scalars` (and runs need no per-execution copy).
+    pub(crate) slot_ty: Vec<FpType>,
+    /// Per-array store precision (see `slot_ty`).
+    pub(crate) array_ty: Vec<FpType>,
     /// Deepest evaluation-stack use of any expression.
     pub(crate) max_stack: usize,
     /// Constant folds applied before flattening (compile diagnostics).
@@ -233,9 +239,23 @@ impl CompiledKernel {
         input: &ompfuzz_inputs::TestInput,
         opts: &crate::interp::ExecOptions,
     ) -> Result<crate::interp::ExecOutcome, crate::interp::ExecError> {
+        self.run_with(input, opts, &mut ExecScratch::new())
+    }
+
+    /// [`Self::run`] reusing a caller-held [`ExecScratch`] — what the hot
+    /// paths (campaign workers, reducer candidate checks) call so thousands
+    /// of runs per program stop reallocating their state vectors.
+    pub fn run_with(
+        &self,
+        input: &ompfuzz_inputs::TestInput,
+        opts: &crate::interp::ExecOptions,
+        scratch: &mut ExecScratch,
+    ) -> Result<crate::interp::ExecOutcome, crate::interp::ExecError> {
         match opts.engine {
-            crate::interp::ExecEngine::Tree => crate::interp::run(&self.kernel, input, opts),
-            crate::interp::ExecEngine::Bytecode => crate::vm::run(self, input, opts),
+            crate::interp::ExecEngine::Tree => {
+                crate::interp::run_with(&self.kernel, input, opts, scratch)
+            }
+            crate::interp::ExecEngine::Bytecode => crate::vm::run_with(self, input, opts, scratch),
         }
     }
 
@@ -252,11 +272,15 @@ impl CompiledKernel {
             c.instrs.push(Instr::Halt);
             (c.instrs, c.blocks, c.regions, c.max_stack)
         };
+        let slot_ty = kernel.scalars.iter().map(|s| s.ty).collect();
+        let array_ty = kernel.arrays.iter().map(|a| a.ty).collect();
         CompiledKernel {
             kernel,
             instrs,
             blocks,
             regions,
+            slot_ty,
+            array_ty,
             max_stack,
             folds,
         }

@@ -23,8 +23,9 @@
 
 use crate::kernel::*;
 use crate::race::{Loc, RaceDetector, RaceReport};
+use crate::scratch::ExecScratch;
 use crate::stats::{ExecStats, RegionTrace, ThreadWork};
-use ompfuzz_ast::{AssignOp, BinOp, BoolOp, FpType, MathFunc};
+use ompfuzz_ast::{AssignOp, BinOp, BoolOp, MathFunc};
 use ompfuzz_inputs::{InputValue, TestInput};
 use std::fmt;
 
@@ -152,7 +153,8 @@ pub struct ExecOutcome {
     pub races: Vec<RaceReport>,
 }
 
-/// Execute `kernel` on `input` with the tree-walk interpreter.
+/// Execute `kernel` on `input` with the tree-walk interpreter (fresh
+/// scratch).
 ///
 /// This is the reference engine and ignores `opts.engine`; the crate-level
 /// [`crate::run`] (and [`crate::bytecode::CompiledKernel::run`]) dispatch
@@ -162,7 +164,20 @@ pub fn run(
     input: &TestInput,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let mut interp = Interp::new(kernel, opts);
+    run_with(kernel, input, opts, &mut ExecScratch::new())
+}
+
+/// [`run`] reusing a caller-held [`ExecScratch`] — bit-identical outcomes;
+/// the reset restores exactly the state a fresh allocation would have.
+pub fn run_with(
+    kernel: &Kernel,
+    input: &TestInput,
+    opts: &ExecOptions,
+    scratch: &mut ExecScratch,
+) -> Result<ExecOutcome, ExecError> {
+    scratch.reset_for(kernel);
+    scratch.reset_tree(kernel);
+    let mut interp = Interp::new(kernel, opts, scratch);
     interp.bind_input(input)?;
     interp.exec_stmts(&kernel.body)?;
     let Interp {
@@ -187,71 +202,61 @@ struct ThreadCtx {
     in_critical: bool,
 }
 
-struct Interp<'k> {
+struct Interp<'k, 's> {
     k: &'k Kernel,
+    /// Reused slot files and region buffers; reset for this kernel before
+    /// the run started.
+    s: &'s mut ExecScratch,
     bool_semantics: BoolSemantics,
     detect_races: bool,
-    scalars: Vec<f64>,
-    slot_ty: Vec<FpType>,
-    ints: Vec<i64>,
-    arrays: Vec<Vec<f64>>,
-    array_ty: Vec<FpType>,
     comp: f64,
     /// comp currently redirected to a thread-private reduction copy.
     comp_private: bool,
-    /// Slots privatized by the active region (clauses).
-    privatized: Vec<bool>,
     stats: ExecStats,
     ops_left: u64,
     max_ops: u64,
     cur: Option<ThreadCtx>,
     race: RaceDetector,
-    region_analyzed: Vec<bool>,
 }
 
-impl<'k> Interp<'k> {
-    fn new(k: &'k Kernel, opts: &ExecOptions) -> Self {
+impl<'k, 's> Interp<'k, 's> {
+    fn new(k: &'k Kernel, opts: &ExecOptions, scratch: &'s mut ExecScratch) -> Self {
         Interp {
             k,
+            s: scratch,
             bool_semantics: opts.bool_semantics,
             detect_races: opts.detect_races,
-            scalars: vec![0.0; k.scalars.len()],
-            slot_ty: k.scalars.iter().map(|s| s.ty).collect(),
-            ints: vec![0; k.ints.len()],
-            arrays: k.arrays.iter().map(|a| vec![0.0; a.len as usize]).collect(),
-            array_ty: k.arrays.iter().map(|a| a.ty).collect(),
             comp: 0.0,
             comp_private: false,
-            privatized: vec![false; k.scalars.len()],
             stats: ExecStats::default(),
             ops_left: opts.limits.max_ops,
             max_ops: opts.limits.max_ops,
             cur: None,
             race: RaceDetector::new(),
-            region_analyzed: vec![false; k.region_count as usize],
         }
     }
 
     fn bind_input(&mut self, input: &TestInput) -> Result<(), ExecError> {
-        if input.values.len() != self.k.param_order.len() {
+        let k = self.k;
+        if input.values.len() != k.param_order.len() {
             return Err(ExecError::InputMismatch(format!(
                 "kernel has {} parameters, input provides {}",
-                self.k.param_order.len(),
+                k.param_order.len(),
                 input.values.len()
             )));
         }
         self.comp = input.comp_init;
-        for (binding, value) in self.k.param_order.iter().zip(&input.values) {
+        for (binding, value) in k.param_order.iter().zip(&input.values) {
             match (binding, value) {
                 (ParamBinding::Scalar(s), InputValue::Fp(v)) => {
-                    self.scalars[*s as usize] = self.slot_ty[*s as usize].round(*v);
+                    self.s.scalars[*s as usize] = self.s.slot_ty[*s as usize].round(*v);
                 }
                 (ParamBinding::Int(i), InputValue::Int(v)) => {
-                    self.ints[*i as usize] = *v;
+                    self.s.ints[*i as usize] = *v;
                 }
                 (ParamBinding::Array(a), InputValue::ArrayFill(v) | InputValue::Fp(v)) => {
-                    let fill = self.array_ty[*a as usize].round(*v);
-                    self.arrays[*a as usize].fill(fill);
+                    let fill = self.s.array_ty[*a as usize].round(*v);
+                    self.s.arrays[*a as usize].fill(fill);
                 }
                 (b, v) => {
                     return Err(ExecError::InputMismatch(format!(
@@ -321,7 +326,7 @@ impl<'k> Interp<'k> {
         }
         // Privatized and region-local scalars are thread-private.
         if let Loc::Scalar(s) = loc {
-            if self.privatized[s as usize] || self.k.scalars[s as usize].region_local {
+            if self.s.privatized[s as usize] || self.k.scalars[s as usize].region_local {
                 return;
             }
         }
@@ -343,7 +348,7 @@ impl<'k> Interp<'k> {
                 if self.cur.is_some() && self.detect_races {
                     self.record_race(Loc::Scalar(*s), false);
                 }
-                self.scalars[*s as usize]
+                self.s.scalars[*s as usize]
             }
             LExpr::Elem(a, idx) => {
                 self.stats.ops.loads += 1;
@@ -352,7 +357,7 @@ impl<'k> Interp<'k> {
                 if self.cur.is_some() && self.detect_races {
                     self.record_race(Loc::Elem(*a, i as u32), false);
                 }
-                self.arrays[*a as usize][i]
+                self.s.arrays[*a as usize][i]
             }
             LExpr::Binary(op, l, r) => {
                 let lv = self.eval(l)?;
@@ -381,11 +386,11 @@ impl<'k> Interp<'k> {
 
     #[inline]
     fn resolve_index(&self, idx: LIndex, array: ArrayId) -> usize {
-        let len = self.arrays[array as usize].len();
+        let len = self.s.arrays[array as usize].len();
         match idx {
             LIndex::Const(k) => (k as usize).min(len - 1),
             LIndex::LoopMod(slot, m) => {
-                let v = self.ints[slot as usize].rem_euclid(m.max(1) as i64) as usize;
+                let v = self.s.ints[slot as usize].rem_euclid(m.max(1) as i64) as usize;
                 v.min(len - 1)
             }
             LIndex::ThreadId => (self.tid() as usize).min(len - 1),
@@ -398,7 +403,7 @@ impl<'k> Interp<'k> {
         if self.cur.is_some() && self.detect_races {
             self.record_race(Loc::Scalar(b.lhs), false);
         }
-        let lhs = self.scalars[b.lhs as usize];
+        let lhs = self.s.scalars[b.lhs as usize];
         let rhs = self.eval(&b.rhs)?;
         self.stats.ops.compares += 1;
         self.charge(1)?;
@@ -446,13 +451,13 @@ impl<'k> Interp<'k> {
                     }
                 }
                 self.charge_compound(*op)?;
-                let new = self.slot_ty[idx].round(op.apply(self.scalars[idx], v));
+                let new = self.s.slot_ty[idx].round(op.apply(self.s.scalars[idx], v));
                 self.stats.ops.stores += 1;
                 self.charge(1)?;
                 if self.cur.is_some() && self.detect_races {
                     self.record_race(Loc::Scalar(*s), true);
                 }
-                self.scalars[idx] = new;
+                self.s.scalars[idx] = new;
             }
             LStmt::AssignElem(a, lidx, op, e) => {
                 let v = self.eval(e)?;
@@ -465,14 +470,14 @@ impl<'k> Interp<'k> {
                     }
                 }
                 self.charge_compound(*op)?;
-                let old = self.arrays[*a as usize][i];
-                let new = self.array_ty[*a as usize].round(op.apply(old, v));
+                let old = self.s.arrays[*a as usize][i];
+                let new = self.s.array_ty[*a as usize].round(op.apply(old, v));
                 self.stats.ops.stores += 1;
                 self.charge(3)?;
                 if self.cur.is_some() && self.detect_races {
                     self.record_race(Loc::Elem(*a, i as u32), true);
                 }
-                self.arrays[*a as usize][i] = new;
+                self.s.arrays[*a as usize][i] = new;
             }
             LStmt::If(cond, body) => {
                 self.stats.branches += 1;
@@ -491,7 +496,7 @@ impl<'k> Interp<'k> {
     fn exec_loop(&mut self, l: &LLoop) -> Result<(), ExecError> {
         let n = match l.bound {
             LBound::Const(n) => n as i64,
-            LBound::IntSlot(s) => self.ints[s as usize],
+            LBound::IntSlot(s) => self.s.ints[s as usize],
         }
         .max(0) as u64;
         let (start, end) = match (&self.cur, l.omp_for) {
@@ -505,7 +510,7 @@ impl<'k> Interp<'k> {
             _ => (0, n),
         };
         for i in start..end {
-            self.ints[l.counter as usize] = i as i64;
+            self.s.ints[l.counter as usize] = i as i64;
             self.stats.loop_iterations += 1;
             self.charge(1)?; // loop increment + test
             self.exec_stmts(&l.body)?;
@@ -556,29 +561,32 @@ impl<'k> Interp<'k> {
         self.stats.regions[rid].has_reduction = p.reduction.is_some();
         self.stats.regions[rid].entries += 1;
 
-        let record_races = self.detect_races && !self.region_analyzed[rid];
+        let record_races = self.detect_races && !self.s.region_analyzed[rid];
         if record_races {
             self.race.begin_region(p.region_id);
         }
 
         // Save privatized slots and mark them private for the detector.
-        let mut saved: Vec<(SlotId, f64)> =
-            Vec::with_capacity(p.private.len() + p.firstprivate.len());
+        // The save/partial buffers move scratch → locals → scratch around
+        // the region, so re-entered regions reuse one allocation.
+        let mut saved = std::mem::take(&mut self.s.region_saved);
+        saved.clear();
         for &s in p.private.iter().chain(&p.firstprivate) {
-            saved.push((s, self.scalars[s as usize]));
-            self.privatized[s as usize] = true;
+            saved.push((s, self.s.scalars[s as usize]));
+            self.s.privatized[s as usize] = true;
         }
 
         let comp_before = self.comp;
-        let mut partials: Vec<f64> = Vec::new();
+        let mut partials = std::mem::take(&mut self.s.region_partials);
+        partials.clear();
 
         for tid in 0..team {
             // Fresh private copies per thread.
             for &s in &p.private {
-                self.scalars[s as usize] = 0.0;
+                self.s.scalars[s as usize] = 0.0;
             }
             for &(s, v) in saved.iter().skip(p.private.len()) {
-                self.scalars[s as usize] = v;
+                self.s.scalars[s as usize] = v;
             }
             if let Some(reduction) = p.reduction {
                 self.comp = reduction.identity();
@@ -608,27 +616,27 @@ impl<'k> Interp<'k> {
 
         // Restore privatized slots (their pre-region values survive).
         for &(s, v) in &saved {
-            self.scalars[s as usize] = v;
-            self.privatized[s as usize] = false;
+            self.s.scalars[s as usize] = v;
+            self.s.privatized[s as usize] = false;
         }
 
         if let Some(op) = p.reduction {
             let mut acc = comp_before;
-            for part in partials {
+            for &part in &partials {
                 acc = op.combine(acc, part);
             }
             self.comp = acc;
             self.comp_private = false;
         }
 
+        // Hand the buffers back for the next region entry.
+        self.s.region_saved = saved;
+        self.s.region_partials = partials;
+
         if record_races {
-            self.region_analyzed[rid] = true;
+            self.s.region_analyzed[rid] = true;
             let k = self.k;
-            self.race.end_region(&|loc| match loc {
-                Loc::Comp => "comp".to_string(),
-                Loc::Scalar(s) => k.scalars[s as usize].name.clone(),
-                Loc::Elem(a, i) => format!("{}[{}]", k.arrays[a as usize].name, i),
-            });
+            self.race.end_region(&|loc| k.loc_name(loc));
         }
         Ok(())
     }
@@ -660,7 +668,7 @@ mod tests {
     use super::*;
     use crate::lower::lower;
     use ompfuzz_ast::{
-        Assignment, Block, BlockItem, BoolExpr, Expr, ForLoop, IfBlock, IndexExpr, LValue,
+        Assignment, Block, BlockItem, BoolExpr, Expr, ForLoop, FpType, IfBlock, IndexExpr, LValue,
         LoopBound, OmpClauses, OmpCritical, OmpParallel, Param, Program, ReductionOp, Stmt, VarRef,
     };
 

@@ -7,6 +7,7 @@
 //! where the simulated backends hook their optimization passes.
 
 use ompfuzz_ast::{AssignOp, BinOp, BoolOp, FpType, MathFunc, ReductionOp};
+use std::sync::Arc;
 
 /// Index of a floating-point scalar slot.
 pub type SlotId = u32;
@@ -120,7 +121,9 @@ pub enum LStmt {
 /// Metadata for one scalar slot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlotInfo {
-    pub name: String,
+    /// Interned at lowering time: race reports referencing this slot clone
+    /// the `Arc` refcount instead of re-allocating the name per report.
+    pub name: Arc<str>,
     pub ty: FpType,
     /// Bound from the input vector (kernel parameter) vs. local temporary.
     pub is_param: bool,
@@ -133,7 +136,8 @@ pub struct SlotInfo {
 /// Metadata for one array.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrayInfo {
-    pub name: String,
+    /// Interned at lowering time (see [`SlotInfo::name`]).
+    pub name: Arc<str>,
     pub ty: FpType,
     pub len: u32,
 }

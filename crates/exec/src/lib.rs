@@ -32,6 +32,7 @@ pub mod interp;
 pub mod kernel;
 pub mod lower;
 pub mod race;
+pub mod scratch;
 pub mod stats;
 pub mod vm;
 
@@ -42,6 +43,7 @@ pub use interp::{
 pub use kernel::Kernel;
 pub use lower::{lower, LowerError};
 pub use race::{RaceDetector, RaceReport};
+pub use scratch::ExecScratch;
 pub use stats::{ExecStats, OpCounts, RegionTrace, ThreadWork};
 
 /// Execute `kernel` on `input`, dispatching on `opts.engine`.
@@ -49,8 +51,9 @@ pub use stats::{ExecStats, OpCounts, RegionTrace, ThreadWork};
 /// Convenience for one-shot runs: the bytecode engine compiles the kernel
 /// on the fly. Hot paths (backends, the campaign driver, the reducer) hold
 /// a [`CompiledKernel`] — via [`PreparedKernel`] — and call
-/// [`CompiledKernel::run`] instead, so each kernel is compiled once however
-/// many times it runs.
+/// [`CompiledKernel::run_with`] against a per-worker [`ExecScratch`]
+/// instead, so each kernel is compiled once and runs stop reallocating
+/// their state vectors however many times they execute.
 pub fn run(
     kernel: &Kernel,
     input: &ompfuzz_inputs::TestInput,

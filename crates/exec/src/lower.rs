@@ -96,7 +96,7 @@ impl<'p> Lowerer<'p> {
                 ParamType::FpArray(ty) => {
                     let id = self.arrays.len() as ArrayId;
                     self.arrays.push(ArrayInfo {
-                        name: p.name.clone(),
+                        name: p.name.as_str().into(),
                         ty,
                         len: self.program.array_size as u32,
                     });
@@ -111,7 +111,7 @@ impl<'p> Lowerer<'p> {
     fn alloc_scalar(&mut self, name: &str, ty: FpType, is_param: bool) -> SlotId {
         let id = self.scalars.len() as SlotId;
         self.scalars.push(SlotInfo {
-            name: name.to_string(),
+            name: name.into(),
             ty,
             is_param,
             region_local: self.in_region,

@@ -15,9 +15,10 @@
 //! reduction copies of `comp`) is never reported, so the detector sees only
 //! genuinely shared accesses.
 
-use crate::kernel::{ArrayId, SlotId};
+use crate::kernel::{ArrayId, Kernel, SlotId};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A shared-memory location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,11 +98,32 @@ impl AccessInfo {
     }
 }
 
+/// The interned name of the `comp` accumulator, shared by every report.
+fn comp_name() -> Arc<str> {
+    static COMP: OnceLock<Arc<str>> = OnceLock::new();
+    Arc::clone(COMP.get_or_init(|| Arc::from("comp")))
+}
+
+impl Kernel {
+    /// Human-readable name of a raced location. Scalar and array names were
+    /// interned as `Arc<str>` when the kernel was lowered, so reports on
+    /// them (and on `comp`) are refcount clones; only element locations
+    /// allocate, because the index is dynamic.
+    pub fn loc_name(&self, loc: Loc) -> Arc<str> {
+        match loc {
+            Loc::Comp => comp_name(),
+            Loc::Scalar(s) => Arc::clone(&self.scalars[s as usize].name),
+            Loc::Elem(a, i) => format!("{}[{}]", self.arrays[a as usize].name, i).into(),
+        }
+    }
+}
+
 /// One detected race.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RaceReport {
     pub region_id: u32,
-    pub location: String,
+    /// Interned location name (see [`Kernel::loc_name`]).
+    pub location: Arc<str>,
     pub kind: String,
 }
 
@@ -158,7 +180,7 @@ impl RaceDetector {
     }
 
     /// Finish the region: evaluate race conditions and store reports.
-    pub fn end_region(&mut self, names: &dyn Fn(Loc) -> String) {
+    pub fn end_region(&mut self, names: &dyn Fn(Loc) -> Arc<str>) {
         let Some(region_id) = self.active_region.take() else {
             return;
         };
@@ -198,8 +220,8 @@ impl RaceDetector {
 mod tests {
     use super::*;
 
-    fn plain_names(loc: Loc) -> String {
-        loc.to_string()
+    fn plain_names(loc: Loc) -> Arc<str> {
+        loc.to_string().into()
     }
 
     #[test]
@@ -301,7 +323,7 @@ mod tests {
         d.record(Loc::Comp, 0, true, false);
         d.record(Loc::Comp, 1, true, false);
         d.end_region(&plain_names);
-        let locs: Vec<&str> = d.reports().iter().map(|r| r.location.as_str()).collect();
+        let locs: Vec<&str> = d.reports().iter().map(|r| &*r.location).collect();
         assert_eq!(locs, vec!["comp", "scalar slot 2", "array 1[3]"]);
     }
 }

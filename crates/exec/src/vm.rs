@@ -16,19 +16,33 @@
 
 use crate::bytecode::{BlockCost, CompiledKernel, Instr, Operand};
 use crate::interp::{apply_bool, BoolSemantics, ExecError, ExecOptions, ExecOutcome};
-use crate::kernel::{ArrayId, IntSlotId, LBound, LIndex, ParamBinding, SlotId};
+use crate::kernel::{ArrayId, LBound, LIndex, ParamBinding, SlotId};
 use crate::race::{Loc, RaceDetector};
+use crate::scratch::{ExecScratch, LoopFrame};
 use crate::stats::{ExecStats, RegionTrace, ThreadWork};
-use ompfuzz_ast::FpType;
 use ompfuzz_inputs::{InputValue, TestInput};
 
-/// Execute `ck` on `input` with the bytecode engine.
+/// Execute `ck` on `input` with the bytecode engine (fresh scratch).
 pub fn run(
     ck: &CompiledKernel,
     input: &TestInput,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let mut vm = Vm::new(ck, opts);
+    run_with(ck, input, opts, &mut ExecScratch::new())
+}
+
+/// Execute `ck` on `input` with the bytecode engine, reusing `scratch`'s
+/// buffers (bit-identical to [`run`]; the reset restores exactly the state
+/// a fresh allocation would have).
+pub fn run_with(
+    ck: &CompiledKernel,
+    input: &TestInput,
+    opts: &ExecOptions,
+    scratch: &mut ExecScratch,
+) -> Result<ExecOutcome, ExecError> {
+    scratch.reset_for(&ck.kernel);
+    scratch.reset_blocks(ck.blocks.len());
+    let mut vm = Vm::new(ck, opts, scratch);
     vm.bind_input(input)?;
     vm.dispatch()?;
     let outcome = ExecOutcome {
@@ -83,14 +97,6 @@ struct ThreadCtx {
     crit_depth: u32,
 }
 
-/// An active (serial or worksharing) loop.
-#[derive(Debug, Clone, Copy)]
-struct LoopFrame {
-    counter: IntSlotId,
-    i: u64,
-    end: u64,
-}
-
 /// The outermost parallel region currently executing its team.
 #[derive(Debug)]
 struct RegionFrame {
@@ -98,82 +104,66 @@ struct RegionFrame {
     team: u32,
     /// Pre-region values of privatized slots (private first, then
     /// firstprivate — the firstprivate tail doubles as the per-thread
-    /// initializer).
+    /// initializer). The buffer is borrowed from the scratch at region
+    /// entry and handed back at the join.
     saved: Vec<(SlotId, f64)>,
     comp_before: f64,
     partials: Vec<f64>,
     recording: bool,
 }
 
-struct Vm<'c> {
+struct Vm<'c, 's> {
     ck: &'c CompiledKernel,
+    /// Reused slot files, stack, loop frames and block counters; reset for
+    /// this kernel before the run started.
+    s: &'s mut ExecScratch,
     bool_semantics: BoolSemantics,
     detect_races: bool,
-    scalars: Vec<f64>,
-    slot_ty: Vec<FpType>,
-    ints: Vec<i64>,
-    arrays: Vec<Vec<f64>>,
-    array_ty: Vec<FpType>,
     comp: f64,
-    stack: Vec<f64>,
     /// The innermost active loop, kept out of the spill stack so the
     /// once-per-iteration `LoopNext` touches a plain field.
     cur_loop: LoopFrame,
-    loops: Vec<LoopFrame>,
     ctx: Option<ThreadCtx>,
     region: Option<RegionFrame>,
     /// Depth of nested regions executing inline on the outer team.
     nested: u32,
     stats: ExecStats,
-    /// Executions per block; the global, order-independent statistics
-    /// (`OpCounts`, loop iterations, branches) are reconstructed from these
-    /// once at the end (`flush_block_stats`) instead of being merged on
-    /// every block entry — the hot loop touches one counter, not ten.
-    block_hits: Vec<u64>,
     ops_left: u64,
     max_ops: u64,
     race: RaceDetector,
-    region_analyzed: Vec<bool>,
     /// First entry of a region is being recorded for race analysis.
     recording: bool,
 }
 
-impl<'c> Vm<'c> {
-    fn new(ck: &'c CompiledKernel, opts: &ExecOptions) -> Vm<'c> {
-        let k = &ck.kernel;
+impl<'c, 's> Vm<'c, 's> {
+    fn new(ck: &'c CompiledKernel, opts: &ExecOptions, scratch: &'s mut ExecScratch) -> Vm<'c, 's> {
+        scratch.stack.reserve(ck.max_stack);
         Vm {
             ck,
+            s: scratch,
             bool_semantics: opts.bool_semantics,
             detect_races: opts.detect_races,
-            scalars: vec![0.0; k.scalars.len()],
-            slot_ty: k.scalars.iter().map(|s| s.ty).collect(),
-            ints: vec![0; k.ints.len()],
-            arrays: k.arrays.iter().map(|a| vec![0.0; a.len as usize]).collect(),
-            array_ty: k.arrays.iter().map(|a| a.ty).collect(),
             comp: 0.0,
-            stack: Vec::with_capacity(ck.max_stack),
             cur_loop: LoopFrame {
                 counter: 0,
                 i: 0,
                 end: 0,
             },
-            loops: Vec::new(),
             ctx: None,
             region: None,
             nested: 0,
             stats: ExecStats::default(),
-            block_hits: vec![0; ck.blocks.len()],
             ops_left: opts.limits.max_ops,
             max_ops: opts.limits.max_ops,
             race: RaceDetector::new(),
-            region_analyzed: vec![false; k.region_count as usize],
             recording: false,
         }
     }
 
     /// Identical input-binding semantics to the tree interpreter.
     fn bind_input(&mut self, input: &TestInput) -> Result<(), ExecError> {
-        let k = &self.ck.kernel;
+        let ck = self.ck;
+        let k = &ck.kernel;
         if input.values.len() != k.param_order.len() {
             return Err(ExecError::InputMismatch(format!(
                 "kernel has {} parameters, input provides {}",
@@ -185,14 +175,14 @@ impl<'c> Vm<'c> {
         for (binding, value) in k.param_order.iter().zip(&input.values) {
             match (binding, value) {
                 (ParamBinding::Scalar(s), InputValue::Fp(v)) => {
-                    self.scalars[*s as usize] = self.slot_ty[*s as usize].round(*v);
+                    self.s.scalars[*s as usize] = ck.slot_ty[*s as usize].round(*v);
                 }
                 (ParamBinding::Int(i), InputValue::Int(v)) => {
-                    self.ints[*i as usize] = *v;
+                    self.s.ints[*i as usize] = *v;
                 }
                 (ParamBinding::Array(a), InputValue::ArrayFill(v) | InputValue::Fp(v)) => {
-                    let fill = self.array_ty[*a as usize].round(*v);
-                    self.arrays[*a as usize].fill(fill);
+                    let fill = ck.array_ty[*a as usize].round(*v);
+                    self.s.arrays[*a as usize].fill(fill);
                 }
                 (b, v) => {
                     return Err(ExecError::InputMismatch(format!(
@@ -217,7 +207,7 @@ impl<'c> Vm<'c> {
             });
         }
         self.ops_left -= b.ops;
-        self.block_hits[idx] += 1;
+        self.s.block_hits[idx] += 1;
         match &mut self.ctx {
             Some(c) => {
                 c.cycles += b.cycles;
@@ -236,7 +226,7 @@ impl<'c> Vm<'c> {
     /// every counter is an order-independent sum, so `count × hits` at the
     /// end equals merging on every entry.
     fn flush_block_stats(&mut self) {
-        for (hits, b) in self.block_hits.iter().zip(&self.ck.blocks) {
+        for (hits, b) in self.s.block_hits.iter().zip(&self.ck.blocks) {
             let n = *hits;
             if n == 0 {
                 continue;
@@ -267,7 +257,7 @@ impl<'c> Vm<'c> {
             });
         }
         self.ops_left -= total_ops;
-        self.block_hits[idx] += n;
+        self.s.block_hits[idx] += n;
         let cycles = b.cycles.saturating_mul(n);
         match &mut self.ctx {
             Some(c) => {
@@ -349,7 +339,7 @@ impl<'c> Vm<'c> {
             }
             self.record(Loc::Scalar(slot), true);
         }
-        self.scalars[i] = self.slot_ty[i].round(op.apply(self.scalars[i], v));
+        self.s.scalars[i] = self.ck.slot_ty[i].round(op.apply(self.s.scalars[i], v));
     }
 
     /// Load one inline operand (or pop a pushed intermediate). Callers
@@ -357,31 +347,31 @@ impl<'c> Vm<'c> {
     #[inline(always)]
     fn value_of(&mut self, o: &Operand) -> f64 {
         match o {
-            Operand::Stack => self.stack.pop().expect("operand on stack"),
+            Operand::Stack => self.s.stack.pop().expect("operand on stack"),
             Operand::Const(v) => *v,
             Operand::Scalar { slot, race } => {
                 if *race && self.recording {
                     self.record(Loc::Scalar(*slot), false);
                 }
-                self.scalars[*slot as usize]
+                self.s.scalars[*slot as usize]
             }
             Operand::Elem { array, index, race } => {
                 let i = self.resolve_index(*index, *array);
                 if *race && self.recording {
                     self.record(Loc::Elem(*array, i as u32), false);
                 }
-                self.arrays[*array as usize][i]
+                self.s.arrays[*array as usize][i]
             }
         }
     }
 
     #[inline]
     fn resolve_index(&self, idx: LIndex, array: ArrayId) -> usize {
-        let len = self.arrays[array as usize].len();
+        let len = self.s.arrays[array as usize].len();
         match idx {
             LIndex::Const(k) => (k as usize).min(len - 1),
             LIndex::LoopMod(slot, m) => {
-                let i = self.ints[slot as usize];
+                let i = self.s.ints[slot as usize];
                 let m = m.max(1) as i64;
                 // Counters usually sit below the modulus: `i in [0, m)` is
                 // the identity, sparing the 64-bit division (a negative `i`
@@ -420,22 +410,27 @@ impl<'c> Vm<'c> {
         tr.has_reduction = meta.reduction.is_some();
         tr.entries += 1;
 
-        let recording = self.detect_races && !self.region_analyzed[rid];
+        let recording = self.detect_races && !self.s.region_analyzed[rid];
         if recording {
             self.race.begin_region(meta.region_id);
             self.recording = true;
         }
 
-        let mut saved = Vec::with_capacity(meta.private.len() + meta.firstprivate.len());
+        // The save/partial buffers move scratch → frame → scratch around
+        // each region, so re-entered regions reuse one allocation.
+        let mut saved = std::mem::take(&mut self.s.region_saved);
+        saved.clear();
         for &s in meta.private.iter().chain(&meta.firstprivate) {
-            saved.push((s, self.scalars[s as usize]));
+            saved.push((s, self.s.scalars[s as usize]));
         }
+        let mut partials = std::mem::take(&mut self.s.region_partials);
+        partials.clear();
         self.region = Some(RegionFrame {
             tid: 0,
             team,
             saved,
             comp_before: self.comp,
-            partials: Vec::new(),
+            partials,
             recording,
         });
         self.begin_thread(region, 0, team)
@@ -446,11 +441,11 @@ impl<'c> Vm<'c> {
         let ck = self.ck;
         let meta = &ck.regions[region as usize];
         for &s in &meta.private {
-            self.scalars[s as usize] = 0.0;
+            self.s.scalars[s as usize] = 0.0;
         }
         let frame = self.region.take().expect("active region");
         for &(s, v) in &frame.saved[meta.private.len()..] {
-            self.scalars[s as usize] = v;
+            self.s.scalars[s as usize] = v;
         }
         self.region = Some(frame);
         if let Some(red) = meta.reduction {
@@ -492,7 +487,7 @@ impl<'c> Vm<'c> {
         // Join: restore privatized slots, combine the reduction, close the
         // race-recording window.
         for &(s, v) in &frame.saved {
-            self.scalars[s as usize] = v;
+            self.s.scalars[s as usize] = v;
         }
         if let Some(op) = meta.reduction {
             let mut acc = frame.comp_before;
@@ -502,15 +497,14 @@ impl<'c> Vm<'c> {
             self.comp = acc;
         }
         if frame.recording {
-            self.region_analyzed[rid] = true;
+            self.s.region_analyzed[rid] = true;
             self.recording = false;
             let k = &ck.kernel;
-            self.race.end_region(&|loc| match loc {
-                Loc::Comp => "comp".to_string(),
-                Loc::Scalar(s) => k.scalars[s as usize].name.clone(),
-                Loc::Elem(a, i) => format!("{}[{}]", k.arrays[a as usize].name, i),
-            });
+            self.race.end_region(&|loc| k.loc_name(loc));
         }
+        // Hand the buffers back for the next region entry.
+        self.s.region_saved = frame.saved;
+        self.s.region_partials = frame.partials;
         Ok(false)
     }
 
@@ -534,13 +528,13 @@ impl<'c> Vm<'c> {
                     let l = self.value_of(lhs);
                     let v = op.apply(l, r);
                     self.note_fp(v, l.is_finite() && r.is_finite());
-                    self.stack.push(v);
+                    self.s.stack.push(v);
                 }
                 Instr::Call { func, arg } => {
                     let a = self.value_of(arg);
                     let v = func.apply(a);
                     self.note_fp(v, a.is_finite());
-                    self.stack.push(v);
+                    self.s.stack.push(v);
                 }
                 Instr::StoreComp { op, race, value } => {
                     let v = self.value_of(value);
@@ -598,8 +592,8 @@ impl<'c> Vm<'c> {
                         }
                         self.record(Loc::Elem(*array, i as u32), true);
                     }
-                    let old = self.arrays[a][i];
-                    self.arrays[a][i] = self.array_ty[a].round(op.apply(old, v));
+                    let old = self.s.arrays[a][i];
+                    self.s.arrays[a][i] = self.ck.array_ty[a].round(op.apply(old, v));
                 }
                 Instr::BoolTest {
                     lhs,
@@ -612,7 +606,7 @@ impl<'c> Vm<'c> {
                     if *race && self.recording {
                         self.record(Loc::Scalar(*lhs), false);
                     }
-                    let l = self.scalars[*lhs as usize];
+                    let l = self.s.scalars[*lhs as usize];
                     if apply_bool(self.bool_semantics, *op, l, r) {
                         self.stats.branches_taken += 1;
                     } else {
@@ -629,7 +623,7 @@ impl<'c> Vm<'c> {
                 } => {
                     let n = match bound {
                         LBound::Const(n) => *n as i64,
-                        LBound::IntSlot(s) => self.ints[*s as usize],
+                        LBound::IntSlot(s) => self.s.ints[*s as usize],
                     }
                     .max(0) as u64;
                     let (start, end) = match (&self.ctx, omp_for) {
@@ -645,8 +639,8 @@ impl<'c> Vm<'c> {
                     if start >= end {
                         ip = *exit as usize;
                     } else {
-                        self.ints[*counter as usize] = start as i64;
-                        self.loops.push(self.cur_loop);
+                        self.s.ints[*counter as usize] = start as i64;
+                        self.s.loops.push(self.cur_loop);
                         self.cur_loop = LoopFrame {
                             counter: *counter,
                             i: start,
@@ -667,14 +661,14 @@ impl<'c> Vm<'c> {
                 } => {
                     self.cur_loop.i += 1;
                     if self.cur_loop.i < self.cur_loop.end {
-                        self.ints[self.cur_loop.counter as usize] = self.cur_loop.i as i64;
+                        self.s.ints[self.cur_loop.counter as usize] = self.cur_loop.i as i64;
                         if !*bulk {
                             let idx = *body_block as usize;
                             self.charge_block(idx, &blocks[idx])?;
                         }
                         ip = *body as usize;
                     } else {
-                        self.cur_loop = self.loops.pop().expect("active loop");
+                        self.cur_loop = self.s.loops.pop().expect("active loop");
                     }
                 }
                 Instr::CriticalEnter => {
@@ -809,7 +803,10 @@ mod tests {
         // both.
         let big = ExecOptions::default();
         let total = big.limits.max_ops - {
-            let mut vm = Vm::new(&ck, &big);
+            let mut scratch = ExecScratch::new();
+            scratch.reset_for(&ck.kernel);
+            scratch.reset_blocks(ck.blocks.len());
+            let mut vm = Vm::new(&ck, &big, &mut scratch);
             vm.bind_input(&input).unwrap();
             vm.dispatch().unwrap();
             vm.ops_left

@@ -39,12 +39,28 @@ impl GenCtx {
     }
 }
 
+/// The seed of the `index`-th program stream of a batch seeded with
+/// `seed` — a SplitMix64-style stream split ([`rand::split_seed`]).
+///
+/// This is the canonical corpus definition: program `i` of a campaign is a
+/// pure function of `(config, seed, i)`, never of programs `0..i` having
+/// been generated first. That is what lets corpus generation fan out over
+/// a worker pool, and sharded workers generate *only their slice*, while
+/// staying byte-identical to a serial front-to-back run.
+pub fn program_stream_seed(seed: u64, index: usize) -> u64 {
+    rand::split_seed(seed, index as u64)
+}
+
 /// Deterministic random program generator. Each call to
 /// [`ProgramGenerator::generate`] consumes randomness from the seeded
-/// stream, so a batch of programs is reproducible from (config, seed).
+/// stream; [`ProgramGenerator::generate_indexed`] instead reseeds from
+/// [`program_stream_seed`] per call, making program `i` index-addressable
+/// (a pure function of `(config, seed, i)`).
 #[derive(Debug)]
 pub struct ProgramGenerator {
     cfg: GeneratorConfig,
+    /// The batch seed `generate_indexed` splits per index.
+    base_seed: u64,
     rng: StdRng,
     names: NameSupply,
     /// Set when the current program has written `comp` at least once.
@@ -63,6 +79,7 @@ impl ProgramGenerator {
         );
         ProgramGenerator {
             cfg,
+            base_seed: seed,
             rng: StdRng::seed_from_u64(seed),
             names: NameSupply::default(),
             wrote_comp: false,
@@ -73,6 +90,21 @@ impl ProgramGenerator {
     /// The configuration in use.
     pub fn config(&self) -> &GeneratorConfig {
         &self.cfg
+    }
+
+    /// Restart the random stream from `seed`, keeping the configuration.
+    /// After a reseed the generator behaves exactly like a fresh
+    /// `ProgramGenerator::new(cfg, seed)`.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Generate program `index` of the batch: named `test_<index>`, drawn
+    /// from the index's own split stream. Pure in `(config, base seed,
+    /// index)` — calls may happen in any order, from any worker.
+    pub fn generate_indexed(&mut self, index: usize) -> Program {
+        self.reseed(program_stream_seed(self.base_seed, index));
+        self.generate(&format!("test_{index}"))
     }
 
     /// Generate one program named `name`.
@@ -105,11 +137,11 @@ impl ProgramGenerator {
         program
     }
 
-    /// Generate `n` programs named `test_0..test_{n-1}`.
+    /// Generate `n` programs named `test_0..test_{n-1}` — the first `n`
+    /// programs of the indexed stream, so a batch is the prefix of any
+    /// larger batch and of any slice-wise parallel generation.
     pub fn generate_batch(&mut self, n: usize) -> Vec<Program> {
-        (0..n)
-            .map(|i| self.generate(&format!("test_{i}")))
-            .collect()
+        (0..n).map(|i| self.generate_indexed(i)).collect()
     }
 
     // ----- parameters ------------------------------------------------------

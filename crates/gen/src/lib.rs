@@ -40,4 +40,4 @@ pub mod scope;
 pub mod validate;
 
 pub use config::{GeneratorConfig, OmpProbabilities, SharingMode};
-pub use generator::ProgramGenerator;
+pub use generator::{program_stream_seed, ProgramGenerator};

@@ -3,16 +3,20 @@
 //! (a) generate programs + inputs → (b) compile with every implementation →
 //! (c) run everything → (d) differential analysis and outlier tallying.
 //!
-//! The driver parallelizes across *programs* with crossbeam scoped threads;
-//! each program's compile+run work is independent, so worker count never
-//! changes any result — records are collected and re-sorted
-//! deterministically.
+//! The driver parallelizes across *programs* with crossbeam scoped threads,
+//! and the whole per-program unit is **pipelined**: one worker closure
+//! generates the test (when the corpus is not pre-built), lowers and
+//! compiles it once, runs the §IV-E race filter, and performs every
+//! differential run — there is no serial phase between generation and the
+//! fan-out. Each program's work is independent and a pure function of
+//! `(config, seed, index)`, so worker count never changes any result —
+//! outcomes are collected in corpus order.
 
 use crate::config::CampaignConfig;
 use crate::pool;
-use crate::testcase::{generate_corpus, TestCase};
+use crate::testcase::{generate_case, TestCase};
 use ompfuzz_backends::{oracle, CompileOptions, OmpBackend, RunOptions};
-use ompfuzz_exec::{CompiledKernel, ExecEngine, ExecOptions, RaceReport};
+use ompfuzz_exec::{CompiledKernel, ExecEngine, ExecOptions, ExecScratch, RaceReport};
 use ompfuzz_outlier::{analyze, Analysis, OutlierKind, RunObservation, Tally};
 use std::sync::Arc;
 use std::time::Instant;
@@ -126,10 +130,55 @@ impl CampaignResult {
 }
 
 /// Run a campaign of `config` against `backends`.
+///
+/// The corpus is never materialized up front: each worker generates its
+/// program from `(config, seed, index)` inside the per-program closure, so
+/// generation → lower/compile → race filter → differential runs execute as
+/// one pipelined unit. Byte-identical to `run_campaign_on(config, backends,
+/// &generate_corpus(config), ..)` — program `i` is index-addressed, not a
+/// position in a sequential stream.
 pub fn run_campaign(config: &CampaignConfig, backends: &[&dyn OmpBackend]) -> CampaignResult {
     let start = Instant::now();
-    let corpus = generate_corpus(config);
-    run_campaign_on(config, backends, &corpus, start)
+    let indices: Vec<usize> = (0..config.programs).collect();
+    let workers = pool::resolve_workers(config.workers);
+    let outcomes = pool::map_parallel(workers, &indices, |&index| {
+        let tc = generate_case(config, index);
+        // `tc` drops when this closure returns: peak memory is one test
+        // case per worker, not the corpus.
+        run_one_case(index, &tc, config, backends)
+    });
+    assemble_result(config, backends, outcomes, start)
+}
+
+/// Run a campaign over the global index range `range`, generating test
+/// `i` via `gen(i)` *inside* the per-program worker closure — the fully
+/// pipelined front half: generation, the shared compilation, the §IV-E
+/// race filter and every differential run execute as one per-program unit
+/// on the pool, with no serial phase and no pre-materialized corpus.
+///
+/// `gen` must be a pure function of its index (the index-addressed corpus
+/// definition), which is what keeps the result identical for every worker
+/// count. Returns the generated tests alongside the result, in range
+/// order, so callers (shard workers) can resolve outlier records against
+/// exactly the slice they ran — O(slice) memory, never the whole corpus.
+/// (Whole-corpus callers that don't need the tests back use
+/// [`run_campaign`], which drops each test as its worker finishes.)
+pub fn run_campaign_generated(
+    config: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+    range: std::ops::Range<usize>,
+    gen: &(dyn Fn(usize) -> TestCase + Sync),
+    start: Instant,
+) -> (CampaignResult, Vec<TestCase>) {
+    let indices: Vec<usize> = range.collect();
+    let workers = pool::resolve_workers(config.workers);
+    let paired = pool::map_parallel(workers, &indices, |&index| {
+        let tc = gen(index);
+        let outcome = run_one_case(index, &tc, config, backends);
+        (outcome, tc)
+    });
+    let (outcomes, corpus): (Vec<CaseOutcome>, Vec<TestCase>) = paired.into_iter().unzip();
+    (assemble_result(config, backends, outcomes, start), corpus)
 }
 
 /// Run a campaign on a pre-generated corpus (used by ablation benches that
@@ -158,39 +207,57 @@ pub fn run_campaign_slice(
     index_offset: usize,
     start: Instant,
 ) -> CampaignResult {
+    let indexed: Vec<(usize, &TestCase)> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, tc)| (index_offset + i, tc))
+        .collect();
+    let workers = pool::resolve_workers(config.workers);
+    let outcomes = pool::map_parallel(workers, &indexed, |&(index, tc)| {
+        run_one_case(index, tc, config, backends)
+    });
+    assemble_result(config, backends, outcomes, start)
+}
+
+/// Per-program outcome; [`pool::map_parallel`] keeps these in corpus order.
+enum CaseOutcome {
+    /// Excluded by the §IV-E race filter before any differential run.
+    Racy(Arc<str>, Vec<RaceReport>),
+    /// Compiled and ran differentially.
+    Ran {
+        compile_failures: usize,
+        records: Vec<RunRecord>,
+    },
+}
+
+/// Fold per-program outcomes (in corpus order) into the campaign result:
+/// racy exclusions keep corpus order, records keep `(program, input)`
+/// order, so the result is identical for every worker count — and to the
+/// old driver's serial race-filter pre-pass.
+fn assemble_result(
+    config: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+    outcomes: Vec<CaseOutcome>,
+    start: Instant,
+) -> CampaignResult {
     let labels: Vec<String> = backends
         .iter()
         .map(|b| b.info().vendor.label().to_string())
         .collect();
-
-    // §IV-E mitigation: drop data-racing programs before differential
-    // analysis (the paper filtered them manually; our detector automates
-    // it). Detection interprets with team semantics once per program.
     let mut racy_programs = Vec::new();
-    let mut active: Vec<(usize, &TestCase)> = Vec::with_capacity(corpus.len());
-    for (i, tc) in corpus.iter().enumerate() {
-        if config.filter_races {
-            match detect_races(tc, config) {
-                Some(reports) if !reports.is_empty() => {
-                    racy_programs.push((Arc::from(tc.program.name.as_str()), reports));
-                    continue;
-                }
-                _ => {}
-            }
-        }
-        active.push((index_offset + i, tc));
-    }
-
-    let workers = pool::resolve_workers(config.workers);
-    let outcomes = pool::map_parallel(workers, &active, |&(index, tc)| {
-        run_one_program(index, tc, config, backends)
-    });
-
-    let mut records = Vec::with_capacity(active.len() * config.inputs_per_program);
+    let mut records = Vec::with_capacity(outcomes.len() * config.inputs_per_program);
     let mut compile_failures = 0;
     for o in outcomes {
-        compile_failures += o.compile_failures;
-        records.extend(o.records);
+        match o {
+            CaseOutcome::Racy(name, reports) => racy_programs.push((name, reports)),
+            CaseOutcome::Ran {
+                compile_failures: cf,
+                records: r,
+            } => {
+                compile_failures += cf;
+                records.extend(r);
+            }
+        }
     }
 
     let mut tally = Tally::new(labels.clone());
@@ -210,18 +277,47 @@ pub fn run_campaign_slice(
     }
 }
 
-/// Per-program result; [`pool::map_parallel`] keeps these in corpus order.
-struct ProgramOutcome {
-    compile_failures: usize,
-    records: Vec<RunRecord>,
+std::thread_local! {
+    /// One [`ExecScratch`] per worker thread, reused across every program
+    /// the worker processes (scratch contents never affect outcomes —
+    /// pinned by the `scratch_reuse` differential suite — so thread
+    /// affinity cannot change any result).
+    static WORKER_SCRATCH: std::cell::RefCell<ExecScratch> =
+        std::cell::RefCell::new(ExecScratch::new());
 }
 
-fn run_one_program(
+/// The fused per-program unit: shared compilation, §IV-E race filter, then
+/// every (input × backend) differential run — all inside one worker
+/// closure, through the worker's reused [`ExecScratch`].
+fn run_one_case(
     index: usize,
     tc: &TestCase,
     config: &CampaignConfig,
     backends: &[&dyn OmpBackend],
-) -> ProgramOutcome {
+) -> CaseOutcome {
+    WORKER_SCRATCH.with(|s| run_one_case_with(index, tc, config, backends, &mut s.borrow_mut()))
+}
+
+fn run_one_case_with(
+    index: usize,
+    tc: &TestCase,
+    config: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+    scratch: &mut ExecScratch,
+) -> CaseOutcome {
+    // §IV-E mitigation: drop data-racing programs before differential
+    // analysis (the paper filtered them manually; our detector automates
+    // it). Detection interprets with team semantics once per program, and
+    // fills the test case's shared compilation cache that the per-backend
+    // compiles below reuse.
+    if config.filter_races {
+        if let Some(reports) = detect_races(tc, config, scratch) {
+            if !reports.is_empty() {
+                return CaseOutcome::Racy(Arc::from(tc.program.name.as_str()), reports);
+            }
+        }
+    }
+
     let compile_opts = CompileOptions {
         opt_level: config.opt_level,
     };
@@ -239,7 +335,7 @@ fn run_one_program(
     }
     if binaries.len() != backends.len() {
         // A program that does not compile everywhere cannot be compared.
-        return ProgramOutcome {
+        return CaseOutcome::Ran {
             compile_failures,
             records: Vec::new(),
         };
@@ -255,7 +351,7 @@ fn run_one_program(
     for (input_index, input) in tc.inputs.iter().enumerate() {
         let observations: Vec<RunObservation> = binaries
             .iter()
-            .map(|bin| oracle::to_observation(&bin.run(input, &run_opts)))
+            .map(|bin| oracle::to_observation(&bin.run_with(input, &run_opts, scratch)))
             .collect();
         let analysis = analyze(&observations, &config.outlier);
         records.push(RunRecord {
@@ -266,7 +362,7 @@ fn run_one_program(
             analysis,
         });
     }
-    ProgramOutcome {
+    CaseOutcome::Ran {
         compile_failures,
         records,
     }
@@ -283,6 +379,7 @@ pub fn detect_kernel_races(
     input: &ompfuzz_inputs::TestInput,
     max_ops: u64,
     engine: ExecEngine,
+    scratch: &mut ExecScratch,
 ) -> Option<Vec<RaceReport>> {
     let opts = ExecOptions {
         detect_races: true,
@@ -290,14 +387,18 @@ pub fn detect_kernel_races(
         engine,
         ..ExecOptions::default()
     };
-    code.run(input, &opts).ok().map(|o| o.races)
+    code.run_with(input, &opts, scratch).ok().map(|o| o.races)
 }
 
 /// Run the race detector on a test case (first input). Returns `None` when
 /// the program fails to lower or exceeds the budget — such programs stay
 /// in the campaign and fail there uniformly. Runs through the test case's
 /// shared compilation, which the per-backend compiles reuse.
-fn detect_races(tc: &TestCase, config: &CampaignConfig) -> Option<Vec<RaceReport>> {
+fn detect_races(
+    tc: &TestCase,
+    config: &CampaignConfig,
+    scratch: &mut ExecScratch,
+) -> Option<Vec<RaceReport>> {
     let input = tc.inputs.first()?;
     let prepared = tc.prepared().ok()?;
     detect_kernel_races(
@@ -305,12 +406,14 @@ fn detect_races(tc: &TestCase, config: &CampaignConfig) -> Option<Vec<RaceReport
         input,
         config.run.max_ops,
         config.run.engine,
+        scratch,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testcase::generate_corpus;
     use ompfuzz_backends::{standard_backends, SimBackend};
     use ompfuzz_gen::SharingMode;
 

@@ -38,9 +38,11 @@ pub mod process;
 pub mod testcase;
 
 pub use campaign::{
-    detect_kernel_races, run_campaign, run_campaign_on, run_campaign_slice, CampaignResult,
-    RunRecord,
+    detect_kernel_races, run_campaign, run_campaign_generated, run_campaign_on, run_campaign_slice,
+    CampaignResult, RunRecord,
 };
 pub use config::{CampaignConfig, ConfigError};
 pub use process::{ProcessBackend, ProcessBinary};
-pub use testcase::{generate_corpus, load_inputs, save_corpus, TestCase};
+pub use testcase::{
+    generate_case, generate_corpus, generate_corpus_slice, load_inputs, save_corpus, TestCase,
+};

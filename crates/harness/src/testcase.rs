@@ -3,6 +3,7 @@
 //! (`<out>/_tests/_group_<g>/_test_<n>.cpp` + input files).
 
 use crate::config::CampaignConfig;
+use crate::pool;
 use ompfuzz_ast::printer::{emit_translation_unit, PrintOptions};
 use ompfuzz_ast::Program;
 use ompfuzz_exec::{Kernel, LowerError, PreparedKernel};
@@ -10,6 +11,7 @@ use ompfuzz_gen::ProgramGenerator;
 use ompfuzz_inputs::{InputGenerator, TestInput};
 use std::fs;
 use std::io;
+use std::ops::Range;
 use std::path::Path;
 use std::sync::OnceLock;
 
@@ -65,20 +67,40 @@ impl PartialEq for TestCase {
     }
 }
 
-/// Generate the full corpus for a campaign configuration.
+/// Generate test `index` of a campaign's corpus: program `test_<index>`
+/// from the index's split program stream, inputs from the index's split
+/// input stream (`seed + 1` is the campaign's input-seed convention).
 ///
-/// Deterministic: `(config, seed)` fixes every program and every input.
-pub fn generate_corpus(cfg: &CampaignConfig) -> Vec<TestCase> {
+/// This is the canonical corpus definition — a pure function of
+/// `(config, seed, index)` — so any worker can produce any test without
+/// replaying the stream of the tests before it.
+pub fn generate_case(cfg: &CampaignConfig, index: usize) -> TestCase {
     let mut pg = ProgramGenerator::new(cfg.generator.clone(), cfg.seed);
+    let mut program = pg.generate_indexed(index);
+    program.seed = cfg.seed;
     let mut ig = InputGenerator::with_mix(cfg.seed + 1, cfg.generator.input_mix);
-    let mut corpus = Vec::with_capacity(cfg.programs);
-    for i in 0..cfg.programs {
-        let mut program = pg.generate(&format!("test_{i}"));
-        program.seed = cfg.seed;
-        let inputs = ig.generate_samples(&program, cfg.inputs_per_program);
-        corpus.push(TestCase::new(program, inputs));
-    }
-    corpus
+    ig.reseed_indexed(cfg.seed + 1, index);
+    let inputs = ig.generate_samples(&program, cfg.inputs_per_program);
+    TestCase::new(program, inputs)
+}
+
+/// Generate the full corpus for a campaign configuration, fanning the
+/// per-index generation over the campaign's worker pool.
+///
+/// Deterministic: `(config, seed)` fixes every program and every input,
+/// byte-for-byte identical for every worker count (each test is a pure
+/// function of its index, and the pool returns results in index order).
+pub fn generate_corpus(cfg: &CampaignConfig) -> Vec<TestCase> {
+    generate_corpus_slice(cfg, 0..cfg.programs)
+}
+
+/// Generate only the tests in `range` of the corpus — O(slice) work, the
+/// entry sharded workers use so an `N`-shard round costs one corpus
+/// generation in total instead of `N`.
+pub fn generate_corpus_slice(cfg: &CampaignConfig, range: Range<usize>) -> Vec<TestCase> {
+    let indices: Vec<usize> = range.collect();
+    let workers = pool::resolve_workers(cfg.workers);
+    pool::map_parallel(workers, &indices, |&i| generate_case(cfg, i))
 }
 
 /// Number of tests per `_group_<g>` directory (matches the paper's dataset
@@ -90,6 +112,9 @@ pub const TESTS_PER_GROUP: usize = 10;
 pub fn save_corpus(corpus: &[TestCase], out_dir: &Path) -> io::Result<usize> {
     let mut written = 0;
     let opts = PrintOptions::default();
+    // One input buffer reused for every file: each line streams in via
+    // `write!` instead of collecting a `Vec<String>` and joining it.
+    let mut inputs = String::new();
     for (i, tc) in corpus.iter().enumerate() {
         let group = i / TESTS_PER_GROUP;
         let dir = out_dir.join("_tests").join(format!("_group_{group}"));
@@ -97,13 +122,12 @@ pub fn save_corpus(corpus: &[TestCase], out_dir: &Path) -> io::Result<usize> {
         let cpp = emit_translation_unit(&tc.program, &opts);
         fs::write(dir.join(format!("_test_{i}.cpp")), cpp)?;
         written += 1;
-        let inputs: String = tc
-            .inputs
-            .iter()
-            .map(|inp| inp.to_line())
-            .collect::<Vec<_>>()
-            .join("\n");
-        fs::write(dir.join(format!("_test_{i}_inputs.txt")), inputs + "\n")?;
+        inputs.clear();
+        for inp in &tc.inputs {
+            inp.write_line(&mut inputs);
+            inputs.push('\n');
+        }
+        fs::write(dir.join(format!("_test_{i}_inputs.txt")), &inputs)?;
         written += 1;
     }
     Ok(written)

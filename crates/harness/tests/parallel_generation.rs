@@ -1,0 +1,78 @@
+//! Property suite pinning the index-addressed corpus definition: program
+//! `i` is a pure function of `(config, seed, i)`, so fanning generation
+//! over any number of pool workers — or generating any slice in isolation
+//! — reproduces the serial front-to-back corpus byte for byte.
+//!
+//! This is the invariant the pipelined campaign front half stands on:
+//! `run_campaign` generates per program inside worker closures, and shard
+//! workers generate only their slice; both are sound only because nothing
+//! about a generated test depends on which worker produced it or which
+//! tests were produced before it.
+
+use ompfuzz_ast::printer::{emit_translation_unit, PrintOptions};
+use ompfuzz_harness::{generate_case, generate_corpus, generate_corpus_slice, CampaignConfig};
+use proptest::prelude::*;
+
+/// A small campaign config over the sampled seed. Half the cases use the
+/// paper generator envelope, half the small one, so both program shapes
+/// are exercised.
+fn config(seed: u64, programs: usize) -> CampaignConfig {
+    let mut cfg = if seed.is_multiple_of(2) {
+        CampaignConfig::paper()
+    } else {
+        CampaignConfig::small()
+    };
+    cfg.seed = seed;
+    cfg.programs = programs;
+    cfg
+}
+
+proptest! {
+    /// Parallel generation equals serial generation byte-for-byte, for
+    /// random worker counts: same program ASTs, same inputs, same emitted
+    /// source text.
+    #[test]
+    fn parallel_generation_matches_serial(
+        seed in 0u64..1_000_000,
+        workers in 2usize..9,
+        programs in 1usize..16,
+    ) {
+        let mut serial_cfg = config(seed, programs);
+        serial_cfg.workers = 1;
+        let mut parallel_cfg = config(seed, programs);
+        parallel_cfg.workers = workers;
+
+        let serial = generate_corpus(&serial_cfg);
+        let parallel = generate_corpus(&parallel_cfg);
+        prop_assert_eq!(serial.len(), parallel.len());
+        let opts = PrintOptions::default();
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(&a.program, &b.program);
+            prop_assert_eq!(&a.inputs, &b.inputs);
+            // Byte-level: identical emitted translation units.
+            prop_assert_eq!(
+                emit_translation_unit(&a.program, &opts),
+                emit_translation_unit(&b.program, &opts)
+            );
+        }
+    }
+
+    /// Any slice generated in isolation equals the corresponding range of
+    /// the full corpus, and any single index equals `generate_case` — the
+    /// O(slice) shard-worker entry is exact.
+    #[test]
+    fn slices_and_single_indices_match_the_full_corpus(
+        seed in 0u64..1_000_000,
+        programs in 1usize..16,
+        cut in 0u64..u64::MAX,
+    ) {
+        let cfg = config(seed, programs);
+        let full = generate_corpus(&cfg);
+        let lo = (cut % programs as u64) as usize;
+        let hi = lo + ((cut >> 32) as usize % (programs - lo)).min(programs - lo);
+        let slice = generate_corpus_slice(&cfg, lo..hi);
+        prop_assert_eq!(slice.as_slice(), &full[lo..hi]);
+        let index = (cut % programs as u64) as usize;
+        prop_assert_eq!(&generate_case(&cfg, index), &full[index]);
+    }
+}

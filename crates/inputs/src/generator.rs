@@ -24,6 +24,14 @@ impl Default for IntRange {
     }
 }
 
+/// The seed of the `index`-th input stream of a batch seeded with `seed`
+/// (the campaign convention passes `campaign seed + 1` here). Splitting per
+/// index is what lets corpus generation fan out and shard workers draw only
+/// their slice's inputs while reproducing the serial stream byte-for-byte.
+pub fn input_stream_seed(seed: u64, index: usize) -> u64 {
+    rand::split_seed(seed, index as u64)
+}
+
 /// Deterministic generator of floating-point inputs.
 ///
 /// Construction takes a seed; every value drawn thereafter is a pure
@@ -49,6 +57,21 @@ impl InputGenerator {
             mix,
             int_range: IntRange::default(),
         }
+    }
+
+    /// Restart the random stream from `seed`, keeping mix and int range.
+    /// After a reseed the generator draws exactly what a fresh
+    /// `with_mix(seed, mix)` generator would.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Reposition on the input stream of batch item `index`: the
+    /// SplitMix64-style split of `seed` ([`input_stream_seed`]). The inputs
+    /// of program `index` become a pure function of `(mix, seed, index)` —
+    /// independent of any other program's inputs having been drawn.
+    pub fn reseed_indexed(&mut self, seed: u64, index: usize) {
+        self.reseed(input_stream_seed(seed, index));
     }
 
     /// Override the integer (trip-count) range.

@@ -23,5 +23,5 @@ pub mod generator;
 pub mod testinput;
 
 pub use class::{classify_f32, classify_f64, ClassMix, FpClass};
-pub use generator::InputGenerator;
+pub use generator::{input_stream_seed, InputGenerator};
 pub use testinput::{InputValue, TestInput};

@@ -43,12 +43,20 @@ impl fmt::Display for InputValue {
 /// Format an `f64` so that C's `atof`/`strtod` reads back the identical
 /// value (shortest round-trip scientific notation; specials spelled out).
 pub fn format_f64_arg(v: f64) -> String {
+    let mut s = String::new();
+    write_f64_arg(&mut s, v);
+    s
+}
+
+/// [`format_f64_arg`], appended to an existing buffer (no allocation).
+pub fn write_f64_arg(out: &mut String, v: f64) {
+    use fmt::Write;
     if v.is_nan() {
-        "nan".to_string()
+        out.push_str("nan");
     } else if v.is_infinite() {
-        if v > 0.0 { "inf" } else { "-inf" }.to_string()
+        out.push_str(if v > 0.0 { "inf" } else { "-inf" });
     } else {
-        format!("{v:e}")
+        let _ = write!(out, "{v:e}");
     }
 }
 
@@ -74,7 +82,26 @@ impl TestInput {
     /// One-line textual form, as written into the `_inputs` files the
     /// campaign stores next to each test.
     pub fn to_line(&self) -> String {
-        self.to_args().join(" ")
+        let mut line = String::new();
+        self.write_line(&mut line);
+        line
+    }
+
+    /// [`Self::to_line`], appended to an existing buffer: the corpus saver
+    /// streams every input of a test into one reused buffer instead of
+    /// materializing a `Vec<String>` per line.
+    pub fn write_line(&self, out: &mut String) {
+        use fmt::Write;
+        write_f64_arg(out, self.comp_init);
+        for v in &self.values {
+            out.push(' ');
+            match *v {
+                InputValue::Int(i) => {
+                    let _ = write!(out, "{i}");
+                }
+                InputValue::Fp(x) | InputValue::ArrayFill(x) => write_f64_arg(out, x),
+            }
+        }
     }
 
     /// Parse a line previously written by [`TestInput::to_line`]. Values

@@ -11,7 +11,7 @@ use crate::target::{ReductionTarget, Verdict};
 use ompfuzz_ast::rewrite::{self, ClauseEdit, ExprSide};
 use ompfuzz_ast::Program;
 use ompfuzz_backends::{oracle, CompileOptions, OmpBackend, RunOptions};
-use ompfuzz_exec::PreparedKernel;
+use ompfuzz_exec::{ExecScratch, PreparedKernel};
 use ompfuzz_harness::{pool, CampaignConfig};
 use ompfuzz_inputs::TestInput;
 use ompfuzz_outlier::{analyze, OutlierConfig};
@@ -183,6 +183,7 @@ impl<'b> Reducer<'b> {
                     &PreparedKernel::new(kernel),
                     &target.input,
                     &self.config.run,
+                    &mut ExecScratch::new(),
                 )
             });
         let ctx = OracleCtx {
@@ -240,21 +241,24 @@ impl<'b> Reducer<'b> {
             return false;
         };
         // One compilation per candidate: the race gate and every backend
-        // run the same prepared bytecode.
+        // run the same prepared bytecode — and one scratch per candidate:
+        // the race-gate run and every backend run reuse its buffers.
         let prepared = PreparedKernel::new(kernel);
+        let mut scratch = ExecScratch::new();
         if self.config.filter_races
             && !ctx.allow_races
-            && candidate_races(&prepared, input, &self.config.run)
+            && candidate_races(&prepared, input, &self.config.run, &mut scratch)
         {
             return false;
         }
-        let Ok(observations) = oracle::observe(
+        let Ok(observations) = oracle::observe_with(
             program,
             input,
             self.backends,
             Some(&prepared),
             &self.config.compile,
             &self.config.run,
+            &mut scratch,
         ) else {
             return false;
         };
@@ -471,8 +475,13 @@ struct OracleCtx {
 /// engine. A run that fails (op budget) is treated as race-free, exactly as
 /// the campaign treats it — such programs stay in play and fail uniformly
 /// at the oracle instead.
-fn candidate_races(prepared: &PreparedKernel, input: &TestInput, run: &RunOptions) -> bool {
-    ompfuzz_harness::detect_kernel_races(prepared.plain(), input, run.max_ops, run.engine)
+fn candidate_races(
+    prepared: &PreparedKernel,
+    input: &TestInput,
+    run: &RunOptions,
+    scratch: &mut ExecScratch,
+) -> bool {
+    ompfuzz_harness::detect_kernel_races(prepared.plain(), input, run.max_ops, run.engine, scratch)
         .is_some_and(|races| !races.is_empty())
 }
 

@@ -60,8 +60,20 @@ impl ReductionTarget {
     /// `None` when the record carries no outlier or its indices don't
     /// resolve in `corpus` (mismatched corpus).
     pub fn from_record(corpus: &[TestCase], record: &RunRecord) -> Option<ReductionTarget> {
+        ReductionTarget::from_record_slice(corpus, 0, record)
+    }
+
+    /// [`Self::from_record`] against a contiguous corpus *slice* starting
+    /// at global index `index_offset` — what sharded campaigns use, since
+    /// a shard materializes only its own slice (records carry global
+    /// indices; programs outside the slice don't resolve).
+    pub fn from_record_slice(
+        slice: &[TestCase],
+        index_offset: usize,
+        record: &RunRecord,
+    ) -> Option<ReductionTarget> {
         let (kind, backend) = record.outlier()?;
-        let tc = corpus.get(record.program_index)?;
+        let tc = slice.get(record.program_index.checked_sub(index_offset)?)?;
         if tc.program.name.as_str() != &*record.program_name {
             return None;
         }

@@ -15,13 +15,14 @@ use std::time::Instant;
 
 /// A campaign tuned toward critical-section pressure (few reduction
 /// clauses force `comp` updates into criticals) that contains at least one
-/// Intel hang outlier. Seed picked by searching the deterministic stream;
-/// the assertions below re-verify every property it was picked for.
+/// Intel hang outlier. Seed picked by searching the deterministic
+/// index-addressed stream; the assertions below re-verify every property
+/// it was picked for.
 fn hang_campaign_config() -> CampaignConfig {
     let mut cfg = CampaignConfig::paper();
     cfg.programs = 20;
     cfg.inputs_per_program = 2;
-    cfg.seed = 4;
+    cfg.seed = 20;
     cfg.workers = 0;
     cfg.run.max_ops = 8_000_000;
     cfg.generator.omp.parallel_block = 0.6;

@@ -103,6 +103,23 @@ fn unit_f64(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Derive the seed of sub-stream `stream` of `seed` — a SplitMix64-style
+/// stream split. Seeding an RNG from `split_seed(seed, i)` gives every
+/// index an independent deterministic stream, so item `i` of a batch is a
+/// pure function of `(seed, i)` that never depends on items `0..i` having
+/// been drawn first. Not part of upstream `rand`'s API; the workspace's
+/// generators use it to make corpus generation index-addressable.
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    // Advance the SplitMix64 state by `stream + 1` increments (so stream 0
+    // is not the identity), then apply the output mix: distinct streams of
+    // one seed, and the same stream of nearby seeds, all decorrelate.
+    let mut z = seed.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        ^ 0x632B_E593_86D1_467C;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The user-facing sampling interface.
 pub trait Rng: RngCore {
     fn gen<T: Standard>(&mut self) -> T {
@@ -211,6 +228,21 @@ mod tests {
         assert!((2_000..3_000).contains(&hits), "hits={hits}");
         assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn split_seed_streams_are_distinct_and_deterministic() {
+        use super::split_seed;
+        // Pure function of (seed, stream).
+        assert_eq!(split_seed(7, 3), split_seed(7, 3));
+        // Stream 0 is not the identity, and nearby streams/seeds diverge.
+        let mut seen = std::collections::HashSet::new();
+        for seed in [0u64, 1, 7, u64::MAX] {
+            assert_ne!(split_seed(seed, 0), seed);
+            for stream in 0..64u64 {
+                assert!(seen.insert(split_seed(seed, stream)));
+            }
+        }
     }
 
     #[test]
