@@ -163,6 +163,23 @@ pub struct RunResult {
     pub races: Vec<ompfuzz_exec::RaceReport>,
 }
 
+impl RunResult {
+    /// True when the run was stopped by the interpreter's op budget rather
+    /// than by a *modelled* hang: budget aborts carry no thread snapshot
+    /// (there is no simulated runtime state to inspect), while modelled
+    /// livelocks always do. Telemetry uses this to count budget aborts
+    /// separately from the hangs the campaign actually reports.
+    pub fn is_budget_abort(&self) -> bool {
+        matches!(self.status, RunStatus::Hang { .. }) && self.threads.is_none()
+    }
+
+    /// VM/interpreter operations this run executed (0 when the engine
+    /// produced no statistics, i.e. on crash or budget abort).
+    pub fn vm_ops(&self) -> u64 {
+        self.exec.as_ref().map_or(0, |e| e.ops.total())
+    }
+}
+
 /// Compile-time failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompileError(pub String);

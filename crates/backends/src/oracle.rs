@@ -13,7 +13,61 @@ use crate::model::{CompileError, CompileOptions, RunOptions, RunResult, RunStatu
 use ompfuzz_ast::Program;
 use ompfuzz_exec::{ExecScratch, PreparedKernel};
 use ompfuzz_inputs::TestInput;
+use ompfuzz_obs::{Counter, Obs};
 use ompfuzz_outlier::{ExecStatus, RunObservation};
+
+/// Telemetry hook shared by every differential execution site (the
+/// campaign's fused per-program unit and the reducer's candidate checks):
+/// count the run, its VM ops, and whether the op budget stopped it. A
+/// no-op on an [`Obs::off`] handle.
+pub fn record_run_metrics(obs: &Obs, result: &RunResult) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.count(Counter::DifferentialRuns, 1);
+    obs.count(Counter::VmOps, result.vm_ops());
+    if result.is_budget_abort() {
+        obs.count(Counter::BudgetAborts, 1);
+    }
+}
+
+/// Locally accumulated run metrics for hot differential loops: observe
+/// each run into plain integers, flush to the registry once per program —
+/// one set of counter updates instead of one per `(input × backend)` run.
+/// Flushing produces exactly the totals the per-run hook would have.
+#[derive(Debug, Default)]
+pub struct RunMetricsBatch {
+    runs: u64,
+    vm_ops: u64,
+    budget_aborts: u64,
+}
+
+impl RunMetricsBatch {
+    /// An empty batch.
+    pub fn new() -> RunMetricsBatch {
+        RunMetricsBatch::default()
+    }
+
+    /// Tally one run into the batch (no atomics touched).
+    #[inline]
+    pub fn observe(&mut self, result: &RunResult) {
+        self.runs += 1;
+        self.vm_ops += result.vm_ops();
+        self.budget_aborts += u64::from(result.is_budget_abort());
+    }
+
+    /// Push the batch into the registry.
+    pub fn flush(&self, obs: &Obs) {
+        if self.runs == 0 || !obs.enabled() {
+            return;
+        }
+        obs.count(Counter::DifferentialRuns, self.runs);
+        obs.count(Counter::VmOps, self.vm_ops);
+        if self.budget_aborts > 0 {
+            obs.count(Counter::BudgetAborts, self.budget_aborts);
+        }
+    }
+}
 
 /// Convert a backend run into the outlier detector's observation record.
 pub fn to_observation(result: &RunResult) -> RunObservation {
@@ -69,13 +123,52 @@ pub fn observe_with(
     run_opts: &RunOptions,
     scratch: &mut ExecScratch,
 ) -> Result<Vec<RunObservation>, CompileError> {
-    let binaries: Vec<Box<dyn CompiledTest>> = backends
+    observe_with_obs(
+        program,
+        input,
+        backends,
+        prepared,
+        compile_opts,
+        run_opts,
+        scratch,
+        &Obs::off(),
+    )
+}
+
+/// [`observe_with`] reporting per-run telemetry (compiles, differential
+/// runs, VM ops, budget aborts) through `obs` — the reducer threads its
+/// campaign handle down here so candidate checks appear in the same
+/// counters as campaign runs.
+#[allow(clippy::too_many_arguments)]
+pub fn observe_with_obs(
+    program: &Program,
+    input: &TestInput,
+    backends: &[&dyn OmpBackend],
+    prepared: Option<&PreparedKernel>,
+    compile_opts: &CompileOptions,
+    run_opts: &RunOptions,
+    scratch: &mut ExecScratch,
+    obs: &Obs,
+) -> Result<Vec<RunObservation>, CompileError> {
+    obs.count(Counter::Compiles, backends.len() as u64);
+    let binaries: Result<Vec<Box<dyn CompiledTest>>, CompileError> = backends
         .iter()
         .map(|b| b.compile_lowered(program, prepared, compile_opts))
-        .collect::<Result<_, _>>()?;
+        .collect();
+    let binaries = match binaries {
+        Ok(binaries) => binaries,
+        Err(e) => {
+            obs.count(Counter::CompileFailures, 1);
+            return Err(e);
+        }
+    };
     Ok(binaries
         .iter()
-        .map(|bin| to_observation(&bin.run_with(input, run_opts, scratch)))
+        .map(|bin| {
+            let result = bin.run_with(input, run_opts, scratch);
+            record_run_metrics(obs, &result);
+            to_observation(&result)
+        })
         .collect())
 }
 
@@ -171,6 +264,46 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fresh, cached);
+    }
+
+    #[test]
+    fn obs_aware_observe_counts_compiles_and_runs() {
+        let program = tiny_program();
+        let input = TestInput {
+            comp_init: 0.0,
+            values: vec![InputValue::Fp(1.0)],
+        };
+        let backends = standard_backends();
+        let obs = Obs::metrics_only();
+        let out = observe_with_obs(
+            &program,
+            &input,
+            &dyns(&backends),
+            None,
+            &CompileOptions::default(),
+            &RunOptions::default(),
+            &mut ExecScratch::new(),
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        let snap = obs.counters();
+        assert_eq!(snap.get(Counter::Compiles), 3);
+        assert_eq!(snap.get(Counter::DifferentialRuns), 3);
+        assert_eq!(snap.get(Counter::BudgetAborts), 0);
+        assert!(snap.get(Counter::VmOps) > 0, "runs execute ops");
+        // The plain entry point is the obs-off special case: identical
+        // observations, no counters.
+        let plain = observe(
+            &program,
+            &input,
+            &dyns(&backends),
+            None,
+            &CompileOptions::default(),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out, plain);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::catalog::{Provenance, TriggerCatalog, TriggerKernel};
 use ompfuzz_backends::OmpBackend;
 use ompfuzz_harness::{pool, CampaignConfig, CampaignResult, TestCase};
+use ompfuzz_obs::{Counter, Obs, Phase};
 use ompfuzz_reduce::{ReduceConfig, Reducer, ReductionOutcome, ReductionTarget};
 
 /// Batch-reduction tuning.
@@ -83,18 +84,21 @@ pub fn reduce_all(
     backends: &[&dyn OmpBackend],
     config: &BatchConfig,
 ) -> BatchReduction {
-    reduce_all_slice(corpus, 0, result, backends, config)
+    reduce_all_slice(corpus, 0, result, backends, config, &Obs::off())
 }
 
 /// [`reduce_all`] against a contiguous corpus slice starting at global
 /// index `index_offset` — shard workers materialize only their O(slice)
 /// corpus, and their slice campaign's records carry global indices.
+/// Reductions report through `obs` (candidate checks, oracle runs, reduce
+/// phase time).
 pub fn reduce_all_slice(
     corpus: &[TestCase],
     index_offset: usize,
     result: &CampaignResult,
     backends: &[&dyn OmpBackend],
     config: &BatchConfig,
+    obs: &Obs,
 ) -> BatchReduction {
     let targets: Vec<(usize, usize, std::sync::Arc<str>, ReductionTarget)> = result
         .records
@@ -108,8 +112,13 @@ pub fn reduce_all_slice(
 
     let workers = pool::resolve_workers(config.workers);
     let outcomes = pool::map_parallel(workers, &targets, |(_, _, _, target)| {
-        Reducer::new(backends, config.reduce.clone()).reduce(target)
+        obs.time(Phase::Reduce, || {
+            Reducer::new(backends, config.reduce.clone())
+                .observed(obs.clone())
+                .reduce(target)
+        })
     });
+    obs.count(Counter::ReducedKernels, targets.len() as u64);
 
     let mut oracle_checks = 0;
     let reduced = targets

@@ -36,10 +36,12 @@ use crate::shard::{
 };
 use crate::store::{self, Node, StoreError};
 use ompfuzz_backends::OmpBackend;
+use ompfuzz_obs::{Counter, CounterSnapshot, Event, Obs, Phase};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// An evolution split into shards (each round's corpus is divided into
 /// `shards` contiguous slices, run independently, and merged in order).
@@ -99,6 +101,13 @@ impl ShardStatus {
 pub struct ShardProgress {
     pub summary: ShardSummary,
     pub status: ShardStatus,
+    /// Wall-clock microseconds spent obtaining the shard's result in
+    /// *this* invocation (near zero for a cached shard). Real clock
+    /// readings — surfaced in tables and JSONL, never checkpointed.
+    pub wall_us: u64,
+    /// The shard's deterministic telemetry counters (from the run, or from
+    /// its checkpoint when cached).
+    pub metrics: CounterSnapshot,
 }
 
 /// Per-round shard progress, in shard order.
@@ -106,6 +115,10 @@ pub struct ShardProgress {
 pub struct RoundProgress {
     pub round: usize,
     pub shards: Vec<ShardProgress>,
+    /// The round's wall-clock microseconds in this invocation — carried
+    /// here so `render_shard_summary`/`render_shard_progress` no longer
+    /// lose per-round timing.
+    pub wall_us: u64,
 }
 
 /// A finished coordinated evolution: the merged result plus the per-shard
@@ -432,14 +445,40 @@ pub fn run_sharded_evolution(
     initial: TriggerCatalog,
     checkpoint: Option<&Path>,
 ) -> Result<ShardedEvolution, CoordError> {
+    run_sharded_evolution_with(config, backends, initial, checkpoint, &Obs::off())
+}
+
+/// [`run_sharded_evolution`] reporting telemetry through `obs`: lifecycle
+/// events (campaign/round/shard start and end, periodic progress), the
+/// per-phase time breakdown, and the campaign counter totals. Each shard
+/// runs on a fork of `obs`; its deterministic counter snapshot is
+/// absorbed whether the shard ran or was loaded from its checkpoint (the
+/// snapshot is embedded in the shard file), so merged totals are
+/// identical across shard counts and kill/resume points. Telemetry is
+/// strictly out of band — catalog bytes cannot depend on it.
+pub fn run_sharded_evolution_with(
+    config: &ShardedEvolveConfig,
+    backends: &[&dyn OmpBackend],
+    initial: TriggerCatalog,
+    checkpoint: Option<&Path>,
+    obs: &Obs,
+) -> Result<ShardedEvolution, CoordError> {
     let shards = config.shards.max(1);
     let fingerprint = campaign_fingerprint(&config.evolve, shards, &initial);
     let ckpt = checkpoint.map(Checkpoint::open).transpose()?;
+    let campaign_started = Instant::now();
+    obs.emit(Event::CampaignStart {
+        rounds: config.evolve.rounds as u64,
+        shards: shards as u64,
+        programs: config.evolve.base.programs as u64,
+        seed: config.evolve.base.seed,
+    });
 
     let mut catalog = initial;
     let mut rounds = Vec::with_capacity(config.evolve.rounds);
     let mut progress = Vec::with_capacity(config.evolve.rounds);
     for round in 0..config.evolve.rounds {
+        let round_started = Instant::now();
         let campaign = round_campaign(&config.evolve, &catalog, round);
         let plan = plan_shards(campaign.programs, shards);
         let mut manifest = match &ckpt {
@@ -452,9 +491,23 @@ pub fn run_sharded_evolution(
         // the shard campaign's worker closures — and a checkpointed shard
         // skips generation entirely.
         let (gen, fresh) = round_case_fn(&campaign, &catalog, &config.evolve);
+        obs.emit(Event::RoundStart {
+            round: round as u64,
+            seed: campaign.seed,
+            programs: campaign.programs as u64,
+            mutants: (campaign.programs - fresh) as u64,
+        });
         let mut shard_rows: Vec<ShardProgress> = Vec::with_capacity(shards);
         let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
         for (index, range) in plan.iter().enumerate() {
+            let shard_started = Instant::now();
+            obs.emit(Event::ShardStart {
+                round: round as u64,
+                shard: index as u64,
+                shards: shards as u64,
+                start: range.start as u64,
+                end: range.end as u64,
+            });
             let cached = match (&ckpt, manifest.completed.contains(&index)) {
                 (Some(c), true) => c.load_shard(round, index)?,
                 _ => None,
@@ -487,6 +540,7 @@ pub fn run_sharded_evolution(
                             shard: index,
                             shards,
                         },
+                        obs,
                     );
                     if let Some(c) = &ckpt {
                         // Shard file first, then the manifest: a kill
@@ -498,9 +552,29 @@ pub fn run_sharded_evolution(
                     (outcome, ShardStatus::Ran)
                 }
             };
+            // Absorb the shard's counters ran-or-cached: cached snapshots
+            // come from the checkpoint file, so resumed totals equal a
+            // fresh run's.
+            obs.absorb(&outcome.metrics);
+            let wall_us = shard_started.elapsed().as_micros() as u64;
+            let s = &outcome.summary;
+            obs.emit(Event::ShardEnd {
+                round: round as u64,
+                shard: index as u64,
+                shards: shards as u64,
+                programs: s.programs() as u64,
+                mutants: s.mutants as u64,
+                racy: s.racy as u64,
+                outliers: s.outlier_records as u64,
+                reduced: s.reduced as u64,
+                cached: status == ShardStatus::Cached,
+                wall_us,
+            });
             shard_rows.push(ShardProgress {
                 summary: outcome.summary.clone(),
                 status,
+                wall_us,
+                metrics: outcome.metrics,
             });
             outcomes.push(outcome);
         }
@@ -508,13 +582,18 @@ pub fn run_sharded_evolution(
         // merge below mutates it.
         drop(gen);
 
-        let mut new_skeletons = 0;
-        for outcome in outcomes {
-            new_skeletons += catalog.merge(outcome.catalog);
-        }
+        let new_skeletons = obs.time(Phase::CatalogMerge, || {
+            let mut new_skeletons = 0;
+            for outcome in outcomes {
+                new_skeletons += catalog.merge(outcome.catalog);
+            }
+            new_skeletons
+        });
+        obs.count(Counter::NewSkeletons, new_skeletons as u64);
         if let Some(c) = &ckpt {
             c.store_round_catalog(round, &catalog)?;
         }
+        let round_wall_us = round_started.elapsed().as_micros() as u64;
         rounds.push(RoundSummary {
             round,
             seed: campaign.seed,
@@ -526,11 +605,30 @@ pub fn run_sharded_evolution(
             new_skeletons,
             catalog_size: catalog.len(),
         });
+        let summary = rounds.last().expect("just pushed");
+        obs.emit(Event::RoundEnd {
+            round: round as u64,
+            racy: summary.racy as u64,
+            outliers: summary.outlier_records as u64,
+            reduced: summary.reduced as u64,
+            new_skeletons: new_skeletons as u64,
+            catalog: catalog.len() as u64,
+            wall_us: round_wall_us,
+        });
         progress.push(RoundProgress {
             round,
             shards: shard_rows,
+            wall_us: round_wall_us,
         });
     }
+    obs.emit(Event::CampaignEnd {
+        rounds: config.evolve.rounds as u64,
+        catalog: catalog.len() as u64,
+        wall_us: campaign_started.elapsed().as_micros() as u64,
+        counters: obs.counters(),
+        phases: obs.phases(),
+    });
+    obs.flush();
     Ok(ShardedEvolution {
         evolution: Evolution { rounds, catalog },
         progress,
@@ -552,6 +650,29 @@ pub fn run_standalone_shard(
     checkpoint: &Path,
     round: usize,
     shard: usize,
+) -> Result<ShardProgress, CoordError> {
+    run_standalone_shard_with(
+        config,
+        backends,
+        initial,
+        checkpoint,
+        round,
+        shard,
+        &Obs::off(),
+    )
+}
+
+/// [`run_standalone_shard`] reporting telemetry through `obs`: shard
+/// start/end events, per-phase timings and the shard's counter snapshot
+/// (absorbed into `obs` whether it ran or was loaded from checkpoint).
+pub fn run_standalone_shard_with(
+    config: &ShardedEvolveConfig,
+    backends: &[&dyn OmpBackend],
+    initial: TriggerCatalog,
+    checkpoint: &Path,
+    round: usize,
+    shard: usize,
+    obs: &Obs,
 ) -> Result<ShardProgress, CoordError> {
     let shards = config.shards.max(1);
     if round >= config.evolve.rounds {
@@ -579,6 +700,40 @@ pub fn run_standalone_shard(
     };
     let campaign = round_campaign(&config.evolve, &catalog, round);
     let manifest = ckpt.round_manifest(round, campaign.seed, fingerprint, shards)?;
+    let started = Instant::now();
+    let plan = plan_shards(campaign.programs, shards);
+    let range = plan[shard].clone();
+    obs.emit(Event::ShardStart {
+        round: round as u64,
+        shard: shard as u64,
+        shards: shards as u64,
+        start: range.start as u64,
+        end: range.end as u64,
+    });
+    let finish = |outcome: ShardOutcome, status: ShardStatus| {
+        obs.absorb(&outcome.metrics);
+        let wall_us = started.elapsed().as_micros() as u64;
+        let s = &outcome.summary;
+        obs.emit(Event::ShardEnd {
+            round: round as u64,
+            shard: shard as u64,
+            shards: shards as u64,
+            programs: s.programs() as u64,
+            mutants: s.mutants as u64,
+            racy: s.racy as u64,
+            outliers: s.outlier_records as u64,
+            reduced: s.reduced as u64,
+            cached: status == ShardStatus::Cached,
+            wall_us,
+        });
+        obs.flush();
+        ShardProgress {
+            summary: outcome.summary,
+            status,
+            wall_us,
+            metrics: outcome.metrics,
+        }
+    };
     if manifest.completed.contains(&shard) {
         if let Some((fp, outcome)) = ckpt.load_shard(round, shard)? {
             if fp != fingerprint {
@@ -587,13 +742,9 @@ pub fn run_standalone_shard(
                      different campaign — remove the checkpoint directory"
                 ));
             }
-            return Ok(ShardProgress {
-                summary: outcome.summary,
-                status: ShardStatus::Cached,
-            });
+            return Ok(finish(outcome, ShardStatus::Cached));
         }
     }
-    let plan = plan_shards(campaign.programs, shards);
     // The out-of-process worker's headline saving: generate only this
     // shard's slice — per program, inside the campaign closures — never
     // the whole round corpus.
@@ -603,19 +754,17 @@ pub fn run_standalone_shard(
         backends,
         &gen,
         fresh,
-        plan[shard].clone(),
+        range,
         ShardCoords {
             round,
             shard,
             shards,
         },
+        obs,
     );
     ckpt.store_shard(&outcome, fingerprint)?;
     ckpt.record_completed(&manifest, shard)?;
-    Ok(ShardProgress {
-        summary: outcome.summary,
-        status: ShardStatus::Ran,
-    })
+    Ok(finish(outcome, ShardStatus::Ran))
 }
 
 #[cfg(test)]

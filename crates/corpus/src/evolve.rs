@@ -12,7 +12,7 @@
 
 use crate::bias::GeneratorBias;
 use crate::catalog::TriggerCatalog;
-use crate::coordinator::{run_sharded_evolution, ShardedEvolveConfig};
+use crate::coordinator::ShardedEvolveConfig;
 use crate::mutate::{mutant_seed, mutate_kernel};
 use ompfuzz_backends::OmpBackend;
 use ompfuzz_harness::{CampaignConfig, TestCase};
@@ -134,7 +134,8 @@ pub fn round_seed(seed: u64, round: usize) -> u64 {
 /// [`TriggerCatalog::new`] otherwise.
 ///
 /// This is the one-shard, in-memory face of the campaign coordinator: it
-/// delegates to [`run_sharded_evolution`] with a single shard and no
+/// delegates to [`run_sharded_evolution`](crate::run_sharded_evolution)
+/// with a single shard and no
 /// checkpoint directory, so sharded and unsharded runs share one code path
 /// — and one set of bytes in the saved catalog.
 pub fn run_evolution(
@@ -142,7 +143,20 @@ pub fn run_evolution(
     backends: &[&dyn OmpBackend],
     catalog: TriggerCatalog,
 ) -> Evolution {
-    run_sharded_evolution(
+    run_evolution_with(config, backends, catalog, &ompfuzz_obs::Obs::off())
+}
+
+/// [`run_evolution`] reporting telemetry through `obs` — counters, phase
+/// timers and lifecycle events. Telemetry is strictly out of band: the
+/// returned evolution (and its catalog bytes) is identical whether `obs`
+/// is on or off, which the telemetry tests pin.
+pub fn run_evolution_with(
+    config: &EvolveConfig,
+    backends: &[&dyn OmpBackend],
+    catalog: TriggerCatalog,
+    obs: &ompfuzz_obs::Obs,
+) -> Evolution {
+    crate::coordinator::run_sharded_evolution_with(
         &ShardedEvolveConfig {
             evolve: config.clone(),
             shards: 1,
@@ -150,6 +164,7 @@ pub fn run_evolution(
         backends,
         catalog,
         None,
+        obs,
     )
     .expect("in-memory evolution performs no checkpoint I/O")
     .evolution

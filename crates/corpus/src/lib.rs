@@ -51,15 +51,19 @@ pub mod mutate;
 pub mod shard;
 pub mod store;
 
-pub use batch::{fold_into_catalog, reduce_all, BatchConfig, BatchReduction, ReducedOutlier};
+pub use batch::{
+    fold_into_catalog, reduce_all, reduce_all_slice, BatchConfig, BatchReduction, ReducedOutlier,
+};
 pub use bias::GeneratorBias;
 pub use catalog::{Provenance, TriggerCatalog, TriggerKernel};
 pub use coordinator::{
-    campaign_fingerprint, run_sharded_evolution, run_standalone_shard, Checkpoint, CoordError,
-    RoundManifest, RoundProgress, ShardProgress, ShardStatus, ShardedEvolution,
-    ShardedEvolveConfig,
+    campaign_fingerprint, run_sharded_evolution, run_sharded_evolution_with, run_standalone_shard,
+    run_standalone_shard_with, Checkpoint, CoordError, RoundManifest, RoundProgress, ShardProgress,
+    ShardStatus, ShardedEvolution, ShardedEvolveConfig,
 };
-pub use evolve::{round_seed, run_evolution, Evolution, EvolveConfig, RoundSummary};
+pub use evolve::{
+    round_seed, run_evolution, run_evolution_with, Evolution, EvolveConfig, RoundSummary,
+};
 pub use mutate::{grow_limits, mutant_seed, mutate_kernel};
 pub use shard::{
     plan_shards, read_shard_file, write_shard_file, ShardCoords, ShardOutcome, ShardSummary,

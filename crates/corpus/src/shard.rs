@@ -24,7 +24,8 @@ use crate::batch::{fold_into_catalog, reduce_all_slice, BatchConfig};
 use crate::catalog::TriggerCatalog;
 use crate::store::{self, Node, StoreError};
 use ompfuzz_backends::OmpBackend;
-use ompfuzz_harness::{run_campaign_generated, CampaignConfig, TestCase};
+use ompfuzz_harness::{run_campaign_generated_with, CampaignConfig, TestCase};
+use ompfuzz_obs::{Counter, CounterSnapshot, Obs, Phase};
 use std::ops::Range;
 use std::time::Instant;
 
@@ -86,6 +87,10 @@ impl ShardSummary {
 pub struct ShardOutcome {
     pub summary: ShardSummary,
     pub catalog: TriggerCatalog,
+    /// The shard's deterministic telemetry counters. Embedded in the
+    /// checkpoint file so a resumed campaign's merged totals match a fresh
+    /// run's; shard snapshots merge by addition in any order.
+    pub metrics: CounterSnapshot,
 }
 
 /// Position of one shard within a campaign: which round, which shard of
@@ -110,6 +115,12 @@ pub struct ShardCoords {
 /// global indices and the reducer resolves them back through
 /// `range.start`, so catalog provenance matches the unsharded run
 /// exactly. `fresh` is the global index of the first mutant slot.
+///
+/// Telemetry: the shard runs on a [`fork`](Obs::fork) of `obs`, so its
+/// counters snapshot independently into [`ShardOutcome::metrics`] (the
+/// coordinator absorbs them — ran or cached — so totals are
+/// resume-invariant); wall-clock phase timings are absorbed back into
+/// `obs` directly, because they must never enter checkpoint bytes.
 pub fn run_planned_shard(
     campaign: &CampaignConfig,
     backends: &[&dyn OmpBackend],
@@ -117,18 +128,34 @@ pub fn run_planned_shard(
     fresh: usize,
     range: Range<usize>,
     coords: ShardCoords,
+    obs: &Obs,
 ) -> ShardOutcome {
-    let (result, slice) =
-        run_campaign_generated(campaign, backends, range.clone(), gen, Instant::now());
+    let shard_obs = obs.fork();
+    let (result, slice) = run_campaign_generated_with(
+        campaign,
+        backends,
+        range.clone(),
+        gen,
+        Instant::now(),
+        &shard_obs,
+    );
+    // Mutants occupy the corpus tail `[fresh, len)`; count the overlap
+    // with this shard's range.
+    let mutants = range.end - fresh.clamp(range.start, range.end);
+    shard_obs.count(Counter::MutantsGenerated, mutants as u64);
     let batch = reduce_all_slice(
         &slice,
         range.start,
         &result,
         backends,
         &BatchConfig::for_campaign(campaign),
+        &shard_obs,
     );
     let mut catalog = TriggerCatalog::new();
-    fold_into_catalog(&mut catalog, &batch, campaign.seed, coords.round);
+    shard_obs.time(Phase::CatalogMerge, || {
+        fold_into_catalog(&mut catalog, &batch, campaign.seed, coords.round)
+    });
+    obs.absorb_phases(&shard_obs.phases());
     ShardOutcome {
         summary: ShardSummary {
             round: coords.round,
@@ -136,9 +163,7 @@ pub fn run_planned_shard(
             shards: coords.shards,
             start: range.start,
             end: range.end,
-            // Mutants occupy the corpus tail `[fresh, len)`; count the
-            // overlap with this shard's range.
-            mutants: range.end - fresh.clamp(range.start, range.end),
+            mutants,
             racy: result.racy_programs.len(),
             outlier_records: result
                 .records
@@ -148,6 +173,7 @@ pub fn run_planned_shard(
             reduced: batch.reduced.len(),
         },
         catalog,
+        metrics: shard_obs.counters(),
     }
 }
 
@@ -156,14 +182,16 @@ pub fn run_planned_shard(
 // ---------------------------------------------------------------------------
 
 /// Serialize a shard outcome as a checkpoint file: a `(shard ...)` header
-/// (stamped with the campaign fingerprint so stale files are detected)
-/// followed by the shard's catalog. Byte-deterministic, like the catalog
-/// itself — re-running a shard rewrites the identical file.
+/// (stamped with the campaign fingerprint so stale files are detected),
+/// the shard's deterministic telemetry counters, then the shard's catalog.
+/// Byte-deterministic, like the catalog itself — re-running a shard
+/// rewrites the identical file. Only *deterministic* counters enter the
+/// file; wall-clock phase timings never do.
 pub fn write_shard_file(outcome: &ShardOutcome, fingerprint: u64) -> String {
     let s = &outcome.summary;
     format!(
-        "; ompfuzz shard checkpoint v1\n\
-         (shard v1 {fingerprint} {} {} {} {} {} {} {} {} {})\n{}",
+        "; ompfuzz shard checkpoint v2\n\
+         (shard v2 {fingerprint} {} {} {} {} {} {} {} {} {})\n{}\n{}",
         s.round,
         s.shard,
         s.shards,
@@ -173,8 +201,29 @@ pub fn write_shard_file(outcome: &ShardOutcome, fingerprint: u64) -> String {
         s.racy,
         s.outlier_records,
         s.reduced,
+        outcome.metrics.to_line(),
         outcome.catalog.save_to_string()
     )
+}
+
+/// Rebuild a counter snapshot from its parsed `(metrics (key value) ...)`
+/// node. Unknown keys are skipped (forward compatibility), matching
+/// [`CounterSnapshot::parse_line`].
+fn metrics_from_node(node: &Node) -> Result<CounterSnapshot, StoreError> {
+    let mut line = String::from("(metrics");
+    for pair in node.tagged("metrics")? {
+        let [key, value] = pair.as_list()? else {
+            return Err(StoreError("metrics entry needs (key value)".into()));
+        };
+        line.push_str(&format!(
+            " ({} {})",
+            key.as_atom()?,
+            value.parse_atom::<u64>("metric value")?
+        ));
+    }
+    line.push(')');
+    CounterSnapshot::parse_line(&line)
+        .ok_or_else(|| StoreError("invalid shard metrics line".into()))
 }
 
 /// Parse a file written by [`write_shard_file`]; returns the recorded
@@ -182,9 +231,10 @@ pub fn write_shard_file(outcome: &ShardOutcome, fingerprint: u64) -> String {
 /// checkpoints.
 pub fn read_shard_file(text: &str) -> Result<(u64, ShardOutcome), StoreError> {
     let nodes = store::parse_nodes(text)?;
-    let [header, catalog] = nodes.as_slice() else {
+    let [header, metrics, catalog] = nodes.as_slice() else {
         return Err(StoreError(format!(
-            "shard file needs (shard ...) then (catalog ...), found {} forms",
+            "shard file needs (shard ...), (metrics ...), then (catalog ...), \
+             found {} forms",
             nodes.len()
         )));
     };
@@ -193,12 +243,12 @@ pub fn read_shard_file(text: &str) -> Result<(u64, ShardOutcome), StoreError> {
         rest
     else {
         return Err(StoreError(
-            "shard header needs (shard v1 fingerprint round shard shards \
+            "shard header needs (shard v2 fingerprint round shard shards \
              start end mutants racy outliers reduced)"
                 .into(),
         ));
     };
-    if version != &Node::Atom("v1".into()) {
+    if version != &Node::Atom("v2".into()) {
         return Err(StoreError("unsupported shard file version".into()));
     }
     let summary = ShardSummary {
@@ -217,6 +267,7 @@ pub fn read_shard_file(text: &str) -> Result<(u64, ShardOutcome), StoreError> {
         ShardOutcome {
             summary,
             catalog: TriggerCatalog::from_node(catalog)?,
+            metrics: metrics_from_node(metrics)?,
         },
     ))
 }
@@ -283,6 +334,9 @@ mod tests {
                 input_index: 0,
             },
         });
+        let reg = ompfuzz_obs::MetricsRegistry::new();
+        reg.add(Counter::ProgramsGenerated, 10);
+        reg.add(Counter::DifferentialRuns, 90);
         let outcome = ShardOutcome {
             summary: ShardSummary {
                 round: 1,
@@ -296,26 +350,35 @@ mod tests {
                 reduced: 4,
             },
             catalog,
+            metrics: reg.snapshot(),
         };
         let text = write_shard_file(&outcome, 0xDEAD_BEEF);
         let (fingerprint, back) = read_shard_file(&text).expect("parses");
         assert_eq!(fingerprint, 0xDEAD_BEEF);
         assert_eq!(back.summary, outcome.summary);
         assert_eq!(back.catalog, outcome.catalog);
+        assert_eq!(back.metrics, outcome.metrics);
         // Byte-stable: rewriting the reload reproduces the file.
         assert_eq!(write_shard_file(&back, fingerprint), text);
     }
 
     #[test]
     fn malformed_shard_files_are_rejected() {
+        let metrics = CounterSnapshot::default().to_line();
         for bad in [
-            "",
-            "(shard v1 1 0 0 1 0 10 0 0 0 0)", // header without catalog
-            "(shard v2 1 0 0 1 0 10 0 0 0 0)\n(catalog v1 0)",
-            "(shard v1 0 0 1)\n(catalog v1 0)",
-            "(catalog v1 0)\n(catalog v1 0)",
+            String::new(),
+            // Header without metrics/catalog.
+            "(shard v2 1 0 0 1 0 10 0 0 0 0)".into(),
+            // v1 (pre-metrics) files are a different format, not silently
+            // zero-filled.
+            format!("(shard v1 1 0 0 1 0 10 0 0 0 0)\n{metrics}\n(catalog v1 0)"),
+            // Missing metrics form.
+            "(shard v2 1 0 0 1 0 10 0 0 0 0)\n(catalog v1 0)".into(),
+            format!("(shard v2 0 0 1)\n{metrics}\n(catalog v1 0)"),
+            "(shard v2 1 0 0 1 0 10 0 0 0 0)\n(metrics (compiles x))\n(catalog v1 0)".into(),
+            format!("(catalog v1 0)\n{metrics}\n(catalog v1 0)"),
         ] {
-            assert!(read_shard_file(bad).is_err(), "`{bad}` should fail");
+            assert!(read_shard_file(&bad).is_err(), "`{bad}` should fail");
         }
     }
 }

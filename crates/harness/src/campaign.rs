@@ -17,6 +17,7 @@ use crate::pool;
 use crate::testcase::{generate_case, TestCase};
 use ompfuzz_backends::{oracle, CompileOptions, OmpBackend, RunOptions};
 use ompfuzz_exec::{CompiledKernel, ExecEngine, ExecOptions, ExecScratch, RaceReport};
+use ompfuzz_obs::{Counter, Obs, Phase, Stopwatch};
 use ompfuzz_outlier::{analyze, Analysis, OutlierKind, RunObservation, Tally};
 use std::sync::Arc;
 use std::time::Instant;
@@ -141,11 +142,12 @@ pub fn run_campaign(config: &CampaignConfig, backends: &[&dyn OmpBackend]) -> Ca
     let start = Instant::now();
     let indices: Vec<usize> = (0..config.programs).collect();
     let workers = pool::resolve_workers(config.workers);
+    let obs = Obs::off();
     let outcomes = pool::map_parallel(workers, &indices, |&index| {
         let tc = generate_case(config, index);
         // `tc` drops when this closure returns: peak memory is one test
         // case per worker, not the corpus.
-        run_one_case(index, &tc, config, backends)
+        run_one_case(index, &tc, config, backends, &obs, &mut obs.stopwatch())
     });
     assemble_result(config, backends, outcomes, start)
 }
@@ -170,11 +172,37 @@ pub fn run_campaign_generated(
     gen: &(dyn Fn(usize) -> TestCase + Sync),
     start: Instant,
 ) -> (CampaignResult, Vec<TestCase>) {
+    run_campaign_generated_with(config, backends, range, gen, start, &Obs::off())
+}
+
+/// [`run_campaign_generated`] with telemetry: each worker closure times
+/// its generate section, counts the generated program, and ticks the
+/// periodic progress stream; the per-program unit records its
+/// compile/race-filter/differential counters and timings through the same
+/// handle. Telemetry is strictly out of band — an [`Obs::off`] handle
+/// reproduces `run_campaign_generated` exactly, and an active one never
+/// changes any result (pinned by the corpus telemetry property suite).
+pub fn run_campaign_generated_with(
+    config: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+    range: std::ops::Range<usize>,
+    gen: &(dyn Fn(usize) -> TestCase + Sync),
+    start: Instant,
+    obs: &Obs,
+) -> (CampaignResult, Vec<TestCase>) {
     let indices: Vec<usize> = range.collect();
+    let total = indices.len() as u64;
     let workers = pool::resolve_workers(config.workers);
     let paired = pool::map_parallel(workers, &indices, |&index| {
+        // One chained stopwatch across the whole per-program unit:
+        // generate / race-filter / compile / differential share boundary
+        // clock readings (5 reads per program instead of 8).
+        let mut sw = obs.stopwatch();
         let tc = gen(index);
-        let outcome = run_one_case(index, &tc, config, backends);
+        sw.lap(Phase::Generate);
+        obs.count(Counter::ProgramsGenerated, 1);
+        let outcome = run_one_case(index, &tc, config, backends, obs, &mut sw);
+        obs.tick_progress(total);
         (outcome, tc)
     });
     let (outcomes, corpus): (Vec<CaseOutcome>, Vec<TestCase>) = paired.into_iter().unzip();
@@ -213,8 +241,9 @@ pub fn run_campaign_slice(
         .map(|(i, tc)| (index_offset + i, tc))
         .collect();
     let workers = pool::resolve_workers(config.workers);
+    let obs = Obs::off();
     let outcomes = pool::map_parallel(workers, &indexed, |&(index, tc)| {
-        run_one_case(index, tc, config, backends)
+        run_one_case(index, tc, config, backends, &obs, &mut obs.stopwatch())
     });
     assemble_result(config, backends, outcomes, start)
 }
@@ -294,8 +323,11 @@ fn run_one_case(
     tc: &TestCase,
     config: &CampaignConfig,
     backends: &[&dyn OmpBackend],
+    obs: &Obs,
+    sw: &mut Stopwatch<'_>,
 ) -> CaseOutcome {
-    WORKER_SCRATCH.with(|s| run_one_case_with(index, tc, config, backends, &mut s.borrow_mut()))
+    WORKER_SCRATCH
+        .with(|s| run_one_case_with(index, tc, config, backends, &mut s.borrow_mut(), obs, sw))
 }
 
 fn run_one_case_with(
@@ -304,6 +336,8 @@ fn run_one_case_with(
     config: &CampaignConfig,
     backends: &[&dyn OmpBackend],
     scratch: &mut ExecScratch,
+    obs: &Obs,
+    sw: &mut Stopwatch<'_>,
 ) -> CaseOutcome {
     // §IV-E mitigation: drop data-racing programs before differential
     // analysis (the paper filtered them manually; our detector automates
@@ -311,8 +345,11 @@ fn run_one_case_with(
     // fills the test case's shared compilation cache that the per-backend
     // compiles below reuse.
     if config.filter_races {
-        if let Some(reports) = detect_races(tc, config, scratch) {
+        let reports = detect_races(tc, config, scratch);
+        sw.lap(Phase::RaceFilter);
+        if let Some(reports) = reports {
             if !reports.is_empty() {
+                obs.count(Counter::RaceFilterHits, 1);
                 return CaseOutcome::Racy(Arc::from(tc.program.name.as_str()), reports);
             }
         }
@@ -326,13 +363,17 @@ fn run_one_case_with(
     // compile — the three vendor binaries share one flat bytecode.
     let prepared = tc.prepared().ok();
     let mut binaries = Vec::with_capacity(backends.len());
-    let mut compile_failures = 0;
+    let mut compile_failures = 0u64;
     for b in backends {
         match b.compile_lowered(&tc.program, prepared, &compile_opts) {
             Ok(bin) => binaries.push(bin),
             Err(_) => compile_failures += 1,
         }
     }
+    sw.lap(Phase::Compile);
+    obs.count(Counter::Compiles, backends.len() as u64);
+    obs.count(Counter::CompileFailures, compile_failures);
+    let compile_failures = compile_failures as usize;
     if binaries.len() != backends.len() {
         // A program that does not compile everywhere cannot be compared.
         return CaseOutcome::Ran {
@@ -348,12 +389,20 @@ fn run_one_case_with(
     // One allocation per program, refcounted into each record.
     let program_name: Arc<str> = Arc::from(tc.program.name.as_str());
     let mut records = Vec::with_capacity(tc.inputs.len());
+    let mut run_metrics = oracle::RunMetricsBatch::new();
     for (input_index, input) in tc.inputs.iter().enumerate() {
         let observations: Vec<RunObservation> = binaries
             .iter()
-            .map(|bin| oracle::to_observation(&bin.run_with(input, &run_opts, scratch)))
+            .map(|bin| {
+                let result = bin.run_with(input, &run_opts, scratch);
+                run_metrics.observe(&result);
+                oracle::to_observation(&result)
+            })
             .collect();
         let analysis = analyze(&observations, &config.outlier);
+        if analysis.correctness.is_some() || analysis.performance.is_some() {
+            obs.count(Counter::OutlierRecords, 1);
+        }
         records.push(RunRecord {
             program_index: index,
             program_name: Arc::clone(&program_name),
@@ -362,6 +411,8 @@ fn run_one_case_with(
             analysis,
         });
     }
+    sw.lap(Phase::Differential);
+    run_metrics.flush(obs);
     CaseOutcome::Ran {
         compile_failures,
         records,

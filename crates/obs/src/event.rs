@@ -1,0 +1,287 @@
+//! The structured event taxonomy: everything the pipeline tells the
+//! outside world while it runs.
+//!
+//! One `enum`, seven lifecycle kinds, scalar fields only (plus the final
+//! counter/phase rollups on `campaign_end`). Sinks render the same stream
+//! two ways — human-readable progress lines and line-delimited JSON — so
+//! adding an event here automatically reaches both, and the schema module
+//! validates emitted JSONL against exactly this taxonomy.
+
+use crate::json::JsonObject;
+use crate::metrics::CounterSnapshot;
+use crate::phase::PhaseBreakdown;
+
+/// One structured lifecycle event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A sharded/evolutionary campaign is starting.
+    CampaignStart {
+        rounds: u64,
+        shards: u64,
+        programs: u64,
+        seed: u64,
+    },
+    /// A round's corpus is planned and about to run.
+    RoundStart {
+        round: u64,
+        seed: u64,
+        programs: u64,
+        mutants: u64,
+    },
+    /// One shard's slice is about to run (or load from checkpoint).
+    ShardStart {
+        round: u64,
+        shard: u64,
+        shards: u64,
+        start: u64,
+        end: u64,
+    },
+    /// One shard finished: its accounting, whether it was loaded from a
+    /// checkpoint, and its wall time.
+    ShardEnd {
+        round: u64,
+        shard: u64,
+        shards: u64,
+        programs: u64,
+        mutants: u64,
+        racy: u64,
+        outliers: u64,
+        reduced: u64,
+        cached: bool,
+        wall_us: u64,
+    },
+    /// Periodic progress snapshot from inside a shard's worker pool.
+    Progress { completed: u64, total: u64 },
+    /// A round's shards merged; the fix for the lost per-round timing —
+    /// `wall_us` is the round's wall clock.
+    RoundEnd {
+        round: u64,
+        racy: u64,
+        outliers: u64,
+        reduced: u64,
+        new_skeletons: u64,
+        catalog: u64,
+        wall_us: u64,
+    },
+    /// Final summary: total wall time plus the campaign's counter totals
+    /// and per-phase time breakdown.
+    CampaignEnd {
+        rounds: u64,
+        catalog: u64,
+        wall_us: u64,
+        counters: CounterSnapshot,
+        phases: PhaseBreakdown,
+    },
+}
+
+impl Event {
+    /// The event's stable kind tag (the JSONL `event` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CampaignStart { .. } => "campaign_start",
+            Event::RoundStart { .. } => "round_start",
+            Event::ShardStart { .. } => "shard_start",
+            Event::ShardEnd { .. } => "shard_end",
+            Event::Progress { .. } => "progress",
+            Event::RoundEnd { .. } => "round_end",
+            Event::CampaignEnd { .. } => "campaign_end",
+        }
+    }
+
+    /// Render as one line of JSON (no trailing newline). Field order is
+    /// fixed, so a given event value always renders identical bytes.
+    pub fn to_json(&self) -> String {
+        let obj = JsonObject::new().str("event", self.kind());
+        match self {
+            Event::CampaignStart {
+                rounds,
+                shards,
+                programs,
+                seed,
+            } => obj
+                .u64("rounds", *rounds)
+                .u64("shards", *shards)
+                .u64("programs", *programs)
+                .u64("seed", *seed)
+                .finish(),
+            Event::RoundStart {
+                round,
+                seed,
+                programs,
+                mutants,
+            } => obj
+                .u64("round", *round)
+                .u64("seed", *seed)
+                .u64("programs", *programs)
+                .u64("mutants", *mutants)
+                .finish(),
+            Event::ShardStart {
+                round,
+                shard,
+                shards,
+                start,
+                end,
+            } => obj
+                .u64("round", *round)
+                .u64("shard", *shard)
+                .u64("shards", *shards)
+                .u64("start", *start)
+                .u64("end", *end)
+                .finish(),
+            Event::ShardEnd {
+                round,
+                shard,
+                shards,
+                programs,
+                mutants,
+                racy,
+                outliers,
+                reduced,
+                cached,
+                wall_us,
+            } => obj
+                .u64("round", *round)
+                .u64("shard", *shard)
+                .u64("shards", *shards)
+                .u64("programs", *programs)
+                .u64("mutants", *mutants)
+                .u64("racy", *racy)
+                .u64("outliers", *outliers)
+                .u64("reduced", *reduced)
+                .bool("cached", *cached)
+                .u64("wall_us", *wall_us)
+                .finish(),
+            Event::Progress { completed, total } => obj
+                .u64("completed", *completed)
+                .u64("total", *total)
+                .finish(),
+            Event::RoundEnd {
+                round,
+                racy,
+                outliers,
+                reduced,
+                new_skeletons,
+                catalog,
+                wall_us,
+            } => obj
+                .u64("round", *round)
+                .u64("racy", *racy)
+                .u64("outliers", *outliers)
+                .u64("reduced", *reduced)
+                .u64("new_skeletons", *new_skeletons)
+                .u64("catalog", *catalog)
+                .u64("wall_us", *wall_us)
+                .finish(),
+            Event::CampaignEnd {
+                rounds,
+                catalog,
+                wall_us,
+                counters,
+                phases,
+            } => obj
+                .u64("rounds", *rounds)
+                .u64("catalog", *catalog)
+                .u64("wall_us", *wall_us)
+                .raw("counters", &counters_json(counters))
+                .raw("phases", &phases_json(phases))
+                .finish(),
+        }
+    }
+}
+
+/// Render a counter snapshot as a flat JSON object, one field per counter
+/// in slot order.
+pub fn counters_json(counters: &CounterSnapshot) -> String {
+    let mut obj = JsonObject::new();
+    for (counter, value) in counters.iter() {
+        obj = obj.u64(counter.key(), value);
+    }
+    obj.finish()
+}
+
+/// Render a phase breakdown as `{"generate":{"us":…,"calls":…},…}` in
+/// slot order.
+pub fn phases_json(phases: &PhaseBreakdown) -> String {
+    let mut obj = JsonObject::new();
+    for (phase, nanos, calls) in phases.iter() {
+        let inner = JsonObject::new()
+            .u64("us", nanos / 1_000)
+            .u64("calls", calls)
+            .finish();
+        obj = obj.raw(phase.key(), &inner);
+    }
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::metrics::{Counter, MetricsRegistry};
+    use crate::phase::{Phase, PhaseTimers};
+    use std::time::Duration;
+
+    #[test]
+    fn events_render_parseable_single_lines() {
+        let reg = MetricsRegistry::new();
+        reg.add(Counter::DifferentialRuns, 120);
+        let timers = PhaseTimers::new();
+        timers.record(Phase::Generate, Duration::from_micros(42));
+        let events = [
+            Event::CampaignStart {
+                rounds: 2,
+                shards: 4,
+                programs: 40,
+                seed: 20,
+            },
+            Event::Progress {
+                completed: 32,
+                total: 40,
+            },
+            Event::CampaignEnd {
+                rounds: 2,
+                catalog: 5,
+                wall_us: 1234,
+                counters: reg.snapshot(),
+                phases: timers.snapshot(),
+            },
+        ];
+        for event in &events {
+            let line = event.to_json();
+            assert!(!line.contains('\n'));
+            let parsed = Value::parse(&line).unwrap();
+            assert_eq!(
+                parsed.get("event").unwrap().as_str(),
+                Some(event.kind()),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_end_carries_rollups() {
+        let reg = MetricsRegistry::new();
+        reg.add(Counter::VmOps, u64::MAX);
+        let line = Event::CampaignEnd {
+            rounds: 1,
+            catalog: 0,
+            wall_us: 0,
+            counters: reg.snapshot(),
+            phases: PhaseTimers::new().snapshot(),
+        }
+        .to_json();
+        let parsed = Value::parse(&line).unwrap();
+        let counters = parsed.get("counters").unwrap();
+        assert_eq!(counters.get("vm_ops").unwrap().as_u64(), Some(u64::MAX));
+        let phases = parsed.get("phases").unwrap();
+        assert_eq!(
+            phases
+                .get("generate")
+                .unwrap()
+                .get("calls")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+}

@@ -14,6 +14,7 @@ use ompfuzz_backends::{oracle, CompileOptions, OmpBackend, RunOptions};
 use ompfuzz_exec::{ExecScratch, PreparedKernel};
 use ompfuzz_harness::{pool, CampaignConfig};
 use ompfuzz_inputs::TestInput;
+use ompfuzz_obs::{Counter, Obs};
 use ompfuzz_outlier::{analyze, OutlierConfig};
 use std::collections::BTreeSet;
 
@@ -124,13 +125,27 @@ type Candidate = (Program, TestInput);
 pub struct Reducer<'b> {
     backends: &'b [&'b dyn OmpBackend],
     config: ReduceConfig,
+    obs: Obs,
 }
 
 impl<'b> Reducer<'b> {
     /// Reducer over the same backends (same order!) as the campaign that
     /// observed the target verdict.
     pub fn new(backends: &'b [&'b dyn OmpBackend], config: ReduceConfig) -> Reducer<'b> {
-        Reducer { backends, config }
+        Reducer {
+            backends,
+            config,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Attach a telemetry handle: every oracle check is counted live
+    /// (candidate checks, compiles, differential runs, VM ops, budget
+    /// aborts) as the reduction progresses. Telemetry never influences
+    /// which candidates are accepted.
+    pub fn observed(mut self, obs: Obs) -> Reducer<'b> {
+        self.obs = obs;
+        self
     }
 
     /// Run the fixpoint reduction loop on one target.
@@ -237,6 +252,9 @@ impl<'b> Reducer<'b> {
     /// neither do candidates the campaign's dynamic race detector would
     /// have excluded from analysis.
     fn reproduces(&self, program: &Program, input: &TestInput, ctx: &OracleCtx) -> bool {
+        // One oracle check per call: pass batches plus the entry/exit
+        // sanity checks, so the counter matches `oracle_checks` exactly.
+        self.obs.count(Counter::ReducerCandidateChecks, 1);
         let Ok(kernel) = ompfuzz_exec::lower(program) else {
             return false;
         };
@@ -251,7 +269,7 @@ impl<'b> Reducer<'b> {
         {
             return false;
         }
-        let Ok(observations) = oracle::observe_with(
+        let Ok(observations) = oracle::observe_with_obs(
             program,
             input,
             self.backends,
@@ -259,6 +277,7 @@ impl<'b> Reducer<'b> {
             &self.config.compile,
             &self.config.run,
             &mut scratch,
+            &self.obs,
         ) else {
             return false;
         };

@@ -10,7 +10,9 @@
 //! ompfuzz evolve [--rounds N] [--seed S] [--programs N] [--config FILE] [--quick]
 //!                [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]
 //!                [--shards N] [--checkpoint-dir DIR] [--engine tree|bytecode]
+//!                [--progress human|jsonl|none] [--metrics-out FILE]
 //! ompfuzz shard --round R --shard I/N --checkpoint-dir DIR [evolve options]
+//! ompfuzz report --metrics FILE [--schema FILE]
 //! ompfuzz generate --out DIR [--programs N] [--seed S]
 //! ompfuzz emit [--seed S]
 //! ompfuzz config-template
@@ -18,20 +20,23 @@
 
 use ompfuzz_backends::{standard_backends, OmpBackend};
 use ompfuzz_corpus::{
-    fold_into_catalog, reduce_all, run_sharded_evolution, run_standalone_shard, BatchConfig,
-    EvolveConfig, ShardedEvolveConfig, TriggerCatalog,
+    fold_into_catalog, reduce_all, run_sharded_evolution_with, run_standalone_shard_with,
+    BatchConfig, EvolveConfig, ShardedEvolveConfig, TriggerCatalog,
 };
 use ompfuzz_harness::{
     generate_corpus, run_campaign, run_campaign_on, save_corpus, CampaignConfig,
 };
+use ompfuzz_obs::{stderr_jsonl, HumanSink, JsonlSink, MultiSink, Obs};
 use ompfuzz_outlier::OutlierKind;
 use ompfuzz_reduce::{ReduceConfig, Reducer, ReductionTarget};
 use ompfuzz_report::{
-    campaign_to_csv, experiments, render_catalog, render_evolution, render_reduction_summary,
-    render_shard_progress, render_shard_summary, render_table1, run_experiment, Scale,
+    campaign_to_csv, check_schema, experiments, render_catalog, render_evolution,
+    render_metrics_report, render_reduction_summary, render_shard_progress, render_shard_summary,
+    render_table1, run_experiment, Scale,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -47,6 +52,7 @@ fn main() -> ExitCode {
         "reduce" => cmd_reduce(rest),
         "evolve" => cmd_evolve(rest),
         "shard" => cmd_shard(rest),
+        "report" => cmd_report(rest),
         "generate" => cmd_generate(rest),
         "emit" => cmd_emit(rest),
         "config-template" => {
@@ -90,15 +96,22 @@ fn print_usage() {
          \x20 evolve [--rounds N] [--seed S] [--programs N] [--config FILE] [--quick]\n\
          \x20        [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]\n\
          \x20        [--shards N] [--checkpoint-dir DIR] [--engine tree|bytecode]\n\
+         \x20        [--progress human|jsonl|none] [--metrics-out FILE]\n\
          \x20                            corpus-guided evolutionary loop: campaign ->\n\
          \x20                            batch-reduce -> catalog -> bias + mutate -> repeat;\n\
          \x20                            --shards splits each round into N slices merged\n\
          \x20                            in order, --checkpoint-dir makes the campaign\n\
-         \x20                            crash-resumable (completed shards are skipped)\n\
+         \x20                            crash-resumable (completed shards are skipped);\n\
+         \x20                            --progress picks the stderr renderer over the\n\
+         \x20                            telemetry stream, --metrics-out saves it as JSONL\n\
          \x20 shard --round R --shard I/N --checkpoint-dir DIR [evolve options]\n\
          \x20                            run ONE shard of one evolution round and\n\
          \x20                            checkpoint it (the out-of-process worker behind\n\
          \x20                            a sharded evolve)\n\
+         \x20 report --metrics FILE [--schema FILE]\n\
+         \x20                            validate a --metrics-out JSONL stream and render\n\
+         \x20                            counter/phase/round summary tables (--schema also\n\
+         \x20                            checks a schema file against the built-in taxonomy)\n\
          \x20 generate --out DIR [--programs N] [--seed S]\n\
          \x20                            write generated .cpp tests + inputs to DIR\n\
          \x20 emit [--seed S]            print one generated test program\n\
@@ -399,6 +412,39 @@ fn build_evolve_config(opts: &Opts) -> Result<(EvolveConfig, TriggerCatalog), St
     Ok((config, initial))
 }
 
+/// Compose the telemetry sinks selected on the command line: a stderr
+/// progress renderer (`--progress human|jsonl|none`, human by default), a
+/// `--metrics-out FILE` JSONL stream, and — whenever a checkpoint
+/// directory is in play — an append-mode `events.jsonl` next to the
+/// checkpoint files, so a resumed campaign extends the recorded history.
+fn build_obs(opts: &Opts, checkpoint: Option<&Path>) -> Result<Obs, String> {
+    let mut sinks = MultiSink::new();
+    match opts.value_of("--progress", None).unwrap_or("human") {
+        "human" => sinks.push(Arc::new(HumanSink)),
+        "jsonl" => sinks.push(Arc::new(stderr_jsonl())),
+        "none" => {}
+        other => return Err(format!("invalid --progress `{other}` (human|jsonl|none)")),
+    }
+    if let Some(path) = opts.value_of("--metrics-out", None) {
+        let sink =
+            JsonlSink::create(Path::new(path)).map_err(|e| format!("cannot create {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    if let Some(dir) = checkpoint {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let path = dir.join("events.jsonl");
+        let sink =
+            JsonlSink::append(&path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        sinks.push(Arc::new(sink));
+    }
+    if sinks.is_empty() {
+        Ok(Obs::metrics_only())
+    } else {
+        Ok(Obs::with_sink(Arc::new(sinks)))
+    }
+}
+
 fn cmd_evolve(rest: &[String]) -> Result<(), String> {
     let opts = Opts { rest };
     let (config, initial) = build_evolve_config(&opts)?;
@@ -407,23 +453,15 @@ fn cmd_evolve(rest: &[String]) -> Result<(), String> {
         return Err("--shards must be at least 1".into());
     }
     let checkpoint = opts.value_of("--checkpoint-dir", None).map(PathBuf::from);
+    let obs = build_obs(&opts, checkpoint.as_deref())?;
 
-    eprintln!(
-        "evolving: {} rounds × {} programs × {} shard(s) (mutation {:.0}%, bias {:.1}) ...",
-        config.rounds,
-        config.base.programs,
-        shards,
-        100.0 * config.mutation_fraction,
-        config.bias_strength
-    );
-    let start = Instant::now();
     let backends = standard_backends();
     let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
     let sharded = ShardedEvolveConfig {
         evolve: config,
         shards,
     };
-    let result = run_sharded_evolution(&sharded, &dyns, initial, checkpoint.as_deref())
+    let result = run_sharded_evolution_with(&sharded, &dyns, initial, checkpoint.as_deref(), &obs)
         .map_err(|e| e.to_string())?;
 
     if shards > 1 || checkpoint.is_some() {
@@ -435,8 +473,27 @@ fn cmd_evolve(rest: &[String]) -> Result<(), String> {
         .map(|b| b.info().vendor.label().to_string())
         .collect();
     println!("{}", render_catalog(&result.evolution.catalog, &labels));
-    eprintln!("evolution wall time: {:.2?}", start.elapsed());
     save_catalog_if_requested(&opts, &result.evolution.catalog)?;
+    Ok(())
+}
+
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let path = opts
+        .value_of("--metrics", Some("-m"))
+        .ok_or("report requires --metrics <FILE>")?;
+    if let Some(schema_path) = opts.value_of("--schema", None) {
+        let schema = std::fs::read_to_string(schema_path)
+            .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+        check_schema(&schema).map_err(|e| format!("{schema_path}: {e}"))?;
+        eprintln!(
+            "schema {schema_path} matches telemetry v{}",
+            ompfuzz_obs::SCHEMA_VERSION
+        );
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = render_metrics_report(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{report}");
     Ok(())
 }
 
@@ -476,16 +533,11 @@ fn cmd_shard(rest: &[String]) -> Result<(), String> {
         }
     }
     let (config, initial) = build_evolve_config(&opts)?;
+    let obs = build_obs(&opts, Some(dir.as_path()))?;
 
-    eprintln!(
-        "running shard {shard}/{shards} of round {round} ({} programs, checkpoint {}) ...",
-        config.base.programs,
-        dir.display()
-    );
-    let start = Instant::now();
     let backends = standard_backends();
     let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
-    let progress = run_standalone_shard(
+    let progress = run_standalone_shard_with(
         &ShardedEvolveConfig {
             evolve: config,
             shards,
@@ -495,10 +547,10 @@ fn cmd_shard(rest: &[String]) -> Result<(), String> {
         &dir,
         round,
         shard,
+        &obs,
     )
     .map_err(|e| e.to_string())?;
     println!("{}", render_shard_summary(&progress));
-    eprintln!("shard wall time: {:.2?}", start.elapsed());
     Ok(())
 }
 

@@ -92,15 +92,31 @@ pub fn render_shard_progress(progress: &[RoundProgress]) -> String {
             table.push_row(shard_row(shard));
         }
     }
-    table.render()
+    let mut out = table.render();
+    // The per-round wall clock the summary tables used to lose: one line
+    // per round, below the table so the per-shard CI greps stay anchored.
+    for round in progress {
+        out.push_str(&format!(
+            "round {} wall time: {}\n",
+            round.round,
+            millis(round.wall_us)
+        ));
+    }
+    out
 }
 
 /// Shared by the multi-row progress table and the single-shard result so
 /// `ompfuzz evolve` and `ompfuzz shard` output (and the CI greps over it)
-/// can never drift apart.
-const SHARD_COLUMNS: [&str; 9] = [
+/// can never drift apart. `time` trails `status` so resume greps keyed on
+/// `... cached` keep matching.
+const SHARD_COLUMNS: [&str; 10] = [
     "round", "shard", "slice", "programs", "mutants", "racy", "outliers", "reduced", "status",
+    "time",
 ];
+
+fn millis(wall_us: u64) -> String {
+    format!("{:.1} ms", wall_us as f64 / 1_000.0)
+}
 
 fn shard_row(progress: &ShardProgress) -> Vec<String> {
     let s = &progress.summary;
@@ -114,6 +130,7 @@ fn shard_row(progress: &ShardProgress) -> Vec<String> {
         s.outlier_records.to_string(),
         s.reduced.to_string(),
         progress.status.label().to_string(),
+        millis(progress.wall_us),
     ]
 }
 
@@ -173,8 +190,11 @@ mod tests {
             table.contains("SHARD PROGRESS (1 rounds × 3 shards)"),
             "{table}"
         );
-        assert_eq!(table.lines().count(), 3 + 3, "{table}");
+        // title, header, rule, 3 shard rows, 1 round wall-time line
+        assert_eq!(table.lines().count(), 3 + 3 + 1, "{table}");
         assert_eq!(table.matches(" ran").count(), 3, "{table}");
+        assert!(table.contains("round 0 wall time:"), "{table}");
+        assert_eq!(table.matches(" ms").count(), 4, "{table}");
         let one = render_shard_summary(&result.progress[0].shards[0]);
         assert!(one.contains("SHARD RESULT"), "{one}");
         assert!(one.contains("0/3"), "{one}");

@@ -12,6 +12,8 @@
 //!   reducer.
 //! * [`catalog`] — the trigger-kernel catalog table and the per-round
 //!   summary of the `ompfuzz evolve` loop.
+//! * [`metrics`] — the `ompfuzz report --metrics` summary of a
+//!   `--metrics-out` JSONL telemetry stream.
 //!
 //! ```
 //! use ompfuzz_report::{run_experiment, Scale};
@@ -22,6 +24,7 @@
 pub mod catalog;
 pub mod csv;
 pub mod experiments;
+pub mod metrics;
 pub mod reduction;
 pub mod table;
 
@@ -30,5 +33,6 @@ pub use csv::campaign_to_csv;
 pub use experiments::{
     experiments, hang_run, render_table1, run_experiment, table1_campaign, Experiment, Scale,
 };
+pub use metrics::{check_schema, render_metrics_report};
 pub use reduction::render_reduction_summary;
 pub use table::TextTable;

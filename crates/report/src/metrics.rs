@@ -1,0 +1,203 @@
+//! Rendering of a `--metrics-out` telemetry stream (`ompfuzz report
+//! --metrics`): the JSONL is validated against the built-in schema, then
+//! summarized as four tables — the event stream, per-round accounting,
+//! the final counter rollup, and the phase wall-clock breakdown.
+
+use crate::table::{thousands, TextTable};
+use ompfuzz_obs::{render_schema, validate_jsonl, Counter, Phase, Value};
+
+fn u(value: Option<&Value>) -> u64 {
+    value.and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn kind(event: &Value) -> Option<&str> {
+    event.get("event").and_then(Value::as_str)
+}
+
+fn ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1_000.0)
+}
+
+/// Validate a JSONL telemetry stream and render the summary tables.
+/// Returns the first validation error verbatim, so `ompfuzz report
+/// --metrics` doubles as the schema conformance check in CI.
+pub fn render_metrics_report(jsonl: &str) -> Result<String, String> {
+    let summary = validate_jsonl(jsonl)?;
+    let events: Vec<Value> = jsonl
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(Value::parse)
+        .collect::<Result<_, _>>()?;
+
+    let mut out = String::new();
+    let mut stream = TextTable::new(vec!["event", "count"])
+        .with_title(format!("TELEMETRY STREAM ({} events)", summary.total()));
+    for (event_kind, count) in &summary.counts {
+        stream.push_row(vec![event_kind.to_string(), thousands(*count as u64)]);
+    }
+    out.push_str(&stream.render());
+
+    let rounds: Vec<&Value> = events
+        .iter()
+        .filter(|e| kind(e) == Some("round_end"))
+        .collect();
+    if !rounds.is_empty() {
+        let mut table = TextTable::new(vec![
+            "round", "racy", "outliers", "reduced", "new", "catalog", "ms",
+        ])
+        .with_title("ROUNDS");
+        for round in rounds {
+            table.push_row(vec![
+                u(round.get("round")).to_string(),
+                u(round.get("racy")).to_string(),
+                u(round.get("outliers")).to_string(),
+                u(round.get("reduced")).to_string(),
+                u(round.get("new_skeletons")).to_string(),
+                u(round.get("catalog")).to_string(),
+                ms(u(round.get("wall_us"))),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&table.render());
+    }
+
+    if let Some(end) = events
+        .iter()
+        .rev()
+        .find(|e| kind(e) == Some("campaign_end"))
+    {
+        let counters = end.get("counters");
+        let mut table = TextTable::new(vec!["counter", "value"]).with_title(format!(
+            "COUNTERS ({} round(s), catalog {}, {} ms)",
+            u(end.get("rounds")),
+            u(end.get("catalog")),
+            ms(u(end.get("wall_us")))
+        ));
+        for counter in Counter::ALL {
+            let value = u(counters.and_then(|c| c.get(counter.key())));
+            table.push_row(vec![counter.key().to_string(), thousands(value)]);
+        }
+        out.push('\n');
+        out.push_str(&table.render());
+
+        let phases = end.get("phases");
+        let phase_us = |phase: Phase| {
+            let entry = phases.and_then(|p| p.get(phase.key()));
+            (
+                u(entry.and_then(|e| e.get("us"))),
+                u(entry.and_then(|e| e.get("calls"))),
+            )
+        };
+        let total_us: u64 = Phase::ALL.iter().map(|p| phase_us(*p).0).sum();
+        let mut table =
+            TextTable::new(vec!["phase", "ms", "calls", "share"]).with_title("PHASE BREAKDOWN");
+        for phase in Phase::ALL {
+            let (us, calls) = phase_us(phase);
+            let share = if total_us == 0 {
+                0.0
+            } else {
+                us as f64 * 100.0 / total_us as f64
+            };
+            table.push_row(vec![
+                phase.key().to_string(),
+                ms(us),
+                thousands(calls),
+                format!("{share:.1}%"),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&table.render());
+    }
+
+    Ok(out)
+}
+
+/// Compare a checked-in schema file against the built-in taxonomy.
+/// CI runs this both ways: drift in the code *or* the file fails.
+pub fn check_schema(file_text: &str) -> Result<(), String> {
+    if file_text == render_schema() {
+        Ok(())
+    } else {
+        Err(
+            "schema file does not match the built-in telemetry taxonomy \
+             (regenerate it from ompfuzz_obs::render_schema())"
+                .to_string(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_obs::{Counter, Event, MetricsRegistry, Phase, PhaseTimers};
+
+    fn sample_stream() -> String {
+        let registry = MetricsRegistry::new();
+        registry.add(Counter::ProgramsGenerated, 1200);
+        registry.add(Counter::DifferentialRuns, 4800);
+        let timers = PhaseTimers::new();
+        timers.record(Phase::Generate, std::time::Duration::from_micros(2500));
+        timers.record(Phase::Differential, std::time::Duration::from_micros(7500));
+        let events = [
+            Event::CampaignStart {
+                rounds: 1,
+                shards: 2,
+                programs: 1200,
+                seed: 42,
+            },
+            Event::RoundEnd {
+                round: 0,
+                racy: 30,
+                outliers: 4,
+                reduced: 4,
+                new_skeletons: 2,
+                catalog: 2,
+                wall_us: 125_000,
+            },
+            Event::CampaignEnd {
+                rounds: 1,
+                catalog: 2,
+                wall_us: 130_000,
+                counters: registry.snapshot(),
+                phases: timers.snapshot(),
+            },
+        ];
+        events
+            .iter()
+            .map(Event::to_json)
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n"
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let report = render_metrics_report(&sample_stream()).unwrap();
+        assert!(report.contains("TELEMETRY STREAM (3 events)"), "{report}");
+        assert!(report.contains("ROUNDS"), "{report}");
+        assert!(
+            report.contains("COUNTERS (1 round(s), catalog 2, 130.0 ms)"),
+            "{report}"
+        );
+        assert!(report.contains("programs_generated"), "{report}");
+        assert!(report.contains("1,200"), "{report}");
+        assert!(report.contains("PHASE BREAKDOWN"), "{report}");
+        assert!(report.contains("75.0%"), "{report}");
+        assert!(report.contains("125.0"), "{report}"); // round wall ms
+    }
+
+    #[test]
+    fn invalid_streams_are_rejected() {
+        let err = render_metrics_report("{\"event\":\"brunch\"}\n").unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+        assert!(render_metrics_report("").unwrap().contains("(0 events)"));
+    }
+
+    #[test]
+    fn schema_check_accepts_only_exact_bytes() {
+        let schema = ompfuzz_obs::render_schema();
+        assert!(check_schema(&schema).is_ok());
+        assert!(check_schema(&format!("{schema};extra\n")).is_err());
+        assert!(check_schema("").is_err());
+    }
+}
