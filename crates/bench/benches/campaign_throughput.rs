@@ -19,14 +19,17 @@
 //! smoke step.
 //!
 //! The pipelined side is additionally measured with **full telemetry**
-//! installed (counters + phase timers + a JSONL sink over a null writer) —
-//! the observability guard: the run fails if telemetry costs more than
-//! [`MAX_TELEMETRY_OVERHEAD_PCT`] of throughput.
+//! installed (counters + phase timers + latency histograms + a JSONL sink
+//! over a null writer) — the observability guard: the run fails if
+//! telemetry costs more than [`MAX_TELEMETRY_OVERHEAD_PCT`] of throughput.
+//! A third configuration stacks the **VM hot-path profiler** on top of full
+//! telemetry (the everything-on introspection mode behind
+//! `--profile-out`); its guard is [`MAX_INTROSPECTION_OVERHEAD_PCT`].
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ompfuzz_backends::{oracle, standard_backends, CompileOptions, OmpBackend, RunOptions};
 use ompfuzz_corpus::plan_shards;
-use ompfuzz_exec::ExecScratch;
+use ompfuzz_exec::{ExecScratch, ProfileCollector};
 use ompfuzz_harness::{
     detect_kernel_races, generate_case, generate_corpus, pool, run_campaign_generated,
     run_campaign_generated_with, CampaignConfig, TestCase,
@@ -46,8 +49,13 @@ const SHARDS: usize = 16;
 /// Worker threads for both architectures (the acceptance point).
 const WORKERS: usize = 8;
 /// Largest tolerated throughput cost of full telemetry (counters, phase
-/// timers, JSONL sink), in percent of the telemetry-off rate.
+/// timers, latency histograms, JSONL sink), in percent of the
+/// telemetry-off rate.
 const MAX_TELEMETRY_OVERHEAD_PCT: f64 = 3.0;
+/// Largest tolerated throughput cost of everything-on introspection (full
+/// telemetry PLUS the per-opcode/per-block VM profiler), in percent of the
+/// introspection-off rate.
+const MAX_INTROSPECTION_OVERHEAD_PCT: f64 = 5.0;
 
 /// The measured campaign: small-envelope programs (cheap runs, so the
 /// front half matters — the generator-throughput-bound regime of large
@@ -191,10 +199,17 @@ fn run_overhead_off(cfg: &CampaignConfig, backends: &[&dyn OmpBackend]) -> Signa
 }
 
 /// The same fused campaign with full telemetry installed: counters, phase
-/// timers and progress events through a JSONL sink over a null writer
-/// (serialization cost included, terminal I/O excluded — the part the
-/// pipeline is accountable for).
-fn run_overhead_on(cfg: &CampaignConfig, backends: &[&dyn OmpBackend], obs: &Obs) -> Signature {
+/// timers, latency histograms and progress events through a JSONL sink
+/// over a null writer (serialization cost included, terminal I/O excluded
+/// — the part the pipeline is accountable for). Passing an enabled
+/// `profile` stacks the VM hot-path profiler on top (the everything-on
+/// introspection configuration).
+fn run_overhead_on(
+    cfg: &CampaignConfig,
+    backends: &[&dyn OmpBackend],
+    obs: &Obs,
+    profile: &ProfileCollector,
+) -> Signature {
     let (result, _slice) = run_campaign_generated_with(
         cfg,
         backends,
@@ -202,6 +217,7 @@ fn run_overhead_on(cfg: &CampaignConfig, backends: &[&dyn OmpBackend], obs: &Obs
         &|i| generate_case(cfg, i),
         Instant::now(),
         obs,
+        profile,
     );
     let outliers = result
         .records
@@ -211,6 +227,7 @@ fn run_overhead_on(cfg: &CampaignConfig, backends: &[&dyn OmpBackend], obs: &Obs
     (result.records.len(), result.racy_programs.len(), outliers)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &std::path::Path,
     mode: &str,
@@ -219,6 +236,8 @@ fn write_json(
     telemetry_off_pps: f64,
     telemetry_on_pps: f64,
     overhead_pct: f64,
+    introspection_pps: f64,
+    introspection_pct: f64,
 ) {
     let json = format!(
         "{{\n  \"bench\": \"campaign_throughput\",\n  \
@@ -232,7 +251,12 @@ fn write_json(
          \"telemetry_off\": {{ \"programs_per_sec\": {:.1} }},\n    \
          \"telemetry_on\": {{ \"programs_per_sec\": {:.1} }},\n    \
          \"overhead_pct\": {:.2},\n    \
-         \"budget_pct\": {MAX_TELEMETRY_OVERHEAD_PCT:.1}\n  }}\n}}\n",
+         \"budget_pct\": {MAX_TELEMETRY_OVERHEAD_PCT:.1}\n  }},\n  \
+         \"introspection_guard\": {{\n    \
+         \"configuration\": \"telemetry + histograms + vm_profiler\",\n    \
+         \"introspection_on\": {{ \"programs_per_sec\": {:.1} }},\n    \
+         \"overhead_pct\": {:.2},\n    \
+         \"budget_pct\": {MAX_INTROSPECTION_OVERHEAD_PCT:.1}\n  }}\n}}\n",
         campaign_config().programs,
         baseline_pps,
         pipelined_pps,
@@ -241,6 +265,8 @@ fn write_json(
         telemetry_off_pps,
         telemetry_on_pps,
         overhead_pct,
+        introspection_pps,
+        introspection_pct,
     );
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("cannot write {}: {e}", path.display());
@@ -261,9 +287,12 @@ fn bench_campaign(c: &mut Criterion) {
         ("full", 6, 64)
     };
 
-    // Full telemetry for the overhead guard: counters + timers + a JSONL
-    // sink into the void.
+    // Full telemetry for the overhead guard: counters + timers + latency
+    // histograms + a JSONL sink into the void. The introspection guard
+    // stacks the VM profiler on top of the same Obs handle.
     let obs = Obs::with_sink(Arc::new(JsonlSink::new(std::io::sink())));
+    let no_profile = ProfileCollector::off();
+    let vm_profile = ProfileCollector::enabled();
     let ov_cfg = overhead_config();
 
     // Identical work first (also warms all paths) — telemetry must be
@@ -275,10 +304,19 @@ fn bench_campaign(c: &mut Criterion) {
         "architectures disagree on the campaign's records/racy/outlier counts"
     );
     let off_sig = run_overhead_off(&ov_cfg, &dyns);
-    let on_sig = run_overhead_on(&ov_cfg, &dyns, &obs);
+    let on_sig = run_overhead_on(&ov_cfg, &dyns, &obs, &no_profile);
     assert_eq!(
         off_sig, on_sig,
         "telemetry changed the campaign's records/racy/outlier counts"
+    );
+    let prof_sig = run_overhead_on(&ov_cfg, &dyns, &obs, &vm_profile);
+    assert_eq!(
+        off_sig, prof_sig,
+        "the VM profiler changed the campaign's records/racy/outlier counts"
+    );
+    assert!(
+        !vm_profile.snapshot().is_empty(),
+        "the profiled warmup campaign left the VM profile empty"
     );
 
     let mut best_base = 0f64;
@@ -311,8 +349,11 @@ fn bench_campaign(c: &mut Criterion) {
     const INNER: usize = 2;
     let mut best_off = 0f64;
     let mut best_on = 0f64;
+    let mut best_prof = 0f64;
     let mut ratios = Vec::with_capacity(ov_rounds / 2);
+    let mut prof_ratios = Vec::with_capacity(ov_rounds / 2);
     let mut carry = 1f64;
+    let mut prof_carry = 1f64;
     for round in 0..ov_rounds {
         let measure_off = |best: &mut f64| {
             let mut min_secs = f64::INFINITY;
@@ -324,36 +365,51 @@ fn bench_campaign(c: &mut Criterion) {
             *best = best.max(ov_cfg.programs as f64 / min_secs);
             min_secs
         };
-        let measure_on = |best: &mut f64| {
+        let measure_on = |best: &mut f64, profile: &ProfileCollector| {
             let mut min_secs = f64::INFINITY;
             for _ in 0..INNER {
                 let t = Instant::now();
-                black_box(run_overhead_on(&ov_cfg, &dyns, &obs));
+                black_box(run_overhead_on(&ov_cfg, &dyns, &obs, profile));
                 min_secs = min_secs.min(t.elapsed().as_secs_f64());
             }
             *best = best.max(ov_cfg.programs as f64 / min_secs);
             min_secs
         };
-        let (off_secs, on_secs) = if round % 2 == 0 {
+        // Even rounds run off → on → profiled, odd rounds the reverse, so
+        // each config's position bias cancels in the geometric pairing.
+        let (off_secs, on_secs, prof_secs) = if round % 2 == 0 {
             let off = measure_off(&mut best_off);
-            let on = measure_on(&mut best_on);
-            (off, on)
+            let on = measure_on(&mut best_on, &no_profile);
+            let prof = measure_on(&mut best_prof, &vm_profile);
+            (off, on, prof)
         } else {
-            let on = measure_on(&mut best_on);
+            let prof = measure_on(&mut best_prof, &vm_profile);
+            let on = measure_on(&mut best_on, &no_profile);
             let off = measure_off(&mut best_off);
-            (off, on)
+            (off, on, prof)
         };
         if round % 2 == 0 {
             carry = on_secs / off_secs;
+            prof_carry = prof_secs / off_secs;
         } else {
             ratios.push((carry * on_secs / off_secs).sqrt());
+            prof_ratios.push((prof_carry * prof_secs / off_secs).sqrt());
         }
     }
     ratios.sort_by(f64::total_cmp);
+    prof_ratios.sort_by(f64::total_cmp);
     let overhead_pct = 100.0 * (ratios[ratios.len() / 2] - 1.0);
+    let introspection_pct = 100.0 * (prof_ratios[prof_ratios.len() / 2] - 1.0);
     eprintln!(
         "telemetry on/off pair ratios (sorted): {:?}",
         ratios
+            .iter()
+            .map(|r| (r * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    eprintln!(
+        "introspection on/off pair ratios (sorted): {:?}",
+        prof_ratios
             .iter()
             .map(|r| (r * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
@@ -362,7 +418,8 @@ fn bench_campaign(c: &mut Criterion) {
         "campaign front half ({} programs, {SHARDS} shards, {WORKERS} workers): \
          serial-front-half {best_base:.1} programs/s, pipelined {best_pipe:.1} programs/s \
          ({:.2}x); telemetry guard ({} programs fused): off {best_off:.1} programs/s, \
-         on {best_on:.1} programs/s ({overhead_pct:.2}% overhead)",
+         on {best_on:.1} programs/s ({overhead_pct:.2}% overhead), \
+         with VM profiler {best_prof:.1} programs/s ({introspection_pct:.2}% overhead)",
         cfg.programs,
         best_pipe / best_base,
         ov_cfg.programs,
@@ -377,6 +434,8 @@ fn bench_campaign(c: &mut Criterion) {
         best_off,
         best_on,
         overhead_pct,
+        best_prof,
+        introspection_pct,
     );
     assert!(
         best_pipe > best_base,
@@ -387,6 +446,11 @@ fn bench_campaign(c: &mut Criterion) {
         overhead_pct <= MAX_TELEMETRY_OVERHEAD_PCT,
         "telemetry overhead {overhead_pct:.2}% exceeds the \
          {MAX_TELEMETRY_OVERHEAD_PCT}% budget ({best_off:.1} -> {best_on:.1} programs/s)"
+    );
+    assert!(
+        introspection_pct <= MAX_INTROSPECTION_OVERHEAD_PCT,
+        "introspection overhead {introspection_pct:.2}% exceeds the \
+         {MAX_INTROSPECTION_OVERHEAD_PCT}% budget ({best_off:.1} -> {best_prof:.1} programs/s)"
     );
 
     let mut group = c.benchmark_group("campaign_throughput");

@@ -36,6 +36,7 @@ use crate::shard::{
 };
 use crate::store::{self, Node, StoreError};
 use ompfuzz_backends::OmpBackend;
+use ompfuzz_exec::ProfileCollector;
 use ompfuzz_obs::{Counter, CounterSnapshot, Event, Obs, Phase};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -445,23 +446,34 @@ pub fn run_sharded_evolution(
     initial: TriggerCatalog,
     checkpoint: Option<&Path>,
 ) -> Result<ShardedEvolution, CoordError> {
-    run_sharded_evolution_with(config, backends, initial, checkpoint, &Obs::off())
+    run_sharded_evolution_with(
+        config,
+        backends,
+        initial,
+        checkpoint,
+        &Obs::off(),
+        &ProfileCollector::off(),
+    )
 }
 
 /// [`run_sharded_evolution`] reporting telemetry through `obs`: lifecycle
 /// events (campaign/round/shard start and end, periodic progress), the
-/// per-phase time breakdown, and the campaign counter totals. Each shard
-/// runs on a fork of `obs`; its deterministic counter snapshot is
-/// absorbed whether the shard ran or was loaded from its checkpoint (the
-/// snapshot is embedded in the shard file), so merged totals are
-/// identical across shard counts and kill/resume points. Telemetry is
-/// strictly out of band — catalog bytes cannot depend on it.
+/// per-phase time breakdown, latency histograms, and the campaign counter
+/// totals. Each shard runs on a fork of `obs`; its deterministic counter
+/// snapshot is absorbed whether the shard ran or was loaded from its
+/// checkpoint (the snapshot is embedded in the shard file), so merged
+/// totals are identical across shard counts and kill/resume points. When
+/// `profile` is on, every shard's workers harvest their VM hot-path
+/// profiles into it (campaign-wide merge; snapshot after the run).
+/// Telemetry and profiling are strictly out of band — catalog bytes
+/// cannot depend on them.
 pub fn run_sharded_evolution_with(
     config: &ShardedEvolveConfig,
     backends: &[&dyn OmpBackend],
     initial: TriggerCatalog,
     checkpoint: Option<&Path>,
     obs: &Obs,
+    profile: &ProfileCollector,
 ) -> Result<ShardedEvolution, CoordError> {
     let shards = config.shards.max(1);
     let fingerprint = campaign_fingerprint(&config.evolve, shards, &initial);
@@ -541,6 +553,7 @@ pub fn run_sharded_evolution_with(
                             shards,
                         },
                         obs,
+                        profile,
                     );
                     if let Some(c) = &ckpt {
                         // Shard file first, then the manifest: a kill
@@ -594,15 +607,21 @@ pub fn run_sharded_evolution_with(
             c.store_round_catalog(round, &catalog)?;
         }
         let round_wall_us = round_started.elapsed().as_micros() as u64;
+        let programs: usize = shard_rows.iter().map(|s| s.summary.programs()).sum();
+        // The round's catalog yield, normalized to a 1k-program budget —
+        // deterministic (integer arithmetic over deterministic counts), so
+        // it lives in the Eq-compared summary, not the wall-clock side.
+        let yield_per_1k = (new_skeletons as u64).saturating_mul(1000) / (programs as u64).max(1);
         rounds.push(RoundSummary {
             round,
             seed: campaign.seed,
-            programs: shard_rows.iter().map(|s| s.summary.programs()).sum(),
+            programs,
             mutants: shard_rows.iter().map(|s| s.summary.mutants).sum(),
             racy: shard_rows.iter().map(|s| s.summary.racy).sum(),
             outlier_records: shard_rows.iter().map(|s| s.summary.outlier_records).sum(),
             reduced: shard_rows.iter().map(|s| s.summary.reduced).sum(),
             new_skeletons,
+            yield_per_1k,
             catalog_size: catalog.len(),
         });
         let summary = rounds.last().expect("just pushed");
@@ -612,8 +631,10 @@ pub fn run_sharded_evolution_with(
             outliers: summary.outlier_records as u64,
             reduced: summary.reduced as u64,
             new_skeletons: new_skeletons as u64,
+            yield_per_1k,
             catalog: catalog.len() as u64,
             wall_us: round_wall_us,
+            hists: obs.hists(),
         });
         progress.push(RoundProgress {
             round,
@@ -627,6 +648,7 @@ pub fn run_sharded_evolution_with(
         wall_us: campaign_started.elapsed().as_micros() as u64,
         counters: obs.counters(),
         phases: obs.phases(),
+        hists: obs.hists(),
     });
     obs.flush();
     Ok(ShardedEvolution {
@@ -659,12 +681,16 @@ pub fn run_standalone_shard(
         round,
         shard,
         &Obs::off(),
+        &ProfileCollector::off(),
     )
 }
 
 /// [`run_standalone_shard`] reporting telemetry through `obs`: shard
-/// start/end events, per-phase timings and the shard's counter snapshot
-/// (absorbed into `obs` whether it ran or was loaded from checkpoint).
+/// start/end events, per-phase timings, latency histograms and the shard's
+/// counter snapshot (absorbed into `obs` whether it ran or was loaded from
+/// checkpoint). When `profile` is on, the shard's workers harvest their
+/// VM hot-path profiles into it.
+#[allow(clippy::too_many_arguments)]
 pub fn run_standalone_shard_with(
     config: &ShardedEvolveConfig,
     backends: &[&dyn OmpBackend],
@@ -673,6 +699,7 @@ pub fn run_standalone_shard_with(
     round: usize,
     shard: usize,
     obs: &Obs,
+    profile: &ProfileCollector,
 ) -> Result<ShardProgress, CoordError> {
     let shards = config.shards.max(1);
     if round >= config.evolve.rounds {
@@ -761,6 +788,7 @@ pub fn run_standalone_shard_with(
             shards,
         },
         obs,
+        profile,
     );
     ckpt.store_shard(&outcome, fingerprint)?;
     ckpt.record_completed(&manifest, shard)?;

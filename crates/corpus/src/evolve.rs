@@ -102,6 +102,11 @@ pub struct RoundSummary {
     pub reduced: usize,
     /// Skeletons that were new to the catalog.
     pub new_skeletons: usize,
+    /// Catalog yield of the round: new skeletons per 1000 programs of
+    /// budget (`new_skeletons * 1000 / programs`). Deterministic — a pure
+    /// function of the round's outcome — so it rides in [`RoundSummary`]'s
+    /// `Eq` and the determinism suites pin it like every other field.
+    pub yield_per_1k: u64,
     /// Catalog size after the round.
     pub catalog_size: usize,
 }
@@ -165,6 +170,7 @@ pub fn run_evolution_with(
         catalog,
         None,
         obs,
+        &ompfuzz_exec::ProfileCollector::off(),
     )
     .expect("in-memory evolution performs no checkpoint I/O")
     .evolution

@@ -24,6 +24,7 @@ use crate::batch::{fold_into_catalog, reduce_all_slice, BatchConfig};
 use crate::catalog::TriggerCatalog;
 use crate::store::{self, Node, StoreError};
 use ompfuzz_backends::OmpBackend;
+use ompfuzz_exec::ProfileCollector;
 use ompfuzz_harness::{run_campaign_generated_with, CampaignConfig, TestCase};
 use ompfuzz_obs::{Counter, CounterSnapshot, Obs, Phase};
 use std::ops::Range;
@@ -116,11 +117,15 @@ pub struct ShardCoords {
 /// `range.start`, so catalog provenance matches the unsharded run
 /// exactly. `fresh` is the global index of the first mutant slot.
 ///
-/// Telemetry: the shard runs on a [`fork`](Obs::fork) of `obs`, so its
-/// counters snapshot independently into [`ShardOutcome::metrics`] (the
+/// Telemetry: the shard runs on a [`fork_for_shard`](Obs::fork_for_shard)
+/// of `obs` (trace spans carry the shard index as their `pid` lane), so
+/// its counters snapshot independently into [`ShardOutcome::metrics`] (the
 /// coordinator absorbs them — ran or cached — so totals are
-/// resume-invariant); wall-clock phase timings are absorbed back into
-/// `obs` directly, because they must never enter checkpoint bytes.
+/// resume-invariant); wall-clock phase timings and latency histograms are
+/// absorbed back into `obs` directly, because they must never enter
+/// checkpoint bytes. Likewise the VM profile flows through the in-process
+/// `profile` collector only, never the checkpoint file.
+#[allow(clippy::too_many_arguments)]
 pub fn run_planned_shard(
     campaign: &CampaignConfig,
     backends: &[&dyn OmpBackend],
@@ -129,8 +134,9 @@ pub fn run_planned_shard(
     range: Range<usize>,
     coords: ShardCoords,
     obs: &Obs,
+    profile: &ProfileCollector,
 ) -> ShardOutcome {
-    let shard_obs = obs.fork();
+    let shard_obs = obs.fork_for_shard(coords.shard as u64);
     let (result, slice) = run_campaign_generated_with(
         campaign,
         backends,
@@ -138,6 +144,7 @@ pub fn run_planned_shard(
         gen,
         Instant::now(),
         &shard_obs,
+        profile,
     );
     // Mutants occupy the corpus tail `[fresh, len)`; count the overlap
     // with this shard's range.
@@ -156,6 +163,7 @@ pub fn run_planned_shard(
         fold_into_catalog(&mut catalog, &batch, campaign.seed, coords.round)
     });
     obs.absorb_phases(&shard_obs.phases());
+    obs.absorb_hists(&shard_obs.hists());
     ShardOutcome {
         summary: ShardSummary {
             round: coords.round,

@@ -53,6 +53,7 @@ fn coordinated_run(shards: usize) -> Run {
         TriggerCatalog::new(),
         None,
         &obs,
+        &ompfuzz_exec::ProfileCollector::off(),
     )
     .expect("in-memory coordinated run cannot fail");
     Run {

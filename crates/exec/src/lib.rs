@@ -17,6 +17,9 @@
 //! * [`fold`] — the shared `-O1`+ constant-folding pass;
 //! * [`race`] — a dynamic data-race detector that automates the manual
 //!   race filtering of the paper's §IV-E;
+//! * [`profile`] — an opt-in VM hot-path profiler: per-opcode dispatch
+//!   counts and per-block hit/cost totals, merged campaign-wide
+//!   (`--profile-out`), with zero cost when not installed;
 //! * [`stats`] — the execution statistics consumed by the simulated
 //!   backend cost models in `ompfuzz-backends`.
 //!
@@ -31,6 +34,7 @@ pub mod fold;
 pub mod interp;
 pub mod kernel;
 pub mod lower;
+pub mod profile;
 pub mod race;
 pub mod scratch;
 pub mod stats;
@@ -42,6 +46,7 @@ pub use interp::{
 };
 pub use kernel::Kernel;
 pub use lower::{lower, LowerError};
+pub use profile::{BlockProfile, ExecProfile, ProfileCollector, OPCODE_COUNT, OPCODE_NAMES};
 pub use race::{RaceDetector, RaceReport};
 pub use scratch::ExecScratch;
 pub use stats::{ExecStats, OpCounts, RegionTrace, ThreadWork};

@@ -59,6 +59,12 @@ pub struct ExecScratch {
     pub(crate) region_saved: Vec<(SlotId, f64)>,
     /// Per-thread reduction partials, reused across region entries.
     pub(crate) region_partials: Vec<f64>,
+    /// Opt-in VM profiler ([`crate::profile::ExecProfile`]): installed by
+    /// a [`crate::profile::ProfileCollector`], accumulated across this
+    /// scratch's runs, harvested per program. `None` (the default) keeps
+    /// the VM on its unprofiled dispatch loop; results are bit-identical
+    /// either way.
+    pub profile: Option<Box<crate::profile::ExecProfile>>,
 }
 
 impl ExecScratch {

@@ -510,7 +510,18 @@ impl<'c, 's> Vm<'c, 's> {
 
     // ----- the dispatch loop ------------------------------------------------
 
+    /// Monomorphize on the profiling flag: with no profile installed the
+    /// loop compiles to exactly the unprofiled code — the opt-in profiler
+    /// costs the off path nothing.
     fn dispatch(&mut self) -> Result<(), ExecError> {
+        if self.s.profile.is_some() {
+            self.dispatch_loop::<true>()
+        } else {
+            self.dispatch_loop::<false>()
+        }
+    }
+
+    fn dispatch_loop<const PROFILE: bool>(&mut self) -> Result<(), ExecError> {
         let ck = self.ck;
         let instrs = ck.instrs.as_slice();
         let blocks = ck.blocks.as_slice();
@@ -518,6 +529,11 @@ impl<'c, 's> Vm<'c, 's> {
         loop {
             let ins = &instrs[ip];
             ip += 1;
+            if PROFILE {
+                if let Some(profile) = self.s.profile.as_deref_mut() {
+                    profile.note_opcode(crate::profile::opcode_index(ins));
+                }
+            }
             match ins {
                 Instr::Charge(b) => {
                     let idx = *b as usize;
@@ -701,6 +717,12 @@ impl<'c, 's> Vm<'c, 's> {
             }
         }
         self.flush_block_stats();
+        if PROFILE {
+            let s = &mut *self.s;
+            if let Some(profile) = s.profile.as_deref_mut() {
+                profile.note_blocks(&s.block_hits, &ck.blocks);
+            }
+        }
         Ok(())
     }
 }
@@ -864,6 +886,45 @@ mod tests {
         let b = run(&ck, &input, &opts).unwrap();
         assert!(!b.races.is_empty());
         both_engines(&p, &input, &opts);
+    }
+
+    #[test]
+    fn profiled_runs_are_bit_identical_and_fill_the_profile() {
+        let p = Program::new(
+            vec![Param::fp(FpType::F64, "var_1")],
+            Block::of_stmts(vec![Stmt::For(ForLoop {
+                omp_for: false,
+                var: "i".into(),
+                bound: LoopBound::Const(50),
+                body: Block::of_stmts(vec![Stmt::Assign(Assignment {
+                    target: LValue::Comp,
+                    op: AssignOp::AddAssign,
+                    value: Expr::var("var_1"),
+                })]),
+            })]),
+        );
+        let input = fp_input(vec![1.25]);
+        let opts = ExecOptions::default();
+        let ck = CompiledKernel::compile(lower(&p).unwrap());
+
+        let plain = run(&ck, &input, &opts).unwrap();
+        let mut scratch = ExecScratch::new();
+        scratch.profile = Some(Box::default());
+        let profiled = crate::vm::run_with(&ck, &input, &opts, &mut scratch).unwrap();
+        assert_eq!(plain.comp.to_bits(), profiled.comp.to_bits());
+        assert_eq!(plain.stats, profiled.stats);
+
+        let profile = scratch.profile.as_ref().unwrap();
+        assert_eq!(profile.runs(), 1);
+        assert!(profile.total_dispatches() > 50);
+        let counts: std::collections::HashMap<_, _> = profile.opcode_counts().collect();
+        assert_eq!(counts["halt"], 1);
+        assert_eq!(counts["loop_next"], 50);
+        assert!(profile.blocks().iter().any(|b| b.hits > 0 && b.ops > 0));
+
+        // A second run accumulates into the same profile.
+        crate::vm::run_with(&ck, &input, &opts, &mut scratch).unwrap();
+        assert_eq!(scratch.profile.as_ref().unwrap().runs(), 2);
     }
 
     #[test]

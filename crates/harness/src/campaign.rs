@@ -16,7 +16,9 @@ use crate::config::CampaignConfig;
 use crate::pool;
 use crate::testcase::{generate_case, TestCase};
 use ompfuzz_backends::{oracle, CompileOptions, OmpBackend, RunOptions};
-use ompfuzz_exec::{CompiledKernel, ExecEngine, ExecOptions, ExecScratch, RaceReport};
+use ompfuzz_exec::{
+    CompiledKernel, ExecEngine, ExecOptions, ExecScratch, ProfileCollector, RaceReport,
+};
 use ompfuzz_obs::{Counter, Obs, Phase, Stopwatch};
 use ompfuzz_outlier::{analyze, Analysis, OutlierKind, RunObservation, Tally};
 use std::sync::Arc;
@@ -143,11 +145,20 @@ pub fn run_campaign(config: &CampaignConfig, backends: &[&dyn OmpBackend]) -> Ca
     let indices: Vec<usize> = (0..config.programs).collect();
     let workers = pool::resolve_workers(config.workers);
     let obs = Obs::off();
+    let profile = ProfileCollector::off();
     let outcomes = pool::map_parallel(workers, &indices, |&index| {
         let tc = generate_case(config, index);
         // `tc` drops when this closure returns: peak memory is one test
         // case per worker, not the corpus.
-        run_one_case(index, &tc, config, backends, &obs, &mut obs.stopwatch())
+        run_one_case(
+            index,
+            &tc,
+            config,
+            backends,
+            &obs,
+            &profile,
+            &mut obs.stopwatch(),
+        )
     });
     assemble_result(config, backends, outcomes, start)
 }
@@ -172,16 +183,28 @@ pub fn run_campaign_generated(
     gen: &(dyn Fn(usize) -> TestCase + Sync),
     start: Instant,
 ) -> (CampaignResult, Vec<TestCase>) {
-    run_campaign_generated_with(config, backends, range, gen, start, &Obs::off())
+    run_campaign_generated_with(
+        config,
+        backends,
+        range,
+        gen,
+        start,
+        &Obs::off(),
+        &ProfileCollector::off(),
+    )
 }
 
-/// [`run_campaign_generated`] with telemetry: each worker closure times
-/// its generate section, counts the generated program, and ticks the
+/// [`run_campaign_generated`] with introspection: each worker closure
+/// times its generate section, counts the generated program, and ticks the
 /// periodic progress stream; the per-program unit records its
 /// compile/race-filter/differential counters and timings through the same
-/// handle. Telemetry is strictly out of band — an [`Obs::off`] handle
-/// reproduces `run_campaign_generated` exactly, and an active one never
-/// changes any result (pinned by the corpus telemetry property suite).
+/// handle, and — when `profile` is on — harvests the VM hot-path profile
+/// of every program it runs into the shared collector. Telemetry and
+/// profiling are strictly out of band — [`Obs::off`] plus
+/// [`ProfileCollector::off`] reproduce `run_campaign_generated` exactly,
+/// and active handles never change any result (pinned by the corpus
+/// telemetry and introspection property suites).
+#[allow(clippy::too_many_arguments)]
 pub fn run_campaign_generated_with(
     config: &CampaignConfig,
     backends: &[&dyn OmpBackend],
@@ -189,6 +212,7 @@ pub fn run_campaign_generated_with(
     gen: &(dyn Fn(usize) -> TestCase + Sync),
     start: Instant,
     obs: &Obs,
+    profile: &ProfileCollector,
 ) -> (CampaignResult, Vec<TestCase>) {
     let indices: Vec<usize> = range.collect();
     let total = indices.len() as u64;
@@ -201,7 +225,7 @@ pub fn run_campaign_generated_with(
         let tc = gen(index);
         sw.lap(Phase::Generate);
         obs.count(Counter::ProgramsGenerated, 1);
-        let outcome = run_one_case(index, &tc, config, backends, obs, &mut sw);
+        let outcome = run_one_case(index, &tc, config, backends, obs, profile, &mut sw);
         obs.tick_progress(total);
         (outcome, tc)
     });
@@ -242,8 +266,17 @@ pub fn run_campaign_slice(
         .collect();
     let workers = pool::resolve_workers(config.workers);
     let obs = Obs::off();
+    let profile = ProfileCollector::off();
     let outcomes = pool::map_parallel(workers, &indexed, |&(index, tc)| {
-        run_one_case(index, tc, config, backends, &obs, &mut obs.stopwatch())
+        run_one_case(
+            index,
+            tc,
+            config,
+            backends,
+            &obs,
+            &profile,
+            &mut obs.stopwatch(),
+        )
     });
     assemble_result(config, backends, outcomes, start)
 }
@@ -317,17 +350,26 @@ std::thread_local! {
 
 /// The fused per-program unit: shared compilation, §IV-E race filter, then
 /// every (input × backend) differential run — all inside one worker
-/// closure, through the worker's reused [`ExecScratch`].
+/// closure, through the worker's reused [`ExecScratch`]. When `profile`
+/// is on, the program's VM hot-path profile is harvested into the shared
+/// collector as the unit finishes (install also strips stale profiles left
+/// in the thread-local scratch by a previous profiled campaign).
 fn run_one_case(
     index: usize,
     tc: &TestCase,
     config: &CampaignConfig,
     backends: &[&dyn OmpBackend],
     obs: &Obs,
+    profile: &ProfileCollector,
     sw: &mut Stopwatch<'_>,
 ) -> CaseOutcome {
-    WORKER_SCRATCH
-        .with(|s| run_one_case_with(index, tc, config, backends, &mut s.borrow_mut(), obs, sw))
+    WORKER_SCRATCH.with(|s| {
+        let scratch = &mut s.borrow_mut();
+        profile.install(scratch);
+        let outcome = run_one_case_with(index, tc, config, backends, scratch, obs, sw);
+        profile.harvest(scratch);
+        outcome
+    })
 }
 
 fn run_one_case_with(

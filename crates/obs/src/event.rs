@@ -1,15 +1,17 @@
 //! The structured event taxonomy: everything the pipeline tells the
 //! outside world while it runs.
 //!
-//! One `enum`, seven lifecycle kinds, scalar fields only (plus the final
-//! counter/phase rollups on `campaign_end`). Sinks render the same stream
+//! One `enum`, seven lifecycle kinds, scalar fields only (plus the
+//! counter/phase/latency rollups on `round_end` and `campaign_end`).
+//! Sinks render the same stream
 //! two ways — human-readable progress lines and line-delimited JSON — so
 //! adding an event here automatically reaches both, and the schema module
 //! validates emitted JSONL against exactly this taxonomy.
 
+use crate::hist::HistSnapshot;
 use crate::json::JsonObject;
 use crate::metrics::CounterSnapshot;
-use crate::phase::PhaseBreakdown;
+use crate::phase::{Phase, PhaseBreakdown};
 
 /// One structured lifecycle event.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,24 +55,29 @@ pub enum Event {
     /// Periodic progress snapshot from inside a shard's worker pool.
     Progress { completed: u64, total: u64 },
     /// A round's shards merged; the fix for the lost per-round timing —
-    /// `wall_us` is the round's wall clock.
+    /// `wall_us` is the round's wall clock. `yield_per_1k` is the round's
+    /// discovery yield (new skeletons per 1k programs, deterministic);
+    /// `hists` the campaign-cumulative latency histograms so far.
     RoundEnd {
         round: u64,
         racy: u64,
         outliers: u64,
         reduced: u64,
         new_skeletons: u64,
+        yield_per_1k: u64,
         catalog: u64,
         wall_us: u64,
+        hists: HistSnapshot,
     },
-    /// Final summary: total wall time plus the campaign's counter totals
-    /// and per-phase time breakdown.
+    /// Final summary: total wall time plus the campaign's counter totals,
+    /// per-phase time breakdown, and per-phase latency histograms.
     CampaignEnd {
         rounds: u64,
         catalog: u64,
         wall_us: u64,
         counters: CounterSnapshot,
         phases: PhaseBreakdown,
+        hists: HistSnapshot,
     },
 }
 
@@ -161,16 +168,20 @@ impl Event {
                 outliers,
                 reduced,
                 new_skeletons,
+                yield_per_1k,
                 catalog,
                 wall_us,
+                hists,
             } => obj
                 .u64("round", *round)
                 .u64("racy", *racy)
                 .u64("outliers", *outliers)
                 .u64("reduced", *reduced)
                 .u64("new_skeletons", *new_skeletons)
+                .u64("yield_per_1k", *yield_per_1k)
                 .u64("catalog", *catalog)
                 .u64("wall_us", *wall_us)
+                .raw("hists", &hists_json(hists))
                 .finish(),
             Event::CampaignEnd {
                 rounds,
@@ -178,12 +189,14 @@ impl Event {
                 wall_us,
                 counters,
                 phases,
+                hists,
             } => obj
                 .u64("rounds", *rounds)
                 .u64("catalog", *catalog)
                 .u64("wall_us", *wall_us)
                 .raw("counters", &counters_json(counters))
                 .raw("phases", &phases_json(phases))
+                .raw("hists", &hists_json(hists))
                 .finish(),
         }
     }
@@ -213,9 +226,29 @@ pub fn phases_json(phases: &PhaseBreakdown) -> String {
     obj.finish()
 }
 
+/// Render a latency-histogram rollup as one
+/// `{"count":…,"p50_us":…,"p90_us":…,"p99_us":…,"max_us":…}` object per
+/// phase, in slot order. Events carry the rollup rather than raw buckets:
+/// the numbers a reader wants, at a fraction of the bytes.
+pub fn hists_json(hists: &HistSnapshot) -> String {
+    let mut obj = JsonObject::new();
+    for phase in Phase::ALL {
+        let inner = JsonObject::new()
+            .u64("count", hists.count(phase))
+            .u64("p50_us", hists.percentile_micros(phase, 50.0))
+            .u64("p90_us", hists.percentile_micros(phase, 90.0))
+            .u64("p99_us", hists.percentile_micros(phase, 99.0))
+            .u64("max_us", hists.max_micros(phase))
+            .finish();
+        obj = obj.raw(phase.key(), &inner);
+    }
+    obj.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hist::PhaseHists;
     use crate::json::Value;
     use crate::metrics::{Counter, MetricsRegistry};
     use crate::phase::{Phase, PhaseTimers};
@@ -227,6 +260,8 @@ mod tests {
         reg.add(Counter::DifferentialRuns, 120);
         let timers = PhaseTimers::new();
         timers.record(Phase::Generate, Duration::from_micros(42));
+        let hists = PhaseHists::new();
+        hists.record(Phase::Generate, Duration::from_micros(42));
         let events = [
             Event::CampaignStart {
                 rounds: 2,
@@ -244,6 +279,7 @@ mod tests {
                 wall_us: 1234,
                 counters: reg.snapshot(),
                 phases: timers.snapshot(),
+                hists: hists.snapshot(),
             },
         ];
         for event in &events {
@@ -262,12 +298,15 @@ mod tests {
     fn campaign_end_carries_rollups() {
         let reg = MetricsRegistry::new();
         reg.add(Counter::VmOps, u64::MAX);
+        let hists = PhaseHists::new();
+        hists.record(Phase::Differential, Duration::from_micros(800));
         let line = Event::CampaignEnd {
             rounds: 1,
             catalog: 0,
             wall_us: 0,
             counters: reg.snapshot(),
             phases: PhaseTimers::new().snapshot(),
+            hists: hists.snapshot(),
         }
         .to_json();
         let parsed = Value::parse(&line).unwrap();
@@ -279,6 +318,39 @@ mod tests {
                 .get("generate")
                 .unwrap()
                 .get("calls")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        let differential = parsed.get("hists").unwrap().get("differential").unwrap();
+        assert_eq!(differential.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(differential.get("max_us").unwrap().as_u64(), Some(800));
+        assert!(differential.get("p50_us").unwrap().as_u64().unwrap() >= 512);
+    }
+
+    #[test]
+    fn round_end_carries_yield_and_latency() {
+        let line = Event::RoundEnd {
+            round: 1,
+            racy: 2,
+            outliers: 1,
+            reduced: 1,
+            new_skeletons: 3,
+            yield_per_1k: 75,
+            catalog: 9,
+            wall_us: 1000,
+            hists: PhaseHists::new().snapshot(),
+        }
+        .to_json();
+        let parsed = Value::parse(&line).unwrap();
+        assert_eq!(parsed.get("yield_per_1k").unwrap().as_u64(), Some(75));
+        assert_eq!(
+            parsed
+                .get("hists")
+                .unwrap()
+                .get("generate")
+                .unwrap()
+                .get("count")
                 .unwrap()
                 .as_u64(),
             Some(0)

@@ -1,0 +1,282 @@
+//! Per-phase latency histograms: the *shape* of campaign time, not just
+//! its sum.
+//!
+//! [`crate::phase`] answers "how many microseconds went to each phase";
+//! this module answers "how were they distributed" — one pathological
+//! program spending 50× the median in the differential phase is invisible
+//! in a total but obvious in a p99. Durations land in log2-spaced buckets
+//! (bucket *k* holds `2^(k-1) ≤ nanos < 2^k`), recorded with the same
+//! per-thread-striped relaxed atomics as [`crate::metrics`], and snapshots
+//! merge by per-bucket addition — commutative and associative, so shard
+//! snapshots combined in any order equal the unsharded run's histogram.
+//!
+//! Like the phase timers these are real clock readings: they flow into
+//! events and `report --metrics` tables only, never into checkpoint bytes.
+
+use crate::phase::{Phase, PHASE_COUNT};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets per phase. Bucket `k > 0` spans
+/// `[2^(k-1), 2^k)` nanoseconds; bucket 0 holds zero-length samples. The
+/// top bucket absorbs everything from ~9 minutes up.
+pub const HIST_BUCKETS: usize = 40;
+
+/// The log2 bucket for an elapsed duration of `nanos`.
+#[inline]
+fn bucket_of(nanos: u64) -> usize {
+    ((64 - nanos.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// The largest duration bucket `k` can hold (its inclusive upper bound).
+#[inline]
+fn bucket_upper(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else if k >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// One stripe of histogram accumulators, padded onto its own cache lines.
+#[repr(align(128))]
+struct HistStripe {
+    buckets: [[AtomicU64; HIST_BUCKETS]; PHASE_COUNT],
+    max: [AtomicU64; PHASE_COUNT],
+}
+
+impl Default for HistStripe {
+    fn default() -> HistStripe {
+        HistStripe {
+            buckets: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            max: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Per-phase log2 latency histograms, recorded concurrently by pool
+/// workers (relaxed atomics on per-thread stripes — see
+/// [`crate::metrics`] — read only at quiescent snapshot points).
+pub struct PhaseHists {
+    stripes: [HistStripe; crate::metrics::STRIPES],
+}
+
+impl Default for PhaseHists {
+    fn default() -> PhaseHists {
+        PhaseHists {
+            stripes: std::array::from_fn(|_| HistStripe::default()),
+        }
+    }
+}
+
+impl PhaseHists {
+    /// Histograms with every bucket at zero.
+    pub fn new() -> PhaseHists {
+        PhaseHists::default()
+    }
+
+    /// Record one timed section of `phase`.
+    #[inline]
+    pub fn record(&self, phase: Phase, elapsed: Duration) {
+        let nanos = elapsed.as_nanos() as u64;
+        let stripe = &self.stripes[crate::metrics::stripe_index()];
+        stripe.buckets[phase as usize][bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        stripe.max[phase as usize].fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Copy the current histograms out (summed across stripes).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut out = HistSnapshot::default();
+        for stripe in &self.stripes {
+            for p in 0..PHASE_COUNT {
+                for (acc, bucket) in out.buckets[p].iter_mut().zip(&stripe.buckets[p]) {
+                    *acc += bucket.load(Ordering::Relaxed);
+                }
+                out.max[p] = out.max[p].max(stripe.max[p].load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+
+    /// Merge a child snapshot into these histograms (shard → campaign).
+    pub fn absorb(&self, snapshot: &HistSnapshot) {
+        let stripe = &self.stripes[crate::metrics::stripe_index()];
+        for p in 0..PHASE_COUNT {
+            for (bucket, n) in stripe.buckets[p].iter().zip(&snapshot.buckets[p]) {
+                if *n != 0 {
+                    bucket.fetch_add(*n, Ordering::Relaxed);
+                }
+            }
+            stripe.max[p].fetch_max(snapshot.max[p], Ordering::Relaxed);
+        }
+    }
+}
+
+/// An owned, mergeable copy of the per-phase histograms. Merging is
+/// per-bucket addition plus a max-of-maxes — commutative and associative,
+/// so any merge order of shard snapshots equals the unsharded totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: [[u64; HIST_BUCKETS]; PHASE_COUNT],
+    max: [u64; PHASE_COUNT],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot {
+            buckets: [[0; HIST_BUCKETS]; PHASE_COUNT],
+            max: [0; PHASE_COUNT],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Number of samples recorded for `phase`.
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.buckets[phase as usize].iter().sum()
+    }
+
+    /// Total samples across all phases.
+    pub fn total_count(&self) -> u64 {
+        (0..PHASE_COUNT)
+            .map(|p| self.buckets[p].iter().sum::<u64>())
+            .sum()
+    }
+
+    /// True when no samples have been recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_count() == 0
+    }
+
+    /// The largest duration recorded for `phase`, in nanoseconds.
+    pub fn max_nanos(&self, phase: Phase) -> u64 {
+        self.max[phase as usize]
+    }
+
+    /// The `p`-th percentile (0–100) of `phase` durations in nanoseconds:
+    /// the upper bound of the bucket holding the rank-`⌈p/100·count⌉`
+    /// sample, clamped to the observed maximum. Bucket upper bounds grow
+    /// with the bucket index, so the result is monotone in `p`; an empty
+    /// histogram reports 0.
+    pub fn percentile_nanos(&self, phase: Phase, p: f64) -> u64 {
+        let buckets = &self.buckets[phase as usize];
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (k, n) in buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper(k).min(self.max[phase as usize]);
+            }
+        }
+        self.max[phase as usize]
+    }
+
+    /// [`HistSnapshot::percentile_nanos`] in microseconds.
+    pub fn percentile_micros(&self, phase: Phase, p: f64) -> u64 {
+        self.percentile_nanos(phase, p) / 1_000
+    }
+
+    /// [`HistSnapshot::max_nanos`] in microseconds.
+    pub fn max_micros(&self, phase: Phase) -> u64 {
+        self.max_nanos(phase) / 1_000
+    }
+
+    /// Add `other`'s buckets into `self`.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for p in 0..PHASE_COUNT {
+            for (acc, n) in self.buckets[p].iter_mut().zip(&other.buckets[p]) {
+                *acc += n;
+            }
+            self.max[p] = self.max[p].max(other.max[p]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_spaced() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(HIST_BUCKETS - 1), u64::MAX);
+        for nanos in [0u64, 1, 7, 1000, 123_456_789] {
+            assert!(nanos <= bucket_upper(bucket_of(nanos)));
+        }
+    }
+
+    #[test]
+    fn record_snapshot_percentiles() {
+        let h = PhaseHists::new();
+        for us in [10u64, 12, 14, 16, 900] {
+            h.record(Phase::Differential, Duration::from_micros(us));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(Phase::Differential), 5);
+        assert_eq!(snap.count(Phase::Generate), 0);
+        assert_eq!(snap.max_nanos(Phase::Differential), 900_000);
+        assert_eq!(snap.max_micros(Phase::Differential), 900);
+        // p50 falls in the 8–16 µs bucket, p99 reaches the outlier.
+        let p50 = snap.percentile_nanos(Phase::Differential, 50.0);
+        let p99 = snap.percentile_nanos(Phase::Differential, 99.0);
+        assert!((10_000..=16_384).contains(&p50), "p50 {p50}");
+        assert_eq!(p99, 900_000);
+        assert_eq!(snap.percentile_nanos(Phase::Generate, 99.0), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let h = PhaseHists::new();
+        for n in 1..200u64 {
+            h.record(Phase::Compile, Duration::from_nanos(n * n * 37));
+        }
+        let snap = h.snapshot();
+        let mut last = 0;
+        for p in 0..=100 {
+            let v = snap.percentile_nanos(Phase::Compile, p as f64);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+        assert!(last <= snap.max_nanos(Phase::Compile));
+    }
+
+    #[test]
+    fn merge_and_absorb_are_additive() {
+        let a = PhaseHists::new();
+        let b = PhaseHists::new();
+        a.record(Phase::Generate, Duration::from_micros(5));
+        b.record(Phase::Generate, Duration::from_micros(50));
+        b.record(Phase::Reduce, Duration::from_micros(7));
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(Phase::Generate), 2);
+        assert_eq!(ab.max_nanos(Phase::Generate), 50_000);
+
+        let parent = PhaseHists::new();
+        parent.absorb(&sa);
+        parent.absorb(&sb);
+        assert_eq!(parent.snapshot(), ab);
+        assert!(!ab.is_empty());
+        assert!(HistSnapshot::default().is_empty());
+    }
+}

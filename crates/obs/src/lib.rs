@@ -16,9 +16,15 @@
 //!   (generate / compile / race-filter / differential / reduce /
 //!   catalog-merge), aggregated into a time breakdown. Real clock
 //!   readings: never written into checkpoint bytes.
+//! * [`hist`] — per-phase log2-bucketed latency histograms over the same
+//!   sections, with the same commutative snapshot-and-merge contract as
+//!   the counters: the distribution behind the totals (p50/p90/p99/max).
 //! * [`event`] + [`sink`] + [`schema`] — a typed lifecycle event stream
 //!   rendered by pluggable sinks (human progress lines, line-delimited
 //!   JSON) and validated against a checked-in schema.
+//! * [`trace`] — an opt-in Chrome trace-event span collector
+//!   (`--trace-out`): every timed section becomes a duration span
+//!   (`pid` = shard, `tid` = worker), loadable in Perfetto.
 //!
 //! The pipeline holds an [`Obs`] handle. [`Obs::off`] is a `None` inside —
 //! every hook is one branch and no allocation, so a campaign without
@@ -46,21 +52,25 @@
 //! ```
 
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod phase;
 pub mod schema;
 pub mod sink;
+pub mod trace;
 
-pub use event::{counters_json, phases_json, Event};
+pub use event::{counters_json, hists_json, phases_json, Event};
+pub use hist::{HistSnapshot, PhaseHists, HIST_BUCKETS};
 pub use json::{JsonObject, Value};
 pub use metrics::{Counter, CounterSnapshot, MetricsRegistry, COUNTER_COUNT};
 pub use phase::{Phase, PhaseBreakdown, PhaseTimers, PHASE_COUNT};
 pub use schema::{
     event_fields, render_schema, validate_jsonl, validate_line, FieldTy, JsonlSummary,
-    EVENT_SCHEMAS, SCHEMA_VERSION,
+    EVENT_SCHEMAS, HIST_ROLLUP_FIELDS, SCHEMA_VERSION,
 };
 pub use sink::{stderr_jsonl, CaptureSink, EventSink, HumanSink, JsonlSink, MultiSink};
+pub use trace::{TraceBuffer, TraceSpan};
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,7 +84,11 @@ pub const DEFAULT_PROGRESS_EVERY: u64 = 32;
 struct ObsInner {
     metrics: MetricsRegistry,
     timers: PhaseTimers,
+    hists: PhaseHists,
     sink: Option<Arc<dyn EventSink>>,
+    /// Shared span collector plus the shard id (`pid`) this handle
+    /// attributes its spans to ([`Obs::fork_for_shard`]).
+    trace: Option<(Arc<TraceBuffer>, u64)>,
     progress_every: u64,
     ticks: AtomicU64,
 }
@@ -98,20 +112,33 @@ impl Obs {
     /// Counters and phase timers active, no event sink — the bench-guard
     /// configuration, and the cheapest *on* state.
     pub fn metrics_only() -> Obs {
-        Obs::build(None)
+        Obs::build(None, None)
     }
 
     /// Counters, timers and an event sink.
     pub fn with_sink(sink: Arc<dyn EventSink>) -> Obs {
-        Obs::build(Some(sink))
+        Obs::build(Some(sink), None)
     }
 
-    fn build(sink: Option<Arc<dyn EventSink>>) -> Obs {
+    /// Counters, timers, an optional event sink and an optional Chrome
+    /// trace-event span collector (`--trace-out`). Spans recorded through
+    /// this handle carry `pid` 0 until a shard forks it
+    /// ([`Obs::fork_for_shard`]).
+    pub fn with_sink_and_trace(
+        sink: Option<Arc<dyn EventSink>>,
+        trace: Option<Arc<TraceBuffer>>,
+    ) -> Obs {
+        Obs::build(sink, trace)
+    }
+
+    fn build(sink: Option<Arc<dyn EventSink>>, trace: Option<Arc<TraceBuffer>>) -> Obs {
         Obs {
             inner: Some(Arc::new(ObsInner {
                 metrics: MetricsRegistry::new(),
                 timers: PhaseTimers::new(),
+                hists: PhaseHists::new(),
                 sink,
+                trace: trace.map(|buf| (buf, 0)),
                 progress_every: DEFAULT_PROGRESS_EVERY,
                 ticks: AtomicU64::new(0),
             })),
@@ -128,13 +155,29 @@ impl Obs {
     /// independently and merged back ([`Obs::absorb`]). Forking an off
     /// handle stays off.
     pub fn fork(&self) -> Obs {
+        self.fork_with_pid(None)
+    }
+
+    /// [`Obs::fork`] for a shard's worker pool: spans recorded through the
+    /// child land in the shared trace buffer under `pid = shard`, so a
+    /// sharded campaign's trace separates per shard in the viewer.
+    pub fn fork_for_shard(&self, shard: u64) -> Obs {
+        self.fork_with_pid(Some(shard))
+    }
+
+    fn fork_with_pid(&self, pid: Option<u64>) -> Obs {
         match &self.inner {
             None => Obs::off(),
             Some(inner) => Obs {
                 inner: Some(Arc::new(ObsInner {
                     metrics: MetricsRegistry::new(),
                     timers: PhaseTimers::new(),
+                    hists: PhaseHists::new(),
                     sink: inner.sink.clone(),
+                    trace: inner
+                        .trace
+                        .as_ref()
+                        .map(|(buf, inherited)| (buf.clone(), pid.unwrap_or(*inherited))),
                     progress_every: inner.progress_every,
                     ticks: AtomicU64::new(0),
                 })),
@@ -159,7 +202,7 @@ impl Obs {
             Some(inner) => {
                 let started = Instant::now();
                 let result = f();
-                inner.timers.record(phase, started.elapsed());
+                Obs::record_inner(inner, phase, started.elapsed());
                 result
             }
         }
@@ -170,7 +213,18 @@ impl Obs {
     #[inline]
     pub fn record(&self, phase: Phase, elapsed: std::time::Duration) {
         if let Some(inner) = &self.inner {
-            inner.timers.record(phase, elapsed);
+            Obs::record_inner(inner, phase, elapsed);
+        }
+    }
+
+    /// The one recording path every timed section funnels through:
+    /// totals, the latency histogram, and (when attached) a trace span.
+    #[inline]
+    fn record_inner(inner: &ObsInner, phase: Phase, elapsed: std::time::Duration) {
+        inner.timers.record(phase, elapsed);
+        inner.hists.record(phase, elapsed);
+        if let Some((buf, pid)) = &inner.trace {
+            buf.record(*pid, phase, elapsed);
         }
     }
 
@@ -250,6 +304,21 @@ impl Obs {
     pub fn absorb_phases(&self, phases: &PhaseBreakdown) {
         if let Some(inner) = &self.inner {
             inner.timers.absorb(phases);
+        }
+    }
+
+    /// Snapshot the per-phase latency histograms (empty when off).
+    pub fn hists(&self) -> HistSnapshot {
+        self.inner
+            .as_ref()
+            .map(|i| i.hists.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Merge a child's histogram snapshot into this handle's histograms.
+    pub fn absorb_hists(&self, hists: &HistSnapshot) {
+        if let Some(inner) = &self.inner {
+            inner.hists.absorb(hists);
         }
     }
 }
@@ -375,6 +444,31 @@ mod tests {
                 total: 100
             }
         );
+    }
+
+    #[test]
+    fn record_feeds_histograms_and_forks_absorb() {
+        let obs = Obs::metrics_only();
+        obs.record(Phase::Differential, std::time::Duration::from_micros(64));
+        let child = obs.fork();
+        child.record(Phase::Differential, std::time::Duration::from_micros(8));
+        obs.absorb_hists(&child.hists());
+        let hists = obs.hists();
+        assert_eq!(hists.count(Phase::Differential), 2);
+        assert!(hists.max_nanos(Phase::Differential) >= 64_000);
+        assert!(Obs::off().hists().is_empty());
+    }
+
+    #[test]
+    fn trace_spans_flow_from_forked_shards_into_one_buffer() {
+        let buf = Arc::new(TraceBuffer::new());
+        let obs = Obs::with_sink_and_trace(None, Some(buf.clone()));
+        obs.record(Phase::Generate, std::time::Duration::from_micros(5));
+        let shard = obs.fork_for_shard(7);
+        shard.time(Phase::Compile, || std::hint::black_box(21 * 2));
+        assert_eq!(buf.len(), 2);
+        let json = buf.to_json();
+        assert!(json.contains("\"pid\":7"), "{json}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The telemetry schema: the event taxonomy as data, a renderer that
-//! produces the checked-in `schemas/telemetry-v1.schema` text, and a
+//! produces the checked-in `schemas/telemetry-v2.schema` text, and a
 //! validator for emitted JSONL.
 //!
 //! The schema table below is the single source of truth. CI regenerates
@@ -13,8 +13,10 @@ use crate::json::Value;
 use crate::metrics::Counter;
 use crate::phase::Phase;
 
-/// Schema format version (the `v1` in the schema header and file name).
-pub const SCHEMA_VERSION: u32 = 1;
+/// Schema format version (the `v2` in the schema header and file name).
+/// v2 is a strict superset of v1: `round_end` gained `yield_per_1k` and a
+/// latency rollup, `campaign_end` gained the latency rollup.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The type of one event field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +31,13 @@ pub enum FieldTy {
     Counters,
     /// Object with one `{ "us": u, "calls": u }` per [`Phase::key`].
     Phases,
+    /// Object with one latency rollup (`count`/`p50_us`/`p90_us`/
+    /// `p99_us`/`max_us`, all u64) per [`Phase::key`].
+    Hists,
 }
+
+/// The field names of one per-phase latency rollup, in emission order.
+pub const HIST_ROLLUP_FIELDS: [&str; 5] = ["count", "p50_us", "p90_us", "p99_us", "max_us"];
 
 impl FieldTy {
     fn label(self) -> &'static str {
@@ -39,6 +47,7 @@ impl FieldTy {
             FieldTy::Str => "s",
             FieldTy::Counters => "counters",
             FieldTy::Phases => "phases",
+            FieldTy::Hists => "hists",
         }
     }
 }
@@ -102,8 +111,10 @@ pub const EVENT_SCHEMAS: &[(&str, &[(&str, FieldTy)])] = &[
             ("outliers", FieldTy::U64),
             ("reduced", FieldTy::U64),
             ("new_skeletons", FieldTy::U64),
+            ("yield_per_1k", FieldTy::U64),
             ("catalog", FieldTy::U64),
             ("wall_us", FieldTy::U64),
+            ("hists", FieldTy::Hists),
         ],
     ),
     (
@@ -114,6 +125,7 @@ pub const EVENT_SCHEMAS: &[(&str, &[(&str, FieldTy)])] = &[
             ("wall_us", FieldTy::U64),
             ("counters", FieldTy::Counters),
             ("phases", FieldTy::Phases),
+            ("hists", FieldTy::Hists),
         ],
     ),
 ];
@@ -127,13 +139,14 @@ pub fn event_fields(kind: &str) -> Option<&'static [(&'static str, FieldTy)]> {
 }
 
 /// Render the schema document — byte-for-byte what
-/// `schemas/telemetry-v1.schema` must contain.
+/// `schemas/telemetry-v2.schema` must contain.
 pub fn render_schema() -> String {
     let mut out = String::new();
     out.push_str(&format!("; ompfuzz telemetry schema v{SCHEMA_VERSION}\n"));
     out.push_str("; one line per event kind: <kind> <field>:<type>...\n");
     out.push_str("; types: u = unsigned integer, b = boolean, s = string,\n");
-    out.push_str(";        counters = counter object, phases = phase object\n");
+    out.push_str(";        counters = counter object, phases = phase object,\n");
+    out.push_str(";        hists = per-phase latency rollup object\n");
     for (kind, fields) in EVENT_SCHEMAS {
         out.push_str(kind);
         for (name, ty) in *fields {
@@ -149,6 +162,11 @@ pub fn render_schema() -> String {
     out.push_str("phases");
     for phase in Phase::ALL {
         out.push_str(&format!(" {}", phase.key()));
+    }
+    out.push('\n');
+    out.push_str("hists");
+    for field in HIST_ROLLUP_FIELDS {
+        out.push_str(&format!(" {field}"));
     }
     out.push('\n');
     out
@@ -201,6 +219,24 @@ fn check_field(kind: &str, name: &str, ty: FieldTy, value: &Value) -> Result<(),
                     }
                 }
                 if v.entries().map(<[_]>::len) != Some(2) {
+                    return Err(format!("{kind}.{name}.{key}: extra fields"));
+                }
+            }
+        }
+        FieldTy::Hists => {
+            let Some(entries) = value.entries() else {
+                return fail("latency rollup object");
+            };
+            for (key, v) in entries {
+                if Phase::from_key(key).is_none() {
+                    return Err(format!("{kind}.{name}: unknown phase {key:?}"));
+                }
+                for part in HIST_ROLLUP_FIELDS {
+                    if v.get(part).and_then(Value::as_u64).is_none() {
+                        return Err(format!("{kind}.{name}.{key}: expected u64 field {part:?}"));
+                    }
+                }
+                if v.entries().map(<[_]>::len) != Some(HIST_ROLLUP_FIELDS.len()) {
                     return Err(format!("{kind}.{name}.{key}: extra fields"));
                 }
             }
@@ -284,6 +320,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
 mod tests {
     use super::*;
     use crate::event::Event;
+    use crate::hist::PhaseHists;
     use crate::metrics::MetricsRegistry;
     use crate::phase::PhaseTimers;
 
@@ -331,8 +368,17 @@ mod tests {
                 outliers: 1,
                 reduced: 1,
                 new_skeletons: 1,
+                yield_per_1k: 25,
                 catalog: 1,
                 wall_us: 9000,
+                hists: {
+                    let hists = PhaseHists::new();
+                    hists.record(
+                        crate::phase::Phase::Generate,
+                        std::time::Duration::from_micros(12),
+                    );
+                    hists.snapshot()
+                },
             },
             Event::CampaignEnd {
                 rounds: 2,
@@ -340,6 +386,7 @@ mod tests {
                 wall_us: 20000,
                 counters: MetricsRegistry::new().snapshot(),
                 phases: PhaseTimers::new().snapshot(),
+                hists: PhaseHists::new().snapshot(),
             },
         ]
     }
@@ -378,7 +425,13 @@ mod tests {
         // Unknown counter key inside the rollup.
         assert!(validate_line(
             "{\"event\":\"campaign_end\",\"rounds\":1,\"catalog\":0,\"wall_us\":0,\
-             \"counters\":{\"bogus\":1},\"phases\":{}}"
+             \"counters\":{\"bogus\":1},\"phases\":{},\"hists\":{}}"
+        )
+        .is_err());
+        // Latency rollup with a short phase entry.
+        assert!(validate_line(
+            "{\"event\":\"campaign_end\",\"rounds\":1,\"catalog\":0,\"wall_us\":0,\
+             \"counters\":{},\"phases\":{},\"hists\":{\"generate\":{\"count\":1}}}"
         )
         .is_err());
     }
@@ -412,6 +465,8 @@ mod tests {
         }
         assert!(schema.contains("counters programs_generated"));
         assert!(schema.contains("phases generate compile"));
+        assert!(schema.contains("hists count p50_us p90_us p99_us max_us"));
+        assert!(schema.starts_with("; ompfuzz telemetry schema v2\n"));
         assert!(schema.ends_with('\n'));
     }
 }

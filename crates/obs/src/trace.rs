@@ -1,0 +1,183 @@
+//! Chrome trace-event export: open a whole sharded campaign in
+//! `chrome://tracing` or Perfetto.
+//!
+//! When a [`TraceBuffer`] is attached to an [`crate::Obs`] handle
+//! (`--trace-out FILE`), every recorded phase section also appends one
+//! complete duration span (`"ph":"X"`): `pid` is the shard that ran it,
+//! `tid` a small stable id for the pool worker thread, `ts`/`dur` in
+//! microseconds since the buffer's origin — exactly the JSON object
+//! format of the [trace-event spec]. Collection is a mutex-guarded append
+//! per span; tracing is opt-in and, like every sink, strictly out of
+//! band.
+//!
+//! [trace-event spec]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::JsonObject;
+use crate::phase::Phase;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A stable small integer naming the calling thread in trace output.
+/// Unlike [`crate::metrics::stripe_index`] these never wrap: every thread
+/// that ever records a span gets its own lane in the trace viewer.
+fn trace_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+    TID.with(|cell| {
+        let mut tid = cell.get();
+        if tid == u64::MAX {
+            tid = NEXT.fetch_add(1, Ordering::Relaxed);
+            cell.set(tid);
+        }
+        tid
+    })
+}
+
+/// One complete phase span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The pipeline phase this span timed.
+    pub phase: Phase,
+    /// The shard that ran the section (trace-event `pid`).
+    pub pid: u64,
+    /// The worker thread lane (trace-event `tid`).
+    pub tid: u64,
+    /// Span start, microseconds since the buffer's origin.
+    pub ts_us: u64,
+    /// Span length in microseconds.
+    pub dur_us: u64,
+}
+
+/// A shared, append-only span collector. One buffer serves the whole
+/// campaign: forked shard handles write into it concurrently with their
+/// own `pid`.
+pub struct TraceBuffer {
+    origin: Instant,
+    spans: Mutex<Vec<TraceSpan>>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> TraceBuffer {
+        TraceBuffer {
+            origin: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl TraceBuffer {
+    /// An empty buffer whose clock starts now.
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::default()
+    }
+
+    /// Append one span that *ended* now and lasted `elapsed`, attributed
+    /// to shard `pid` and the calling thread's lane.
+    pub fn record(&self, pid: u64, phase: Phase, elapsed: Duration) {
+        let end_us = self.origin.elapsed().as_micros() as u64;
+        let dur_us = elapsed.as_micros() as u64;
+        let span = TraceSpan {
+            phase,
+            pid,
+            tid: trace_tid(),
+            ts_us: end_us.saturating_sub(dur_us),
+            dur_us,
+        };
+        self.spans.lock().expect("trace buffer poisoned").push(span);
+    }
+
+    /// Number of spans collected so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// True when no spans have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the buffer as one Chrome trace-event JSON document
+    /// (`{"displayTimeUnit":"ms","traceEvents":[...]}`), loadable by
+    /// `chrome://tracing` and Perfetto.
+    pub fn to_json(&self) -> String {
+        let spans = self.spans.lock().expect("trace buffer poisoned");
+        let mut out = String::with_capacity(64 + spans.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, span) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(
+                &JsonObject::new()
+                    .str("name", span.phase.key())
+                    .str("cat", "phase")
+                    .str("ph", "X")
+                    .u64("ts", span.ts_us)
+                    .u64("dur", span.dur_us)
+                    .u64("pid", span.pid)
+                    .u64("tid", span.tid)
+                    .finish(),
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    #[test]
+    fn spans_render_as_complete_duration_events() {
+        let buf = TraceBuffer::new();
+        assert!(buf.is_empty());
+        buf.record(0, Phase::Generate, Duration::from_micros(120));
+        buf.record(3, Phase::Differential, Duration::from_micros(800));
+        assert_eq!(buf.len(), 2);
+
+        let doc = Value::parse(buf.to_json().trim()).expect("valid JSON");
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+        let events = match doc.get("traceEvents") {
+            Some(Value::Arr(events)) => events,
+            other => panic!("traceEvents should be an array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 2);
+        for event in events {
+            assert_eq!(event.get("ph").and_then(Value::as_str), Some("X"));
+            for key in ["ts", "dur", "pid", "tid"] {
+                assert!(event.get(key).and_then(Value::as_u64).is_some(), "{key}");
+            }
+        }
+        assert_eq!(
+            events[1].get("name").and_then(Value::as_str),
+            Some("differential")
+        );
+        assert_eq!(events[1].get("pid").and_then(Value::as_u64), Some(3));
+        assert_eq!(events[1].get("dur").and_then(Value::as_u64), Some(800));
+    }
+
+    #[test]
+    fn empty_buffer_is_still_a_valid_document() {
+        let doc = Value::parse(TraceBuffer::new().to_json().trim()).expect("valid JSON");
+        assert!(matches!(doc.get("traceEvents"), Some(Value::Arr(v)) if v.is_empty()));
+    }
+
+    #[test]
+    fn thread_lanes_are_stable_within_a_thread() {
+        let buf = TraceBuffer::new();
+        buf.record(0, Phase::Compile, Duration::from_micros(1));
+        buf.record(0, Phase::Compile, Duration::from_micros(1));
+        let spans = buf.spans.lock().unwrap();
+        assert_eq!(spans[0].tid, spans[1].tid);
+        assert!(spans[0].ts_us <= spans[1].ts_us);
+    }
+}

@@ -11,8 +11,9 @@
 //!                [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]
 //!                [--shards N] [--checkpoint-dir DIR] [--engine tree|bytecode]
 //!                [--progress human|jsonl|none] [--metrics-out FILE]
+//!                [--trace-out FILE] [--profile-out FILE]
 //! ompfuzz shard --round R --shard I/N --checkpoint-dir DIR [evolve options]
-//! ompfuzz report --metrics FILE [--schema FILE]
+//! ompfuzz report [--metrics FILE] [--schema FILE] [--profile FILE] [--render-schema]
 //! ompfuzz generate --out DIR [--programs N] [--seed S]
 //! ompfuzz emit [--seed S]
 //! ompfuzz config-template
@@ -23,16 +24,17 @@ use ompfuzz_corpus::{
     fold_into_catalog, reduce_all, run_sharded_evolution_with, run_standalone_shard_with,
     BatchConfig, EvolveConfig, ShardedEvolveConfig, TriggerCatalog,
 };
+use ompfuzz_exec::ProfileCollector;
 use ompfuzz_harness::{
     generate_corpus, run_campaign, run_campaign_on, save_corpus, CampaignConfig,
 };
-use ompfuzz_obs::{stderr_jsonl, HumanSink, JsonlSink, MultiSink, Obs};
+use ompfuzz_obs::{stderr_jsonl, HumanSink, JsonlSink, MultiSink, Obs, TraceBuffer};
 use ompfuzz_outlier::OutlierKind;
 use ompfuzz_reduce::{ReduceConfig, Reducer, ReductionTarget};
 use ompfuzz_report::{
-    campaign_to_csv, check_schema, experiments, render_catalog, render_evolution,
-    render_metrics_report, render_reduction_summary, render_shard_progress, render_shard_summary,
-    render_table1, run_experiment, Scale,
+    campaign_to_csv, check_schema, experiments, profile_to_json, render_catalog, render_evolution,
+    render_metrics_report, render_profile_report, render_reduction_summary, render_shard_progress,
+    render_shard_summary, render_table1, run_experiment, Scale,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -97,21 +99,28 @@ fn print_usage() {
          \x20        [--mutation-fraction F] [--bias S] [--catalog FILE] [--resume FILE]\n\
          \x20        [--shards N] [--checkpoint-dir DIR] [--engine tree|bytecode]\n\
          \x20        [--progress human|jsonl|none] [--metrics-out FILE]\n\
+         \x20        [--trace-out FILE] [--profile-out FILE]\n\
          \x20                            corpus-guided evolutionary loop: campaign ->\n\
          \x20                            batch-reduce -> catalog -> bias + mutate -> repeat;\n\
          \x20                            --shards splits each round into N slices merged\n\
          \x20                            in order, --checkpoint-dir makes the campaign\n\
          \x20                            crash-resumable (completed shards are skipped);\n\
          \x20                            --progress picks the stderr renderer over the\n\
-         \x20                            telemetry stream, --metrics-out saves it as JSONL\n\
+         \x20                            telemetry stream, --metrics-out saves it as JSONL,\n\
+         \x20                            --trace-out writes a Chrome trace-event file of\n\
+         \x20                            per-phase spans (load in Perfetto), --profile-out\n\
+         \x20                            writes the campaign-wide VM hot-path profile\n\
          \x20 shard --round R --shard I/N --checkpoint-dir DIR [evolve options]\n\
          \x20                            run ONE shard of one evolution round and\n\
          \x20                            checkpoint it (the out-of-process worker behind\n\
          \x20                            a sharded evolve)\n\
-         \x20 report --metrics FILE [--schema FILE]\n\
+         \x20 report [--metrics FILE] [--schema FILE] [--profile FILE] [--render-schema]\n\
          \x20                            validate a --metrics-out JSONL stream and render\n\
-         \x20                            counter/phase/round summary tables (--schema also\n\
-         \x20                            checks a schema file against the built-in taxonomy)\n\
+         \x20                            counter/phase/round/latency tables (--schema also\n\
+         \x20                            checks a schema file against the built-in taxonomy;\n\
+         \x20                            --profile renders a --profile-out file's hot-opcode\n\
+         \x20                            and hot-block tables; --render-schema prints the\n\
+         \x20                            built-in schema for checking in)\n\
          \x20 generate --out DIR [--programs N] [--seed S]\n\
          \x20                            write generated .cpp tests + inputs to DIR\n\
          \x20 emit [--seed S]            print one generated test program\n\
@@ -417,7 +426,13 @@ fn build_evolve_config(opts: &Opts) -> Result<(EvolveConfig, TriggerCatalog), St
 /// `--metrics-out FILE` JSONL stream, and — whenever a checkpoint
 /// directory is in play — an append-mode `events.jsonl` next to the
 /// checkpoint files, so a resumed campaign extends the recorded history.
-fn build_obs(opts: &Opts, checkpoint: Option<&Path>) -> Result<Obs, String> {
+/// `--trace-out FILE` additionally collects Chrome trace-event spans;
+/// the returned buffer is written by [`write_introspection_outputs`]
+/// once the run finishes.
+fn build_obs(
+    opts: &Opts,
+    checkpoint: Option<&Path>,
+) -> Result<(Obs, Option<Arc<TraceBuffer>>), String> {
     let mut sinks = MultiSink::new();
     match opts.value_of("--progress", None).unwrap_or("human") {
         "human" => sinks.push(Arc::new(HumanSink)),
@@ -438,11 +453,49 @@ fn build_obs(opts: &Opts, checkpoint: Option<&Path>) -> Result<Obs, String> {
             JsonlSink::append(&path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
         sinks.push(Arc::new(sink));
     }
-    if sinks.is_empty() {
-        Ok(Obs::metrics_only())
+    let trace = opts
+        .value_of("--trace-out", None)
+        .map(|_| Arc::new(TraceBuffer::new()));
+    let sink: Option<Arc<dyn ompfuzz_obs::EventSink>> = if sinks.is_empty() {
+        None
     } else {
-        Ok(Obs::with_sink(Arc::new(sinks)))
+        Some(Arc::new(sinks))
+    };
+    Ok((Obs::with_sink_and_trace(sink, trace.clone()), trace))
+}
+
+/// The campaign-wide profile collector selected by `--profile-out`.
+fn build_profile(opts: &Opts) -> ProfileCollector {
+    if opts.value_of("--profile-out", None).is_some() {
+        ProfileCollector::enabled()
+    } else {
+        ProfileCollector::off()
     }
+}
+
+/// Write the `--trace-out` and `--profile-out` files after a campaign.
+/// Strictly out of band: these render the introspection buffers; catalog
+/// bytes were already fixed by the run.
+fn write_introspection_outputs(
+    opts: &Opts,
+    trace: Option<&Arc<TraceBuffer>>,
+    profile: &ProfileCollector,
+) -> Result<(), String> {
+    if let (Some(path), Some(buf)) = (opts.value_of("--trace-out", None), trace) {
+        std::fs::write(path, buf.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("trace ({} spans) written to {path}", buf.len());
+    }
+    if let Some(path) = opts.value_of("--profile-out", None) {
+        let snapshot = profile.snapshot();
+        std::fs::write(path, profile_to_json(&snapshot))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "VM profile ({} runs, {} dispatches) written to {path}",
+            snapshot.runs(),
+            snapshot.total_dispatches()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_evolve(rest: &[String]) -> Result<(), String> {
@@ -453,7 +506,8 @@ fn cmd_evolve(rest: &[String]) -> Result<(), String> {
         return Err("--shards must be at least 1".into());
     }
     let checkpoint = opts.value_of("--checkpoint-dir", None).map(PathBuf::from);
-    let obs = build_obs(&opts, checkpoint.as_deref())?;
+    let (obs, trace) = build_obs(&opts, checkpoint.as_deref())?;
+    let profile = build_profile(&opts);
 
     let backends = standard_backends();
     let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
@@ -461,8 +515,16 @@ fn cmd_evolve(rest: &[String]) -> Result<(), String> {
         evolve: config,
         shards,
     };
-    let result = run_sharded_evolution_with(&sharded, &dyns, initial, checkpoint.as_deref(), &obs)
-        .map_err(|e| e.to_string())?;
+    let result = run_sharded_evolution_with(
+        &sharded,
+        &dyns,
+        initial,
+        checkpoint.as_deref(),
+        &obs,
+        &profile,
+    )
+    .map_err(|e| e.to_string())?;
+    write_introspection_outputs(&opts, trace.as_ref(), &profile)?;
 
     if shards > 1 || checkpoint.is_some() {
         println!("{}", render_shard_progress(&result.progress));
@@ -479,9 +541,13 @@ fn cmd_evolve(rest: &[String]) -> Result<(), String> {
 
 fn cmd_report(rest: &[String]) -> Result<(), String> {
     let opts = Opts { rest };
-    let path = opts
-        .value_of("--metrics", Some("-m"))
-        .ok_or("report requires --metrics <FILE>")?;
+    let mut did_something = false;
+    if opts.has_flag("--render-schema") {
+        // Print the built-in taxonomy verbatim — how the checked-in
+        // schemas/telemetry-vN.schema file is (re)generated.
+        print!("{}", ompfuzz_obs::render_schema());
+        did_something = true;
+    }
     if let Some(schema_path) = opts.value_of("--schema", None) {
         let schema = std::fs::read_to_string(schema_path)
             .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
@@ -490,10 +556,26 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
             "schema {schema_path} matches telemetry v{}",
             ompfuzz_obs::SCHEMA_VERSION
         );
+        did_something = true;
     }
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let report = render_metrics_report(&text).map_err(|e| format!("{path}: {e}"))?;
-    println!("{report}");
+    if let Some(path) = opts.value_of("--metrics", Some("-m")) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = render_metrics_report(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{report}");
+        did_something = true;
+    }
+    if let Some(path) = opts.value_of("--profile", Some("-p")) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = render_profile_report(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{report}");
+        did_something = true;
+    }
+    if !did_something {
+        return Err(
+            "report requires at least one of --metrics, --profile, --schema, --render-schema"
+                .into(),
+        );
+    }
     Ok(())
 }
 
@@ -533,7 +615,8 @@ fn cmd_shard(rest: &[String]) -> Result<(), String> {
         }
     }
     let (config, initial) = build_evolve_config(&opts)?;
-    let obs = build_obs(&opts, Some(dir.as_path()))?;
+    let (obs, trace) = build_obs(&opts, Some(dir.as_path()))?;
+    let profile = build_profile(&opts);
 
     let backends = standard_backends();
     let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
@@ -548,8 +631,10 @@ fn cmd_shard(rest: &[String]) -> Result<(), String> {
         round,
         shard,
         &obs,
+        &profile,
     )
     .map_err(|e| e.to_string())?;
+    write_introspection_outputs(&opts, trace.as_ref(), &profile)?;
     println!("{}", render_shard_summary(&progress));
     Ok(())
 }

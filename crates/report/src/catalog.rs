@@ -58,7 +58,8 @@ pub fn render_catalog(catalog: &TriggerCatalog, labels: &[String]) -> String {
 /// The evolution summary: one row per round.
 pub fn render_evolution(rounds: &[RoundSummary]) -> String {
     let mut table = TextTable::new(vec![
-        "round", "seed", "programs", "mutants", "racy", "outliers", "reduced", "new", "catalog",
+        "round", "seed", "programs", "mutants", "racy", "outliers", "reduced", "new", "per1k",
+        "catalog",
     ])
     .with_title("EVOLUTION SUMMARY");
     for r in rounds {
@@ -71,6 +72,7 @@ pub fn render_evolution(rounds: &[RoundSummary]) -> String {
             r.outlier_records.to_string(),
             r.reduced.to_string(),
             r.new_skeletons.to_string(),
+            r.yield_per_1k.to_string(),
             r.catalog_size.to_string(),
         ]);
     }

@@ -14,6 +14,8 @@
 //!   summary of the `ompfuzz evolve` loop.
 //! * [`metrics`] — the `ompfuzz report --metrics` summary of a
 //!   `--metrics-out` JSONL telemetry stream.
+//! * [`profile`] — the `--profile-out` VM hot-path profile file format and
+//!   the `ompfuzz report --profile` hot-opcode/hot-block tables.
 //!
 //! ```
 //! use ompfuzz_report::{run_experiment, Scale};
@@ -25,6 +27,7 @@ pub mod catalog;
 pub mod csv;
 pub mod experiments;
 pub mod metrics;
+pub mod profile;
 pub mod reduction;
 pub mod table;
 
@@ -34,5 +37,6 @@ pub use experiments::{
     experiments, hang_run, render_table1, run_experiment, table1_campaign, Experiment, Scale,
 };
 pub use metrics::{check_schema, render_metrics_report};
+pub use profile::{profile_to_json, render_profile_report};
 pub use reduction::render_reduction_summary;
 pub use table::TextTable;

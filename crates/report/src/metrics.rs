@@ -1,10 +1,17 @@
 //! Rendering of a `--metrics-out` telemetry stream (`ompfuzz report
 //! --metrics`): the JSONL is validated against the built-in schema, then
-//! summarized as four tables — the event stream, per-round accounting,
-//! the final counter rollup, and the phase wall-clock breakdown.
+//! summarized as five tables — the event stream, per-round accounting
+//! (including catalog yield per 1k programs), the final counter rollup,
+//! the phase wall-clock breakdown, and the per-phase latency percentiles
+//! from the campaign's log2-bucketed histograms.
+//!
+//! A stream cut mid-write (a campaign killed while appending) ends in a
+//! truncated final line; the renderer drops that line with a warning and
+//! summarizes the valid prefix instead of refusing the whole file.
+//! Complete-but-invalid lines still fail validation.
 
 use crate::table::{thousands, TextTable};
-use ompfuzz_obs::{render_schema, validate_jsonl, Counter, Phase, Value};
+use ompfuzz_obs::{render_schema, validate_jsonl, Counter, Phase, Value, HIST_ROLLUP_FIELDS};
 
 fn u(value: Option<&Value>) -> u64 {
     value.and_then(Value::as_u64).unwrap_or(0)
@@ -20,8 +27,50 @@ fn ms(us: u64) -> String {
 
 /// Validate a JSONL telemetry stream and render the summary tables.
 /// Returns the first validation error verbatim, so `ompfuzz report
-/// --metrics` doubles as the schema conformance check in CI.
+/// --metrics` doubles as the schema conformance check in CI — with one
+/// concession to killed campaigns: a truncated *final* line (unparseable
+/// JSON, the signature of a write cut mid-append) is dropped with a
+/// warning and the valid prefix is rendered.
 pub fn render_metrics_report(jsonl: &str) -> Result<String, String> {
+    match render_metrics_strict(jsonl) {
+        Ok(report) => Ok(report),
+        Err(err) => {
+            let Some((prefix, line_no, tail)) = split_truncated_tail(jsonl) else {
+                return Err(err);
+            };
+            // The prefix must validate on its own merits — a stream that
+            // is broken beyond its cut tail still reports the original
+            // error.
+            let report = render_metrics_strict(prefix).map_err(|_| err)?;
+            let snippet: String = tail.chars().take(32).collect();
+            Ok(format!(
+                "warning: dropped truncated final line {line_no} (`{snippet}...`) — \
+                 stream was cut mid-write\n\n{report}"
+            ))
+        }
+    }
+}
+
+/// Split off a truncated final line: the last non-empty line when it is
+/// not parseable JSON (a complete-but-schema-invalid line parses fine and
+/// is *not* dropped). Returns the remaining prefix, the 1-based line
+/// number dropped, and the line's text.
+fn split_truncated_tail(jsonl: &str) -> Option<(&str, usize, &str)> {
+    let trimmed = jsonl.trim_end_matches(['\n', '\r']);
+    if trimmed.is_empty() {
+        return None;
+    }
+    let (prefix, last) = match trimmed.rfind('\n') {
+        Some(pos) => (&jsonl[..pos + 1], &trimmed[pos + 1..]),
+        None => ("", trimmed),
+    };
+    if last.trim().is_empty() || Value::parse(last).is_ok() {
+        return None;
+    }
+    Some((prefix, trimmed.lines().count(), last))
+}
+
+fn render_metrics_strict(jsonl: &str) -> Result<String, String> {
     let summary = validate_jsonl(jsonl)?;
     let events: Vec<Value> = jsonl
         .lines()
@@ -43,7 +92,7 @@ pub fn render_metrics_report(jsonl: &str) -> Result<String, String> {
         .collect();
     if !rounds.is_empty() {
         let mut table = TextTable::new(vec![
-            "round", "racy", "outliers", "reduced", "new", "catalog", "ms",
+            "round", "racy", "outliers", "reduced", "new", "per1k", "catalog", "ms",
         ])
         .with_title("ROUNDS");
         for round in rounds {
@@ -53,6 +102,7 @@ pub fn render_metrics_report(jsonl: &str) -> Result<String, String> {
                 u(round.get("outliers")).to_string(),
                 u(round.get("reduced")).to_string(),
                 u(round.get("new_skeletons")).to_string(),
+                u(round.get("yield_per_1k")).to_string(),
                 u(round.get("catalog")).to_string(),
                 ms(u(round.get("wall_us"))),
             ]);
@@ -107,6 +157,27 @@ pub fn render_metrics_report(jsonl: &str) -> Result<String, String> {
         }
         out.push('\n');
         out.push_str(&table.render());
+
+        if let Some(hists) = end.get("hists") {
+            let mut table = TextTable::new(vec![
+                "phase", "count", "p50_us", "p90_us", "p99_us", "max_us",
+            ])
+            .with_title("PHASE LATENCY (per-program, log2 histogram)");
+            for phase in Phase::ALL {
+                let entry = hists.get(phase.key());
+                let field = |name: &str| u(entry.and_then(|e| e.get(name)));
+                table.push_row(vec![
+                    phase.key().to_string(),
+                    thousands(field(HIST_ROLLUP_FIELDS[0])),
+                    thousands(field(HIST_ROLLUP_FIELDS[1])),
+                    thousands(field(HIST_ROLLUP_FIELDS[2])),
+                    thousands(field(HIST_ROLLUP_FIELDS[3])),
+                    thousands(field(HIST_ROLLUP_FIELDS[4])),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&table.render());
+        }
     }
 
     Ok(out)
@@ -129,7 +200,7 @@ pub fn check_schema(file_text: &str) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ompfuzz_obs::{Counter, Event, MetricsRegistry, Phase, PhaseTimers};
+    use ompfuzz_obs::{Counter, Event, MetricsRegistry, Phase, PhaseHists, PhaseTimers};
 
     fn sample_stream() -> String {
         let registry = MetricsRegistry::new();
@@ -138,6 +209,9 @@ mod tests {
         let timers = PhaseTimers::new();
         timers.record(Phase::Generate, std::time::Duration::from_micros(2500));
         timers.record(Phase::Differential, std::time::Duration::from_micros(7500));
+        let hists = PhaseHists::new();
+        hists.record(Phase::Generate, std::time::Duration::from_micros(900));
+        hists.record(Phase::Differential, std::time::Duration::from_micros(3000));
         let events = [
             Event::CampaignStart {
                 rounds: 1,
@@ -151,8 +225,10 @@ mod tests {
                 outliers: 4,
                 reduced: 4,
                 new_skeletons: 2,
+                yield_per_1k: 1,
                 catalog: 2,
                 wall_us: 125_000,
+                hists: hists.snapshot(),
             },
             Event::CampaignEnd {
                 rounds: 1,
@@ -160,6 +236,7 @@ mod tests {
                 wall_us: 130_000,
                 counters: registry.snapshot(),
                 phases: timers.snapshot(),
+                hists: hists.snapshot(),
             },
         ];
         events
@@ -175,6 +252,7 @@ mod tests {
         let report = render_metrics_report(&sample_stream()).unwrap();
         assert!(report.contains("TELEMETRY STREAM (3 events)"), "{report}");
         assert!(report.contains("ROUNDS"), "{report}");
+        assert!(report.contains("per1k"), "{report}");
         assert!(
             report.contains("COUNTERS (1 round(s), catalog 2, 130.0 ms)"),
             "{report}"
@@ -184,6 +262,8 @@ mod tests {
         assert!(report.contains("PHASE BREAKDOWN"), "{report}");
         assert!(report.contains("75.0%"), "{report}");
         assert!(report.contains("125.0"), "{report}"); // round wall ms
+        assert!(report.contains("PHASE LATENCY"), "{report}");
+        assert!(report.contains("p99_us"), "{report}");
     }
 
     #[test]
@@ -191,6 +271,35 @@ mod tests {
         let err = render_metrics_report("{\"event\":\"brunch\"}\n").unwrap_err();
         assert!(err.contains("unknown event kind"), "{err}");
         assert!(render_metrics_report("").unwrap().contains("(0 events)"));
+    }
+
+    /// A stream cut mid-append — the final line is not valid JSON — renders
+    /// the valid prefix behind a warning instead of refusing the file.
+    #[test]
+    fn truncated_final_line_renders_the_valid_prefix() {
+        let stream = sample_stream();
+        let full = render_metrics_report(&stream).unwrap();
+        assert!(full.contains("(3 events)"));
+
+        // Cut the last event's line partway through.
+        let cut = &stream[..stream.len() - 25];
+        assert!(Value::parse(cut.lines().last().unwrap()).is_err());
+        let report = render_metrics_report(cut).unwrap();
+        assert!(
+            report.starts_with("warning: dropped truncated final line 3"),
+            "{report}"
+        );
+        assert!(report.contains("(2 events)"), "{report}");
+        assert!(report.contains("ROUNDS"), "{report}");
+
+        // A complete but schema-invalid final line is NOT dropped — that
+        // is corruption, not a mid-write kill.
+        let bad = format!("{stream}{{\"event\":\"brunch\"}}\n");
+        let err = render_metrics_report(&bad).unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+        // And an unparseable line *before* the tail still fails.
+        let broken_middle = format!("{{\"event\":\n{stream}");
+        assert!(render_metrics_report(&broken_middle).is_err());
     }
 
     #[test]

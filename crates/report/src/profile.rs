@@ -1,0 +1,178 @@
+//! VM hot-path profile export and rendering: the file format behind
+//! `ompfuzz evolve --profile-out FILE` and the tables behind
+//! `ompfuzz report --profile FILE`.
+//!
+//! The file is one JSON document built with the same hand-rolled
+//! serializer the telemetry stream uses:
+//!
+//! ```json
+//! {"profile":"ompfuzz_vm","runs":N,"dispatch_total":N,
+//!  "opcodes":{"charge":N,...},
+//!  "blocks":[{"index":0,"hits":N,"ops":N,"cycles":N},...]}
+//! ```
+//!
+//! Rendering sorts opcodes by dispatch count and blocks by weighted
+//! cycles, and shows the top entries with their share of the campaign
+//! total — where inside the bytecode engine the cycles went, across every
+//! kernel every worker ran.
+
+use crate::table::{thousands, TextTable};
+use ompfuzz_exec::ExecProfile;
+use ompfuzz_obs::{JsonObject, Value};
+
+/// Rows shown in each hot-list table.
+const TOP_N: usize = 10;
+
+/// Serialize a campaign-wide profile snapshot as the `--profile-out`
+/// JSON document (newline-terminated, deterministic field order).
+pub fn profile_to_json(profile: &ExecProfile) -> String {
+    let mut opcodes = JsonObject::new();
+    for (name, count) in profile.opcode_counts() {
+        opcodes = opcodes.u64(name, count);
+    }
+    let blocks: Vec<String> = profile
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(index, b)| {
+            JsonObject::new()
+                .u64("index", index as u64)
+                .u64("hits", b.hits)
+                .u64("ops", b.ops)
+                .u64("cycles", b.cycles)
+                .finish()
+        })
+        .collect();
+    let mut doc = JsonObject::new()
+        .str("profile", "ompfuzz_vm")
+        .u64("runs", profile.runs())
+        .u64("dispatch_total", profile.total_dispatches())
+        .raw("opcodes", &opcodes.finish())
+        .raw("blocks", &format!("[{}]", blocks.join(",")))
+        .finish();
+    doc.push('\n');
+    doc
+}
+
+fn field(value: Option<&Value>, name: &str) -> u64 {
+    value
+        .and_then(|v| v.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn share(part: u64, total: u64) -> String {
+    if total == 0 {
+        "0.0%".to_string()
+    } else {
+        format!("{:.1}%", part as f64 * 100.0 / total as f64)
+    }
+}
+
+/// Parse a `--profile-out` file and render the hot-opcode and hot-block
+/// tables.
+pub fn render_profile_report(json: &str) -> Result<String, String> {
+    let doc = Value::parse(json.trim_end())?;
+    if doc.get("profile").and_then(Value::as_str) != Some("ompfuzz_vm") {
+        return Err("not an ompfuzz VM profile (expected \"profile\":\"ompfuzz_vm\")".into());
+    }
+    let runs = field(Some(&doc), "runs");
+    let dispatch_total = field(Some(&doc), "dispatch_total");
+
+    let mut out = String::new();
+    let mut opcodes: Vec<(&str, u64)> = doc
+        .get("opcodes")
+        .and_then(Value::entries)
+        .map(|entries| {
+            entries
+                .iter()
+                .map(|(name, count)| (name.as_str(), count.as_u64().unwrap_or(0)))
+                .collect()
+        })
+        .unwrap_or_default();
+    // Hottest first; ties resolve by name so the rendering is stable.
+    opcodes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut table = TextTable::new(vec!["opcode", "dispatches", "share"]).with_title(format!(
+        "VM HOT OPCODES ({} runs, {} dispatches)",
+        thousands(runs),
+        thousands(dispatch_total)
+    ));
+    for (name, count) in opcodes.iter().take(TOP_N) {
+        table.push_row(vec![
+            name.to_string(),
+            thousands(*count),
+            share(*count, dispatch_total),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let empty = Vec::new();
+    let blocks = match doc.get("blocks") {
+        Some(Value::Arr(items)) => items,
+        _ => &empty,
+    };
+    let total_cycles: u64 = blocks.iter().map(|b| field(Some(b), "cycles")).sum();
+    let mut hot: Vec<&Value> = blocks.iter().collect();
+    hot.sort_by(|a, b| {
+        field(Some(b), "cycles")
+            .cmp(&field(Some(a), "cycles"))
+            .then(field(Some(a), "index").cmp(&field(Some(b), "index")))
+    });
+    let mut table =
+        TextTable::new(vec!["block", "hits", "ops", "cycles", "share"]).with_title(format!(
+            "VM HOT BLOCKS ({} indexed, {} cycles)",
+            thousands(blocks.len() as u64),
+            thousands(total_cycles)
+        ));
+    for b in hot.iter().take(TOP_N) {
+        table.push_row(vec![
+            field(Some(b), "index").to_string(),
+            thousands(field(Some(b), "hits")),
+            thousands(field(Some(b), "ops")),
+            thousands(field(Some(b), "cycles")),
+            share(field(Some(b), "cycles"), total_cycles),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_round_trip_through_json_and_render() {
+        let collector = ompfuzz_exec::ProfileCollector::enabled();
+        let mut scratch = ompfuzz_exec::ExecScratch::new();
+        collector.install(&mut scratch);
+        let profile = scratch.profile.as_mut().unwrap();
+        for _ in 0..7 {
+            profile.note_opcode(1); // binary
+        }
+        profile.note_opcode(15); // halt
+        collector.harvest(&mut scratch);
+        let snap = collector.snapshot();
+
+        let json = profile_to_json(&snap);
+        assert!(json.ends_with('\n'));
+        let doc = Value::parse(json.trim_end()).unwrap();
+        assert_eq!(field(Some(&doc), "dispatch_total"), 8);
+
+        let report = render_profile_report(&json).unwrap();
+        assert!(report.contains("VM HOT OPCODES"), "{report}");
+        assert!(report.contains("binary"), "{report}");
+        assert!(report.contains("87.5%"), "{report}");
+        assert!(report.contains("VM HOT BLOCKS"), "{report}");
+    }
+
+    #[test]
+    fn foreign_documents_are_rejected() {
+        assert!(render_profile_report("{\"profile\":\"other\"}").is_err());
+        assert!(render_profile_report("not json").is_err());
+        // An empty (but tagged) profile still renders.
+        let json = profile_to_json(&ExecProfile::new());
+        assert!(render_profile_report(&json).is_ok());
+    }
+}
