@@ -13,7 +13,17 @@
 //!                [--progress human|jsonl|none] [--metrics-out FILE]
 //!                [--trace-out FILE] [--profile-out FILE]
 //! ompfuzz shard --round R --shard I/N --checkpoint-dir DIR [evolve options]
+//! ompfuzz serve --socket PATH --state-dir DIR [--slots N] [--max-retries N]
+//!               [--backoff-ms MS] [--backoff-cap-ms MS] [--timeout-ms MS]
+//!               [--jitter-seed S] [--fault-kill R/I]
+//! ompfuzz submit --socket PATH [--quick] [--seed S] [--programs N] [--inputs K]
+//!                [--rounds N] [--shards N] [--priority P]
+//! ompfuzz watch --socket PATH --job JOB
+//! ompfuzz status --socket PATH [--job JOB]
+//! ompfuzz cancel --socket PATH --job JOB
+//! ompfuzz shutdown --socket PATH
 //! ompfuzz report [--metrics FILE] [--schema FILE] [--profile FILE] [--render-schema]
+//!                [--render-serve-schema]
 //! ompfuzz generate --out DIR [--programs N] [--seed S]
 //! ompfuzz emit [--seed S]
 //! ompfuzz config-template
@@ -33,9 +43,10 @@ use ompfuzz_outlier::OutlierKind;
 use ompfuzz_reduce::{ReduceConfig, Reducer, ReductionTarget};
 use ompfuzz_report::{
     campaign_to_csv, check_schema, experiments, profile_to_json, render_catalog, render_evolution,
-    render_metrics_report, render_profile_report, render_reduction_summary, render_shard_progress,
-    render_shard_summary, render_table1, run_experiment, Scale,
+    render_metrics_report, render_profile_report, render_reduction_summary, render_serve_status,
+    render_shard_progress, render_shard_summary, render_table1, run_experiment, Scale,
 };
+use ompfuzz_serve::{client as serve_client, run_daemon, JobSpec, ServeConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -54,6 +65,12 @@ fn main() -> ExitCode {
         "reduce" => cmd_reduce(rest),
         "evolve" => cmd_evolve(rest),
         "shard" => cmd_shard(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "watch" => cmd_watch(rest),
+        "status" => cmd_status(rest),
+        "cancel" => cmd_cancel(rest),
+        "shutdown" => cmd_shutdown(rest),
         "report" => cmd_report(rest),
         "generate" => cmd_generate(rest),
         "emit" => cmd_emit(rest),
@@ -114,13 +131,38 @@ fn print_usage() {
          \x20                            run ONE shard of one evolution round and\n\
          \x20                            checkpoint it (the out-of-process worker behind\n\
          \x20                            a sharded evolve)\n\
+         \x20 serve --socket PATH --state-dir DIR [--slots N] [--max-retries N]\n\
+         \x20       [--backoff-ms MS] [--backoff-cap-ms MS] [--timeout-ms MS]\n\
+         \x20       [--jitter-seed S] [--fault-kill R/I]\n\
+         \x20                            run the campaign daemon: a job queue multiplexed\n\
+         \x20                            over N `ompfuzz shard` subprocess slots with\n\
+         \x20                            round-robin scheduling, per-shard timeouts, and\n\
+         \x20                            crash requeue with capped exponential backoff\n\
+         \x20                            (--fault-kill SIGKILLs one designated shard's\n\
+         \x20                            first attempt — the CI requeue drill)\n\
+         \x20 submit --socket PATH [--quick] [--seed S] [--programs N] [--inputs K]\n\
+         \x20        [--rounds N] [--shards N] [--priority P]\n\
+         \x20                            enqueue a campaign on a running daemon; prints\n\
+         \x20                            the job name (job-1, ...)\n\
+         \x20 watch --socket PATH --job JOB\n\
+         \x20                            stream a job's events (scheduler + telemetry) to\n\
+         \x20                            stdout until it ends; exits nonzero unless the\n\
+         \x20                            job finished `done`\n\
+         \x20 status --socket PATH [--job JOB]\n\
+         \x20                            render the daemon's job table\n\
+         \x20 cancel --socket PATH --job JOB\n\
+         \x20                            cancel a queued or running job\n\
+         \x20 shutdown --socket PATH    stop the daemon (checkpoints survive; jobs resume\n\
+         \x20                            if resubmitted against the same state dir)\n\
          \x20 report [--metrics FILE] [--schema FILE] [--profile FILE] [--render-schema]\n\
+         \x20        [--render-serve-schema]\n\
          \x20                            validate a --metrics-out JSONL stream and render\n\
          \x20                            counter/phase/round/latency tables (--schema also\n\
          \x20                            checks a schema file against the built-in taxonomy;\n\
          \x20                            --profile renders a --profile-out file's hot-opcode\n\
-         \x20                            and hot-block tables; --render-schema prints the\n\
-         \x20                            built-in schema for checking in)\n\
+         \x20                            and hot-block tables; --render-schema and\n\
+         \x20                            --render-serve-schema print the built-in schemas\n\
+         \x20                            for checking in)\n\
          \x20 generate --out DIR [--programs N] [--seed S]\n\
          \x20                            write generated .cpp tests + inputs to DIR\n\
          \x20 emit [--seed S]            print one generated test program\n\
@@ -548,6 +590,12 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
         print!("{}", ompfuzz_obs::render_schema());
         did_something = true;
     }
+    if opts.has_flag("--render-serve-schema") {
+        // Same pattern for the serve protocol: print the built-in tables
+        // verbatim; CI cmp's the output against schemas/serve-v1.schema.
+        print!("{}", ompfuzz_serve::render_serve_schema());
+        did_something = true;
+    }
     if let Some(schema_path) = opts.value_of("--schema", None) {
         let schema = std::fs::read_to_string(schema_path)
             .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
@@ -571,10 +619,9 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
         did_something = true;
     }
     if !did_something {
-        return Err(
-            "report requires at least one of --metrics, --profile, --schema, --render-schema"
-                .into(),
-        );
+        return Err("report requires at least one of --metrics, --profile, \
+                    --schema, --render-schema, --render-serve-schema"
+            .into());
     }
     Ok(())
 }
@@ -636,6 +683,137 @@ fn cmd_shard(rest: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     write_introspection_outputs(&opts, trace.as_ref(), &profile)?;
     println!("{}", render_shard_summary(&progress));
+    Ok(())
+}
+
+/// The `--socket` every serve-client command requires.
+fn socket_opt(opts: &Opts) -> Result<PathBuf, String> {
+    opts.value_of("--socket", None)
+        .map(PathBuf::from)
+        .ok_or_else(|| "this command requires --socket <path>".into())
+}
+
+/// The `--job` of `watch`/`cancel` (and optionally `status`).
+fn job_opt(opts: &Opts) -> Result<String, String> {
+    opts.value_of("--job", Some("-j"))
+        .map(str::to_string)
+        .ok_or_else(|| "this command requires --job <job-N>".into())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let state_dir: PathBuf = opts
+        .value_of("--state-dir", None)
+        .ok_or("serve requires --state-dir <dir>")?
+        .into();
+    let mut config = ServeConfig::new(socket_opt(&opts)?, state_dir);
+    if let Some(n) = opts.parsed::<usize>("--slots", None)? {
+        if n == 0 {
+            return Err("--slots must be at least 1".into());
+        }
+        config.scheduler.slots = n;
+    }
+    if let Some(n) = opts.parsed::<u32>("--max-retries", None)? {
+        config.scheduler.max_retries = n;
+    }
+    if let Some(ms) = opts.parsed::<u64>("--backoff-ms", None)? {
+        config.scheduler.backoff_base_ms = ms.max(1);
+    }
+    if let Some(ms) = opts.parsed::<u64>("--backoff-cap-ms", None)? {
+        config.scheduler.backoff_cap_ms = ms.max(1);
+    }
+    if let Some(ms) = opts.parsed::<u64>("--timeout-ms", None)? {
+        config.scheduler.shard_timeout_ms = ms.max(1);
+    }
+    if let Some(s) = opts.parsed::<u64>("--jitter-seed", None)? {
+        config.scheduler.jitter_seed = s;
+    }
+    if let Some(spec) = opts.value_of("--fault-kill", None) {
+        let parsed = spec
+            .split_once('/')
+            .and_then(|(r, i)| Some((r.trim().parse().ok()?, i.trim().parse().ok()?)));
+        config.fault_kill =
+            Some(parsed.ok_or_else(|| format!("--fault-kill expects R/I, got `{spec}`"))?);
+    }
+    eprintln!(
+        "ompfuzz serve: listening on {} ({} slot(s), state in {})",
+        config.socket.display(),
+        config.scheduler.slots,
+        config.state_dir.display()
+    );
+    run_daemon(config)
+}
+
+/// Build a [`JobSpec`] from `submit`'s command line (same vocabulary as
+/// `evolve`, so a spec is a campaign you could also have run by hand).
+fn build_job_spec(opts: &Opts) -> Result<JobSpec, String> {
+    let spec = JobSpec {
+        quick: opts.has_flag("--quick"),
+        seed: opts.parsed::<u64>("--seed", Some("-s"))?,
+        programs: opts.parsed::<u64>("--programs", Some("-n"))?,
+        inputs: opts.parsed::<u64>("--inputs", Some("-i"))?,
+        rounds: opts.parsed::<u64>("--rounds", Some("-r"))?,
+        shards: opts.parsed::<u64>("--shards", None)?.unwrap_or(1),
+        priority: opts.parsed::<u64>("--priority", None)?.unwrap_or(0),
+    };
+    if spec.rounds == Some(0) {
+        return Err("--rounds must be at least 1".into());
+    }
+    if spec.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(spec)
+}
+
+fn cmd_submit(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let socket = socket_opt(&opts)?;
+    let spec = build_job_spec(&opts)?;
+    let job = serve_client::submit(&socket, &spec)?;
+    eprintln!(
+        "submitted {job}: {} round(s) x {} shard(s), priority {}",
+        spec.planned_rounds(),
+        spec.planned_shards(),
+        spec.priority
+    );
+    println!("{job}");
+    Ok(())
+}
+
+fn cmd_watch(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let socket = socket_opt(&opts)?;
+    let job = job_opt(&opts)?;
+    let state = serve_client::watch(&socket, &job, &mut std::io::stdout().lock())?;
+    if state == "done" {
+        Ok(())
+    } else {
+        Err(format!("{job} ended {state}"))
+    }
+}
+
+fn cmd_status(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let socket = socket_opt(&opts)?;
+    let job = opts.value_of("--job", Some("-j"));
+    let reply = serve_client::status(&socket, job)?;
+    println!("{}", render_serve_status(&reply)?);
+    Ok(())
+}
+
+fn cmd_cancel(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    let socket = socket_opt(&opts)?;
+    let job = job_opt(&opts)?;
+    serve_client::cancel(&socket, &job)?;
+    eprintln!("cancelled {job}");
+    Ok(())
+}
+
+fn cmd_shutdown(rest: &[String]) -> Result<(), String> {
+    let opts = Opts { rest };
+    serve_client::shutdown(&socket_opt(&opts)?)?;
+    eprintln!("daemon stopped");
     Ok(())
 }
 

@@ -16,6 +16,8 @@
 //!   `--metrics-out` JSONL telemetry stream.
 //! * [`profile`] — the `--profile-out` VM hot-path profile file format and
 //!   the `ompfuzz report --profile` hot-opcode/hot-block tables.
+//! * [`serve`] — the `ompfuzz status` table over the serve daemon's job
+//!   queue.
 //!
 //! ```
 //! use ompfuzz_report::{run_experiment, Scale};
@@ -29,6 +31,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod profile;
 pub mod reduction;
+pub mod serve;
 pub mod table;
 
 pub use catalog::{render_catalog, render_evolution, render_shard_progress, render_shard_summary};
@@ -39,4 +42,5 @@ pub use experiments::{
 pub use metrics::{check_schema, render_metrics_report};
 pub use profile::{profile_to_json, render_profile_report};
 pub use reduction::render_reduction_summary;
+pub use serve::render_serve_status;
 pub use table::TextTable;

@@ -5,10 +5,13 @@
 //! the phase wall-clock breakdown, and the per-phase latency percentiles
 //! from the campaign's log2-bucketed histograms.
 //!
-//! A stream cut mid-write (a campaign killed while appending) ends in a
-//! truncated final line; the renderer drops that line with a warning and
-//! summarizes the valid prefix instead of refusing the whole file.
-//! Complete-but-invalid lines still fail validation.
+//! A stream captured mid-write can carry a torn line at *either* end: a
+//! campaign killed while appending truncates the final line, and a `watch`
+//! subscriber that attaches mid-append starts reading inside the first
+//! one. The renderer drops any unparseable line with a warning — wherever
+//! it sits — and summarizes the rest. Complete-but-schema-invalid lines
+//! still fail validation: torn JSON is a capture artifact, bad JSON is
+//! corruption.
 
 use crate::table::{thousands, TextTable};
 use ompfuzz_obs::{render_schema, validate_jsonl, Counter, Phase, Value, HIST_ROLLUP_FIELDS};
@@ -28,46 +31,53 @@ fn ms(us: u64) -> String {
 /// Validate a JSONL telemetry stream and render the summary tables.
 /// Returns the first validation error verbatim, so `ompfuzz report
 /// --metrics` doubles as the schema conformance check in CI — with one
-/// concession to killed campaigns: a truncated *final* line (unparseable
-/// JSON, the signature of a write cut mid-append) is dropped with a
-/// warning and the valid prefix is rendered.
+/// concession to live captures: unparseable lines (torn JSON, the
+/// signature of a write caught mid-append) are dropped with a warning
+/// wherever they sit, and the rest of the stream is rendered. A stream
+/// that still fails without its torn lines reports that surviving error.
 pub fn render_metrics_report(jsonl: &str) -> Result<String, String> {
     match render_metrics_strict(jsonl) {
         Ok(report) => Ok(report),
         Err(err) => {
-            let Some((prefix, line_no, tail)) = split_truncated_tail(jsonl) else {
+            let (cleaned, dropped) = blank_unparseable_lines(jsonl);
+            if dropped.is_empty() {
                 return Err(err);
-            };
-            // The prefix must validate on its own merits — a stream that
-            // is broken beyond its cut tail still reports the original
-            // error.
-            let report = render_metrics_strict(prefix).map_err(|_| err)?;
-            let snippet: String = tail.chars().take(32).collect();
-            Ok(format!(
-                "warning: dropped truncated final line {line_no} (`{snippet}...`) — \
-                 stream was cut mid-write\n\n{report}"
-            ))
+            }
+            // If the stream fails even without its torn lines, report the
+            // surviving error — its line numbers stay true to the capture
+            // because torn lines are blanked, not removed.
+            let report = render_metrics_strict(&cleaned)?;
+            let mut warnings = String::new();
+            for (line_no, snippet) in &dropped {
+                warnings.push_str(&format!(
+                    "warning: dropped truncated line {line_no} (`{snippet}...`) — \
+                     stream was caught mid-write\n"
+                ));
+            }
+            Ok(format!("{warnings}\n{report}"))
         }
     }
 }
 
-/// Split off a truncated final line: the last non-empty line when it is
-/// not parseable JSON (a complete-but-schema-invalid line parses fine and
-/// is *not* dropped). Returns the remaining prefix, the 1-based line
-/// number dropped, and the line's text.
-fn split_truncated_tail(jsonl: &str) -> Option<(&str, usize, &str)> {
-    let trimmed = jsonl.trim_end_matches(['\n', '\r']);
-    if trimmed.is_empty() {
-        return None;
-    }
-    let (prefix, last) = match trimmed.rfind('\n') {
-        Some(pos) => (&jsonl[..pos + 1], &trimmed[pos + 1..]),
-        None => ("", trimmed),
-    };
-    if last.trim().is_empty() || Value::parse(last).is_ok() {
-        return None;
-    }
-    Some((prefix, trimmed.lines().count(), last))
+/// Replace every unparseable line with a *blank* line (the validator skips
+/// blanks, so downstream error line numbers stay true to the original
+/// file) and report what was dropped as `(1-based line, snippet)` pairs.
+/// Complete-but-schema-invalid lines parse fine and are left in place.
+fn blank_unparseable_lines(jsonl: &str) -> (String, Vec<(usize, String)>) {
+    let mut dropped = Vec::new();
+    let cleaned: Vec<&str> = jsonl
+        .lines()
+        .enumerate()
+        .map(|(index, line)| {
+            if line.trim().is_empty() || Value::parse(line).is_ok() {
+                line
+            } else {
+                dropped.push((index + 1, line.chars().take(32).collect::<String>()));
+                ""
+            }
+        })
+        .collect();
+    (cleaned.join("\n"), dropped)
 }
 
 fn render_metrics_strict(jsonl: &str) -> Result<String, String> {
@@ -286,7 +296,7 @@ mod tests {
         assert!(Value::parse(cut.lines().last().unwrap()).is_err());
         let report = render_metrics_report(cut).unwrap();
         assert!(
-            report.starts_with("warning: dropped truncated final line 3"),
+            report.starts_with("warning: dropped truncated line 3"),
             "{report}"
         );
         assert!(report.contains("(2 events)"), "{report}");
@@ -297,9 +307,44 @@ mod tests {
         let bad = format!("{stream}{{\"event\":\"brunch\"}}\n");
         let err = render_metrics_report(&bad).unwrap_err();
         assert!(err.contains("unknown event kind"), "{err}");
-        // And an unparseable line *before* the tail still fails.
-        let broken_middle = format!("{{\"event\":\n{stream}");
-        assert!(render_metrics_report(&broken_middle).is_err());
+    }
+
+    /// The tolerance is position-independent: a `watch`-forwarded capture
+    /// that attached mid-append starts inside a line, so the torn line is
+    /// the FIRST one (or sits mid-file when writes interleave). Each torn
+    /// line is dropped with its own warning; error line numbers for real
+    /// corruption are still counted against the original file.
+    #[test]
+    fn truncated_lines_are_tolerated_anywhere() {
+        let stream = sample_stream();
+
+        // Attach mid-write: the capture begins inside line 1.
+        let mid_attach = format!("acy\":30,\"outliers\":4}}\n{stream}");
+        let report = render_metrics_report(&mid_attach).unwrap();
+        assert!(
+            report.starts_with("warning: dropped truncated line 1"),
+            "{report}"
+        );
+        assert!(report.contains("(3 events)"), "{report}");
+
+        // Torn in the middle AND at the end: two warnings, one render.
+        let lines: Vec<&str> = stream.lines().collect();
+        let messy = format!(
+            "{}\n{{\"event\":\"round\n{}\n{}\n{{\"event\":\"campa",
+            lines[0], lines[1], lines[2]
+        );
+        let report = render_metrics_report(&messy).unwrap();
+        assert!(report.contains("dropped truncated line 2"), "{report}");
+        assert!(report.contains("dropped truncated line 5"), "{report}");
+        assert!(report.contains("(3 events)"), "{report}");
+
+        // Dropping torn lines never masks real schema corruption: the
+        // original validation error survives, numbered against the file
+        // as captured.
+        let corrupt = format!("nput\":1}}\n{{\"event\":\"brunch\"}}\n{stream}");
+        let err = render_metrics_report(&corrupt).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("unknown event kind"), "{err}");
     }
 
     #[test]

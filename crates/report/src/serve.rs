@@ -1,0 +1,72 @@
+//! Rendering for the serve control plane: `ompfuzz status` turns the
+//! daemon's raw `status` reply line into the usual aligned text table.
+
+use crate::table::TextTable;
+use ompfuzz_obs::Value;
+
+/// Render a `{"ok":true,"jobs":[...]}` reply as the job table.
+pub fn render_serve_status(reply: &str) -> Result<String, String> {
+    let value = Value::parse(reply).map_err(|e| format!("bad status reply: {e}"))?;
+    let jobs = match value.get("jobs") {
+        Some(Value::Arr(items)) => items,
+        _ => return Err("status reply carries no jobs array".into()),
+    };
+    let mut table = TextTable::new(vec![
+        "job", "state", "prio", "round", "rounds", "shards", "done", "running", "retries",
+    ])
+    .with_title(format!("SERVE QUEUE ({} job(s))", jobs.len()));
+    for job in jobs {
+        let s = |name: &str| {
+            job.get(name)
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let u = |name: &str| {
+            job.get(name)
+                .and_then(Value::as_u64)
+                .map_or("?".to_string(), |v| v.to_string())
+        };
+        table.push_row(vec![
+            s("job"),
+            s("state"),
+            u("priority"),
+            u("round"),
+            u("rounds"),
+            u("shards"),
+            u("done"),
+            u("running"),
+            u("retries"),
+        ]);
+    }
+    Ok(table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_serve::{JobState, JobStatus};
+
+    #[test]
+    fn status_reply_renders_as_a_table() {
+        let reply = ompfuzz_serve::protocol::render_status_reply(&[JobStatus {
+            job: 0,
+            state: JobState::Active,
+            priority: 3,
+            round: 1,
+            rounds: 2,
+            shards: 4,
+            done_shards: 2,
+            running: 2,
+            retries: 1,
+        }]);
+        let table = render_serve_status(&reply).unwrap();
+        assert!(table.contains("SERVE QUEUE (1 job(s))"), "{table}");
+        assert!(table.contains("job-1"), "{table}");
+        assert!(table.contains("active"), "{table}");
+        let empty = render_serve_status("{\"ok\":true,\"jobs\":[]}").unwrap();
+        assert!(empty.contains("(0 job(s))"), "{empty}");
+        assert!(render_serve_status("{\"ok\":true}").is_err());
+        assert!(render_serve_status("junk").is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Client side of the serve protocol: what `ompfuzz submit`, `watch`,
+//! `status`, `cancel` and `shutdown` call. One connection per request;
+//! replies are parsed just enough to surface daemon errors as `Err`.
+
+use crate::spec::JobSpec;
+use ompfuzz_obs::Value;
+use std::io::{BufRead, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+fn connect(socket: &Path, line: &str) -> Result<BufReader<UnixStream>, String> {
+    let mut stream = UnixStream::connect(socket).map_err(|e| {
+        format!(
+            "cannot connect to {} (is `ompfuzz serve` running?): {e}",
+            socket.display()
+        )
+    })?;
+    writeln!(stream, "{line}").map_err(|e| format!("cannot send request: {e}"))?;
+    Ok(BufReader::new(stream))
+}
+
+fn read_reply(reader: &mut BufReader<UnixStream>) -> Result<Value, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read reply: {e}"))?;
+    if line.trim().is_empty() {
+        return Err("daemon closed the connection without replying".into());
+    }
+    let value = Value::parse(line.trim_end()).map_err(|e| format!("bad reply: {e}"))?;
+    match value.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(value),
+        _ => Err(value
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("daemon refused the request")
+            .to_string()),
+    }
+}
+
+/// One round trip: send `line`, expect a single `{"ok":true,...}` reply.
+fn roundtrip(socket: &Path, line: &str) -> Result<Value, String> {
+    read_reply(&mut connect(socket, line)?)
+}
+
+/// Submit a job; returns its protocol name (`job-1`, ...).
+pub fn submit(socket: &Path, spec: &JobSpec) -> Result<String, String> {
+    let reply = roundtrip(socket, &spec.to_submit_request())?;
+    reply
+        .get("job")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "reply carried no job name".into())
+}
+
+/// Fetch the raw `status` reply line (rendering is the report crate's
+/// business).
+pub fn status(socket: &Path, job: Option<&str>) -> Result<String, String> {
+    let line = match job {
+        Some(j) => format!("{{\"cmd\":\"status\",\"job\":\"{j}\"}}"),
+        None => "{\"cmd\":\"status\"}".to_string(),
+    };
+    let mut reader = connect(socket, &line)?;
+    let mut raw = String::new();
+    reader
+        .read_line(&mut raw)
+        .map_err(|e| format!("cannot read reply: {e}"))?;
+    let raw = raw.trim_end().to_string();
+    let value = Value::parse(&raw).map_err(|e| format!("bad reply: {e}"))?;
+    if value.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Err(value
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("daemon refused the request")
+            .to_string());
+    }
+    Ok(raw)
+}
+
+/// Cancel a job.
+pub fn cancel(socket: &Path, job: &str) -> Result<(), String> {
+    roundtrip(socket, &format!("{{\"cmd\":\"cancel\",\"job\":\"{job}\"}}")).map(|_| ())
+}
+
+/// Ask the daemon to exit.
+pub fn shutdown(socket: &Path) -> Result<(), String> {
+    roundtrip(socket, "{\"cmd\":\"shutdown\"}").map(|_| ())
+}
+
+/// Watch a job: forward every stream line to `out` (including the final
+/// `watch_end` frame) and return the job's terminal state label.
+pub fn watch(socket: &Path, job: &str, out: &mut dyn std::io::Write) -> Result<String, String> {
+    let mut reader = connect(socket, &format!("{{\"cmd\":\"watch\",\"job\":\"{job}\"}}"))?;
+    read_reply(&mut reader)?;
+    let mut state = None;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("stream error: {e}"))?;
+        writeln!(out, "{line}").map_err(|e| format!("cannot write stream: {e}"))?;
+        if let Ok(value) = Value::parse(&line) {
+            if value.get("event").and_then(Value::as_str) == Some("watch_end") {
+                state = value
+                    .get("state")
+                    .and_then(Value::as_str)
+                    .map(str::to_string);
+                break;
+            }
+        }
+    }
+    state.ok_or_else(|| "stream ended without a watch_end frame".into())
+}

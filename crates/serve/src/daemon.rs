@@ -1,0 +1,648 @@
+//! The `ompfuzz serve` daemon: the [`Scheduler`] state machine driven by
+//! real clocks, real `ompfuzz shard` subprocesses, and a Unix socket.
+//!
+//! One thread owns everything stateful (the scheduler, the children, the
+//! per-job streams); connection threads parse one request each and talk
+//! to it over a channel. The daemon's job directory layout under the
+//! state dir:
+//!
+//! ```text
+//! job-<n>/spec.json      the submitted spec, verbatim
+//! job-<n>/ckpt/          the campaign checkpoint directory the shard
+//!                        workers write (PR-3 format + events.jsonl)
+//! job-<n>/stream.jsonl   the job's watch stream: serve events
+//!                        interleaved with forwarded telemetry lines
+//! job-<n>/logs/          captured worker stdout/stderr per attempt
+//! job-<n>/catalog.txt    the final merged catalog (written on `done`)
+//! ```
+//!
+//! The daemon itself performs the between-round merges exactly like the
+//! in-process coordinator — shard checkpoints loaded and merged in shard
+//! order — so a campaign run through the service produces catalog bytes
+//! identical to `ompfuzz evolve`: the headline invariant, `cmp`-checked
+//! in CI.
+
+use crate::protocol::{
+    job_label, parse_request, render_error, render_event, render_ok, render_ok_job,
+    render_status_reply, render_watch_end, Request,
+};
+use crate::scheduler::{Action, JobId, Scheduler, SchedulerConfig, TaskId};
+use crate::spec::JobSpec;
+use ompfuzz_corpus::{Checkpoint, TriggerCatalog};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the daemon is wired to the world.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on (an existing file is replaced).
+    pub socket: PathBuf,
+    /// State directory holding one `job-<n>/` subtree per job.
+    pub state_dir: PathBuf,
+    /// Scheduler policy (slots, retries, backoff, timeout).
+    pub scheduler: SchedulerConfig,
+    /// Worker binary to spawn; defaults to the daemon's own executable
+    /// (the `ompfuzz` multicall binary).
+    pub worker: Option<PathBuf>,
+    /// Fault injection for the CI kill gate: SIGKILL the *first* attempt
+    /// of shard `(round, index)` of the first job right after spawning
+    /// it, deterministically exercising the requeue path.
+    pub fault_kill: Option<(usize, usize)>,
+}
+
+impl ServeConfig {
+    pub fn new(socket: PathBuf, state_dir: PathBuf) -> ServeConfig {
+        ServeConfig {
+            socket,
+            state_dir,
+            scheduler: SchedulerConfig::default(),
+            worker: None,
+            fault_kill: None,
+        }
+    }
+}
+
+/// A control message from a connection thread to the daemon loop.
+enum Control {
+    Submit {
+        spec: JobSpec,
+        reply: Sender<String>,
+    },
+    Status {
+        job: Option<JobId>,
+        reply: Sender<String>,
+    },
+    Cancel {
+        job: JobId,
+        reply: Sender<String>,
+    },
+    /// The reply line AND the stream both travel over `stream`; the
+    /// daemon drops the sender when the stream ends.
+    Watch {
+        job: JobId,
+        stream: Sender<String>,
+    },
+    Shutdown {
+        reply: Sender<String>,
+    },
+}
+
+/// Daemon-side bookkeeping for one job.
+struct JobRt {
+    spec: JobSpec,
+    dir: PathBuf,
+    ckpt_dir: PathBuf,
+    /// The cumulative merged catalog, carried across rounds exactly like
+    /// the in-process coordinator's.
+    cumulative: TriggerCatalog,
+    /// Bytes of the job's `events.jsonl` already forwarded.
+    events_offset: u64,
+    watchers: Vec<Sender<String>>,
+    /// Terminal state fully processed: stream closed, `watch_end` sent.
+    ended: bool,
+}
+
+/// One live shard subprocess.
+struct ChildRt {
+    task: TaskId,
+    child: Child,
+}
+
+/// Run the daemon until a client sends `shutdown` (or the listener dies).
+/// Blocks the calling thread; this is the body of `ompfuzz serve`.
+pub fn run_daemon(config: ServeConfig) -> Result<(), String> {
+    std::fs::create_dir_all(&config.state_dir)
+        .map_err(|e| format!("cannot create {}: {e}", config.state_dir.display()))?;
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)
+        .map_err(|e| format!("cannot bind {}: {e}", config.socket.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure listener: {e}"))?;
+
+    let (tx, rx) = mpsc::channel::<Control>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept = std::thread::spawn(move || {
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || handle_connection(stream, tx));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    let worker = match &config.worker {
+        Some(path) => path.clone(),
+        None => std::env::current_exe().map_err(|e| format!("cannot locate worker binary: {e}"))?,
+    };
+    let result = daemon_loop(&config, worker, rx, &stop);
+    stop.store(true, Ordering::SeqCst);
+    let _ = accept.join();
+    let _ = std::fs::remove_file(&config.socket);
+    result
+}
+
+fn daemon_loop(
+    config: &ServeConfig,
+    worker: PathBuf,
+    rx: Receiver<Control>,
+    stop: &Arc<AtomicBool>,
+) -> Result<(), String> {
+    let start = Instant::now();
+    let mut sched = Scheduler::new(config.scheduler.clone());
+    let mut jobs: Vec<JobRt> = Vec::new();
+    let mut children: Vec<ChildRt> = Vec::new();
+    let mut fault_kill = config.fault_kill;
+
+    loop {
+        // 1. Control messages (block briefly — this is the loop cadence).
+        let mut controls = Vec::new();
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(c) => {
+                controls.push(c);
+                while let Ok(c) = rx.try_recv() {
+                    controls.push(c);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        let now = start.elapsed().as_millis() as u64;
+        for control in controls {
+            match control {
+                Control::Submit { spec, reply } => {
+                    let id = submit_job(&config.state_dir, &mut sched, &mut jobs, spec);
+                    let line = match id {
+                        Ok(id) => render_ok_job(id),
+                        Err(e) => render_error(&e),
+                    };
+                    let _ = reply.send(line);
+                }
+                Control::Status { job, reply } => {
+                    let all = sched.status();
+                    let line = match job {
+                        None => render_status_reply(&all),
+                        Some(id) if id < all.len() => render_status_reply(&all[id..=id]),
+                        Some(id) => render_error(&format!("no such job {:?}", job_label(id))),
+                    };
+                    let _ = reply.send(line);
+                }
+                Control::Cancel { job, reply } => {
+                    if job < jobs.len() {
+                        let actions = sched.cancel(job);
+                        apply_actions(
+                            actions,
+                            &mut sched,
+                            &mut jobs,
+                            &mut children,
+                            &worker,
+                            &mut fault_kill,
+                            now,
+                        );
+                        let _ = reply.send(render_ok_job(job));
+                    } else {
+                        let _ =
+                            reply.send(render_error(&format!("no such job {:?}", job_label(job))));
+                    }
+                }
+                Control::Watch { job, stream } => {
+                    if job < jobs.len() {
+                        let _ = stream.send(render_ok_job(job));
+                        attach_watcher(&mut jobs[job], job, &sched, stream);
+                    } else {
+                        let _ =
+                            stream.send(render_error(&format!("no such job {:?}", job_label(job))));
+                    }
+                }
+                Control::Shutdown { reply } => {
+                    let _ = reply.send(render_ok());
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+
+        // 2. Reap exited workers and feed the scheduler.
+        let mut exited = Vec::new();
+        children.retain_mut(|c| match c.child.try_wait() {
+            Ok(Some(status)) => {
+                exited.push((c.task, status.success()));
+                false
+            }
+            Ok(None) => true,
+            Err(_) => {
+                exited.push((c.task, false));
+                false
+            }
+        });
+        for (task, success) in exited {
+            let actions = sched.task_exited(task, success, now);
+            apply_actions(
+                actions,
+                &mut sched,
+                &mut jobs,
+                &mut children,
+                &worker,
+                &mut fault_kill,
+                now,
+            );
+        }
+
+        // 3. Advance the clock: timeouts, backoff promotions, free slots.
+        let actions = sched.poll(now);
+        apply_actions(
+            actions,
+            &mut sched,
+            &mut jobs,
+            &mut children,
+            &worker,
+            &mut fault_kill,
+            now,
+        );
+
+        // 4. Route scheduler events and freshly appended telemetry lines
+        //    onto the per-job streams.
+        for event in sched.drain_events() {
+            let id = event.job();
+            push_stream_line(&mut jobs[id], &render_event(&event));
+        }
+        for (id, job) in jobs.iter_mut().enumerate() {
+            let _ = id;
+            if !job.ended {
+                forward_telemetry(job);
+            }
+        }
+
+        // 5. Close the streams of jobs that reached a terminal state and
+        //    have no straggler subprocesses left.
+        for (id, job) in jobs.iter_mut().enumerate() {
+            if job.ended {
+                continue;
+            }
+            let Some(state) = sched.job_state(id) else {
+                continue;
+            };
+            if state.is_terminal() && !sched.has_running(id) {
+                forward_telemetry(job);
+                let end = render_watch_end(id, state.label());
+                for watcher in job.watchers.drain(..) {
+                    let _ = watcher.send(end.clone());
+                }
+                job.ended = true;
+            }
+        }
+
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    // Shutdown: no graceful drain — kill the workers and leave the
+    // checkpoints; every in-flight shard is resume-correct by design.
+    for c in &mut children {
+        let _ = c.child.kill();
+    }
+    for c in &mut children {
+        let _ = c.child.wait();
+    }
+    Ok(())
+}
+
+/// Create the job's directory tree and enqueue it.
+fn submit_job(
+    state_dir: &Path,
+    sched: &mut Scheduler,
+    jobs: &mut Vec<JobRt>,
+    spec: JobSpec,
+) -> Result<JobId, String> {
+    let id = jobs.len();
+    let dir = state_dir.join(job_label(id));
+    let ckpt_dir = dir.join("ckpt");
+    for d in [&dir, &ckpt_dir, &dir.join("logs")] {
+        std::fs::create_dir_all(d).map_err(|e| format!("cannot create {}: {e}", d.display()))?;
+    }
+    std::fs::write(dir.join("spec.json"), spec.to_json() + "\n")
+        .map_err(|e| format!("cannot write spec.json: {e}"))?;
+    let scheduled = sched.submit(spec.priority, spec.planned_rounds(), spec.planned_shards());
+    debug_assert_eq!(scheduled, id);
+    jobs.push(JobRt {
+        spec,
+        dir,
+        ckpt_dir,
+        cumulative: TriggerCatalog::new(),
+        events_offset: 0,
+        watchers: Vec::new(),
+        ended: false,
+    });
+    Ok(id)
+}
+
+/// Replay the job's recorded stream to a new watcher, then either keep it
+/// subscribed (live job) or terminate it (job already ended).
+fn attach_watcher(job: &mut JobRt, id: JobId, sched: &Scheduler, stream: Sender<String>) {
+    let recorded = std::fs::read_to_string(job.dir.join("stream.jsonl")).unwrap_or_default();
+    for line in recorded.lines() {
+        if stream.send(line.to_string()).is_err() {
+            return;
+        }
+    }
+    if job.ended {
+        let state = sched.job_state(id).expect("job exists");
+        let _ = stream.send(render_watch_end(id, state.label()));
+    } else {
+        job.watchers.push(stream);
+    }
+}
+
+/// Execute the scheduler's verdicts: spawn workers, kill workers, merge
+/// finished rounds. Merging can itself produce follow-up actions (a
+/// failed merge degrades the job, killing its siblings), which are
+/// executed in turn.
+#[allow(clippy::too_many_arguments)]
+fn apply_actions(
+    actions: Vec<Action>,
+    sched: &mut Scheduler,
+    jobs: &mut [JobRt],
+    children: &mut Vec<ChildRt>,
+    worker: &Path,
+    fault_kill: &mut Option<(usize, usize)>,
+    now: u64,
+) {
+    let mut queue = actions;
+    while !queue.is_empty() {
+        let mut follow_ups = Vec::new();
+        for action in queue {
+            match action {
+                Action::Spawn { task, attempt } => {
+                    let job = &jobs[task.job];
+                    match spawn_worker(job, task, attempt, worker) {
+                        Ok(mut child) => {
+                            // CI fault injection: SIGKILL the designated
+                            // shard's first attempt as soon as it exists —
+                            // a deterministic kill -9 mid-round.
+                            if task.job == 0
+                                && attempt == 1
+                                && *fault_kill == Some((task.round, task.shard))
+                            {
+                                let _ = child.kill();
+                                *fault_kill = None;
+                            }
+                            children.push(ChildRt { task, child });
+                        }
+                        Err(_) => {
+                            follow_ups.extend(sched.task_exited(task, false, now));
+                        }
+                    }
+                }
+                Action::Kill { task } => {
+                    for c in children.iter_mut() {
+                        if c.task == task {
+                            let _ = c.child.kill();
+                        }
+                    }
+                }
+                Action::Merge { job, round } => {
+                    follow_ups.extend(merge_round(sched, &mut jobs[job], job, round));
+                }
+            }
+        }
+        queue = follow_ups;
+    }
+}
+
+/// Spawn one `ompfuzz shard` subprocess for `task`, capturing its output
+/// under the job's `logs/` directory.
+fn spawn_worker(job: &JobRt, task: TaskId, attempt: u32, worker: &Path) -> Result<Child, String> {
+    let logs = job.dir.join("logs");
+    let open = |suffix: &str| {
+        std::fs::File::create(logs.join(format!(
+            "round-{}-shard-{}-attempt-{attempt}.{suffix}",
+            task.round, task.shard
+        )))
+        .map(Stdio::from)
+        .map_err(|e| e.to_string())
+    };
+    Command::new(worker)
+        .args(job.spec.shard_args(task.round, task.shard, &job.ckpt_dir))
+        .stdin(Stdio::null())
+        .stdout(open("out")?)
+        .stderr(open("err")?)
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker: {e}"))
+}
+
+/// Fold the round's shard checkpoints into the job's cumulative catalog —
+/// in shard order, the same merge the in-process coordinator performs, so
+/// the bytes cannot differ — then checkpoint the merge and tell the
+/// scheduler. A missing or corrupt shard checkpoint degrades the job.
+fn merge_round(sched: &mut Scheduler, job: &mut JobRt, id: JobId, round: usize) -> Vec<Action> {
+    let merged: Result<(), String> = (|| {
+        let ckpt = Checkpoint::open(&job.ckpt_dir).map_err(|e| e.to_string())?;
+        for shard in 0..job.spec.planned_shards() {
+            let (_, outcome) = ckpt
+                .load_shard(round, shard)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("round {round} shard {shard} left no checkpoint"))?;
+            job.cumulative.merge(outcome.catalog);
+        }
+        ckpt.store_round_catalog(round, &job.cumulative)
+            .map_err(|e| e.to_string())
+    })();
+    match merged {
+        Ok(()) => {
+            sched.round_merged(id, round, job.cumulative.len() as u64);
+            if sched.job_state(id) == Some(crate::scheduler::JobState::Done) {
+                // The deliverable: byte-identical to `ompfuzz evolve`'s
+                // `--catalog` output for the same configuration.
+                let _ =
+                    std::fs::write(job.dir.join("catalog.txt"), job.cumulative.save_to_string());
+            }
+            Vec::new()
+        }
+        Err(_) => sched.merge_failed(id, round),
+    }
+}
+
+/// Append a line to the job's durable stream and fan it out to watchers
+/// (dead watchers are dropped).
+fn push_stream_line(job: &mut JobRt, line: &str) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(job.dir.join("stream.jsonl"))
+    {
+        let _ = writeln!(f, "{line}");
+    }
+    job.watchers.retain(|w| w.send(line.to_string()).is_ok());
+}
+
+/// Forward newly appended complete lines of the job's `events.jsonl`
+/// (written by the shard workers) onto the stream. Only complete lines
+/// are consumed — a line mid-write stays buffered in the file until its
+/// newline lands, so watchers never see torn JSON.
+fn forward_telemetry(job: &mut JobRt) {
+    let path = job.ckpt_dir.join("events.jsonl");
+    for line in tail_complete_lines(&path, &mut job.events_offset) {
+        push_stream_line(job, &line);
+    }
+}
+
+/// Read complete (newline-terminated) lines appended to `path` past
+/// `offset`, advancing `offset` over what was consumed.
+fn tail_complete_lines(path: &Path, offset: &mut u64) -> Vec<String> {
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return Vec::new();
+    };
+    if file.seek(SeekFrom::Start(*offset)).is_err() {
+        return Vec::new();
+    }
+    let mut buf = String::new();
+    if file.read_to_string(&mut buf).is_err() {
+        return Vec::new();
+    }
+    let Some(last_newline) = buf.rfind('\n') else {
+        return Vec::new();
+    };
+    let complete = &buf[..last_newline + 1];
+    *offset += complete.len() as u64;
+    complete.lines().map(str::to_string).collect()
+}
+
+/// One connection = one request line. `watch` replies stream until the
+/// job ends or the client goes away; everything else is a single reply
+/// line.
+fn handle_connection(stream: UnixStream, tx: Sender<Control>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() {
+        return;
+    }
+    let request = match parse_request(line.trim_end()) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(writer, "{}", render_error(&e));
+            return;
+        }
+    };
+    match request {
+        Request::Watch { job } => {
+            let (stx, srx) = mpsc::channel::<String>();
+            if tx.send(Control::Watch { job, stream: stx }).is_err() {
+                let _ = writeln!(writer, "{}", render_error("daemon is shutting down"));
+                return;
+            }
+            // First message is the reply; the rest is the stream, closed
+            // by the daemon dropping the sender.
+            while let Ok(l) = srx.recv() {
+                if writeln!(writer, "{l}").is_err() || writer.flush().is_err() {
+                    return; // client went away; daemon prunes the sender
+                }
+            }
+        }
+        other => {
+            let (rtx, rrx) = mpsc::channel::<String>();
+            let control = match other {
+                Request::Submit(spec) => Control::Submit { spec, reply: rtx },
+                Request::Status { job } => Control::Status { job, reply: rtx },
+                Request::Cancel { job } => Control::Cancel { job, reply: rtx },
+                Request::Shutdown => Control::Shutdown { reply: rtx },
+                Request::Watch { .. } => unreachable!("handled above"),
+            };
+            let reply = if tx.send(control).is_ok() {
+                rrx.recv()
+                    .unwrap_or_else(|_| render_error("daemon is shutting down"))
+            } else {
+                render_error("daemon is shutting down")
+            };
+            let _ = writeln!(writer, "{reply}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ompfuzz-serve-{tag}-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::SeqCst)
+        ))
+    }
+
+    #[test]
+    fn tailing_consumes_only_complete_lines() {
+        let dir = scratch("tail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let mut offset = 0;
+        // Missing file: nothing.
+        assert!(tail_complete_lines(&path, &mut offset).is_empty());
+        // A complete line plus a torn one: only the complete line moves.
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":").unwrap();
+        assert_eq!(tail_complete_lines(&path, &mut offset), vec!["{\"a\":1}"]);
+        assert_eq!(offset, 8);
+        assert!(tail_complete_lines(&path, &mut offset).is_empty());
+        // The torn line finishes and a new one lands: both are consumed.
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n").unwrap();
+        assert_eq!(
+            tail_complete_lines(&path, &mut offset),
+            vec!["{\"b\":2}", "{\"c\":3}"]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Protocol smoke over a real socket: bad requests get error replies,
+    /// `status` answers, `watch` of a missing job errors, and `shutdown`
+    /// stops the daemon. No jobs are submitted, so no subprocesses spawn.
+    #[test]
+    fn daemon_answers_the_socket_protocol() {
+        let dir = scratch("proto");
+        let config = ServeConfig::new(dir.join("serve.sock"), dir.join("state"));
+        let socket = config.socket.clone();
+        let daemon = std::thread::spawn(move || run_daemon(config));
+        // The daemon binds before accepting; wait for the socket file.
+        let mut tries = 0;
+        while !socket.exists() && tries < 200 {
+            std::thread::sleep(Duration::from_millis(10));
+            tries += 1;
+        }
+        let ask = |line: &str| -> String {
+            let mut conn = UnixStream::connect(&socket).expect("connect");
+            writeln!(conn, "{line}").unwrap();
+            let mut reader = BufReader::new(conn);
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        assert!(ask("not json").starts_with("{\"ok\":false"));
+        assert!(ask("{\"cmd\":\"brunch\"}").contains("unknown command"));
+        assert_eq!(ask("{\"cmd\":\"status\"}"), "{\"ok\":true,\"jobs\":[]}");
+        assert!(ask("{\"cmd\":\"watch\",\"job\":\"job-9\"}").contains("no such job"));
+        assert!(ask("{\"cmd\":\"cancel\",\"job\":\"job-9\"}").contains("no such job"));
+        assert_eq!(ask("{\"cmd\":\"shutdown\"}"), "{\"ok\":true}");
+        daemon.join().unwrap().unwrap();
+        assert!(!socket.exists(), "socket file removed on shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

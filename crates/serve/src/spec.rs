@@ -1,0 +1,254 @@
+//! The campaign job specification: what a `submit` request asks the daemon
+//! to run.
+//!
+//! A spec is deliberately the same vocabulary as the `ompfuzz evolve`/
+//! `ompfuzz shard` command line — the daemon's workers *are* `ompfuzz
+//! shard` subprocesses, so every field here maps one-to-one onto worker
+//! arguments ([`JobSpec::shard_args`]) and the job's catalog bytes stay a
+//! pure function of `(config, seed)` no matter which control plane ran it.
+
+use ompfuzz_obs::{JsonObject, Value};
+use std::path::Path;
+
+/// Rounds an `ompfuzz shard --quick` campaign runs when `--rounds` is not
+/// given (must match `EvolveConfig::quick`).
+const QUICK_ROUNDS: u64 = 2;
+/// Rounds a full-scale campaign runs by default (must match
+/// `EvolveConfig::new`).
+const DEFAULT_ROUNDS: u64 = 3;
+
+/// One submitted campaign job. Optional fields fall back to the same
+/// defaults the CLI uses, and are simply not forwarded to the worker when
+/// absent — the worker and the daemon agree on the configuration because
+/// both derive it from the identical argument list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Run the CI-scale `--quick` configuration instead of the paper one.
+    pub quick: bool,
+    /// Campaign seed (`--seed`).
+    pub seed: Option<u64>,
+    /// Programs per round (`--programs`).
+    pub programs: Option<u64>,
+    /// Inputs per program (`--inputs`).
+    pub inputs: Option<u64>,
+    /// Evolution rounds (`--rounds`).
+    pub rounds: Option<u64>,
+    /// Shards per round — the unit of work the scheduler dispatches.
+    pub shards: u64,
+    /// Scheduling priority: higher runs first; equal priorities round-robin.
+    pub priority: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            quick: false,
+            seed: None,
+            programs: None,
+            inputs: None,
+            rounds: None,
+            shards: 1,
+            priority: 0,
+        }
+    }
+}
+
+impl JobSpec {
+    /// The number of rounds the scheduler must plan (mirrors the worker's
+    /// own default when `--rounds` is absent).
+    pub fn planned_rounds(&self) -> usize {
+        self.rounds.unwrap_or(if self.quick {
+            QUICK_ROUNDS
+        } else {
+            DEFAULT_ROUNDS
+        }) as usize
+    }
+
+    /// Shards per round, never zero.
+    pub fn planned_shards(&self) -> usize {
+        self.shards.max(1) as usize
+    }
+
+    /// The `ompfuzz shard` argument list for one task of this job.
+    /// `--rounds` is always passed explicitly so the worker's config
+    /// fingerprint matches the daemon's planning even if a default drifts.
+    pub fn shard_args(&self, round: usize, shard: usize, checkpoint: &Path) -> Vec<String> {
+        let mut args = vec![
+            "shard".to_string(),
+            "--round".to_string(),
+            round.to_string(),
+            "--shard".to_string(),
+            format!("{shard}/{}", self.planned_shards()),
+            "--checkpoint-dir".to_string(),
+            checkpoint.display().to_string(),
+            "--progress".to_string(),
+            "none".to_string(),
+            "--rounds".to_string(),
+            self.planned_rounds().to_string(),
+        ];
+        if self.quick {
+            args.push("--quick".to_string());
+        }
+        for (flag, value) in [
+            ("--seed", self.seed),
+            ("--programs", self.programs),
+            ("--inputs", self.inputs),
+        ] {
+            if let Some(v) = value {
+                args.push(flag.to_string());
+                args.push(v.to_string());
+            }
+        }
+        args
+    }
+
+    /// Render as a JSON object line (the `submit` request body and the
+    /// job directory's `spec.json` audit record share this form).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new().bool("quick", self.quick);
+        for (key, value) in [
+            ("seed", self.seed),
+            ("programs", self.programs),
+            ("inputs", self.inputs),
+            ("rounds", self.rounds),
+        ] {
+            if let Some(v) = value {
+                obj = obj.u64(key, v);
+            }
+        }
+        obj.u64("shards", self.shards)
+            .u64("priority", self.priority)
+            .finish()
+    }
+
+    /// The spec as a complete `submit` request line (the spec body with
+    /// the `cmd` discriminator up front).
+    pub fn to_submit_request(&self) -> String {
+        // `to_json` always opens with the `quick` field, so splicing the
+        // discriminator in front of it is well-formed.
+        format!("{{\"cmd\":\"submit\",{}", &self.to_json()[1..])
+    }
+
+    /// Read a spec out of a parsed request/spec object. Unknown fields are
+    /// rejected by the protocol layer, not here; this only checks types
+    /// and ranges.
+    pub fn from_value(value: &Value) -> Result<JobSpec, String> {
+        let field_u64 = |name: &str| -> Result<Option<u64>, String> {
+            match value.get(name) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("field {name:?} must be an unsigned integer")),
+            }
+        };
+        let quick = match value.get("quick") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "field \"quick\" must be a boolean".to_string())?,
+        };
+        let spec = JobSpec {
+            quick,
+            seed: field_u64("seed")?,
+            programs: field_u64("programs")?,
+            inputs: field_u64("inputs")?,
+            rounds: field_u64("rounds")?,
+            shards: field_u64("shards")?.unwrap_or(1),
+            priority: field_u64("priority")?.unwrap_or(0),
+        };
+        if spec.rounds == Some(0) {
+            return Err("field \"rounds\" must be at least 1".to_string());
+        }
+        if spec.programs == Some(0) {
+            return Err("field \"programs\" must be at least 1".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = JobSpec {
+            quick: true,
+            seed: Some(20),
+            programs: None,
+            inputs: Some(2),
+            rounds: Some(2),
+            shards: 3,
+            priority: 7,
+        };
+        let line = spec.to_json();
+        let parsed = JobSpec::from_value(&Value::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+
+        let request = spec.to_submit_request();
+        let value = Value::parse(&request).unwrap();
+        assert_eq!(value.get("cmd").and_then(Value::as_str), Some("submit"));
+        assert_eq!(JobSpec::from_value(&value).unwrap(), spec);
+
+        let default = JobSpec::from_value(&Value::parse("{}").unwrap()).unwrap();
+        assert_eq!(default, JobSpec::default());
+        assert_eq!(default.planned_rounds(), 3);
+        assert_eq!(default.planned_shards(), 1);
+    }
+
+    #[test]
+    fn planned_rounds_match_the_cli_defaults() {
+        let quick = JobSpec {
+            quick: true,
+            ..JobSpec::default()
+        };
+        assert_eq!(quick.planned_rounds(), 2);
+        assert_eq!(JobSpec::default().planned_rounds(), 3);
+        let explicit = JobSpec {
+            rounds: Some(5),
+            ..quick
+        };
+        assert_eq!(explicit.planned_rounds(), 5);
+    }
+
+    #[test]
+    fn shard_args_cover_every_set_field() {
+        let spec = JobSpec {
+            quick: true,
+            seed: Some(9),
+            programs: Some(40),
+            inputs: None,
+            rounds: None,
+            shards: 3,
+            priority: 0,
+        };
+        let args = spec.shard_args(1, 2, &PathBuf::from("state/job-1/ckpt"));
+        let joined = args.join(" ");
+        assert!(
+            joined.starts_with("shard --round 1 --shard 2/3"),
+            "{joined}"
+        );
+        assert!(
+            joined.contains("--checkpoint-dir state/job-1/ckpt"),
+            "{joined}"
+        );
+        assert!(joined.contains("--progress none"), "{joined}");
+        assert!(joined.contains("--rounds 2"), "{joined}");
+        assert!(joined.contains("--quick"), "{joined}");
+        assert!(joined.contains("--seed 9"), "{joined}");
+        assert!(joined.contains("--programs 40"), "{joined}");
+        assert!(!joined.contains("--inputs"), "{joined}");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let bad = Value::parse("{\"rounds\":0}").unwrap();
+        assert!(JobSpec::from_value(&bad).is_err());
+        let bad = Value::parse("{\"quick\":1}").unwrap();
+        assert!(JobSpec::from_value(&bad).is_err());
+        let bad = Value::parse("{\"seed\":\"x\"}").unwrap();
+        assert!(JobSpec::from_value(&bad).is_err());
+    }
+}

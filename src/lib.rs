@@ -18,3 +18,4 @@ pub use ompfuzz_inputs as inputs;
 pub use ompfuzz_outlier as outlier;
 pub use ompfuzz_reduce as reduce;
 pub use ompfuzz_report as report;
+pub use ompfuzz_serve as serve;
