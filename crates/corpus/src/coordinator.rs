@@ -30,6 +30,8 @@
 
 use crate::catalog::TriggerCatalog;
 use crate::evolve::{round_campaign, round_case_fn, Evolution, EvolveConfig, RoundSummary};
+use crate::fault::{CheckpointFs, RealFs};
+use crate::integrity::{seal, unseal};
 use crate::shard::{
     plan_shards, read_shard_file, run_planned_shard, write_shard_file, ShardCoords, ShardOutcome,
     ShardSummary,
@@ -40,8 +42,8 @@ use ompfuzz_exec::ProfileCollector;
 use ompfuzz_obs::{Counter, CounterSnapshot, Event, Obs, Phase};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// An evolution split into shards (each round's corpus is divided into
@@ -93,6 +95,35 @@ impl ShardStatus {
         match self {
             ShardStatus::Ran => "ran",
             ShardStatus::Cached => "cached",
+        }
+    }
+}
+
+/// Verdict of loading a checksummed checkpoint artifact.
+///
+/// [`Corrupt`](Loaded::Corrupt) covers checksum mismatches and truncated
+/// files: callers treat the artifact as absent (the shard re-runs and
+/// rewrites identical bytes) and surface a `checkpoint_corrupt` telemetry
+/// event, instead of degrading or wedging the campaign. A file whose
+/// checksum verifies but whose *contents* fail to parse is a genuine error
+/// (version drift or tampering), not a `Corrupt` verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Loaded<T> {
+    /// The file exists and passed its integrity check.
+    Present(T),
+    /// The file exists but is truncated or bit-flipped; the reason string
+    /// explains what the checksum verification saw.
+    Corrupt(String),
+    /// No file on disk.
+    Absent,
+}
+
+impl<T> Loaded<T> {
+    /// Collapse to an option, treating a corrupt artifact as missing.
+    pub fn into_option(self) -> Option<T> {
+        match self {
+            Loaded::Present(v) => Some(v),
+            Loaded::Corrupt(_) | Loaded::Absent => None,
         }
     }
 }
@@ -258,18 +289,32 @@ impl RoundManifest {
 // ---------------------------------------------------------------------------
 
 /// Handle to a campaign (checkpoint) directory.
+///
+/// Every durable read and write goes through a [`CheckpointFs`] handle
+/// ([`RealFs`] in production, a fault-injecting one in recovery tests),
+/// and every artifact is sealed with an FNV-1a checksum trailer on write
+/// and verified on load ([`Loaded`]).
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     dir: PathBuf,
+    fs: Arc<dyn CheckpointFs>,
 }
 
 impl Checkpoint {
-    /// Open (creating if needed) a campaign directory.
+    /// Open (creating if needed) a campaign directory on the real
+    /// filesystem.
     pub fn open(dir: &Path) -> Result<Checkpoint, CoordError> {
-        fs::create_dir_all(dir)
+        Checkpoint::open_with(dir, Arc::new(RealFs))
+    }
+
+    /// Open a campaign directory whose durable I/O goes through `fs` —
+    /// the entry point for fault-injected recovery tests.
+    pub fn open_with(dir: &Path, fs: Arc<dyn CheckpointFs>) -> Result<Checkpoint, CoordError> {
+        std::fs::create_dir_all(dir)
             .map_err(|e| CoordError(format!("cannot create {}: {e}", dir.display())))?;
         Ok(Checkpoint {
             dir: dir.to_path_buf(),
+            fs,
         })
     }
 
@@ -289,43 +334,41 @@ impl Checkpoint {
         self.round_dir(round).join("catalog.txt")
     }
 
-    fn read_optional(&self, path: &Path) -> Result<Option<String>, CoordError> {
-        match fs::read_to_string(path) {
-            Ok(text) => Ok(Some(text)),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+    /// Read `path` and verify its checksum trailer. Truncated, bit-flipped
+    /// or unsealed files come back [`Loaded::Corrupt`]; only a real I/O
+    /// failure is an error.
+    fn read_verified(&self, path: &Path) -> Result<Loaded<String>, CoordError> {
+        match self.fs.read(path) {
+            Ok(None) => Ok(Loaded::Absent),
+            Ok(Some(text)) => match unseal(&text) {
+                Ok(payload) => Ok(Loaded::Present(payload.to_string())),
+                Err(reason) => Ok(Loaded::Corrupt(reason)),
+            },
             Err(e) => err(format!("cannot read {}: {e}", path.display())),
         }
     }
 
-    /// Atomic checkpoint write: temp file in the target directory, then
-    /// rename. A kill mid-write must never leave a truncated manifest or
-    /// catalog behind — resume's worst case is re-running a finished shard,
-    /// not a parse error on a half-written file. The temp name carries the
-    /// process id so concurrent `ompfuzz shard` workers never collide.
+    /// Atomic checkpoint write: seal the text with its checksum trailer,
+    /// then temp file + rename in the target directory (inside the fs
+    /// handle). A kill mid-write must never leave a truncated manifest or
+    /// catalog behind — and if the filesystem tears the write anyway, the
+    /// checksum catches it on load and resume's worst case is re-running a
+    /// finished shard, not a parse error on a half-written file.
     fn write(&self, path: &Path, text: &str) -> Result<(), CoordError> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)
-                .map_err(|e| CoordError(format!("cannot create {}: {e}", parent.display())))?;
-        }
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(format!(".{}.tmp", std::process::id()));
-        let tmp = PathBuf::from(tmp);
-        fs::write(&tmp, text)
-            .map_err(|e| CoordError(format!("cannot write {}: {e}", tmp.display())))?;
-        fs::rename(&tmp, path).map_err(|e| {
-            CoordError(format!(
-                "cannot rename {} over {}: {e}",
-                tmp.display(),
-                path.display()
-            ))
-        })
+        self.fs
+            .write_atomic(path, &seal(text))
+            .map_err(|e| CoordError(format!("cannot write {}: {e}", path.display())))
     }
 
-    /// Load a round's manifest, if present.
-    pub fn load_manifest(&self, round: usize) -> Result<Option<RoundManifest>, CoordError> {
-        self.read_optional(&self.manifest_path(round))?
-            .map(|text| RoundManifest::from_text(&text).map_err(CoordError::from))
-            .transpose()
+    /// Load a round's manifest with its integrity verdict.
+    pub fn load_manifest(&self, round: usize) -> Result<Loaded<RoundManifest>, CoordError> {
+        match self.read_verified(&self.manifest_path(round))? {
+            Loaded::Present(text) => RoundManifest::from_text(&text)
+                .map(Loaded::Present)
+                .map_err(CoordError::from),
+            Loaded::Corrupt(reason) => Ok(Loaded::Corrupt(reason)),
+            Loaded::Absent => Ok(Loaded::Absent),
+        }
     }
 
     /// Write a round's manifest.
@@ -333,15 +376,20 @@ impl Checkpoint {
         self.write(&self.manifest_path(manifest.round), &manifest.to_text())
     }
 
-    /// Load one shard's checkpoint (recorded fingerprint + outcome).
+    /// Load one shard's checkpoint (recorded fingerprint + outcome) with
+    /// its integrity verdict.
     pub fn load_shard(
         &self,
         round: usize,
         shard: usize,
-    ) -> Result<Option<(u64, ShardOutcome)>, CoordError> {
-        self.read_optional(&self.shard_path(round, shard))?
-            .map(|text| read_shard_file(&text).map_err(CoordError::from))
-            .transpose()
+    ) -> Result<Loaded<(u64, ShardOutcome)>, CoordError> {
+        match self.read_verified(&self.shard_path(round, shard))? {
+            Loaded::Present(text) => read_shard_file(&text)
+                .map(Loaded::Present)
+                .map_err(CoordError::from),
+            Loaded::Corrupt(reason) => Ok(Loaded::Corrupt(reason)),
+            Loaded::Absent => Ok(Loaded::Absent),
+        }
     }
 
     /// Write one shard's checkpoint.
@@ -352,14 +400,23 @@ impl Checkpoint {
         )
     }
 
-    /// Load the merged catalog checkpointed after `round`, if present.
-    pub fn load_round_catalog(&self, round: usize) -> Result<Option<TriggerCatalog>, CoordError> {
-        self.read_optional(&self.catalog_path(round))?
-            .map(|text| TriggerCatalog::load_from_string(&text).map_err(CoordError::from))
-            .transpose()
+    /// Load the merged catalog checkpointed after `round` with its
+    /// integrity verdict.
+    pub fn load_round_catalog(&self, round: usize) -> Result<Loaded<TriggerCatalog>, CoordError> {
+        match self.read_verified(&self.catalog_path(round))? {
+            Loaded::Present(text) => TriggerCatalog::load_from_string(&text)
+                .map(Loaded::Present)
+                .map_err(CoordError::from),
+            Loaded::Corrupt(reason) => Ok(Loaded::Corrupt(reason)),
+            Loaded::Absent => Ok(Loaded::Absent),
+        }
     }
 
-    /// Checkpoint the merged catalog after `round`.
+    /// Checkpoint the merged catalog after `round`. The sealed round
+    /// catalog is checkpoint-internal; final deliverables (`--catalog`
+    /// output, the daemon's `job-N/catalog.txt`) are written unsealed by
+    /// their own layers, so catalog bytes stay a pure function of
+    /// `(config, seed)`.
     pub fn store_round_catalog(
         &self,
         round: usize,
@@ -369,17 +426,24 @@ impl Checkpoint {
     }
 
     /// Load-or-create a round manifest, rejecting one written under a
-    /// different configuration.
+    /// different configuration. A corrupt on-disk manifest is replaced by
+    /// a fresh one (its shards re-run and rewrite identical bytes); the
+    /// second element carries the corruption reason so callers can emit
+    /// the `checkpoint_corrupt` telemetry event.
     fn round_manifest(
         &self,
         round: usize,
         seed: u64,
         fingerprint: u64,
         shards: usize,
-    ) -> Result<RoundManifest, CoordError> {
+    ) -> Result<(RoundManifest, Option<String>), CoordError> {
         match self.load_manifest(round)? {
-            None => Ok(RoundManifest::new(round, seed, fingerprint, shards)),
-            Some(m) => {
+            Loaded::Absent => Ok((RoundManifest::new(round, seed, fingerprint, shards), None)),
+            Loaded::Corrupt(reason) => Ok((
+                RoundManifest::new(round, seed, fingerprint, shards),
+                Some(reason),
+            )),
+            Loaded::Present(m) => {
                 if m.fingerprint != fingerprint
                     || m.seed != seed
                     || m.shards != shards
@@ -396,7 +460,7 @@ impl Checkpoint {
                         m.shards,
                     ));
                 }
-                Ok(m)
+                Ok((m, None))
             }
         }
     }
@@ -412,7 +476,7 @@ impl Checkpoint {
         current: &RoundManifest,
         shard: usize,
     ) -> Result<RoundManifest, CoordError> {
-        let mut merged = self.round_manifest(
+        let (mut merged, _corrupt) = self.round_manifest(
             current.round,
             current.seed,
             current.fingerprint,
@@ -475,9 +539,36 @@ pub fn run_sharded_evolution_with(
     obs: &Obs,
     profile: &ProfileCollector,
 ) -> Result<ShardedEvolution, CoordError> {
+    run_sharded_evolution_io(
+        config,
+        backends,
+        initial,
+        checkpoint,
+        obs,
+        profile,
+        Arc::new(RealFs),
+    )
+}
+
+/// [`run_sharded_evolution_with`] with the checkpoint directory's durable
+/// I/O routed through `fs` — the recovery property tests drive this with a
+/// fault-injecting handle to prove the campaign survives torn writes,
+/// failed renames and mid-write aborts with byte-identical catalogs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_evolution_io(
+    config: &ShardedEvolveConfig,
+    backends: &[&dyn OmpBackend],
+    initial: TriggerCatalog,
+    checkpoint: Option<&Path>,
+    obs: &Obs,
+    profile: &ProfileCollector,
+    fs_handle: Arc<dyn CheckpointFs>,
+) -> Result<ShardedEvolution, CoordError> {
     let shards = config.shards.max(1);
     let fingerprint = campaign_fingerprint(&config.evolve, shards, &initial);
-    let ckpt = checkpoint.map(Checkpoint::open).transpose()?;
+    let ckpt = checkpoint
+        .map(|dir| Checkpoint::open_with(dir, fs_handle.clone()))
+        .transpose()?;
     let campaign_started = Instant::now();
     obs.emit(Event::CampaignStart {
         rounds: config.evolve.rounds as u64,
@@ -494,7 +585,19 @@ pub fn run_sharded_evolution_with(
         let campaign = round_campaign(&config.evolve, &catalog, round);
         let plan = plan_shards(campaign.programs, shards);
         let mut manifest = match &ckpt {
-            Some(c) => c.round_manifest(round, campaign.seed, fingerprint, shards)?,
+            Some(c) => {
+                let (manifest, corrupt) =
+                    c.round_manifest(round, campaign.seed, fingerprint, shards)?;
+                if let Some(reason) = corrupt {
+                    obs.emit(Event::CheckpointCorrupt {
+                        round: round as u64,
+                        shard: shards as u64,
+                        file: format!("round-{round}/manifest.txt"),
+                        reason,
+                    });
+                }
+                manifest
+            }
             None => RoundManifest::new(round, campaign.seed, fingerprint, shards),
         };
 
@@ -520,8 +623,23 @@ pub fn run_sharded_evolution_with(
                 start: range.start as u64,
                 end: range.end as u64,
             });
+            // A corrupt checkpoint (torn write, bit flip) is treated as
+            // missing: the shard re-runs and rewrites identical bytes —
+            // the campaign never wedges or degrades on a bad file.
             let cached = match (&ckpt, manifest.completed.contains(&index)) {
-                (Some(c), true) => c.load_shard(round, index)?,
+                (Some(c), true) => match c.load_shard(round, index)? {
+                    Loaded::Present(v) => Some(v),
+                    Loaded::Corrupt(reason) => {
+                        obs.emit(Event::CheckpointCorrupt {
+                            round: round as u64,
+                            shard: index as u64,
+                            file: format!("round-{round}/shard-{index}.txt"),
+                            reason,
+                        });
+                        None
+                    }
+                    Loaded::Absent => None,
+                },
                 _ => None,
             };
             let (outcome, status) = match cached {
@@ -716,17 +834,38 @@ pub fn run_standalone_shard_with(
     let catalog = if round == 0 {
         initial
     } else {
-        ckpt.load_round_catalog(round - 1)?.ok_or_else(|| {
-            CoordError(format!(
-                "round {} has no checkpointed catalog in {} — shards of round \
-                 {round} derive their corpus from the previous round's merge",
-                round - 1,
-                checkpoint.display()
-            ))
-        })?
+        match ckpt.load_round_catalog(round - 1)? {
+            Loaded::Present(catalog) => catalog,
+            Loaded::Corrupt(reason) => {
+                return err(format!(
+                    "round {} catalog checkpoint in {} is corrupt ({reason}) — a \
+                     standalone shard cannot recompute the previous round's merge; \
+                     rerun the coordinator",
+                    round - 1,
+                    checkpoint.display()
+                ));
+            }
+            Loaded::Absent => {
+                return err(format!(
+                    "round {} has no checkpointed catalog in {} — shards of round \
+                     {round} derive their corpus from the previous round's merge",
+                    round - 1,
+                    checkpoint.display()
+                ));
+            }
+        }
     };
     let campaign = round_campaign(&config.evolve, &catalog, round);
-    let manifest = ckpt.round_manifest(round, campaign.seed, fingerprint, shards)?;
+    let (manifest, manifest_corrupt) =
+        ckpt.round_manifest(round, campaign.seed, fingerprint, shards)?;
+    if let Some(reason) = manifest_corrupt {
+        obs.emit(Event::CheckpointCorrupt {
+            round: round as u64,
+            shard: shards as u64,
+            file: format!("round-{round}/manifest.txt"),
+            reason,
+        });
+    }
     let started = Instant::now();
     let plan = plan_shards(campaign.programs, shards);
     let range = plan[shard].clone();
@@ -762,14 +901,27 @@ pub fn run_standalone_shard_with(
         }
     };
     if manifest.completed.contains(&shard) {
-        if let Some((fp, outcome)) = ckpt.load_shard(round, shard)? {
-            if fp != fingerprint {
-                return err(format!(
-                    "shard checkpoint round-{round}/shard-{shard} was written by a \
-                     different campaign — remove the checkpoint directory"
-                ));
+        match ckpt.load_shard(round, shard)? {
+            Loaded::Present((fp, outcome)) => {
+                if fp != fingerprint {
+                    return err(format!(
+                        "shard checkpoint round-{round}/shard-{shard} was written by a \
+                         different campaign — remove the checkpoint directory"
+                    ));
+                }
+                return Ok(finish(outcome, ShardStatus::Cached));
             }
-            return Ok(finish(outcome, ShardStatus::Cached));
+            Loaded::Corrupt(reason) => {
+                // Fall through to re-run: the corrupt checkpoint is
+                // overwritten with identical (now intact) bytes.
+                obs.emit(Event::CheckpointCorrupt {
+                    round: round as u64,
+                    shard: shard as u64,
+                    file: format!("round-{round}/shard-{shard}.txt"),
+                    reason,
+                });
+            }
+            Loaded::Absent => {}
         }
     }
     // The out-of-process worker's headline saving: generate only this
@@ -799,6 +951,7 @@ pub fn run_standalone_shard_with(
 mod tests {
     use super::*;
     use ompfuzz_backends::{standard_backends, SimBackend};
+    use std::fs;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn dyns(backends: &[SimBackend]) -> Vec<&dyn OmpBackend> {
@@ -859,6 +1012,7 @@ mod tests {
         let last = ckpt
             .load_round_catalog(test_config().rounds - 1)
             .unwrap()
+            .into_option()
             .expect("final round checkpointed");
         assert_eq!(last.save_to_string(), baseline.catalog.save_to_string());
         let _ = fs::remove_dir_all(&dir);
@@ -1017,7 +1171,115 @@ mod tests {
             merged.completed.iter().copied().collect::<Vec<_>>(),
             vec![0, 2]
         );
-        assert_eq!(ckpt.load_manifest(0).unwrap().unwrap(), merged);
+        assert_eq!(
+            ckpt.load_manifest(0).unwrap(),
+            Loaded::Present(merged.clone())
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Flip one payload byte of a checkpoint artifact in place.
+    fn flip_byte(path: &Path) {
+        let mut bytes = fs::read(path).unwrap();
+        bytes[1] ^= 0x01;
+        fs::write(path, bytes).unwrap();
+    }
+
+    /// Truncate a checkpoint artifact to its first half (a torn write).
+    fn tear(path: &Path) {
+        let bytes = fs::read(path).unwrap();
+        fs::write(path, &bytes[..bytes.len() / 2]).unwrap();
+    }
+
+    /// A bit-flipped or truncated shard checkpoint is treated as missing:
+    /// the coordinator re-runs the shard (emitting `checkpoint_corrupt`)
+    /// and the final catalog is byte-identical — no wedging, no degrade.
+    #[test]
+    fn corrupt_shard_checkpoints_rerun_instead_of_wedging() {
+        let backends = standard_backends();
+        let dyns = dyns(&backends);
+        let baseline = crate::run_evolution(&test_config(), &dyns, TriggerCatalog::new());
+        for (tag, damage) in [("flip", flip_byte as fn(&Path)), ("tear", tear)] {
+            let dir = scratch(&format!("corrupt-shard-{tag}"));
+            run_standalone_shard(&sharded(3), &dyns, TriggerCatalog::new(), &dir, 0, 1).unwrap();
+            damage(&dir.join("round-0").join("shard-1.txt"));
+
+            let ckpt = Checkpoint::open(&dir).unwrap();
+            assert!(
+                matches!(ckpt.load_shard(0, 1).unwrap(), Loaded::Corrupt(_)),
+                "{tag}: damaged checkpoint must read as corrupt"
+            );
+
+            let sink = std::sync::Arc::new(ompfuzz_obs::CaptureSink::new());
+            let obs = Obs::with_sink(sink.clone());
+            let resumed = run_sharded_evolution_with(
+                &sharded(3),
+                &dyns,
+                TriggerCatalog::new(),
+                Some(&dir),
+                &obs,
+                &ProfileCollector::off(),
+            )
+            .unwrap();
+            assert!(
+                resumed.progress[0]
+                    .shards
+                    .iter()
+                    .all(|s| s.status == ShardStatus::Ran),
+                "{tag}: every shard (including the corrupt one) must re-run"
+            );
+            assert_eq!(
+                baseline.catalog.save_to_string(),
+                resumed.evolution.catalog.save_to_string()
+            );
+            assert!(
+                sink.events()
+                    .iter()
+                    .any(|e| e.kind() == "checkpoint_corrupt"),
+                "{tag}: no checkpoint_corrupt event emitted"
+            );
+            // The re-run rewrote an intact, verifiable checkpoint.
+            assert!(matches!(ckpt.load_shard(0, 1).unwrap(), Loaded::Present(_)));
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// A corrupt round manifest is replaced by a fresh one: the round's
+    /// shards re-run and the result is unchanged.
+    #[test]
+    fn corrupt_manifests_rerun_the_round() {
+        let backends = standard_backends();
+        let dyns = dyns(&backends);
+        let baseline = crate::run_evolution(&test_config(), &dyns, TriggerCatalog::new());
+        let dir = scratch("corrupt-manifest");
+        run_standalone_shard(&sharded(2), &dyns, TriggerCatalog::new(), &dir, 0, 0).unwrap();
+        flip_byte(&dir.join("round-0").join("manifest.txt"));
+        let resumed =
+            run_sharded_evolution(&sharded(2), &dyns, TriggerCatalog::new(), Some(&dir)).unwrap();
+        assert_eq!(
+            baseline.catalog.save_to_string(),
+            resumed.evolution.catalog.save_to_string()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The other verdict: a file whose checksum verifies but whose payload
+    /// does not parse is version drift or tampering — rejected with an
+    /// error, never silently re-run.
+    #[test]
+    fn checksum_valid_but_unparseable_checkpoints_are_rejected() {
+        let backends = standard_backends();
+        let dyns = dyns(&backends);
+        let dir = scratch("sealed-garbage");
+        run_standalone_shard(&sharded(2), &dyns, TriggerCatalog::new(), &dir, 0, 0).unwrap();
+        fs::write(
+            dir.join("round-0").join("shard-0.txt"),
+            crate::integrity::seal("(not a shard checkpoint)\n"),
+        )
+        .unwrap();
+        let e = run_sharded_evolution(&sharded(2), &dyns, TriggerCatalog::new(), Some(&dir))
+            .expect_err("sealed garbage must be rejected, not re-run");
+        assert!(!e.0.is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

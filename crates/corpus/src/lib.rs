@@ -47,6 +47,8 @@ pub mod bias;
 pub mod catalog;
 pub mod coordinator;
 pub mod evolve;
+pub mod fault;
+pub mod integrity;
 pub mod mutate;
 pub mod shard;
 pub mod store;
@@ -57,13 +59,16 @@ pub use batch::{
 pub use bias::GeneratorBias;
 pub use catalog::{Provenance, TriggerCatalog, TriggerKernel};
 pub use coordinator::{
-    campaign_fingerprint, run_sharded_evolution, run_sharded_evolution_with, run_standalone_shard,
-    run_standalone_shard_with, Checkpoint, CoordError, RoundManifest, RoundProgress, ShardProgress,
-    ShardStatus, ShardedEvolution, ShardedEvolveConfig,
+    campaign_fingerprint, run_sharded_evolution, run_sharded_evolution_io,
+    run_sharded_evolution_with, run_standalone_shard, run_standalone_shard_with, Checkpoint,
+    CoordError, Loaded, RoundManifest, RoundProgress, ShardProgress, ShardStatus, ShardedEvolution,
+    ShardedEvolveConfig,
 };
 pub use evolve::{
     round_seed, run_evolution, run_evolution_with, Evolution, EvolveConfig, RoundSummary,
 };
+pub use fault::{is_fault_abort, CheckpointFs, Fault, FaultPlan, FaultyFs, RealFs};
+pub use integrity::{fnv1a_bytes, seal, unseal};
 pub use mutate::{grow_limits, mutant_seed, mutate_kernel};
 pub use shard::{
     plan_shards, read_shard_file, write_shard_file, ShardCoords, ShardOutcome, ShardSummary,

@@ -79,6 +79,17 @@ pub enum Event {
         phases: PhaseBreakdown,
         hists: HistSnapshot,
     },
+    /// A checkpoint artifact failed its integrity check (truncated or
+    /// bit-flipped) and is being treated as missing — the shard re-runs.
+    /// `shard` is the artifact's shard index, or the round's shard count
+    /// for round-wide artifacts (manifest, round catalog); `file` is the
+    /// artifact's path relative to the checkpoint directory.
+    CheckpointCorrupt {
+        round: u64,
+        shard: u64,
+        file: String,
+        reason: String,
+    },
 }
 
 impl Event {
@@ -92,6 +103,7 @@ impl Event {
             Event::Progress { .. } => "progress",
             Event::RoundEnd { .. } => "round_end",
             Event::CampaignEnd { .. } => "campaign_end",
+            Event::CheckpointCorrupt { .. } => "checkpoint_corrupt",
         }
     }
 
@@ -197,6 +209,17 @@ impl Event {
                 .raw("counters", &counters_json(counters))
                 .raw("phases", &phases_json(phases))
                 .raw("hists", &hists_json(hists))
+                .finish(),
+            Event::CheckpointCorrupt {
+                round,
+                shard,
+                file,
+                reason,
+            } => obj
+                .u64("round", *round)
+                .u64("shard", *shard)
+                .str("file", file)
+                .str("reason", reason)
                 .finish(),
         }
     }

@@ -1,5 +1,5 @@
 //! The telemetry schema: the event taxonomy as data, a renderer that
-//! produces the checked-in `schemas/telemetry-v2.schema` text, and a
+//! produces the checked-in `schemas/telemetry-v3.schema` text, and a
 //! validator for emitted JSONL.
 //!
 //! The schema table below is the single source of truth. CI regenerates
@@ -13,10 +13,13 @@ use crate::json::Value;
 use crate::metrics::Counter;
 use crate::phase::Phase;
 
-/// Schema format version (the `v2` in the schema header and file name).
-/// v2 is a strict superset of v1: `round_end` gained `yield_per_1k` and a
-/// latency rollup, `campaign_end` gained the latency rollup.
-pub const SCHEMA_VERSION: u32 = 2;
+/// Schema format version (the `v3` in the schema header and file name).
+/// v2 was a strict superset of v1: `round_end` gained `yield_per_1k` and a
+/// latency rollup, `campaign_end` gained the latency rollup. v3 is a
+/// strict superset of v2: it adds the `checkpoint_corrupt` event (an
+/// integrity-checked checkpoint artifact failed verification and its
+/// shard re-runs).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The type of one event field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +131,15 @@ pub const EVENT_SCHEMAS: &[(&str, &[(&str, FieldTy)])] = &[
             ("hists", FieldTy::Hists),
         ],
     ),
+    (
+        "checkpoint_corrupt",
+        &[
+            ("round", FieldTy::U64),
+            ("shard", FieldTy::U64),
+            ("file", FieldTy::Str),
+            ("reason", FieldTy::Str),
+        ],
+    ),
 ];
 
 /// Look up one event kind's field list.
@@ -139,7 +151,7 @@ pub fn event_fields(kind: &str) -> Option<&'static [(&'static str, FieldTy)]> {
 }
 
 /// Render the schema document — byte-for-byte what
-/// `schemas/telemetry-v2.schema` must contain.
+/// `schemas/telemetry-v3.schema` must contain.
 pub fn render_schema() -> String {
     let mut out = String::new();
     out.push_str(&format!("; ompfuzz telemetry schema v{SCHEMA_VERSION}\n"));
@@ -388,6 +400,12 @@ mod tests {
                 phases: PhaseTimers::new().snapshot(),
                 hists: PhaseHists::new().snapshot(),
             },
+            Event::CheckpointCorrupt {
+                round: 0,
+                shard: 1,
+                file: "round-0/shard-1.txt".to_string(),
+                reason: "checksum mismatch".to_string(),
+            },
         ]
     }
 
@@ -451,7 +469,7 @@ mod tests {
         assert_eq!(summary.count("brunch"), 0);
         let bad = format!("{text}garbage\n");
         let err = validate_jsonl(&bad).unwrap_err();
-        assert!(err.starts_with("line 9:"), "{err}");
+        assert!(err.starts_with("line 10:"), "{err}");
     }
 
     #[test]
@@ -466,7 +484,7 @@ mod tests {
         assert!(schema.contains("counters programs_generated"));
         assert!(schema.contains("phases generate compile"));
         assert!(schema.contains("hists count p50_us p90_us p99_us max_us"));
-        assert!(schema.starts_with("; ompfuzz telemetry schema v2\n"));
+        assert!(schema.starts_with("; ompfuzz telemetry schema v3\n"));
         assert!(schema.ends_with('\n'));
     }
 }

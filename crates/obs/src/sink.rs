@@ -144,6 +144,12 @@ impl EventSink for HumanSink {
                  {:.1} ms",
                 *wall_us as f64 / 1_000.0
             ),
+            Event::CheckpointCorrupt {
+                round,
+                file,
+                reason,
+                ..
+            } => eprintln!("round {round}: checkpoint {file} corrupt ({reason}), re-running"),
         }
     }
 }

@@ -18,10 +18,10 @@
 //!               [--jitter-seed S] [--fault-kill R/I]
 //! ompfuzz submit --socket PATH [--quick] [--seed S] [--programs N] [--inputs K]
 //!                [--rounds N] [--shards N] [--priority P]
-//! ompfuzz watch --socket PATH --job JOB
-//! ompfuzz status --socket PATH [--job JOB]
+//! ompfuzz watch --socket PATH --job JOB [--retry N]
+//! ompfuzz status --socket PATH [--job JOB] [--retry N]
 //! ompfuzz cancel --socket PATH --job JOB
-//! ompfuzz shutdown --socket PATH
+//! ompfuzz shutdown --socket PATH [--drain]
 //! ompfuzz report [--metrics FILE] [--schema FILE] [--profile FILE] [--render-schema]
 //!                [--render-serve-schema]
 //! ompfuzz generate --out DIR [--programs N] [--seed S]
@@ -144,16 +144,22 @@ fn print_usage() {
          \x20        [--rounds N] [--shards N] [--priority P]\n\
          \x20                            enqueue a campaign on a running daemon; prints\n\
          \x20                            the job name (job-1, ...)\n\
-         \x20 watch --socket PATH --job JOB\n\
+         \x20 watch --socket PATH --job JOB [--retry N]\n\
          \x20                            stream a job's events (scheduler + telemetry) to\n\
          \x20                            stdout until it ends; exits nonzero unless the\n\
-         \x20                            job finished `done`\n\
-         \x20 status --socket PATH [--job JOB]\n\
-         \x20                            render the daemon's job table\n\
+         \x20                            job finished `done`; --retry rides out daemon\n\
+         \x20                            restarts, resuming the stream without gaps or\n\
+         \x20                            duplicates\n\
+         \x20 status --socket PATH [--job JOB] [--retry N]\n\
+         \x20                            render the daemon's job table (--retry reconnects\n\
+         \x20                            across a daemon restart)\n\
          \x20 cancel --socket PATH --job JOB\n\
          \x20                            cancel a queued or running job\n\
-         \x20 shutdown --socket PATH    stop the daemon (checkpoints survive; jobs resume\n\
-         \x20                            if resubmitted against the same state dir)\n\
+         \x20 shutdown --socket PATH [--drain]\n\
+         \x20                            stop the daemon; --drain finishes in-flight\n\
+         \x20                            shards and journals final state first, plain\n\
+         \x20                            shutdown kills workers immediately (both leave\n\
+         \x20                            restart-recoverable state)\n\
          \x20 report [--metrics FILE] [--schema FILE] [--profile FILE] [--render-schema]\n\
          \x20        [--render-serve-schema]\n\
          \x20                            validate a --metrics-out JSONL stream and render\n\
@@ -784,7 +790,9 @@ fn cmd_watch(rest: &[String]) -> Result<(), String> {
     let opts = Opts { rest };
     let socket = socket_opt(&opts)?;
     let job = job_opt(&opts)?;
-    let state = serve_client::watch(&socket, &job, &mut std::io::stdout().lock())?;
+    let retries = opts.parsed::<u32>("--retry", None)?.unwrap_or(0);
+    let state =
+        serve_client::watch_with_retry(&socket, &job, &mut std::io::stdout().lock(), retries)?;
     if state == "done" {
         Ok(())
     } else {
@@ -796,7 +804,8 @@ fn cmd_status(rest: &[String]) -> Result<(), String> {
     let opts = Opts { rest };
     let socket = socket_opt(&opts)?;
     let job = opts.value_of("--job", Some("-j"));
-    let reply = serve_client::status(&socket, job)?;
+    let retries = opts.parsed::<u32>("--retry", None)?.unwrap_or(0);
+    let reply = serve_client::status_with_retry(&socket, job, retries)?;
     println!("{}", render_serve_status(&reply)?);
     Ok(())
 }
@@ -812,8 +821,16 @@ fn cmd_cancel(rest: &[String]) -> Result<(), String> {
 
 fn cmd_shutdown(rest: &[String]) -> Result<(), String> {
     let opts = Opts { rest };
-    serve_client::shutdown(&socket_opt(&opts)?)?;
-    eprintln!("daemon stopped");
+    let drain = opts.has_flag("--drain");
+    serve_client::shutdown(&socket_opt(&opts)?, drain)?;
+    eprintln!(
+        "daemon {}",
+        if drain {
+            "drained and stopped"
+        } else {
+            "stopped"
+        }
+    );
     Ok(())
 }
 

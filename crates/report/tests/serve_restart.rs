@@ -1,0 +1,193 @@
+//! End-to-end restart-recovery gate, in-process edition of the CI drill:
+//! start the daemon, submit a quick sharded campaign, `kill -9` the
+//! daemon mid-round, restart it against the same state directory, and
+//! require (a) `status` to show the recovered job, (b) the watch stream
+//! to carry a `job_recovered` frame and end `done`, and (c) the final
+//! catalog to be **byte-identical** to the same campaign run in-process
+//! — the headline crash-safety invariant.
+//!
+//! The shutdown at the end goes through `--drain`, so the graceful path
+//! gets end-to-end coverage too.
+
+use ompfuzz_backends::{standard_backends, OmpBackend};
+use ompfuzz_corpus::{run_evolution, EvolveConfig, TriggerCatalog};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_ompfuzz");
+
+/// A unique scratch directory (no tempfile crate in the offline
+/// workspace). Unix sockets cap path length around 100 bytes, so keep it
+/// shallow.
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ompfuzz-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_serve(socket: &Path, state: &Path) -> Child {
+    Command::new(BIN)
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--state-dir",
+            state.to_str().unwrap(),
+            "--slots",
+            "2",
+            "--backoff-ms",
+            "50",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("cannot spawn daemon")
+}
+
+fn client(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("cannot run client")
+}
+
+/// Poll `cond` every 20 ms until it holds or `secs` elapse.
+fn wait_for(what: &str, secs: u64, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn daemon_killed_mid_campaign_recovers_and_matches_plain_evolve_bytes() {
+    let dir = scratch();
+    let socket = dir.join("serve.sock");
+    let state = dir.join("state");
+
+    let mut first = spawn_serve(&socket, &state);
+    wait_for("daemon socket", 30, || socket.exists());
+
+    let submit = client(&[
+        "submit",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--quick",
+        "--shards",
+        "3",
+    ]);
+    assert!(
+        submit.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&submit.stderr)
+    );
+    let job = String::from_utf8_lossy(&submit.stdout).trim().to_string();
+    assert!(!job.is_empty(), "submit printed no job name");
+
+    // SIGKILL the daemon as soon as the first round-0 shard checkpoint
+    // lands — mid-round, with shards queued, running and done.
+    let round0 = state.join(&job).join("ckpt").join("round-0");
+    wait_for("a round-0 shard checkpoint", 60, || {
+        std::fs::read_dir(&round0).is_ok_and(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.file_name().to_string_lossy().starts_with("shard-"))
+        })
+    });
+    first.kill().expect("cannot SIGKILL daemon");
+    first.wait().expect("cannot reap daemon");
+
+    // Restart against the same socket path (now stale) and state dir.
+    // The new daemon must probe the dead socket, take it over, and
+    // rebuild the job from spec.json + state.json + checkpoints.
+    let mut second = spawn_serve(&socket, &state);
+    let status = client(&[
+        "status",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--retry",
+        "10",
+    ]);
+    assert!(
+        status.status.success(),
+        "status after restart failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&status.stdout).contains(&job),
+        "status table lost the recovered job:\n{}",
+        String::from_utf8_lossy(&status.stdout)
+    );
+
+    // The watch stream must announce the recovery and end `done`
+    // (`watch` exits nonzero otherwise).
+    let watch = client(&[
+        "watch",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--job",
+        &job,
+        "--retry",
+        "10",
+    ]);
+    let stream = String::from_utf8_lossy(&watch.stdout);
+    assert!(
+        watch.status.success(),
+        "watch did not end done: {}\n{stream}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+    assert!(
+        stream.contains("\"event\":\"job_recovered\""),
+        "stream carried no job_recovered frame:\n{stream}"
+    );
+    assert!(
+        stream.contains("\"event\":\"job_done\""),
+        "no job_done:\n{stream}"
+    );
+
+    // Terminal accounting in the final status: the job is done with all
+    // of its shards merged.
+    let final_status = client(&["status", "--socket", socket.to_str().unwrap()]);
+    let table = String::from_utf8_lossy(&final_status.stdout).to_string();
+    let row = table
+        .lines()
+        .find(|l| l.contains(&job))
+        .unwrap_or_else(|| panic!("no {job} row in:\n{table}"))
+        .to_string();
+    assert!(
+        row.contains("done"),
+        "recovered job did not end done: {row}"
+    );
+
+    // The invariant: catalog bytes identical to the same campaign run
+    // in-process (submit `--quick` is exactly `EvolveConfig::quick()`,
+    // and shard count never changes the bytes).
+    let backends = standard_backends();
+    let dyns: Vec<&dyn OmpBackend> = backends.iter().map(|b| b as &dyn OmpBackend).collect();
+    let expected = run_evolution(&EvolveConfig::quick(), &dyns, TriggerCatalog::new())
+        .catalog
+        .save_to_string();
+    let produced = std::fs::read_to_string(state.join(&job).join("catalog.txt"))
+        .expect("recovered job left no catalog.txt");
+    assert_eq!(
+        produced, expected,
+        "daemon catalog diverged from plain evolve"
+    );
+
+    // Graceful exit: drain (nothing is in flight, so this is immediate)
+    // and require the daemon to actually stop.
+    let shutdown = client(&["shutdown", "--socket", socket.to_str().unwrap(), "--drain"]);
+    assert!(
+        shutdown.status.success(),
+        "drain shutdown failed: {}",
+        String::from_utf8_lossy(&shutdown.stderr)
+    );
+    wait_for("drained daemon exit", 30, || {
+        second.try_wait().expect("cannot poll daemon").is_some()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

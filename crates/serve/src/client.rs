@@ -1,12 +1,46 @@
 //! Client side of the serve protocol: what `ompfuzz submit`, `watch`,
 //! `status`, `cancel` and `shutdown` call. One connection per request;
 //! replies are parsed just enough to surface daemon errors as `Err`.
+//!
+//! `watch` and `status` optionally ride out daemon restarts
+//! (`--retry N`): a refused connect or a mid-stream disconnect is
+//! retried with capped-exponential backoff, and because the daemon
+//! replays the job's durable `stream.jsonl` to every new watcher, the
+//! reconnecting client just skips the lines it already printed and the
+//! output stays gapless and duplicate-free.
 
 use crate::spec::JobSpec;
 use ompfuzz_obs::Value;
 use std::io::{BufRead, BufReader, Write as _};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
+
+/// Reconnect backoff: 250 ms doubling to a 5 s ceiling. Client-side and
+/// jitter-free — a human is usually watching.
+fn reconnect_delay_ms(attempt: u32) -> u64 {
+    250u64
+        .saturating_mul(1 << attempt.saturating_sub(1).min(16))
+        .min(5_000)
+}
+
+/// Run `f` up to `1 + retries` times, sleeping out the backoff between
+/// failures.
+fn retrying<T>(retries: u32, mut f: impl FnMut() -> Result<T, String>) -> Result<T, String> {
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Ok(value) => return Ok(value),
+            Err(e) if attempt < retries => {
+                attempt += 1;
+                let delay = reconnect_delay_ms(attempt);
+                eprintln!("{e}; retrying in {delay} ms ({attempt}/{retries})");
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 fn connect(socket: &Path, line: &str) -> Result<BufReader<UnixStream>, String> {
     let mut stream = UnixStream::connect(socket).map_err(|e| {
@@ -53,6 +87,12 @@ pub fn submit(socket: &Path, spec: &JobSpec) -> Result<String, String> {
         .ok_or_else(|| "reply carried no job name".into())
 }
 
+/// [`status`] that rides out daemon restarts: up to `retries` reconnect
+/// attempts with capped-exponential backoff.
+pub fn status_with_retry(socket: &Path, job: Option<&str>, retries: u32) -> Result<String, String> {
+    retrying(retries, || status(socket, job))
+}
+
 /// Fetch the raw `status` reply line (rendering is the report crate's
 /// business).
 pub fn status(socket: &Path, job: Option<&str>) -> Result<String, String> {
@@ -82,29 +122,118 @@ pub fn cancel(socket: &Path, job: &str) -> Result<(), String> {
     roundtrip(socket, &format!("{{\"cmd\":\"cancel\",\"job\":\"{job}\"}}")).map(|_| ())
 }
 
-/// Ask the daemon to exit.
-pub fn shutdown(socket: &Path) -> Result<(), String> {
-    roundtrip(socket, "{\"cmd\":\"shutdown\"}").map(|_| ())
+/// Ask the daemon to exit. With `drain` the daemon stops admitting new
+/// shards, lets in-flight ones finish (bounded by the per-shard
+/// timeout), journals final state and then exits; without it the daemon
+/// kills its workers and exits immediately (both leave resume-correct
+/// checkpoints).
+pub fn shutdown(socket: &Path, drain: bool) -> Result<(), String> {
+    let line = if drain {
+        "{\"cmd\":\"shutdown\",\"drain\":true}"
+    } else {
+        "{\"cmd\":\"shutdown\"}"
+    };
+    roundtrip(socket, line).map(|_| ())
 }
 
 /// Watch a job: forward every stream line to `out` (including the final
 /// `watch_end` frame) and return the job's terminal state label.
 pub fn watch(socket: &Path, job: &str, out: &mut dyn std::io::Write) -> Result<String, String> {
+    watch_with_retry(socket, job, out, 0)
+}
+
+/// [`watch`] that rides out daemon restarts: a failed connect or a
+/// stream cut mid-job reconnects up to `retries` times with backoff.
+/// The daemon's replay of the durable `stream.jsonl` makes reconnection
+/// seamless — lines already written to `out` are skipped, so the
+/// combined output is exactly the uninterrupted stream.
+pub fn watch_with_retry(
+    socket: &Path,
+    job: &str,
+    out: &mut dyn std::io::Write,
+    retries: u32,
+) -> Result<String, String> {
+    let mut printed = 0usize;
+    let mut attempt = 0;
+    loop {
+        match watch_once(socket, job, out, &mut printed) {
+            Ok(state) => return Ok(state),
+            Err(e) if attempt < retries => {
+                attempt += 1;
+                let delay = reconnect_delay_ms(attempt);
+                eprintln!("watch {job}: {e}; reconnecting in {delay} ms ({attempt}/{retries})");
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One watch connection. `printed` counts the stream lines already
+/// written to `out` across previous connections; the daemon's replay is
+/// skipped up to that point and the counter advances with every line
+/// forwarded.
+fn watch_once(
+    socket: &Path,
+    job: &str,
+    out: &mut dyn std::io::Write,
+    printed: &mut usize,
+) -> Result<String, String> {
     let mut reader = connect(socket, &format!("{{\"cmd\":\"watch\",\"job\":\"{job}\"}}"))?;
     read_reply(&mut reader)?;
-    let mut state = None;
+    let mut seen = 0usize;
     for line in reader.lines() {
         let line = line.map_err(|e| format!("stream error: {e}"))?;
+        seen += 1;
+        if seen <= *printed {
+            continue; // replay of lines a previous connection delivered
+        }
         writeln!(out, "{line}").map_err(|e| format!("cannot write stream: {e}"))?;
+        *printed += 1;
         if let Ok(value) = Value::parse(&line) {
             if value.get("event").and_then(Value::as_str) == Some("watch_end") {
-                state = value
+                let state = value
                     .get("state")
                     .and_then(Value::as_str)
                     .map(str::to_string);
-                break;
+                return state.ok_or_else(|| "watch_end frame carried no state".into());
             }
         }
     }
-    state.ok_or_else(|| "stream ended without a watch_end frame".into())
+    Err("stream ended without a watch_end frame".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconnect_backoff_doubles_and_caps() {
+        assert_eq!(reconnect_delay_ms(1), 250);
+        assert_eq!(reconnect_delay_ms(2), 500);
+        assert_eq!(reconnect_delay_ms(3), 1000);
+        assert_eq!(reconnect_delay_ms(6), 5_000);
+        assert_eq!(reconnect_delay_ms(60), 5_000);
+    }
+
+    #[test]
+    fn retrying_stops_at_the_budget() {
+        let mut calls = 0;
+        let result: Result<(), String> = retrying(2, || {
+            calls += 1;
+            Err("nope".into())
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 3);
+        let mut calls = 0;
+        let result = retrying(5, || {
+            calls += 1;
+            if calls < 2 {
+                Err("flaky".into())
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(result, Ok(2));
+    }
 }

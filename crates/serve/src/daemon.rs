@@ -8,6 +8,9 @@
 //!
 //! ```text
 //! job-<n>/spec.json      the submitted spec, verbatim
+//! job-<n>/state.json     the job's sealed scheduling journal (see
+//!                        [`crate::recovery`]); rewritten atomically
+//!                        whenever the state changes
 //! job-<n>/ckpt/          the campaign checkpoint directory the shard
 //!                        workers write (PR-3 format + events.jsonl)
 //! job-<n>/stream.jsonl   the job's watch stream: serve events
@@ -15,6 +18,14 @@
 //! job-<n>/logs/          captured worker stdout/stderr per attempt
 //! job-<n>/catalog.txt    the final merged catalog (written on `done`)
 //! ```
+//!
+//! Starting the daemon on a state dir that already has jobs *recovers*
+//! them: queued work re-enters the queue in its original priority and
+//! submission order, shards orphaned by the previous daemon's death are
+//! requeued as crashed attempts, terminal jobs stay terminal, and merge
+//! state is rebuilt bit-exactly from the sealed round-catalog
+//! checkpoints — SIGKILL the daemon mid-campaign, restart it, and the
+//! final catalog is byte-identical to an uninterrupted run.
 //!
 //! The daemon itself performs the between-round merges exactly like the
 //! in-process coordinator — shard checkpoints loaded and merged in shard
@@ -26,9 +37,11 @@ use crate::protocol::{
     job_label, parse_request, render_error, render_event, render_ok, render_ok_job,
     render_status_reply, render_watch_end, Request,
 };
+use crate::recovery;
 use crate::scheduler::{Action, JobId, Scheduler, SchedulerConfig, TaskId};
 use crate::spec::JobSpec;
-use ompfuzz_corpus::{Checkpoint, TriggerCatalog};
+use ompfuzz_corpus::{Checkpoint, CheckpointFs, Loaded, RealFs, TriggerCatalog};
+use ompfuzz_obs::Event;
 use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -54,6 +67,10 @@ pub struct ServeConfig {
     /// of shard `(round, index)` of the first job right after spawning
     /// it, deterministically exercising the requeue path.
     pub fault_kill: Option<(usize, usize)>,
+    /// The write path for durable artifacts the daemon itself touches
+    /// (`state.json`, checkpoint loads at merge time). Tests substitute
+    /// an [`ompfuzz_corpus::FaultyFs`] here.
+    pub fs: Arc<dyn CheckpointFs>,
 }
 
 impl ServeConfig {
@@ -64,6 +81,7 @@ impl ServeConfig {
             scheduler: SchedulerConfig::default(),
             worker: None,
             fault_kill: None,
+            fs: Arc::new(RealFs),
         }
     }
 }
@@ -89,6 +107,7 @@ enum Control {
         stream: Sender<String>,
     },
     Shutdown {
+        drain: bool,
         reply: Sender<String>,
     },
 }
@@ -106,6 +125,9 @@ struct JobRt {
     watchers: Vec<Sender<String>>,
     /// Terminal state fully processed: stream closed, `watch_end` sent.
     ended: bool,
+    /// The last `state.json` payload journaled, so unchanged state is
+    /// not rewritten every loop tick.
+    journaled: Option<String>,
 }
 
 /// One live shard subprocess.
@@ -119,7 +141,18 @@ struct ChildRt {
 pub fn run_daemon(config: ServeConfig) -> Result<(), String> {
     std::fs::create_dir_all(&config.state_dir)
         .map_err(|e| format!("cannot create {}: {e}", config.state_dir.display()))?;
-    let _ = std::fs::remove_file(&config.socket);
+    // A socket file may be a live daemon or a stale leftover from a
+    // crash. Probe before removing: if anything answers the connect,
+    // refuse to start rather than yank the socket out from under it.
+    if config.socket.exists() {
+        if UnixStream::connect(&config.socket).is_ok() {
+            return Err(format!(
+                "another daemon is already listening on {}",
+                config.socket.display()
+            ));
+        }
+        let _ = std::fs::remove_file(&config.socket);
+    }
     let listener = UnixListener::bind(&config.socket)
         .map_err(|e| format!("cannot bind {}: {e}", config.socket.display()))?;
     listener
@@ -166,6 +199,40 @@ fn daemon_loop(
     let mut jobs: Vec<JobRt> = Vec::new();
     let mut children: Vec<ChildRt> = Vec::new();
     let mut fault_kill = config.fault_kill;
+    let mut draining = false;
+
+    // Restart recovery: rebuild every job the state dir already holds.
+    // Merge state reloads bit-exactly from the round-catalog checkpoints;
+    // orphaned running shards requeue as crashed attempts inside
+    // `Scheduler::restore`.
+    for rec in recovery::scan_state_dir(&config.state_dir, &config.fs)? {
+        let (id, actions) = sched.restore(&rec.snapshot, 0);
+        let mut job = JobRt {
+            spec: rec.spec,
+            ckpt_dir: rec.dir.join("ckpt"),
+            dir: rec.dir,
+            cumulative: rec.catalog,
+            events_offset: rec.events_offset,
+            watchers: Vec::new(),
+            ended: false,
+            journaled: None,
+        };
+        for report in &rec.corrupt {
+            push_corrupt_line(&mut job, rec.snapshot.round, rec.snapshot.shards, report);
+        }
+        jobs.push(job);
+        apply_actions(
+            actions,
+            &mut sched,
+            &mut jobs,
+            &mut children,
+            &worker,
+            &mut fault_kill,
+            &config.fs,
+            0,
+        );
+        debug_assert_eq!(id + 1, jobs.len());
+    }
 
     loop {
         // 1. Control messages (block briefly — this is the loop cadence).
@@ -210,6 +277,7 @@ fn daemon_loop(
                             &mut children,
                             &worker,
                             &mut fault_kill,
+                            &config.fs,
                             now,
                         );
                         let _ = reply.send(render_ok_job(job));
@@ -227,9 +295,17 @@ fn daemon_loop(
                             stream.send(render_error(&format!("no such job {:?}", job_label(job))));
                     }
                 }
-                Control::Shutdown { reply } => {
+                Control::Shutdown { drain, reply } => {
                     let _ = reply.send(render_ok());
-                    stop.store(true, Ordering::SeqCst);
+                    if drain {
+                        // Graceful: no new shards spawn, in-flight ones
+                        // finish (bounded by the per-shard timeout), the
+                        // loop exits once the last child is reaped.
+                        draining = true;
+                        sched.set_draining(true);
+                    } else {
+                        stop.store(true, Ordering::SeqCst);
+                    }
                 }
             }
         }
@@ -256,6 +332,7 @@ fn daemon_loop(
                 &mut children,
                 &worker,
                 &mut fault_kill,
+                &config.fs,
                 now,
             );
         }
@@ -269,6 +346,7 @@ fn daemon_loop(
             &mut children,
             &worker,
             &mut fault_kill,
+            &config.fs,
             now,
         );
 
@@ -304,13 +382,35 @@ fn daemon_loop(
             }
         }
 
+        // 6. Journal: rewrite each job's `state.json` atomically whenever
+        //    its durable state changed this tick. Failures are tolerated —
+        //    recovery falls back to the checkpoints.
+        for (id, job) in jobs.iter_mut().enumerate() {
+            if let Some(snap) = sched.snapshot(id) {
+                let payload = recovery::render_state(&snap, job.events_offset);
+                if job.journaled.as_deref() != Some(&payload)
+                    && recovery::write_state(config.fs.as_ref(), &job.dir, &snap, job.events_offset)
+                        .is_ok()
+                {
+                    job.journaled = Some(payload);
+                }
+            }
+        }
+
         if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if draining && children.is_empty() {
+            // Drained: every in-flight shard finished (or timed out and
+            // was reaped) and its state is journaled.
             break;
         }
     }
 
-    // Shutdown: no graceful drain — kill the workers and leave the
-    // checkpoints; every in-flight shard is resume-correct by design.
+    // Fast shutdown: kill the workers and leave the checkpoints; every
+    // in-flight shard is resume-correct by design (it either left no
+    // checkpoint or a complete, sealed one). A drain reaches here with no
+    // children left.
     for c in &mut children {
         let _ = c.child.kill();
     }
@@ -345,6 +445,7 @@ fn submit_job(
         events_offset: 0,
         watchers: Vec::new(),
         ended: false,
+        journaled: None,
     });
     Ok(id)
 }
@@ -378,6 +479,7 @@ fn apply_actions(
     children: &mut Vec<ChildRt>,
     worker: &Path,
     fault_kill: &mut Option<(usize, usize)>,
+    fs: &Arc<dyn CheckpointFs>,
     now: u64,
 ) {
     let mut queue = actions;
@@ -414,7 +516,7 @@ fn apply_actions(
                     }
                 }
                 Action::Merge { job, round } => {
-                    follow_ups.extend(merge_round(sched, &mut jobs[job], job, round));
+                    follow_ups.extend(merge_round(sched, &mut jobs[job], job, round, fs, now));
                 }
             }
         }
@@ -446,33 +548,83 @@ fn spawn_worker(job: &JobRt, task: TaskId, attempt: u32, worker: &Path) -> Resul
 /// Fold the round's shard checkpoints into the job's cumulative catalog —
 /// in shard order, the same merge the in-process coordinator performs, so
 /// the bytes cannot differ — then checkpoint the merge and tell the
-/// scheduler. A missing or corrupt shard checkpoint degrades the job.
-fn merge_round(sched: &mut Scheduler, job: &mut JobRt, id: JobId, round: usize) -> Vec<Action> {
-    let merged: Result<(), String> = (|| {
-        let ckpt = Checkpoint::open(&job.ckpt_dir).map_err(|e| e.to_string())?;
-        for shard in 0..job.spec.planned_shards() {
-            let (_, outcome) = ckpt
-                .load_shard(round, shard)
-                .map_err(|e| e.to_string())?
-                .ok_or_else(|| format!("round {round} shard {shard} left no checkpoint"))?;
-            job.cumulative.merge(outcome.catalog);
+/// scheduler.
+///
+/// A shard checkpoint that is missing or fails its checksum does *not*
+/// degrade the job: the shard is reported lost ([`Scheduler::shard_lost`])
+/// and re-runs under the normal retry machinery, with a
+/// `checkpoint_corrupt` telemetry line on the job's stream. Only a hard
+/// error — a checkpoint whose checksum verifies but whose content does
+/// not parse (version drift, tampering), or a failed merge write —
+/// degrades.
+fn merge_round(
+    sched: &mut Scheduler,
+    job: &mut JobRt,
+    id: JobId,
+    round: usize,
+    fs: &Arc<dyn CheckpointFs>,
+    now: u64,
+) -> Vec<Action> {
+    let shards = job.spec.planned_shards();
+    let ckpt = match Checkpoint::open_with(&job.ckpt_dir, Arc::clone(fs)) {
+        Ok(ckpt) => ckpt,
+        Err(_) => return sched.merge_failed(id, round),
+    };
+    let mut outcomes = Vec::with_capacity(shards);
+    let mut lost = Vec::new();
+    for shard in 0..shards {
+        match ckpt.load_shard(round, shard) {
+            Ok(Loaded::Present((_, outcome))) => outcomes.push(outcome),
+            Ok(Loaded::Absent) => lost.push((shard, "checkpoint missing".to_string())),
+            Ok(Loaded::Corrupt(reason)) => lost.push((shard, reason)),
+            Err(_) => return sched.merge_failed(id, round),
         }
-        ckpt.store_round_catalog(round, &job.cumulative)
-            .map_err(|e| e.to_string())
-    })();
-    match merged {
-        Ok(()) => {
-            sched.round_merged(id, round, job.cumulative.len() as u64);
-            if sched.job_state(id) == Some(crate::scheduler::JobState::Done) {
-                // The deliverable: byte-identical to `ompfuzz evolve`'s
-                // `--catalog` output for the same configuration.
-                let _ =
-                    std::fs::write(job.dir.join("catalog.txt"), job.cumulative.save_to_string());
-            }
-            Vec::new()
-        }
-        Err(_) => sched.merge_failed(id, round),
     }
+    if !lost.is_empty() {
+        let mut follow_ups = Vec::new();
+        for (shard, reason) in lost {
+            push_corrupt_line(
+                job,
+                round,
+                shard,
+                &format!("round-{round}/shard-{shard}.txt: {reason}"),
+            );
+            follow_ups.extend(sched.shard_lost(id, round, shard, now));
+        }
+        return follow_ups;
+    }
+    for outcome in outcomes {
+        job.cumulative.merge(outcome.catalog);
+    }
+    if ckpt.store_round_catalog(round, &job.cumulative).is_err() {
+        return sched.merge_failed(id, round);
+    }
+    sched.round_merged(id, round, job.cumulative.len() as u64);
+    if sched.job_state(id) == Some(crate::scheduler::JobState::Done) {
+        // The deliverable: byte-identical to `ompfuzz evolve`'s
+        // `--catalog` output for the same configuration (and, unlike the
+        // checkpoints, deliberately unsealed).
+        let _ = std::fs::write(job.dir.join("catalog.txt"), job.cumulative.save_to_string());
+    }
+    Vec::new()
+}
+
+/// Put a `checkpoint_corrupt` telemetry line on the job's stream. The
+/// line is rendered through the shared taxonomy ([`Event`]), so watchers
+/// validate it like any other forwarded telemetry. `report` is
+/// `"<file>: <reason>"` relative to the checkpoint dir.
+fn push_corrupt_line(job: &mut JobRt, round: usize, shard: usize, report: &str) {
+    let (file, reason) = report
+        .split_once(": ")
+        .unwrap_or((report, "integrity failure"));
+    let line = Event::CheckpointCorrupt {
+        round: round as u64,
+        shard: shard as u64,
+        file: file.to_string(),
+        reason: reason.to_string(),
+    }
+    .to_json();
+    push_stream_line(job, &line);
 }
 
 /// Append a line to the job's durable stream and fan it out to watchers
@@ -561,7 +713,7 @@ fn handle_connection(stream: UnixStream, tx: Sender<Control>) {
                 Request::Submit(spec) => Control::Submit { spec, reply: rtx },
                 Request::Status { job } => Control::Status { job, reply: rtx },
                 Request::Cancel { job } => Control::Cancel { job, reply: rtx },
-                Request::Shutdown => Control::Shutdown { reply: rtx },
+                Request::Shutdown { drain } => Control::Shutdown { drain, reply: rtx },
                 Request::Watch { .. } => unreachable!("handled above"),
             };
             let reply = if tx.send(control).is_ok() {

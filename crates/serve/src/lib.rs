@@ -30,6 +30,7 @@
 pub mod client;
 pub mod daemon;
 pub mod protocol;
+pub mod recovery;
 pub mod scheduler;
 pub mod spec;
 
@@ -38,7 +39,8 @@ pub use protocol::{
     job_label, parse_job_label, parse_request, render_serve_schema, validate_stream_line, Request,
     PROTOCOL_VERSION,
 };
+pub use recovery::{scan_state_dir, RecoveredJob};
 pub use scheduler::{
-    Action, JobId, JobState, JobStatus, Scheduler, SchedulerConfig, ServeEvent, TaskId,
+    Action, JobId, JobSnapshot, JobState, JobStatus, Scheduler, SchedulerConfig, ServeEvent, TaskId,
 };
 pub use spec::JobSpec;

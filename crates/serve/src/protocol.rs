@@ -4,7 +4,7 @@
 //! One connection carries one request line and its reply. `submit`,
 //! `status` and `cancel` get a single reply line; `watch` gets a reply
 //! line followed by the job's event stream — the scheduler's own serve
-//! events interleaved with the telemetry-v2 lines the shard workers
+//! events interleaved with the telemetry-v3 lines the shard workers
 //! append to the job's `events.jsonl` — terminated by a `watch_end`
 //! frame once the job reaches a terminal state.
 //!
@@ -61,7 +61,7 @@ pub const REQUEST_SCHEMAS: &[(&str, &[FieldSpec])] = &[
     ("status", &[opt("job", FieldTy::Str)]),
     ("watch", &[req("job", FieldTy::Str)]),
     ("cancel", &[req("job", FieldTy::Str)]),
-    ("shutdown", &[]),
+    ("shutdown", &[opt("drain", FieldTy::Bool)]),
 ];
 
 /// The per-job record inside a `status` reply's `jobs` array.
@@ -156,6 +156,15 @@ pub const SERVE_EVENT_SCHEMAS: &[(&str, &[(&str, FieldTy)])] = &[
     ("job_done", &[("job", FieldTy::Str)]),
     ("job_cancelled", &[("job", FieldTy::Str)]),
     (
+        "job_recovered",
+        &[
+            ("job", FieldTy::Str),
+            ("state", FieldTy::Str),
+            ("round", FieldTy::U64),
+            ("retries", FieldTy::U64),
+        ],
+    ),
+    (
         "watch_end",
         &[("job", FieldTy::Str), ("state", FieldTy::Str)],
     ),
@@ -167,7 +176,7 @@ fn ty_label(ty: FieldTy) -> &'static str {
         FieldTy::Bool => "b",
         FieldTy::Str => "s",
         // The serve protocol only carries scalars; the nested telemetry
-        // shapes live in telemetry-v2.
+        // shapes live in telemetry-v3.
         _ => unreachable!("serve protocol fields are scalar"),
     }
 }
@@ -200,7 +209,7 @@ pub fn render_serve_schema() -> String {
     out.push('\n');
     out.push_str(
         "; watch replies are followed by the job's stream: the serve events\n\
-         ; below interleaved with telemetry-v2 lines from the job's shards,\n\
+         ; below interleaved with telemetry-v3 lines from the job's shards,\n\
          ; terminated by watch_end\n",
     );
     for (kind, fields) in SERVE_EVENT_SCHEMAS {
@@ -235,7 +244,7 @@ pub enum Request {
     Status { job: Option<JobId> },
     Watch { job: JobId },
     Cancel { job: JobId },
-    Shutdown,
+    Shutdown { drain: bool },
 }
 
 /// Parse one request line: a JSON object with a `cmd` discriminator,
@@ -295,7 +304,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "cancel" => Ok(Request::Cancel {
             job: job_field(true)?.expect("required"),
         }),
-        "shutdown" => Ok(Request::Shutdown),
+        "shutdown" => Ok(Request::Shutdown {
+            drain: value.get("drain").and_then(Value::as_bool).unwrap_or(false),
+        }),
         _ => unreachable!("schema table covers every command"),
     }
 }
@@ -367,6 +378,16 @@ pub fn render_event(event: &ServeEvent) -> String {
             .finish(),
         ServeEvent::JobDone { job } => base("job_done", job).finish(),
         ServeEvent::JobCancelled { job } => base("job_cancelled", job).finish(),
+        ServeEvent::JobRecovered {
+            job,
+            state,
+            round,
+            retries,
+        } => base("job_recovered", job)
+            .str("state", state.label())
+            .u64("round", round as u64)
+            .u64("retries", retries)
+            .finish(),
     }
 }
 
@@ -497,7 +518,11 @@ mod tests {
         );
         assert_eq!(
             parse_request("{\"cmd\":\"shutdown\"}").unwrap(),
-            Request::Shutdown
+            Request::Shutdown { drain: false }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"shutdown\",\"drain\":true}").unwrap(),
+            Request::Shutdown { drain: true }
         );
 
         assert!(parse_request("not json").is_err());
@@ -550,6 +575,12 @@ mod tests {
             },
             ServeEvent::JobDone { job: 0 },
             ServeEvent::JobCancelled { job: 0 },
+            ServeEvent::JobRecovered {
+                job: 0,
+                state: crate::scheduler::JobState::Active,
+                round: 1,
+                retries: 3,
+            },
         ];
         let mut kinds: Vec<String> = Vec::new();
         for event in &events {

@@ -1,0 +1,563 @@
+//! Restart recovery: the per-job `state.json` journal and the startup
+//! scan that rebuilds the scheduler from an existing state directory.
+//!
+//! The journal is a convenience, not the ground truth. What a job has
+//! *actually* computed lives in its checkpoint directory (sealed shard
+//! checkpoints and round catalogs); `state.json` adds only what the
+//! checkpoints cannot know — retry accounting, terminal verdicts
+//! (`cancelled`/`degraded`), the orphaned-running set, and how much of
+//! `events.jsonl` was already forwarded. Recovery therefore reconciles:
+//!
+//! * **Merged rounds** come from the longest run of consecutive, valid
+//!   round catalogs starting at round 0. The last of them *is* the
+//!   cumulative catalog (the daemon checkpoints the cumulative merge per
+//!   round), so the in-memory merge state is rebuilt bit-exactly.
+//! * **Done shards** of the current round are exactly the shard
+//!   checkpoints that pass their checksum. A corrupt or torn checkpoint
+//!   is simply not done — its shard re-runs.
+//! * **Everything else** (priority, retries, terminal states, running
+//!   shards, the telemetry offset) comes from `state.json` when it is
+//!   present and passes its own checksum; a missing or corrupt journal
+//!   falls back to checkpoint-derived state with retry counters reset.
+//!
+//! A job whose `spec.json` is unreadable cannot be re-run (the daemon
+//! would not know what to spawn) and is restored as `degraded`.
+
+use crate::protocol::{job_label, parse_job_label};
+use crate::scheduler::{JobSnapshot, JobState};
+use crate::spec::JobSpec;
+use ompfuzz_corpus::{seal, unseal, Checkpoint, CheckpointFs, Loaded, TriggerCatalog};
+use ompfuzz_obs::{JsonObject, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Render the unsealed `state.json` payload: one JSON line mirroring
+/// [`JobSnapshot`] plus the job's forwarded-telemetry offset.
+pub fn render_state(snap: &JobSnapshot, events_offset: u64) -> String {
+    let list = |xs: &[usize]| {
+        format!(
+            "[{}]",
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
+    JsonObject::new()
+        .str("state", snap.state.label())
+        .u64("priority", snap.priority)
+        .u64("round", snap.round as u64)
+        .u64("rounds", snap.rounds as u64)
+        .u64("shards", snap.shards as u64)
+        .raw("done", &list(&snap.done))
+        .raw(
+            "attempts",
+            &format!(
+                "[{}]",
+                snap.attempts
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        )
+        .u64("retries", snap.retries)
+        .raw("running", &list(&snap.running))
+        .u64("events_offset", events_offset)
+        .finish()
+}
+
+/// Parse a `state.json` payload (already [`unseal`]ed) back.
+pub fn parse_state(text: &str) -> Result<(JobSnapshot, u64), String> {
+    let value = Value::parse(text.trim_end()).map_err(|e| format!("bad state JSON: {e}"))?;
+    let u64_field = |name: &str| -> Result<u64, String> {
+        value
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing numeric field {name:?}"))
+    };
+    let usize_list = |name: &str| -> Result<Vec<usize>, String> {
+        match value.get(name) {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("bad entry in {name:?}"))
+                })
+                .collect(),
+            _ => Err(format!("missing array field {name:?}")),
+        }
+    };
+    let label = value
+        .get("state")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"state\"")?;
+    let state = JobState::from_label(label).ok_or_else(|| format!("unknown state {label:?}"))?;
+    let snap = JobSnapshot {
+        priority: u64_field("priority")?,
+        rounds: u64_field("rounds")? as usize,
+        shards: u64_field("shards")? as usize,
+        state,
+        round: u64_field("round")? as usize,
+        done: usize_list("done")?,
+        attempts: usize_list("attempts")?
+            .into_iter()
+            .map(|a| a as u32)
+            .collect(),
+        retries: u64_field("retries")?,
+        running: usize_list("running")?,
+    };
+    Ok((snap, u64_field("events_offset")?))
+}
+
+/// Atomically journal a job's state (sealed with the same checksum
+/// trailer as every other durable artifact).
+pub fn write_state(
+    fs: &dyn CheckpointFs,
+    job_dir: &Path,
+    snap: &JobSnapshot,
+    events_offset: u64,
+) -> std::io::Result<()> {
+    fs.write_atomic(
+        &job_dir.join("state.json"),
+        &seal(&render_state(snap, events_offset)),
+    )
+}
+
+/// Read and verify a job's journal. `Ok(None)` means absent; a checksum
+/// or parse failure is reported as `Err` (the caller falls back to
+/// checkpoint-derived recovery).
+pub fn read_state(
+    fs: &dyn CheckpointFs,
+    job_dir: &Path,
+) -> Result<Option<(JobSnapshot, u64)>, String> {
+    let path = job_dir.join("state.json");
+    match fs.read(&path).map_err(|e| e.to_string())? {
+        None => Ok(None),
+        Some(sealed) => {
+            let payload = unseal(&sealed)?;
+            parse_state(payload).map(Some)
+        }
+    }
+}
+
+/// One job rebuilt from disk, ready to feed [`crate::scheduler::Scheduler::restore`].
+#[derive(Debug)]
+pub struct RecoveredJob {
+    pub dir: PathBuf,
+    pub spec: JobSpec,
+    pub snapshot: JobSnapshot,
+    /// The cumulative merged catalog up to the last merged round,
+    /// reloaded bit-exactly from the round catalog checkpoint.
+    pub catalog: TriggerCatalog,
+    pub events_offset: u64,
+    /// Artifacts found corrupt during the scan (`"<file>: <reason>"`),
+    /// for out-of-band reporting.
+    pub corrupt: Vec<String>,
+}
+
+/// Scan `state_dir` for `job-<n>/` subtrees and rebuild each job's
+/// durable state. Job directories must be dense from `job-1` (scheduler
+/// ids are dense); a gap means the directory was hand-mangled and is an
+/// error rather than a silent renumbering.
+pub fn scan_state_dir(
+    state_dir: &Path,
+    fs: &Arc<dyn CheckpointFs>,
+) -> Result<Vec<RecoveredJob>, String> {
+    let mut ids = Vec::new();
+    let entries = match std::fs::read_dir(state_dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot scan {}: {e}", state_dir.display())),
+    };
+    for entry in entries.flatten() {
+        if let Some(id) = entry.file_name().to_str().and_then(parse_job_label) {
+            if entry.path().is_dir() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    for (expect, &id) in ids.iter().enumerate() {
+        if id != expect {
+            return Err(format!(
+                "state dir {} is missing {} (job directories must be dense)",
+                state_dir.display(),
+                job_label(expect)
+            ));
+        }
+    }
+    ids.iter()
+        .map(|&id| recover_job(&state_dir.join(job_label(id)), fs))
+        .collect()
+}
+
+/// Rebuild one job from its directory. Never fails on corrupt artifacts
+/// — corruption shrinks what is considered done (or degrades the job
+/// when the spec itself is unreadable); only I/O errors propagate.
+fn recover_job(dir: &Path, fs: &Arc<dyn CheckpointFs>) -> Result<RecoveredJob, String> {
+    let mut corrupt = Vec::new();
+
+    let spec = std::fs::read_to_string(dir.join("spec.json"))
+        .map_err(|e| e.to_string())
+        .and_then(|text| {
+            let value = Value::parse(text.trim_end())?;
+            JobSpec::from_value(&value)
+        });
+    let journal = match read_state(fs.as_ref(), dir) {
+        Ok(found) => found,
+        Err(reason) => {
+            corrupt.push(format!("state.json: {reason}"));
+            None
+        }
+    };
+
+    let spec = match spec {
+        Ok(spec) => spec,
+        Err(reason) => {
+            // Without the spec the job cannot spawn workers; restore it
+            // terminal so the rest of the queue keeps running.
+            corrupt.push(format!("spec.json: {reason}"));
+            let snapshot = JobSnapshot {
+                priority: journal.as_ref().map_or(0, |(s, _)| s.priority),
+                rounds: 1,
+                shards: 1,
+                state: JobState::Degraded,
+                round: 0,
+                done: Vec::new(),
+                attempts: vec![0],
+                retries: 0,
+                running: Vec::new(),
+            };
+            let events_offset = journal.map_or(0, |(_, off)| off);
+            return Ok(RecoveredJob {
+                dir: dir.to_path_buf(),
+                spec: JobSpec::default(),
+                snapshot,
+                catalog: TriggerCatalog::new(),
+                events_offset,
+                corrupt,
+            });
+        }
+    };
+
+    let rounds = spec.planned_rounds();
+    let shards = spec.planned_shards();
+    let ckpt =
+        Checkpoint::open_with(&dir.join("ckpt"), Arc::clone(fs)).map_err(|e| e.to_string())?;
+
+    // Ground truth 1: merged rounds = the longest run of valid round
+    // catalogs from round 0; the last one is the cumulative catalog.
+    let mut merged_rounds = 0;
+    let mut catalog = TriggerCatalog::new();
+    while merged_rounds < rounds {
+        match ckpt.load_round_catalog(merged_rounds) {
+            Ok(Loaded::Present(c)) => {
+                catalog = c;
+                merged_rounds += 1;
+            }
+            Ok(Loaded::Absent) => break,
+            Ok(Loaded::Corrupt(reason)) => {
+                corrupt.push(format!("ckpt/round-{merged_rounds}/catalog.txt: {reason}"));
+                break;
+            }
+            Err(e) => {
+                corrupt.push(format!("ckpt/round-{merged_rounds}/catalog.txt: {e}"));
+                break;
+            }
+        }
+    }
+
+    // A terminal journal verdict is kept verbatim: cancelled stays
+    // cancelled, degraded stays degraded, done stays done.
+    if let Some((snap, events_offset)) = journal
+        .as_ref()
+        .filter(|(s, _)| s.state.is_terminal())
+        .cloned()
+    {
+        return Ok(RecoveredJob {
+            dir: dir.to_path_buf(),
+            spec,
+            snapshot: snap,
+            catalog,
+            events_offset,
+            corrupt,
+        });
+    }
+
+    if merged_rounds >= rounds {
+        // Every round is merged but the journal never saw the job finish
+        // (the daemon died between the final merge and its journal
+        // write). Resume at the final, idempotent merge.
+        let snapshot = JobSnapshot {
+            priority: journal.as_ref().map_or(spec.priority, |(s, _)| s.priority),
+            rounds,
+            shards,
+            state: JobState::Merging,
+            round: rounds - 1,
+            done: (0..shards).collect(),
+            attempts: vec![1; shards],
+            retries: journal.as_ref().map_or(0, |(s, _)| s.retries),
+            running: Vec::new(),
+        };
+        // The final merge re-merges the last round's shards on top of the
+        // catalog checkpointed *before* it.
+        let catalog = match rounds.checked_sub(2) {
+            None => TriggerCatalog::new(),
+            Some(prev) => ckpt
+                .load_round_catalog(prev)
+                .ok()
+                .and_then(Loaded::into_option)
+                .unwrap_or_default(),
+        };
+        let events_offset = journal.map_or(0, |(_, off)| off);
+        return Ok(RecoveredJob {
+            dir: dir.to_path_buf(),
+            spec,
+            snapshot,
+            catalog,
+            events_offset,
+            corrupt,
+        });
+    }
+
+    // Ground truth 2: done shards of the current round are exactly the
+    // checkpoints that verify. Corruption un-does a shard; a checkpoint
+    // the journal never saw completes one.
+    let round = merged_rounds;
+    let mut done = Vec::new();
+    for shard in 0..shards {
+        match ckpt.load_shard(round, shard) {
+            Ok(Loaded::Present(_)) => done.push(shard),
+            Ok(Loaded::Absent) => {}
+            Ok(Loaded::Corrupt(reason)) => {
+                corrupt.push(format!("ckpt/round-{round}/shard-{shard}.txt: {reason}"));
+            }
+            Err(e) => {
+                corrupt.push(format!("ckpt/round-{round}/shard-{shard}.txt: {e}"));
+            }
+        }
+    }
+
+    // The journal fills in what checkpoints cannot: retries, attempt
+    // counters, and which shards were in flight — but only if it talks
+    // about the same round we derived from disk.
+    let journal_round = journal.as_ref().filter(|(s, _)| s.round == round).cloned();
+    let mut attempts: Vec<u32> = journal_round
+        .as_ref()
+        .map(|(s, _)| s.attempts.clone())
+        .unwrap_or_default();
+    attempts.resize(shards, 0);
+    for &shard in &done {
+        attempts[shard] = attempts[shard].max(1);
+    }
+    let running: Vec<usize> = journal_round
+        .as_ref()
+        .map(|(s, _)| {
+            s.running
+                .iter()
+                .copied()
+                .filter(|s| !done.contains(s))
+                .collect()
+        })
+        .unwrap_or_default();
+    let snapshot = JobSnapshot {
+        priority: journal.as_ref().map_or(spec.priority, |(s, _)| s.priority),
+        rounds,
+        shards,
+        state: JobState::Active,
+        round,
+        done,
+        attempts,
+        retries: journal.as_ref().map_or(0, |(s, _)| s.retries),
+        running,
+    };
+    let events_offset = journal.map_or(0, |(_, off)| off);
+    Ok(RecoveredJob {
+        dir: dir.to_path_buf(),
+        spec,
+        snapshot,
+        catalog,
+        events_offset,
+        corrupt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompfuzz_corpus::RealFs;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ompfuzz-recovery-{tag}-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::SeqCst)
+        ))
+    }
+
+    fn real_fs() -> Arc<dyn CheckpointFs> {
+        Arc::new(RealFs)
+    }
+
+    fn snap() -> JobSnapshot {
+        JobSnapshot {
+            priority: 3,
+            rounds: 2,
+            shards: 4,
+            state: JobState::Active,
+            round: 1,
+            done: vec![0, 2],
+            attempts: vec![1, 2, 1, 1],
+            retries: 1,
+            running: vec![1],
+        }
+    }
+
+    #[test]
+    fn state_json_round_trips() {
+        let line = render_state(&snap(), 1234);
+        let (back, off) = parse_state(&line).unwrap();
+        assert_eq!(back, snap());
+        assert_eq!(off, 1234);
+    }
+
+    #[test]
+    fn state_json_survives_the_disk_and_rejects_damage() {
+        let dir = scratch("state");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fs = RealFs;
+        write_state(&fs, &dir, &snap(), 77).unwrap();
+        let (back, off) = read_state(&fs, &dir).unwrap().unwrap();
+        assert_eq!(back, snap());
+        assert_eq!(off, 77);
+
+        // Bit flip: checksum catches it.
+        let path = dir.join("state.json");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_state(&fs, &dir).is_err());
+
+        // Truncation (torn write): also caught.
+        write_state(&fs, &dir, &snap(), 77).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(read_state(&fs, &dir).is_err());
+
+        // Valid checksum over a non-snapshot payload: rejected too.
+        std::fs::write(&path, seal("{\"state\":\"brunch\"}")).unwrap();
+        assert!(read_state(&fs, &dir).is_err());
+
+        // Absent is not an error.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(read_state(&fs, &dir).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_missing_state_dir_recovers_nothing() {
+        let dir = scratch("empty");
+        assert!(scan_state_dir(&dir, &real_fs()).unwrap().is_empty());
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(scan_state_dir(&dir, &real_fs()).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gaps_in_job_numbering_are_an_error() {
+        let dir = scratch("gaps");
+        std::fs::create_dir_all(dir.join("job-1")).unwrap();
+        std::fs::create_dir_all(dir.join("job-3")).unwrap();
+        let err = scan_state_dir(&dir, &real_fs()).unwrap_err();
+        assert!(err.contains("job-2"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn write_spec(dir: &Path, spec: &JobSpec) {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(dir.join("spec.json"), spec.to_json() + "\n").unwrap();
+    }
+
+    #[test]
+    fn journal_free_jobs_recover_from_checkpoints_alone() {
+        let dir = scratch("nojournal");
+        let spec = JobSpec {
+            quick: true,
+            shards: 2,
+            ..JobSpec::default()
+        };
+        let job_dir = dir.join("job-1");
+        write_spec(&job_dir, &spec);
+        std::fs::create_dir_all(job_dir.join("ckpt")).unwrap();
+        let jobs = scan_state_dir(&dir, &real_fs()).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let job = &jobs[0];
+        assert_eq!(job.snapshot.state, JobState::Active);
+        assert_eq!(job.snapshot.round, 0);
+        assert_eq!(job.snapshot.rounds, spec.planned_rounds());
+        assert_eq!(job.snapshot.shards, 2);
+        assert!(job.snapshot.done.is_empty());
+        assert_eq!(job.snapshot.retries, 0);
+        assert_eq!(job.events_offset, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spec_restores_the_job_degraded() {
+        let dir = scratch("badspec");
+        let job_dir = dir.join("job-1");
+        std::fs::create_dir_all(&job_dir).unwrap();
+        std::fs::write(job_dir.join("spec.json"), "not json at all\n").unwrap();
+        let jobs = scan_state_dir(&dir, &real_fs()).unwrap();
+        assert_eq!(jobs[0].snapshot.state, JobState::Degraded);
+        assert!(jobs[0].corrupt.iter().any(|c| c.starts_with("spec.json")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_falls_back_to_checkpoint_recovery() {
+        let dir = scratch("badjournal");
+        let spec = JobSpec {
+            quick: true,
+            ..JobSpec::default()
+        };
+        let job_dir = dir.join("job-1");
+        write_spec(&job_dir, &spec);
+        std::fs::create_dir_all(job_dir.join("ckpt")).unwrap();
+        write_state(&RealFs, &job_dir, &snap(), 9).unwrap();
+        let path = job_dir.join("state.json");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let jobs = scan_state_dir(&dir, &real_fs()).unwrap();
+        let job = &jobs[0];
+        assert_eq!(job.snapshot.state, JobState::Active);
+        assert_eq!(job.snapshot.retries, 0, "retry accounting reset");
+        assert!(job.corrupt.iter().any(|c| c.starts_with("state.json")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn terminal_journal_verdicts_stick() {
+        let dir = scratch("terminal");
+        let spec = JobSpec {
+            quick: true,
+            ..JobSpec::default()
+        };
+        let job_dir = dir.join("job-1");
+        write_spec(&job_dir, &spec);
+        let terminal = JobSnapshot {
+            state: JobState::Cancelled,
+            ..snap()
+        };
+        write_state(&RealFs, &job_dir, &terminal, 42).unwrap();
+        let jobs = scan_state_dir(&dir, &real_fs()).unwrap();
+        assert_eq!(jobs[0].snapshot.state, JobState::Cancelled);
+        assert_eq!(jobs[0].events_offset, 42);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

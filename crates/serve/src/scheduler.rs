@@ -110,6 +110,18 @@ impl JobState {
             JobState::Done | JobState::Degraded | JobState::Cancelled
         )
     }
+
+    /// Parse a [`Self::label`] back (the `state.json` journal round-trip).
+    pub fn from_label(label: &str) -> Option<JobState> {
+        match label {
+            "active" => Some(JobState::Active),
+            "merging" => Some(JobState::Merging),
+            "done" => Some(JobState::Done),
+            "degraded" => Some(JobState::Degraded),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
 }
 
 /// What the driver must do next. Spawns and kills map to subprocess
@@ -171,6 +183,13 @@ pub enum ServeEvent {
     JobCancelled {
         job: JobId,
     },
+    /// The job was rebuilt from its journal after a daemon restart.
+    JobRecovered {
+        job: JobId,
+        state: JobState,
+        round: usize,
+        retries: u64,
+    },
 }
 
 impl ServeEvent {
@@ -181,7 +200,8 @@ impl ServeEvent {
             | ServeEvent::JobDegraded { job, .. }
             | ServeEvent::RoundMerged { job, .. }
             | ServeEvent::JobDone { job }
-            | ServeEvent::JobCancelled { job } => job,
+            | ServeEvent::JobCancelled { job }
+            | ServeEvent::JobRecovered { job, .. } => job,
             ServeEvent::ShardSpawned { task, .. }
             | ServeEvent::ShardDone { task, .. }
             | ServeEvent::ShardFailed { task, .. }
@@ -207,6 +227,31 @@ pub struct JobStatus {
     pub running: usize,
     /// Total requeues across the job's lifetime.
     pub retries: u64,
+}
+
+/// A job's durable scheduling state — everything the daemon journals to
+/// `job-N/state.json` and feeds back through [`Scheduler::restore`] after
+/// a restart. Backoff deadlines are deliberately absent: a restart resets
+/// pending backoffs (the shards become ready immediately), which only
+/// ever makes recovery faster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSnapshot {
+    pub priority: u64,
+    pub rounds: usize,
+    pub shards: usize,
+    pub state: JobState,
+    /// Current round (last round when terminal).
+    pub round: usize,
+    /// Shards of the current round whose checkpoints are complete.
+    pub done: Vec<usize>,
+    /// Spawn count per shard in the current round.
+    pub attempts: Vec<u32>,
+    /// Total requeues across the job's lifetime.
+    pub retries: u64,
+    /// Shards that occupied a slot at snapshot time. On restore these are
+    /// orphans — their worker died with the daemon — and are requeued as
+    /// crashed attempts.
+    pub running: Vec<usize>,
 }
 
 #[derive(Debug)]
@@ -253,6 +298,9 @@ pub struct Scheduler {
     running: Vec<Running>,
     seq: u64,
     events: Vec<ServeEvent>,
+    /// Draining: timeouts and backoff promotion still run, but no new
+    /// shard spawns (graceful `shutdown --drain`).
+    draining: bool,
 }
 
 impl Scheduler {
@@ -266,7 +314,20 @@ impl Scheduler {
             running: Vec::new(),
             seq: 0,
             events: Vec::new(),
+            draining: false,
         }
+    }
+
+    /// Stop (or resume) admitting new shard spawns. In-flight tasks keep
+    /// running (bounded by the per-shard timeout); merges of completed
+    /// rounds still happen, but the unlocked round never spawns.
+    pub fn set_draining(&mut self, draining: bool) {
+        self.draining = draining;
+    }
+
+    /// Whether the scheduler is refusing new spawns.
+    pub fn draining(&self) -> bool {
+        self.draining
     }
 
     /// Enqueue a job of `rounds × shards` tasks. Round 0 is immediately
@@ -331,7 +392,7 @@ impl Scheduler {
                 }
             });
         }
-        while self.running.len() < self.cfg.slots {
+        while !self.draining && self.running.len() < self.cfg.slots {
             // Highest priority wins; ties go to the job that was scheduled
             // longest ago (round-robin), then to the lower id (stable).
             let Some(id) = self
@@ -448,6 +509,167 @@ impl Scheduler {
     /// checkpoint): degrade the job.
     pub fn merge_failed(&mut self, job_id: JobId, round: usize) -> Vec<Action> {
         self.degrade(job_id, round, 0)
+    }
+
+    /// The durable state of one job, for the daemon's `state.json`
+    /// journal. `None` for unknown ids.
+    pub fn snapshot(&self, job_id: JobId) -> Option<JobSnapshot> {
+        let job = self.jobs.get(job_id)?;
+        Some(JobSnapshot {
+            priority: job.priority,
+            rounds: job.rounds,
+            shards: job.shards,
+            state: job.state,
+            round: job.round,
+            done: job.done_shards.iter().copied().collect(),
+            attempts: job.attempts.clone(),
+            retries: job.retries_total,
+            running: self
+                .running
+                .iter()
+                .filter(|r| r.task.job == job_id && r.task.round == job.round)
+                .map(|r| r.task.shard)
+                .collect(),
+        })
+    }
+
+    /// Rebuild a job from its journal after a daemon restart. Jobs must be
+    /// restored in their original submission order (ids are dense); the
+    /// restored job re-enters the rotation as if freshly submitted, so
+    /// priority and FIFO order survive the restart.
+    ///
+    /// Shards the snapshot says were running are orphans — their worker
+    /// died with the daemon — and are treated as crashed attempts: they
+    /// requeue under the normal backoff machinery, or degrade the job if
+    /// that attempt had already exhausted its retries. Terminal jobs stay
+    /// terminal. A non-terminal job whose shards are all done resumes at
+    /// the merge (the returned [`Action::Merge`] re-runs it; merges are
+    /// idempotent over checkpoints).
+    pub fn restore(&mut self, snap: &JobSnapshot, now_ms: u64) -> (JobId, Vec<Action>) {
+        let id = self.jobs.len();
+        let rounds = snap.rounds.max(1);
+        let shards = snap.shards.max(1);
+        let round = snap.round.min(rounds - 1);
+        let mut attempts = snap.attempts.clone();
+        attempts.resize(shards, 0);
+        let done: BTreeSet<usize> = snap.done.iter().copied().filter(|s| *s < shards).collect();
+        let orphans: BTreeSet<usize> = snap
+            .running
+            .iter()
+            .copied()
+            .filter(|s| *s < shards && !done.contains(s))
+            .collect();
+        let mut ready = BTreeSet::new();
+        if !snap.state.is_terminal() {
+            for shard in 0..shards {
+                if !done.contains(&shard) && !orphans.contains(&shard) {
+                    ready.insert(shard);
+                }
+            }
+        }
+        self.jobs.push(Job {
+            priority: snap.priority,
+            rounds,
+            shards,
+            state: snap.state,
+            round,
+            ready,
+            backoff: Vec::new(),
+            attempts,
+            done_shards: done,
+            last_scheduled: self.seq,
+            retries_total: snap.retries,
+        });
+        self.seq += 1;
+        let mut actions = Vec::new();
+        if !snap.state.is_terminal() {
+            for shard in orphans {
+                let attempt = self.jobs[id].attempts[shard].max(1);
+                let task = TaskId {
+                    job: id,
+                    round,
+                    shard,
+                };
+                self.events.push(ServeEvent::ShardFailed {
+                    task,
+                    attempt,
+                    timeout: false,
+                });
+                if attempt > self.cfg.max_retries {
+                    actions.extend(self.degrade(id, round, shard));
+                    break;
+                }
+                let backoff_ms = self.backoff_ms(task, attempt);
+                let job = &mut self.jobs[id];
+                job.retries_total += 1;
+                job.backoff.push((now_ms + backoff_ms, shard));
+                self.events.push(ServeEvent::ShardRetry {
+                    task,
+                    attempt: attempt + 1,
+                    backoff_ms,
+                });
+            }
+            let job = &mut self.jobs[id];
+            if !job.state.is_terminal() {
+                if job.done_shards.len() == job.shards {
+                    job.state = JobState::Merging;
+                    actions.push(Action::Merge { job: id, round });
+                } else {
+                    job.state = JobState::Active;
+                }
+            }
+        }
+        let job = &self.jobs[id];
+        self.events.push(ServeEvent::JobRecovered {
+            job: id,
+            state: job.state,
+            round: job.round,
+            retries: job.retries_total,
+        });
+        (id, actions)
+    }
+
+    /// The driver found `shard`'s checkpoint of `round` corrupt or missing
+    /// at merge time: un-complete the shard and requeue it as a failed
+    /// attempt (backoff, or degradation once retries are exhausted)
+    /// instead of degrading the job outright. A no-op unless the job is on
+    /// that round and not terminal.
+    pub fn shard_lost(
+        &mut self,
+        job_id: JobId,
+        round: usize,
+        shard: usize,
+        now_ms: u64,
+    ) -> Vec<Action> {
+        let Some(job) = self.jobs.get_mut(job_id) else {
+            return Vec::new();
+        };
+        if job.state.is_terminal() || job.round != round || shard >= job.shards {
+            return Vec::new();
+        }
+        job.done_shards.remove(&shard);
+        if job.state == JobState::Merging {
+            job.state = JobState::Active;
+        }
+        let attempt = job.attempts[shard].max(1);
+        let task = TaskId {
+            job: job_id,
+            round,
+            shard,
+        };
+        if attempt > self.cfg.max_retries {
+            return self.degrade(job_id, round, shard);
+        }
+        let backoff_ms = self.backoff_ms(task, attempt);
+        let job = &mut self.jobs[job_id];
+        job.retries_total += 1;
+        job.backoff.push((now_ms + backoff_ms, shard));
+        self.events.push(ServeEvent::ShardRetry {
+            task,
+            attempt: attempt + 1,
+            backoff_ms,
+        });
+        Vec::new()
     }
 
     fn degrade(&mut self, job_id: JobId, round: usize, shard: usize) -> Vec<Action> {
@@ -846,5 +1068,214 @@ mod tests {
         sched.merge_failed(job, 0);
         assert_eq!(sched.job_state(job), Some(JobState::Degraded));
         assert!(sched.poll(10).is_empty());
+    }
+
+    /// Rebuild-from-journal ordering: a queue restored snapshot-by-
+    /// snapshot in submission order schedules exactly like the original —
+    /// priorities preempt, equal priorities round-robin in submit order.
+    #[test]
+    fn restore_preserves_priority_and_submission_order() {
+        let mut original = Scheduler::new(cfg());
+        let low_a = original.submit(0, 1, 2);
+        let high = original.submit(5, 1, 2);
+        let low_b = original.submit(0, 1, 2);
+        let snaps: Vec<JobSnapshot> = (0..3).map(|id| original.snapshot(id).unwrap()).collect();
+
+        let mut restored = Scheduler::new(cfg());
+        for snap in &snaps {
+            let (_, actions) = restored.restore(snap, 0);
+            assert!(actions.is_empty(), "nothing was running: {actions:?}");
+        }
+        let order = |sched: &mut Scheduler| {
+            let mut order = Vec::new();
+            let mut now = 0;
+            while order.len() < 6 {
+                now += 1;
+                for task in spawns(&sched.poll(now)) {
+                    order.push(task.job);
+                    sched.task_exited(task, true, now);
+                }
+            }
+            order
+        };
+        let expected = order(&mut original);
+        assert_eq!(expected, vec![high, high, low_a, low_b, low_a, low_b]);
+        assert_eq!(order(&mut restored), expected);
+        // The restored queue announced every job's recovery, in order.
+        let recovered: Vec<JobId> = restored
+            .drain_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                ServeEvent::JobRecovered { job, .. } => Some(job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recovered, vec![low_a, high, low_b]);
+    }
+
+    /// Shards that were in a slot when the daemon died are requeued as
+    /// crashed attempts: retry accounting advances and the respawn waits
+    /// out a backoff, exactly like a real crash.
+    #[test]
+    fn restore_requeues_orphaned_running_shards_with_backoff() {
+        let mut original = Scheduler::new(SchedulerConfig { slots: 2, ..cfg() });
+        let job = original.submit(0, 1, 2);
+        let tasks = spawns(&original.poll(0));
+        assert_eq!(tasks.len(), 2);
+        original.task_exited(tasks[0], true, 1); // shard 0 done, shard 1 running
+        let snap = original.snapshot(job).unwrap();
+        assert_eq!(snap.done, vec![0]);
+        assert_eq!(snap.running, vec![1]);
+
+        let mut restored = Scheduler::new(SchedulerConfig { slots: 2, ..cfg() });
+        let (id, actions) = restored.restore(&snap, 1000);
+        assert!(actions.is_empty());
+        assert_eq!(restored.job_state(id), Some(JobState::Active));
+        assert_eq!(restored.status()[id].retries, 1);
+        // The orphan is backing off, not instantly ready.
+        assert!(spawns(&restored.poll(1000)).is_empty());
+        let events = restored.drain_events();
+        let backoff = events
+            .iter()
+            .find_map(|e| match e {
+                ServeEvent::ShardRetry { backoff_ms, .. } => Some(*backoff_ms),
+                _ => None,
+            })
+            .expect("orphan requeued with backoff");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ServeEvent::JobRecovered { job, retries: 1, .. } if *job == id)));
+        let respawned = spawns(&restored.poll(1000 + backoff));
+        assert_eq!(respawned.len(), 1);
+        assert_eq!(respawned[0].shard, 1);
+        // Attempt accounting continued from the snapshot: this is spawn 2.
+        sched_attempt_is(&restored, id, 1, 2);
+        // Completing the orphan finishes the round.
+        let merge = restored.task_exited(respawned[0], true, 2000);
+        assert_eq!(merge.len(), 1);
+    }
+
+    fn sched_attempt_is(sched: &Scheduler, job: JobId, shard: usize, want: u32) {
+        assert_eq!(sched.jobs[job].attempts[shard], want);
+    }
+
+    /// An orphaned shard whose attempt had already exhausted its retries
+    /// degrades the job on restore instead of looping forever.
+    #[test]
+    fn restore_degrades_exhausted_orphans() {
+        let mut sched = Scheduler::new(SchedulerConfig {
+            max_retries: 2,
+            ..cfg()
+        });
+        let snap = JobSnapshot {
+            priority: 0,
+            rounds: 1,
+            shards: 1,
+            state: JobState::Active,
+            round: 0,
+            done: vec![],
+            attempts: vec![3], // attempt 3 of max_retries 2 was in flight
+            retries: 2,
+            running: vec![0],
+        };
+        let (id, actions) = sched.restore(&snap, 0);
+        assert!(actions.is_empty(), "no processes to kill: {actions:?}");
+        assert_eq!(sched.job_state(id), Some(JobState::Degraded));
+        assert!(sched.poll(100_000).is_empty());
+    }
+
+    /// Terminal jobs restore terminal; a non-terminal job with every
+    /// shard done resumes at the (idempotent) merge.
+    #[test]
+    fn restore_keeps_terminal_states_and_resumes_pending_merges() {
+        let mut sched = Scheduler::new(cfg());
+        for state in [JobState::Done, JobState::Degraded, JobState::Cancelled] {
+            let snap = JobSnapshot {
+                priority: 0,
+                rounds: 2,
+                shards: 1,
+                state,
+                round: 1,
+                done: vec![0],
+                attempts: vec![1],
+                retries: 0,
+                running: vec![],
+            };
+            let (id, actions) = sched.restore(&snap, 0);
+            assert!(actions.is_empty());
+            assert_eq!(sched.job_state(id), Some(state));
+        }
+        assert!(sched.poll(10).is_empty(), "terminal jobs spawn nothing");
+        let snap = JobSnapshot {
+            priority: 0,
+            rounds: 2,
+            shards: 2,
+            state: JobState::Merging,
+            round: 0,
+            done: vec![0, 1],
+            attempts: vec![1, 1],
+            retries: 0,
+            running: vec![],
+        };
+        let (id, actions) = sched.restore(&snap, 0);
+        assert_eq!(actions, vec![Action::Merge { job: id, round: 0 }]);
+        sched.round_merged(id, 0, 3);
+        assert_eq!(sched.job_state(id), Some(JobState::Active));
+        assert_eq!(spawns(&sched.poll(1)).len(), 1);
+    }
+
+    /// A corrupt shard checkpoint discovered at merge time un-completes
+    /// the shard: the job leaves Merging, the shard re-runs after a
+    /// backoff, and the round merges once it completes again.
+    #[test]
+    fn shard_lost_requeues_and_remerges() {
+        let mut sched = Scheduler::new(SchedulerConfig { slots: 2, ..cfg() });
+        let job = sched.submit(0, 1, 2);
+        let tasks = spawns(&sched.poll(0));
+        sched.task_exited(tasks[0], true, 1);
+        let merge = sched.task_exited(tasks[1], true, 2);
+        assert_eq!(merge, vec![Action::Merge { job, round: 0 }]);
+        // Driver finds shard 1's checkpoint corrupt.
+        assert!(sched.shard_lost(job, 0, 1, 10).is_empty());
+        assert_eq!(sched.job_state(job), Some(JobState::Active));
+        assert_eq!(sched.status()[job].done_shards, 1);
+        assert_eq!(sched.status()[job].retries, 1);
+        // Requeued with backoff, then respawns and re-merges.
+        assert!(spawns(&sched.poll(10)).is_empty());
+        let respawn = spawns(&sched.poll(10_000));
+        assert_eq!(respawn.len(), 1);
+        assert_eq!(respawn[0].shard, 1);
+        let merge = sched.task_exited(respawn[0], true, 10_001);
+        assert_eq!(merge, vec![Action::Merge { job, round: 0 }]);
+        // Stale coordinates are ignored.
+        assert!(sched.shard_lost(job, 5, 1, 0).is_empty());
+        assert!(sched.shard_lost(job, 0, 99, 0).is_empty());
+        assert!(sched.shard_lost(99, 0, 0, 0).is_empty());
+    }
+
+    /// Draining stops new spawns but keeps timeouts and exits flowing, so
+    /// in-flight work finishes (or is killed at its budget) and nothing
+    /// new starts.
+    #[test]
+    fn draining_blocks_spawns_but_not_timeouts() {
+        let mut sched = Scheduler::new(SchedulerConfig { slots: 2, ..cfg() });
+        let job = sched.submit(0, 1, 3);
+        let tasks = spawns(&sched.poll(0));
+        assert_eq!(tasks.len(), 2);
+        sched.set_draining(true);
+        assert!(sched.draining());
+        // A finished shard frees a slot, but no new spawn fills it.
+        assert!(sched.task_exited(tasks[0], true, 1).is_empty());
+        assert!(sched.poll(2).is_empty());
+        // The straggler still times out at its budget.
+        let kills = sched.poll(10_000);
+        assert_eq!(kills, vec![Action::Kill { task: tasks[1] }]);
+        sched.task_exited(tasks[1], false, 10_001);
+        // Its retry requeues but never respawns while draining...
+        assert!(sched.poll(100_000).is_empty());
+        assert!(!sched.has_running(job));
+        // ...and resumes when draining is lifted.
+        sched.set_draining(false);
+        assert_eq!(spawns(&sched.poll(100_001)).len(), 2);
     }
 }
