@@ -11,7 +11,8 @@ use crate::rtmodel::{runtime_model, BugModels, RuntimeModel};
 use crate::sched::{fnv1a, jitter, time_breakdown, TimeBreakdown};
 use ompfuzz_ast::{Program, ProgramFeatures};
 use ompfuzz_exec::{
-    lower, BoolSemantics, CompiledKernel, ExecLimits, ExecOptions, ExecScratch, PreparedKernel,
+    lower, BoolSemantics, CompiledKernel, ExecError, ExecLimits, ExecOptions, ExecOutcome,
+    ExecScratch, PreparedKernel,
 };
 use ompfuzz_inputs::TestInput;
 use std::sync::Arc;
@@ -71,6 +72,24 @@ pub trait CompiledTest: Send + Sync {
     ) -> RunResult {
         let _ = scratch;
         self.run(input, opts)
+    }
+    /// Execute every input of a test case, returning one result per input
+    /// in order. Backends that can amortize per-program work across inputs
+    /// override this — the simulated backends run all inputs through the
+    /// VM's lane-batched engine, one instruction fetch per batch
+    /// ([`ompfuzz_exec::vm::run_batch`]) — with results bit-identical to
+    /// calling [`CompiledTest::run_with`] once per input, which is exactly
+    /// what this default does.
+    fn run_batch(
+        &self,
+        inputs: &[TestInput],
+        opts: &RunOptions,
+        scratch: &mut ExecScratch,
+    ) -> Vec<RunResult> {
+        inputs
+            .iter()
+            .map(|input| self.run_with(input, opts, scratch))
+            .collect()
     }
     /// Label of the producing implementation (for reports).
     fn backend_label(&self) -> String;
@@ -343,23 +362,45 @@ impl SimBinary {
     }
 }
 
-impl CompiledTest for SimBinary {
-    fn run(&self, input: &TestInput, opts: &RunOptions) -> RunResult {
-        self.run_with(input, opts, &mut ExecScratch::new())
+impl SimBinary {
+    /// Interpreter options this binary runs under.
+    fn exec_options(&self, opts: &RunOptions) -> ExecOptions {
+        ExecOptions {
+            bool_semantics: self.bool_semantics(),
+            limits: ExecLimits {
+                max_ops: opts.max_ops,
+            },
+            detect_races: opts.detect_races,
+            engine: opts.engine,
+        }
     }
 
-    fn run_with(
-        &self,
-        input: &TestInput,
-        opts: &RunOptions,
-        scratch: &mut ExecScratch,
-    ) -> RunResult {
-        // 1. Modelled compile-bug crash (before any output).
-        if self.crash_triggered(input) {
-            return RunResult {
-                status: RunStatus::Crash {
-                    signal: "SIGSEGV",
-                    reason: "modelled GCC miscompile of reduction + division nest".to_string(),
+    /// The modelled compile-bug crash result (before any output).
+    fn crash_result(&self) -> RunResult {
+        RunResult {
+            status: RunStatus::Crash {
+                signal: "SIGSEGV",
+                reason: "modelled GCC miscompile of reduction + division nest".to_string(),
+            },
+            comp: None,
+            time_us: None,
+            counters: Default::default(),
+            profile: Default::default(),
+            threads: None,
+            exec: None,
+            races: Vec::new(),
+        }
+    }
+
+    /// Map an interpreter error to the run result a driver would observe.
+    fn error_result(&self, e: &ExecError, opts: &RunOptions) -> RunResult {
+        match e {
+            // The binary genuinely runs far beyond the timeout: a hang
+            // from the driver's point of view (all backends will agree,
+            // so this never becomes an outlier by itself).
+            ExecError::BudgetExceeded { .. } => RunResult {
+                status: RunStatus::Hang {
+                    timeout_us: opts.hang_timeout_us,
                 },
                 comp: None,
                 time_us: None,
@@ -368,55 +409,33 @@ impl CompiledTest for SimBinary {
                 threads: None,
                 exec: None,
                 races: Vec::new(),
-            };
-        }
-
-        // 2. Interpret under this backend's semantics, on the engine the
-        //    run options select (flat bytecode by default).
-        let exec_opts = ExecOptions {
-            bool_semantics: self.bool_semantics(),
-            limits: ExecLimits {
-                max_ops: opts.max_ops,
             },
-            detect_races: opts.detect_races,
-            engine: opts.engine,
-        };
-        let outcome = match self.code.run_with(input, &exec_opts, scratch) {
-            Ok(o) => o,
-            Err(ompfuzz_exec::ExecError::BudgetExceeded { .. }) => {
-                // The binary genuinely runs far beyond the timeout: a hang
-                // from the driver's point of view (all backends will agree,
-                // so this never becomes an outlier by itself).
-                return RunResult {
-                    status: RunStatus::Hang {
-                        timeout_us: opts.hang_timeout_us,
-                    },
-                    comp: None,
-                    time_us: None,
-                    counters: Default::default(),
-                    profile: Default::default(),
-                    threads: None,
-                    exec: None,
-                    races: Vec::new(),
-                };
-            }
-            Err(e) => {
-                return RunResult {
-                    status: RunStatus::Crash {
-                        signal: "SIGABRT",
-                        reason: e.to_string(),
-                    },
-                    comp: None,
-                    time_us: None,
-                    counters: Default::default(),
-                    profile: Default::default(),
-                    threads: None,
-                    exec: None,
-                    races: Vec::new(),
-                }
-            }
-        };
+            e => RunResult {
+                status: RunStatus::Crash {
+                    signal: "SIGABRT",
+                    reason: e.to_string(),
+                },
+                comp: None,
+                time_us: None,
+                counters: Default::default(),
+                profile: Default::default(),
+                threads: None,
+                exec: None,
+                races: Vec::new(),
+            },
+        }
+    }
 
+    /// Everything downstream of a completed interpretation: time model,
+    /// modelled livelock, counters, profile, jitter. Shared by the scalar
+    /// and batched paths — the outcome fully determines the result, so
+    /// batching cannot change what a driver observes.
+    fn post_process(
+        &self,
+        outcome: ExecOutcome,
+        input: &TestInput,
+        opts: &RunOptions,
+    ) -> RunResult {
         // 3. Time model.
         let model = self.runtime();
         let breakdown = time_breakdown(&outcome.stats, &model, self.opt_factor());
@@ -471,6 +490,89 @@ impl CompiledTest for SimBinary {
             exec: Some(outcome.stats),
             races: outcome.races,
         }
+    }
+}
+
+impl CompiledTest for SimBinary {
+    fn run(&self, input: &TestInput, opts: &RunOptions) -> RunResult {
+        self.run_with(input, opts, &mut ExecScratch::new())
+    }
+
+    fn run_with(
+        &self,
+        input: &TestInput,
+        opts: &RunOptions,
+        scratch: &mut ExecScratch,
+    ) -> RunResult {
+        // 1. Modelled compile-bug crash (before any output).
+        if self.crash_triggered(input) {
+            return self.crash_result();
+        }
+
+        // 2. Interpret under this backend's semantics, on the engine the
+        //    run options select (flat bytecode by default).
+        let exec_opts = self.exec_options(opts);
+        match self.code.run_with(input, &exec_opts, scratch) {
+            Ok(outcome) => self.post_process(outcome, input, opts),
+            Err(e) => self.error_result(&e, opts),
+        }
+    }
+
+    /// All inputs of a test in one VM pass per group of `batch_width`
+    /// lanes: one instruction fetch serves the whole group
+    /// ([`ompfuzz_exec::vm::run_batch`]). Crash-triggered lanes still run
+    /// in the batch (their interpreter outcome is discarded, exactly as
+    /// the scalar path never starts one) — the check is pre-execution
+    /// metadata, so dropping the lane would only complicate the layout.
+    fn run_batch(
+        &self,
+        inputs: &[TestInput],
+        opts: &RunOptions,
+        scratch: &mut ExecScratch,
+    ) -> Vec<RunResult> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let exec_opts = self.exec_options(opts);
+        // The three vendor binaries of one program share their compiled
+        // kernel; whenever two of them also agree on execution semantics
+        // (Intel- and Clang-like both evaluate branches under IEEE
+        // comparison), the second differential run replays the first
+        // one's memoized outcomes instead of re-interpreting.
+        let outcomes = match scratch.memoized_batch(&self.code, inputs, &exec_opts) {
+            Some(outcomes) => outcomes,
+            None => {
+                let scalar = inputs.len() <= 1
+                    || opts.batch_width <= 1
+                    || opts.engine == ompfuzz_exec::ExecEngine::Tree;
+                let mut outcomes = Vec::with_capacity(inputs.len());
+                if scalar {
+                    for input in inputs {
+                        outcomes.push(self.code.run_with(input, &exec_opts, scratch));
+                    }
+                } else {
+                    for chunk in inputs.chunks(opts.batch_width.max(1)) {
+                        outcomes.extend(self.code.run_batch_with(chunk, &exec_opts, scratch));
+                    }
+                }
+                scratch.memoize_batch(&self.code, inputs, &exec_opts, &outcomes);
+                outcomes
+            }
+        };
+        inputs
+            .iter()
+            .zip(outcomes)
+            .map(|(input, outcome)| {
+                if self.crash_triggered(input) {
+                    self.crash_result()
+                } else {
+                    match outcome {
+                        Ok(o) => self.post_process(o, input, opts),
+                        Err(e) => self.error_result(&e, opts),
+                    }
+                }
+            })
+            .collect()
     }
 
     fn backend_label(&self) -> String {
@@ -827,6 +929,65 @@ mod tests {
                 "{lib} missing from profile"
             );
         }
+    }
+
+    #[test]
+    fn batched_runs_match_scalar_runs_exactly() {
+        // Every modelled behaviour — NaN folding (GCC), livelock pressure
+        // (Intel), races, budget hangs — must survive batching untouched:
+        // run_batch is run_with, N times, in one VM pass.
+        let p = cs2_program(3, 50, 8);
+        let inputs: Vec<TestInput> = [1.0, -0.5, f64::NAN, 1e308, 0.0, 2.5, -3.0]
+            .iter()
+            .map(|&v| TestInput {
+                comp_init: 0.5,
+                values: vec![InputValue::Fp(v)],
+            })
+            .collect();
+        for backend in standard_backends() {
+            let bin = backend.compile_sim(&p, &CompileOptions::default()).unwrap();
+            for opts in [
+                RunOptions::default(),
+                RunOptions {
+                    detect_races: true,
+                    ..RunOptions::default()
+                },
+                RunOptions {
+                    batch_width: 3, // force mid-test chunk boundaries
+                    ..RunOptions::default()
+                },
+            ] {
+                let mut scratch = ExecScratch::new();
+                let batched = bin.run_batch(&inputs, &opts, &mut scratch);
+                assert_eq!(batched.len(), inputs.len());
+                for (input, b) in inputs.iter().zip(&batched) {
+                    let s = bin.run_with(input, &opts, &mut ExecScratch::new());
+                    assert_eq!(s.status, b.status);
+                    assert_eq!(s.comp.map(f64::to_bits), b.comp.map(f64::to_bits));
+                    assert_eq!(s.time_us, b.time_us);
+                    assert_eq!(s.counters, b.counters);
+                    assert_eq!(s.exec, b.exec);
+                    assert_eq!(s.races, b.races);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_width_one_falls_back_to_scalar() {
+        let p = cs1_program(100, 4);
+        let bin = SimBackend::intel()
+            .compile_sim(&p, &CompileOptions::default())
+            .unwrap();
+        let inputs = vec![one_input(), one_input()];
+        let opts = RunOptions {
+            batch_width: 1,
+            ..RunOptions::default()
+        };
+        let mut scratch = ExecScratch::new();
+        let results = bin.run_batch(&inputs, &opts, &mut scratch);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].comp, results[1].comp);
     }
 
     #[test]

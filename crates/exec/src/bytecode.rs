@@ -206,6 +206,10 @@ pub struct CompiledKernel {
     /// The kernel this bytecode was compiled from (after folding, if any).
     pub kernel: Kernel,
     pub(crate) instrs: Vec<Instr>,
+    /// `instrs[i]`'s opcode index ([`crate::profile::opcode_index`]),
+    /// precomputed so the direct-threaded dispatch loops index their
+    /// handler tables without re-discriminating the enum.
+    pub(crate) opcodes: Vec<u8>,
     pub(crate) blocks: Vec<BlockCost>,
     pub(crate) regions: Vec<RegionMeta>,
     /// Per-slot store precision, cached flat so the VM's store tail never
@@ -259,6 +263,29 @@ impl CompiledKernel {
         }
     }
 
+    /// Execute one kernel over a whole batch of inputs, dispatching on
+    /// `opts.engine`: the lane-batched bytecode VM fetches/decodes each
+    /// instruction once and applies it across all lanes
+    /// ([`crate::vm::run_batch`]); the tree engine runs each input
+    /// scalar as the reference. Either way the returned outcomes are
+    /// bit-identical to running each input alone, in input order.
+    pub fn run_batch_with(
+        &self,
+        inputs: &[ompfuzz_inputs::TestInput],
+        opts: &crate::interp::ExecOptions,
+        scratch: &mut ExecScratch,
+    ) -> Vec<Result<crate::interp::ExecOutcome, crate::interp::ExecError>> {
+        match opts.engine {
+            crate::interp::ExecEngine::Tree => inputs
+                .iter()
+                .map(|input| crate::interp::run_with(&self.kernel, input, opts, scratch))
+                .collect(),
+            crate::interp::ExecEngine::Bytecode => {
+                crate::vm::run_batch(self, inputs, opts, scratch)
+            }
+        }
+    }
+
     /// Number of instructions in the stream (diagnostics/tests).
     pub fn instr_count(&self) -> usize {
         self.instrs.len()
@@ -274,9 +301,14 @@ impl CompiledKernel {
         };
         let slot_ty = kernel.scalars.iter().map(|s| s.ty).collect();
         let array_ty = kernel.arrays.iter().map(|a| a.ty).collect();
+        let opcodes = instrs
+            .iter()
+            .map(|i| crate::profile::opcode_index(i) as u8)
+            .collect();
         CompiledKernel {
             kernel,
             instrs,
+            opcodes,
             blocks,
             regions,
             slot_ty,

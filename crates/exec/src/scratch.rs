@@ -18,8 +18,12 @@
 //! would have — which the `scratch_reuse` differential suite pins over
 //! random program/input sequences.
 
+use crate::bytecode::CompiledKernel;
+use crate::interp::{ExecError, ExecOptions, ExecOutcome};
 use crate::kernel::{IntSlotId, Kernel, SlotId};
 use ompfuzz_ast::FpType;
+use ompfuzz_inputs::{InputValue, TestInput};
+use std::sync::Arc;
 
 /// An active (serial or worksharing) loop of the bytecode VM.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +69,53 @@ pub struct ExecScratch {
     /// the VM on its unprofiled dispatch loop; results are bit-identical
     /// either way.
     pub profile: Option<Box<crate::profile::ExecProfile>>,
+    /// Lane-batched execution state ([`crate::vm::run_batch`]), created on
+    /// first batched run and reused from then on, so scalar-only callers
+    /// never pay for it.
+    pub(crate) batch: Option<Box<BatchScratch>>,
+    /// Most recent memoized batch of outcomes ([`ExecScratch::memoized_batch`]).
+    memo: Option<BatchMemo>,
+}
+
+/// One memoized `(kernel, options, inputs) -> outcomes` mapping.
+///
+/// Execution is a pure function of the compiled kernel, the run options
+/// and the input bits, so a caller that runs the *same* kernel on the
+/// *same* inputs under the *same* options more than once — the simulated
+/// vendor binaries of one program share one [`CompiledKernel`] and often
+/// agree on [`ExecOptions`] — can replay the outcomes instead of
+/// re-interpreting. Holding the `Arc` keeps the kernel alive, so the
+/// pointer identity used as the cache key can never be recycled by a
+/// later allocation.
+#[derive(Debug)]
+struct BatchMemo {
+    kernel: Arc<CompiledKernel>,
+    opts: ExecOptions,
+    inputs: Vec<TestInput>,
+    outcomes: Vec<Result<ExecOutcome, ExecError>>,
+}
+
+/// `ExecOptions` intentionally carries no `PartialEq` (it is a knob bag,
+/// not a value); the memo compares the fields that select semantics.
+fn same_opts(a: &ExecOptions, b: &ExecOptions) -> bool {
+    a.bool_semantics == b.bool_semantics
+        && a.limits == b.limits
+        && a.detect_races == b.detect_races
+        && a.engine == b.engine
+}
+
+/// Bitwise input equality: NaN payloads compare by representation, so two
+/// bit-identical inputs always match and anything else never does —
+/// exactly the granularity at which execution is deterministic.
+fn same_input(a: &TestInput, b: &TestInput) -> bool {
+    a.comp_init.to_bits() == b.comp_init.to_bits()
+        && a.values.len() == b.values.len()
+        && a.values.iter().zip(&b.values).all(|(x, y)| match (x, y) {
+            (InputValue::Int(x), InputValue::Int(y)) => x == y,
+            (InputValue::Fp(x), InputValue::Fp(y)) => x.to_bits() == y.to_bits(),
+            (InputValue::ArrayFill(x), InputValue::ArrayFill(y)) => x.to_bits() == y.to_bits(),
+            _ => false,
+        })
 }
 
 impl ExecScratch {
@@ -72,6 +123,54 @@ impl ExecScratch {
     /// are reused from then on.
     pub fn new() -> ExecScratch {
         ExecScratch::default()
+    }
+
+    /// The memoized outcomes of the most recent [`ExecScratch::memoize_batch`]
+    /// call, if it ran exactly this `(kernel, inputs, opts)` triple: the
+    /// kernel by `Arc` identity, the inputs bit-for-bit, the options
+    /// field-wise. Callers that execute one kernel under several labels —
+    /// the simulated vendor binaries of a test program share their
+    /// bytecode and often their semantics — use this to replay the
+    /// interpreter's outcomes instead of re-running it; the clone of the
+    /// stored outcomes is bit-identical to what a fresh run would return.
+    pub fn memoized_batch(
+        &self,
+        kernel: &Arc<CompiledKernel>,
+        inputs: &[TestInput],
+        opts: &ExecOptions,
+    ) -> Option<Vec<Result<ExecOutcome, ExecError>>> {
+        let memo = self.memo.as_ref()?;
+        if Arc::ptr_eq(&memo.kernel, kernel)
+            && same_opts(&memo.opts, opts)
+            && memo.inputs.len() == inputs.len()
+            && memo
+                .inputs
+                .iter()
+                .zip(inputs)
+                .all(|(a, b)| same_input(a, b))
+        {
+            return Some(memo.outcomes.clone());
+        }
+        None
+    }
+
+    /// Record `outcomes` as the result of running `kernel` on `inputs`
+    /// under `opts`, replacing whatever was memoized before (the cache
+    /// holds one entry — the access pattern it serves replays the same
+    /// triple back-to-back, not a working set).
+    pub fn memoize_batch(
+        &mut self,
+        kernel: &Arc<CompiledKernel>,
+        inputs: &[TestInput],
+        opts: &ExecOptions,
+        outcomes: &[Result<ExecOutcome, ExecError>],
+    ) {
+        self.memo = Some(BatchMemo {
+            kernel: Arc::clone(kernel),
+            opts: *opts,
+            inputs: inputs.to_vec(),
+            outcomes: outcomes.to_vec(),
+        });
     }
 
     /// Reset the kernel-shaped state for one run of `k`: every slot file
@@ -108,5 +207,100 @@ impl ExecScratch {
     pub(crate) fn reset_blocks(&mut self, blocks: usize) {
         self.block_hits.clear();
         self.block_hits.resize(blocks, 0);
+    }
+}
+
+/// Reusable state of the lane-batched VM ([`crate::vm::run_batch`]): every
+/// per-run value the scalar VM keeps once is held once *per lane*, in
+/// structure-of-arrays layout. Rows are slot-major — lane `l` of slot `s`
+/// lives at `[s * width + l]` — so one instruction's applies sweep one
+/// contiguous row of `width` values.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// Live lane count of the current batch (row stride).
+    pub(crate) width: usize,
+    /// Floating-point slot file, one row per slot.
+    pub(crate) scalars: Vec<f64>,
+    /// Integer slot file, one row per slot. Loop-counter rows stay uniform
+    /// (control flow is shared); int-parameter rows are genuinely per-lane.
+    pub(crate) ints: Vec<i64>,
+    /// One buffer per array parameter, element-major rows of `width`.
+    pub(crate) arrays: Vec<Vec<f64>>,
+    /// The evaluation stack, pushed and popped in whole rows.
+    pub(crate) stack: Vec<f64>,
+    /// The `comp` accumulator, per lane.
+    pub(crate) comp: Vec<f64>,
+    /// `comp` at region entry (reduction fold base), per lane.
+    pub(crate) comp_before: Vec<f64>,
+    /// Lanes still executing in the batch. A demoted (`false`) lane keeps
+    /// computing garbage mask-free — its state is abandoned and the input
+    /// re-runs on the scalar path when the batch finishes.
+    pub(crate) active: Vec<bool>,
+    /// NaN productions, per lane (the only per-lane [`crate::ExecStats`]
+    /// fields, with `inf`).
+    pub(crate) nan: Vec<u64>,
+    /// Infinity productions, per lane.
+    pub(crate) inf: Vec<u64>,
+    /// One race detector per lane: `LIndex::LoopMod` indices read per-lane
+    /// int slots, so raced element locations differ by lane.
+    pub(crate) races: Vec<crate::race::RaceDetector>,
+    /// Slots privatized by the active region (private then firstprivate).
+    pub(crate) saved_slots: Vec<SlotId>,
+    /// Pre-region values of `saved_slots`, one row per saved slot.
+    pub(crate) saved_vals: Vec<f64>,
+    /// Per-thread reduction partials, one row per finished thread.
+    pub(crate) partials: Vec<f64>,
+    /// Per-block execution counters (uniform: one count per batch fetch).
+    pub(crate) block_hits: Vec<u64>,
+    /// Spilled outer loop frames (uniform).
+    pub(crate) loops: Vec<LoopFrame>,
+    /// Regions whose first entry has been race-analyzed.
+    pub(crate) region_analyzed: Vec<bool>,
+    /// Two operand rows (lhs/rhs) the dispatch loop materializes into.
+    pub(crate) tmp: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Size and zero every row for one batch of `width` lanes over `k`,
+    /// exactly as `width` fresh scalar scratches would start.
+    pub(crate) fn reset_for(&mut self, k: &Kernel, blocks: usize, width: usize) {
+        self.width = width;
+        self.scalars.clear();
+        self.scalars.resize(k.scalars.len() * width, 0.0);
+        self.ints.clear();
+        self.ints.resize(k.ints.len() * width, 0);
+        self.arrays.resize_with(k.arrays.len(), Vec::new);
+        for (buf, a) in self.arrays.iter_mut().zip(&k.arrays) {
+            buf.clear();
+            buf.resize(a.len as usize * width, 0.0);
+        }
+        self.stack.clear();
+        self.comp.clear();
+        self.comp.resize(width, 0.0);
+        self.comp_before.clear();
+        self.comp_before.resize(width, 0.0);
+        self.active.clear();
+        self.active.resize(width, true);
+        self.nan.clear();
+        self.nan.resize(width, 0);
+        self.inf.clear();
+        self.inf.resize(width, 0);
+        if self.races.len() < width {
+            self.races
+                .resize_with(width, crate::race::RaceDetector::new);
+        }
+        for d in self.races.iter_mut().take(width) {
+            d.reset();
+        }
+        self.saved_slots.clear();
+        self.saved_vals.clear();
+        self.partials.clear();
+        self.block_hits.clear();
+        self.block_hits.resize(blocks, 0);
+        self.loops.clear();
+        self.region_analyzed.clear();
+        self.region_analyzed.resize(k.region_count as usize, false);
+        self.tmp.clear();
+        self.tmp.resize(2 * width, 0.0);
     }
 }

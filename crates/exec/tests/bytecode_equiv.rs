@@ -15,7 +15,7 @@
 
 use ompfuzz_exec::{
     interp, lower, vm, BoolSemantics, CompiledKernel, ExecError, ExecLimits, ExecOptions,
-    ExecOutcome,
+    ExecOutcome, ExecScratch,
 };
 use ompfuzz_gen::{GeneratorConfig, ProgramGenerator};
 use ompfuzz_inputs::{InputGenerator, TestInput};
@@ -90,7 +90,7 @@ fn check_both(
     // The tree reference interprets the same (possibly folded) kernel the
     // bytecode was flattened from.
     let tree = interp::run(&ck.kernel, input, opts);
-    let byte = vm::run(&ck, input, opts);
+    let byte = vm::run_with(&ck, input, opts, &mut ExecScratch::new());
     assert_outcomes_identical(&tree, &byte)
 }
 
@@ -192,7 +192,7 @@ fn case_shapes_match_at_budget_boundaries() {
                 ..ExecOptions::default()
             };
             let tree = interp::run(&kernel, &input, &opts);
-            let byte = vm::run(&ck, &input, &opts);
+            let byte = vm::run_with(&ck, &input, &opts, &mut ExecScratch::new());
             assert_eq!(tree.is_ok(), ok, "tree at {budget} (seed {seed})");
             assert_eq!(byte.is_ok(), ok, "bytecode at {budget} (seed {seed})");
             assert_outcomes_identical(&tree, &byte).unwrap();

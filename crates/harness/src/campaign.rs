@@ -432,15 +432,24 @@ fn run_one_case_with(
     let program_name: Arc<str> = Arc::from(tc.program.name.as_str());
     let mut records = Vec::with_capacity(tc.inputs.len());
     let mut run_metrics = oracle::RunMetricsBatch::new();
-    for (input_index, input) in tc.inputs.iter().enumerate() {
-        let observations: Vec<RunObservation> = binaries
-            .iter()
-            .map(|bin| {
-                let result = bin.run_with(input, &run_opts, scratch);
-                run_metrics.observe(&result);
-                oracle::to_observation(&result)
-            })
-            .collect();
+    // Lane-batched differential loop: each vendor binary executes ALL of
+    // the test's inputs in one batched pass (one instruction fetch per
+    // batch, [`CompiledTest::run_batch`]), then the per-input records are
+    // assembled across backends. Results — and therefore records — are
+    // bit-identical to the input-by-input loop this replaces.
+    let mut per_input: Vec<Vec<RunObservation>> = (0..tc.inputs.len())
+        .map(|_| Vec::with_capacity(binaries.len()))
+        .collect();
+    for bin in &binaries {
+        for (row, result) in per_input
+            .iter_mut()
+            .zip(bin.run_batch(&tc.inputs, &run_opts, scratch))
+        {
+            run_metrics.observe(&result);
+            row.push(oracle::to_observation(&result));
+        }
+    }
+    for (input_index, observations) in per_input.into_iter().enumerate() {
         let analysis = analyze(&observations, &config.outlier);
         if analysis.correctness.is_some() || analysis.performance.is_some() {
             obs.count(Counter::OutlierRecords, 1);
